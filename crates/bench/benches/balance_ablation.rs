@@ -1,0 +1,39 @@
+//! Load-balancer ablation (paper §6.2): the Heterogeneous mode with
+//! the measured-feedback balancer vs naive fixed splits (too much /
+//! too little CPU work).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hsim_core::runner::run_with_fraction;
+use hsim_core::{run_balanced, ExecMode, RunConfig};
+
+fn bench(c: &mut Criterion) {
+    let grid = (450, 480, 160);
+    let balanced_cfg = RunConfig::sweep(grid, ExecMode::hetero());
+    let (balanced, lb) = run_balanced(&balanced_cfg).expect("balanced run");
+    let naive_big = run_with_fraction(&balanced_cfg, 0.15).expect("15% run");
+    let naive_small = run_with_fraction(&balanced_cfg, 0.005).expect("0.5% run");
+    eprintln!(
+        "balanced (f={:.4}): {:.4}s | naive 15%: {:.4}s | naive 0.5%: {:.4}s",
+        lb.fraction,
+        balanced.runtime.as_secs_f64(),
+        naive_big.runtime.as_secs_f64(),
+        naive_small.runtime.as_secs_f64()
+    );
+    assert!(
+        balanced.runtime <= naive_big.runtime,
+        "overloading the CPUs must not beat the balancer"
+    );
+
+    let mut group = c.benchmark_group("balance_ablation");
+    group.sample_size(10);
+    group.bench_function("balancer_loop", |b| {
+        b.iter(|| run_balanced(&balanced_cfg).expect("run"))
+    });
+    group.bench_function("fixed_fraction_single_run", |b| {
+        b.iter(|| run_with_fraction(&balanced_cfg, lb.fraction).expect("run"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

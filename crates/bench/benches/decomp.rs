@@ -1,0 +1,45 @@
+//! Decomposition ablation (paper §6.1, Figures 9–10): build cost and
+//! communication metrics of the square, hierarchical, and weighted
+//! schemes at node scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hsim_mesh::decomp::weighted::{weighted_hetero_decomp, WeightedConfig};
+use hsim_mesh::decomp::{block_decomp, block_decomp_yz, hierarchical_decomp_yz};
+use hsim_mesh::metrics::measure;
+use hsim_mesh::{GlobalGrid, HaloPlan};
+
+fn bench(c: &mut Criterion) {
+    let grid = GlobalGrid::new(320, 480, 160);
+
+    // Print the Figure 9/10 comparison once.
+    let square16 = block_decomp(grid, 16, 1);
+    let hier = hierarchical_decomp_yz(grid, 4, 4, 2, 1).expect("hierarchical");
+    let weighted = weighted_hetero_decomp(grid, &WeightedConfig::rzhasgpu(0.02)).expect("weighted");
+    for (name, d) in [
+        ("square-4", &block_decomp_yz(grid, 4, 1)),
+        ("square-16", &square16),
+        ("hierarchical-4x4", &hier),
+        ("weighted-hetero", &weighted),
+    ] {
+        let m = measure(d);
+        eprintln!(
+            "{name}: ranks={} max_neighbors={} total_halo_area={} imbalance={:.3}",
+            m.ranks, m.max_neighbors, m.total_halo_area, m.imbalance
+        );
+    }
+
+    let mut group = c.benchmark_group("decomp");
+    group.bench_function("block_16", |b| b.iter(|| block_decomp(grid, 16, 1)));
+    group.bench_function("block_yz_4", |b| b.iter(|| block_decomp_yz(grid, 4, 1)));
+    group.bench_function("hierarchical_4x4", |b| {
+        b.iter(|| hierarchical_decomp_yz(grid, 4, 4, 2, 1).expect("ok"))
+    });
+    group.bench_function("weighted_hetero", |b| {
+        b.iter(|| weighted_hetero_decomp(grid, &WeightedConfig::rzhasgpu(0.02)).expect("ok"))
+    });
+    group.bench_function("halo_plan_16", |b| b.iter(|| HaloPlan::build(&square16)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench regenerating the paper's Figure 17: varying the x-dimension (y=480, z=320).
+//!
+//! The full series comes from `cargo run -p hsim-bench --bin figures
+//! -- fig17`; this bench times representative sweep points (one per
+//! regime) for each mode and prints the simulated runtimes it found.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hsim_bench::paper_modes;
+use hsim_core::figures::fig17;
+use hsim_core::{run_balanced, RunConfig};
+
+fn bench(c: &mut Criterion) {
+    let spec = fig17();
+    let points = spec.points();
+    // First and last sweep points bracket the figure's regimes.
+    let picks = [points[0], *points.last().expect("nonempty sweep")];
+    let mut group = c.benchmark_group("fig17");
+    group.sample_size(10);
+    for mode in paper_modes() {
+        for p in picks {
+            let cfg = RunConfig::sweep(p.grid(), mode);
+            let label = format!("{}/{}z", mode.key(), p.zones());
+            // Print the simulated runtime once for the record.
+            if let Ok((r, _)) = run_balanced(&cfg) {
+                eprintln!(
+                    "fig17 {} zones={} simulated_runtime={:.4}s cpu_fraction={:.4}",
+                    mode.key(),
+                    r.zones,
+                    r.runtime.as_secs_f64(),
+                    r.cpu_fraction
+                );
+            }
+            group.bench_function(&label, |b| {
+                b.iter(|| run_balanced(&cfg).expect("figure point runs"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! The §5.1 compiler-bug ablation: the paper projects that once the
+//! nvcc decorated-lambda issue is fixed, "significantly more work"
+//! goes to the CPU and the Heterogeneous mode improves further. This
+//! bench runs the fig18 best case on RZHasGPU with the bug active vs
+//! resolved and prints the CPU shares and runtimes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hsim_core::{run_balanced, ExecMode, NodeConfig, RunConfig};
+use hsim_raja::Fidelity;
+
+fn cfg_with(node: NodeConfig) -> RunConfig {
+    RunConfig {
+        grid: (600, 480, 160),
+        mode: ExecMode::hetero(),
+        node,
+        cycles: 10,
+        fidelity: Fidelity::CostOnly,
+        gpu_direct: false,
+        diffusion: None,
+        multipolicy_threshold: 0,
+        trace: false,
+        problem: Default::default(),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let buggy = cfg_with(NodeConfig::rzhasgpu());
+    let fixed = cfg_with(NodeConfig::rzhasgpu_fixed_compiler());
+    let (rb, _) = run_balanced(&buggy).expect("buggy run");
+    let (rf, _) = run_balanced(&fixed).expect("fixed run");
+    eprintln!(
+        "lambda bug active:   runtime={:.4}s cpu_fraction={:.4}",
+        rb.runtime.as_secs_f64(),
+        rb.cpu_fraction
+    );
+    eprintln!(
+        "lambda bug resolved: runtime={:.4}s cpu_fraction={:.4}",
+        rf.runtime.as_secs_f64(),
+        rf.cpu_fraction
+    );
+    assert!(
+        rf.cpu_fraction > rb.cpu_fraction,
+        "fixing the compiler must raise the CPU share"
+    );
+
+    let mut group = c.benchmark_group("lambda_ablation");
+    group.sample_size(10);
+    group.bench_function("bug_active", |b| {
+        b.iter(|| run_balanced(&buggy).expect("run"))
+    });
+    group.bench_function("bug_resolved", |b| {
+        b.iter(|| run_balanced(&fixed).expect("run"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

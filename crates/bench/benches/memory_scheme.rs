@@ -1,0 +1,56 @@
+//! The Figure 8 memory subsystem: device heap, cnmem-style pool, and
+//! unified-memory residency operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hsim_gpu::memory::{DeviceHeap, MemoryPool, UnifiedMemory};
+use hsim_gpu::DeviceSpec;
+
+fn bench(c: &mut Criterion) {
+    let spec = DeviceSpec::tesla_k80();
+    let mut group = c.benchmark_group("memory_scheme");
+
+    group.bench_function("heap_alloc_free_64", |b| {
+        let mut heap = DeviceHeap::new(1 << 30);
+        b.iter(|| {
+            let mut live = Vec::with_capacity(64);
+            for i in 0..64u64 {
+                live.push(heap.alloc(4096 * (1 + i % 7)).expect("fits"));
+            }
+            for a in live.into_iter().rev() {
+                heap.free(a).expect("valid free");
+            }
+        });
+    });
+
+    group.bench_function("pool_cycle_discipline", |b| {
+        let mut pool = MemoryPool::new(64 << 20);
+        b.iter(|| {
+            // A cycle's temporaries: grab, use, reset.
+            for i in 0..32u64 {
+                pool.alloc(64 * 1024 * (1 + i % 4)).expect("fits");
+            }
+            pool.reset();
+        });
+    });
+
+    group.bench_function("um_pingpong_16mb", |b| {
+        let mut um = UnifiedMemory::new(&spec);
+        let region = um.alloc(16 << 20);
+        b.iter(|| {
+            let to_dev = um.touch_device(region).expect("live region");
+            let to_host = um.touch_host(region).expect("live region");
+            (to_dev, to_host)
+        });
+    });
+
+    group.bench_function("um_halo_range_touch", |b| {
+        let mut um = UnifiedMemory::new(&spec);
+        let region = um.alloc(256 << 20);
+        um.touch_device(region).expect("live region");
+        b.iter(|| um.touch_host_range(region, 0, 2 << 20).expect("live region"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

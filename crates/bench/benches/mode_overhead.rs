@@ -1,0 +1,33 @@
+//! Modes side by side (paper Figures 1–4): one fixed problem run in
+//! each of the four node-utilization modes, with the simulated
+//! runtimes printed for the record.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hsim_core::{run, ExecMode, RunConfig};
+
+fn bench(c: &mut Criterion) {
+    let grid = (320, 240, 160);
+    let mut group = c.benchmark_group("mode_overhead");
+    group.sample_size(10);
+    for mode in [
+        ExecMode::CpuOnly,
+        ExecMode::Default,
+        ExecMode::mps4(),
+        ExecMode::hetero(),
+    ] {
+        let cfg = RunConfig::sweep(grid, mode);
+        let r = run(&cfg).expect("mode runs");
+        eprintln!(
+            "{:24} simulated_runtime={:.4}s ranks={} launches={}",
+            mode.label(),
+            r.runtime.as_secs_f64(),
+            r.ranks.len(),
+            r.total_launches()
+        );
+        group.bench_function(mode.key(), |b| b.iter(|| run(&cfg).expect("run")));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

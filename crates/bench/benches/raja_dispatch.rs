@@ -1,0 +1,67 @@
+//! Portability-layer overhead (paper Figures 5–7): the cost of the
+//! `forall` abstraction under each execution policy, the dynamic
+//! policy selection, and the work-sharing pool.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hsim_gpu::KernelDesc;
+use hsim_raja::{select_policy, Arch, AresPolicy, CpuModel, Executor, Fidelity, Target, WorkPool};
+use hsim_time::RankClock;
+
+fn bench(c: &mut Criterion) {
+    let desc = KernelDesc::new("axpy", 2.0, 24.0);
+    let n = 100_000usize;
+
+    let mut group = c.benchmark_group("raja");
+    group.bench_function("forall_seq_full", |b| {
+        let mut exec = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::Full);
+        let mut clock = RankClock::new(0);
+        let mut x = vec![1.0f64; n];
+        b.iter(|| {
+            exec.forall(&mut clock, &desc, n, n as u32, |i| {
+                x[i] = x[i] * 1.0000001 + 0.5;
+            })
+            .expect("forall");
+        });
+    });
+    group.bench_function("forall_seq_cost_only", |b| {
+        let mut exec = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::CostOnly);
+        let mut clock = RankClock::new(0);
+        b.iter(|| {
+            exec.forall(&mut clock, &desc, n, n as u32, |_| {}).expect("forall");
+        });
+    });
+    group.bench_function("raw_loop_reference", |b| {
+        let mut x = vec![1.0f64; n];
+        b.iter(|| {
+            for v in x.iter_mut() {
+                *v = *v * 1.0000001 + 0.5;
+            }
+        });
+    });
+    group.bench_function("dynamic_policy_selection", |b| {
+        b.iter(|| {
+            let mut k = 0usize;
+            for intent in [
+                AresPolicy::ThreadSafe,
+                AresPolicy::NotThreadSafe,
+                AresPolicy::HeavyCompute,
+                AresPolicy::LightCompute,
+                AresPolicy::Reduction,
+            ] {
+                for arch in [Arch::CpuSequential, Arch::CpuThreaded, Arch::Gpu] {
+                    k += select_policy(intent, arch) as usize;
+                }
+            }
+            k
+        });
+    });
+    let pool = WorkPool::new(3);
+    group.bench_function("pool_sum_100k", |b| {
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        b.iter(|| pool.sum(0, n, 1024, |i| x[i] * 2.0));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! The Figure 11 workload: full-fidelity Sedov hydro cycles ("a
+//! hydrodynamics calculation with 80 kernels"), wall-clock per cycle
+//! at several mesh sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hsim_hydro::sedov::{self, SedovConfig};
+use hsim_hydro::{step, HydroState, SoloCoupler};
+use hsim_mesh::{GlobalGrid, Subdomain};
+use hsim_raja::{CpuModel, Executor, Fidelity, Target};
+use hsim_time::RankClock;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sedov_cycle");
+    group.sample_size(10);
+    for n in [16usize, 24, 32] {
+        group.bench_function(format!("full_{n}cubed"), |b| {
+            b.iter_batched(
+                || {
+                    let grid = GlobalGrid::new(n, n, n);
+                    let sub = Subdomain::new([0, 0, 0], [n, n, n], 1);
+                    let mut st = HydroState::new(grid, sub, Fidelity::Full);
+                    sedov::init(&mut st, &SedovConfig::default());
+                    st
+                },
+                |mut st| {
+                    let mut exec =
+                        Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::Full);
+                    let mut clock = RankClock::new(0);
+                    let mut solo = SoloCoupler;
+                    let stats =
+                        step(&mut st, &mut exec, &mut clock, &mut solo, 0.3, 1.0).expect("cycle");
+                    assert!(stats.launches >= 80, "Figure 11: ~80 kernels per cycle");
+                    st
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    // Cost-only cycle (what the sweeps pay per point).
+    group.bench_function("cost_only_320x480x160", |b| {
+        let grid = GlobalGrid::new(320, 480, 160);
+        let sub = Subdomain::new([0, 0, 0], [320, 480, 160], 1);
+        let mut st = HydroState::new(grid, sub, Fidelity::CostOnly);
+        let mut exec = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::CostOnly);
+        let mut clock = RankClock::new(0);
+        let mut solo = SoloCoupler;
+        b.iter(|| step(&mut st, &mut exec, &mut clock, &mut solo, 0.3, 1e-4).expect("cycle"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! The Sierra projection (paper §2 / §6.2): the same cooperative
+//! approach on a Sierra-early-access node (2× POWER9 + 4 Volta). More
+//! CPU cores and faster GPUs shift the balance; the paper expects the
+//! heterogeneous approach to keep paying off as hardware and software
+//! mature.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hsim_core::{run_balanced, ExecMode, NodeConfig, RunConfig};
+use hsim_raja::Fidelity;
+
+fn cfg(node: NodeConfig, mode: ExecMode) -> RunConfig {
+    RunConfig {
+        grid: (600, 480, 160),
+        mode,
+        node,
+        cycles: 10,
+        fidelity: Fidelity::CostOnly,
+        gpu_direct: false,
+        diffusion: None,
+        multipolicy_threshold: 0,
+        trace: false,
+        problem: Default::default(),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    for (name, node) in [
+        ("rzhasgpu", NodeConfig::rzhasgpu()),
+        ("sierra_ea", NodeConfig::sierra_ea()),
+    ] {
+        let (d, _) = run_balanced(&cfg(node.clone(), ExecMode::Default)).expect("default");
+        let (h, _) = run_balanced(&cfg(node.clone(), ExecMode::hetero())).expect("hetero");
+        eprintln!(
+            "{name}: Default {:.4}s | Hetero {:.4}s ({:+.1}%) cpu_share {:.2}%",
+            d.runtime.as_secs_f64(),
+            h.runtime.as_secs_f64(),
+            (h.runtime.as_secs_f64() / d.runtime.as_secs_f64() - 1.0) * 100.0,
+            h.cpu_fraction * 100.0
+        );
+    }
+
+    let mut group = c.benchmark_group("sierra_projection");
+    group.sample_size(10);
+    for (name, node) in [
+        ("rzhasgpu_hetero", NodeConfig::rzhasgpu()),
+        ("sierra_hetero", NodeConfig::sierra_ea()),
+    ] {
+        let c_ = cfg(node, ExecMode::hetero());
+        group.bench_function(name, |b| b.iter(|| run_balanced(&c_).expect("run")));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerate every evaluation figure of the paper (12–18): write CSV
+//! series into `target/figures/` and print ASCII charts.
+//!
+//! Usage: `cargo run -p hsim-bench --bin figures [--release] [fig12 ...]`
+
+use std::fs;
+use std::path::Path;
+
+use hsim_bench::{ascii_chart, paper_modes, run_figure};
+use hsim_core::figures;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_dir = Path::new("target/figures");
+    fs::create_dir_all(out_dir).expect("create target/figures");
+    let modes = paper_modes();
+    for spec in figures::all_figures() {
+        if !args.is_empty() && !args.iter().any(|a| a == spec.id) {
+            continue;
+        }
+        eprintln!("running {} ({})...", spec.id, spec.caption);
+        let data = run_figure(&spec, &modes);
+        let csv_path = out_dir.join(format!("{}.csv", spec.id));
+        fs::write(&csv_path, data.to_csv()).expect("write csv");
+        let md_path = out_dir.join(format!("{}.md", spec.id));
+        fs::write(&md_path, data.to_markdown()).expect("write markdown");
+        println!("\n=== {} — {} ===", spec.id, spec.caption);
+        println!("{}", ascii_chart(&data.chart_series(), 72, 20));
+        println!("(series written to {})", csv_path.display());
+    }
+}

@@ -1,0 +1,8 @@
+//! Benchmark-harness support: figure sweep execution and terminal
+//! plotting shared by the `figures` binary and the Criterion benches.
+
+pub mod plot;
+pub mod sweep;
+
+pub use plot::ascii_chart;
+pub use sweep::{paper_modes, run_figure, FigureData, Series};

@@ -1,0 +1,91 @@
+//! Minimal terminal line charts for the figure reproductions.
+
+/// Render series of `(x, y)` points as an ASCII chart. Each series is
+/// drawn with its own glyph; points are nearest-cell plotted, and a
+/// legend plus axis ranges are appended.
+pub fn ascii_chart(series: &[(String, Vec<(f64, f64)>)], width: usize, height: usize) -> String {
+    let width = width.max(20);
+    let height = height.max(8);
+    let glyphs = ['o', 'x', '+', '*', '#', '@'];
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+    if all.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (0.0f64, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y1 = y1.max(y);
+        y0 = y0.min(y);
+    }
+    if (x1 - x0).abs() < f64::EPSILON {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < f64::EPSILON {
+        y1 = y0 + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let g = glyphs[si % glyphs.len()];
+        for &(x, y) in pts {
+            let cx = (((x - x0) / (x1 - x0)) * (width - 1) as f64).round() as usize;
+            let cy = (((y - y0) / (y1 - y0)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = g;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{y1:>10.3} ┤"));
+    out.push_str(&grid[0].iter().collect::<String>());
+    out.push('\n');
+    for row in &grid[1..height - 1] {
+        out.push_str("           │");
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{y0:>10.3} ┤"));
+    out.push_str(&grid[height - 1].iter().collect::<String>());
+    out.push('\n');
+    out.push_str(&format!(
+        "           └{}\n            {:<.3e}{:>w$.3e}\n",
+        "─".repeat(width),
+        x0,
+        x1,
+        w = width - 9
+    ));
+    for (si, (label, _)) in series.iter().enumerate() {
+        out.push_str(&format!("            {} {}\n", glyphs[si % glyphs.len()], label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_contains_glyphs_and_legend() {
+        let series = vec![
+            ("Default".to_string(), vec![(0.0, 1.0), (1.0, 2.0)]),
+            ("MPS".to_string(), vec![(0.0, 2.0), (1.0, 1.0)]),
+        ];
+        let s = ascii_chart(&series, 40, 10);
+        assert!(s.contains('o'));
+        assert!(s.contains('x'));
+        assert!(s.contains("Default"));
+        assert!(s.contains("MPS"));
+    }
+
+    #[test]
+    fn empty_series_is_graceful() {
+        assert_eq!(ascii_chart(&[], 40, 10), "(no data)\n");
+    }
+
+    #[test]
+    fn single_point_does_not_panic() {
+        let series = vec![("one".to_string(), vec![(2.0, 3.0)])];
+        let s = ascii_chart(&series, 40, 10);
+        assert!(s.contains('o'));
+    }
+}

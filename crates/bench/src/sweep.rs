@@ -1,0 +1,166 @@
+//! Figure sweep execution: run every mode over a figure's points.
+
+use hsim_core::figures::FigureSpec;
+use hsim_core::{run_balanced, ExecMode, RunConfig};
+
+/// One mode's series over a sweep.
+#[derive(Debug, Clone)]
+pub struct Series {
+    pub mode: ExecMode,
+    pub label: String,
+    /// `(zones, swept_dim, runtime_s, cpu_fraction)` per point.
+    pub points: Vec<(u64, usize, f64, f64)>,
+}
+
+/// All series of one figure.
+#[derive(Debug, Clone)]
+pub struct FigureData {
+    pub id: &'static str,
+    pub caption: &'static str,
+    pub series: Vec<Series>,
+}
+
+/// The three modes every evaluation figure compares.
+pub fn paper_modes() -> Vec<ExecMode> {
+    vec![ExecMode::Default, ExecMode::mps4(), ExecMode::hetero()]
+}
+
+/// Run one figure's sweep for `modes` (cost-only fidelity, RZHasGPU).
+/// Heterogeneous points run through the load balancer, exactly as the
+/// paper adjusted the split per problem size.
+pub fn run_figure(spec: &FigureSpec, modes: &[ExecMode]) -> FigureData {
+    let mut series = Vec::with_capacity(modes.len());
+    for mode in modes {
+        let mut points = Vec::with_capacity(spec.values.len());
+        for (p, &v) in spec.points().iter().zip(&spec.values) {
+            let cfg = RunConfig::sweep(p.grid(), *mode);
+            let (result, _lb) = match run_balanced(&cfg) {
+                Ok(r) => r,
+                Err(e) => {
+                    // Infeasible points (e.g. a carve axis too small
+                    // for the CPU ranks) are skipped, like runs that
+                    // would not fit the machine.
+                    eprintln!("{}: {mode:?} at {:?}: {e}", spec.id, p.grid());
+                    continue;
+                }
+            };
+            points.push((result.zones, v, result.runtime.as_secs_f64(), result.cpu_fraction));
+        }
+        series.push(Series {
+            mode: *mode,
+            label: mode.label(),
+            points,
+        });
+    }
+    FigureData {
+        id: spec.id,
+        caption: spec.caption,
+        series,
+    }
+}
+
+impl FigureData {
+    /// A markdown table of the figure's series with Default-relative
+    /// ratios (the EXPERIMENTS.md presentation).
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("## {} — {}\n\n", self.id, self.caption);
+        out.push_str("| zones | dim | Default | MPS | Hetero | Het/Def | MPS/Def | CPU share |\n");
+        out.push_str("|---|---|---|---|---|---|---|---|\n");
+        let find = |key: &str| self.series.iter().find(|s| s.mode.key() == key);
+        let (d, m, h) = (find("default"), find("mps4"), find("hetero"));
+        let zones: Vec<(u64, usize)> = d
+            .map(|s| s.points.iter().map(|&(z, v, _, _)| (z, v)).collect())
+            .unwrap_or_default();
+        for (z, v) in zones {
+            let at = |s: Option<&Series>| {
+                s.and_then(|s| s.points.iter().find(|p| p.0 == z))
+                    .map(|p| (p.2, p.3))
+            };
+            let dd = at(d);
+            let mm = at(m);
+            let hh = at(h);
+            let ratio = |x: Option<(f64, f64)>| match (x, dd) {
+                (Some((t, _)), Some((td, _))) if td > 0.0 => format!("{:.3}", t / td),
+                _ => "—".to_string(),
+            };
+            let cell = |x: Option<(f64, f64)>| {
+                x.map(|(t, _)| format!("{t:.4}")).unwrap_or_else(|| "—".into())
+            };
+            let share = hh
+                .map(|(_, f)| format!("{:.2}%", f * 100.0))
+                .unwrap_or_else(|| "—".into());
+            out.push_str(&format!(
+                "| {z} | {v} | {} | {} | {} | {} | {} | {share} |\n",
+                cell(dd),
+                cell(mm),
+                cell(hh),
+                ratio(hh),
+                ratio(mm)
+            ));
+        }
+        out
+    }
+
+    /// CSV rows: `figure,mode,zones,swept,runtime_s,cpu_fraction`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("figure,mode,zones,swept_dim,runtime_s,cpu_fraction\n");
+        for s in &self.series {
+            for &(zones, v, t, f) in &s.points {
+                out.push_str(&format!(
+                    "{},{},{zones},{v},{t:.6},{f:.4}\n",
+                    self.id,
+                    s.mode.key()
+                ));
+            }
+        }
+        out
+    }
+
+    /// Chart-ready series `(label, [(zones, runtime_s)])`.
+    pub fn chart_series(&self) -> Vec<(String, Vec<(f64, f64)>)> {
+        self.series
+            .iter()
+            .map(|s| {
+                (
+                    s.label.clone(),
+                    s.points
+                        .iter()
+                        .map(|&(z, _, t, _)| (z as f64, t))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsim_core::figures;
+    use hsim_core::figures::FigureSpec;
+
+    #[test]
+    fn small_sweep_produces_all_series() {
+        // A trimmed fig13-style sweep to keep the test fast.
+        let spec = FigureSpec {
+            id: "test",
+            caption: "test sweep",
+            sweep: figures::SweepAxis::X,
+            values: vec![64, 128],
+            fixed: (48, 32),
+        };
+        let data = run_figure(&spec, &paper_modes());
+        assert_eq!(data.series.len(), 3);
+        for s in &data.series {
+            assert_eq!(s.points.len(), 2, "{}", s.label);
+        }
+        let csv = data.to_csv();
+        assert!(csv.lines().count() >= 7);
+        assert_eq!(data.chart_series().len(), 3);
+        let md = data.to_markdown();
+        assert!(md.contains("| zones |"));
+        // One row per sweep point plus header lines.
+        assert_eq!(md.lines().count(), 4 + 2); // title, blank, header, separator + 2 rows
+        assert!(md.contains("%"), "CPU share column present");
+    }
+}

@@ -1,0 +1,167 @@
+//! Rank roles and core/GPU bindings.
+//!
+//! "Our experience indicates that the CPU core/GPU binding needs to be
+//! carefully set up to avoid performance degradation." (§5.) The
+//! binding table assigns every MPI rank a core and, for GPU drivers,
+//! a device — and validates that no core is oversubscribed.
+
+use crate::mode::ExecMode;
+use crate::node::NodeConfig;
+
+/// What one MPI rank does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankRole {
+    /// Drives GPU `gpu` from core `core` (kernels offloaded).
+    GpuDriver { core: usize, gpu: usize },
+    /// Computes kernels directly on `core`.
+    CpuWorker { core: usize },
+}
+
+impl RankRole {
+    pub fn core(&self) -> usize {
+        match *self {
+            RankRole::GpuDriver { core, .. } => core,
+            RankRole::CpuWorker { core } => core,
+        }
+    }
+
+    pub fn gpu(&self) -> Option<usize> {
+        match *self {
+            RankRole::GpuDriver { gpu, .. } => Some(gpu),
+            RankRole::CpuWorker { .. } => None,
+        }
+    }
+
+    pub fn is_gpu_driver(&self) -> bool {
+        matches!(self, RankRole::GpuDriver { .. })
+    }
+}
+
+/// Build the rank → (core, device) binding for `mode` on `node`.
+///
+/// Conventions (matching the decompositions' rank order):
+/// * `Default`: rank g drives GPU g from core g.
+/// * `Mps`: ranks are GPU-major (`g·per_gpu + i` drives GPU g), cores
+///   assigned round-robin so each GPU's clients spread across both
+///   sockets' cores.
+/// * `Heterogeneous`: ranks `0..gpus` drive the GPUs from the first
+///   cores; ranks `gpus..` are workers on the remaining cores.
+/// * `CpuOnly`: rank r computes on core r.
+pub fn build_bindings(mode: &ExecMode, node: &NodeConfig) -> Vec<RankRole> {
+    match mode {
+        ExecMode::CpuOnly => (0..node.cores)
+            .map(|core| RankRole::CpuWorker { core })
+            .collect(),
+        ExecMode::Default => (0..node.gpus)
+            .map(|g| RankRole::GpuDriver { core: g, gpu: g })
+            .collect(),
+        ExecMode::Mps { per_gpu } => {
+            let mut roles = Vec::with_capacity(node.gpus * per_gpu);
+            for g in 0..node.gpus {
+                for i in 0..*per_gpu {
+                    roles.push(RankRole::GpuDriver {
+                        core: g * per_gpu + i,
+                        gpu: g,
+                    });
+                }
+            }
+            roles
+        }
+        ExecMode::Heterogeneous { .. } => {
+            let mut roles = Vec::with_capacity(node.gpus + node.worker_cores());
+            for g in 0..node.gpus {
+                roles.push(RankRole::GpuDriver { core: g, gpu: g });
+            }
+            for w in 0..node.worker_cores() {
+                roles.push(RankRole::CpuWorker {
+                    core: node.gpus + w,
+                });
+            }
+            roles
+        }
+    }
+}
+
+/// Validate a binding: every core used at most once, every GPU id in
+/// range, cores in range.
+pub fn validate_bindings(roles: &[RankRole], node: &NodeConfig) -> Result<(), String> {
+    let mut used = vec![false; node.cores];
+    for (rank, role) in roles.iter().enumerate() {
+        let core = role.core();
+        if core >= node.cores {
+            return Err(format!("rank {rank} bound to nonexistent core {core}"));
+        }
+        if used[core] {
+            return Err(format!("core {core} oversubscribed (rank {rank})"));
+        }
+        used[core] = true;
+        if let Some(gpu) = role.gpu() {
+            if gpu >= node.gpus {
+                return Err(format!("rank {rank} bound to nonexistent GPU {gpu}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_modes_produce_valid_bindings() {
+        let node = NodeConfig::rzhasgpu();
+        for mode in [
+            ExecMode::CpuOnly,
+            ExecMode::Default,
+            ExecMode::mps4(),
+            ExecMode::hetero(),
+        ] {
+            let roles = build_bindings(&mode, &node);
+            assert_eq!(roles.len(), mode.total_ranks(&node));
+            validate_bindings(&roles, &node).unwrap();
+        }
+    }
+
+    #[test]
+    fn default_mode_uses_one_core_per_gpu() {
+        let node = NodeConfig::rzhasgpu();
+        let roles = build_bindings(&ExecMode::Default, &node);
+        assert!(roles.iter().all(RankRole::is_gpu_driver));
+        let gpus: Vec<_> = roles.iter().filter_map(RankRole::gpu).collect();
+        assert_eq!(gpus, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn mps_groups_clients_gpu_major() {
+        let node = NodeConfig::rzhasgpu();
+        let roles = build_bindings(&ExecMode::mps4(), &node);
+        assert_eq!(roles.len(), 16);
+        for (rank, role) in roles.iter().enumerate() {
+            assert_eq!(role.gpu(), Some(rank / 4));
+        }
+    }
+
+    #[test]
+    fn hetero_has_four_drivers_and_twelve_workers() {
+        let node = NodeConfig::rzhasgpu();
+        let roles = build_bindings(&ExecMode::hetero(), &node);
+        let drivers = roles.iter().filter(|r| r.is_gpu_driver()).count();
+        assert_eq!(drivers, 4);
+        assert_eq!(roles.len() - drivers, 12);
+    }
+
+    #[test]
+    fn oversubscription_is_detected() {
+        let node = NodeConfig::rzhasgpu();
+        let roles = vec![
+            RankRole::CpuWorker { core: 3 },
+            RankRole::CpuWorker { core: 3 },
+        ];
+        assert!(validate_bindings(&roles, &node).is_err());
+        let bad_gpu = vec![RankRole::GpuDriver { core: 0, gpu: 9 }];
+        assert!(validate_bindings(&bad_gpu, &node).is_err());
+        let bad_core = vec![RankRole::CpuWorker { core: 99 }];
+        assert!(validate_bindings(&bad_core, &node).is_err());
+    }
+}

@@ -1,0 +1,431 @@
+//! Halo exchange and global reductions over the simulated MPI,
+//! including host-staging charges for GPU-resident data.
+//!
+//! "Currently in ARES, the communication happens through the host
+//! (CPU) only. Future hardware and software will enable direct
+//! communication between GPUs, called GPU direct." (§5.3.) The
+//! `gpu_direct` flag implements that future-work toggle: it removes
+//! the D2H/H2D staging legs from the halo path.
+
+use hsim_gpu::{xfer, DeviceSpec};
+use hsim_hydro::{Coupler, HydroState, NCONS};
+use hsim_mesh::{Decomposition, Exchange, HaloPlan};
+use hsim_mpi::{Comm, Payload};
+use hsim_raja::Fidelity;
+use hsim_time::clock::ChargeKind;
+use hsim_time::RankClock;
+
+/// A halo face message: real data in full fidelity, an empty vector
+/// with the true wire size in cost-only fidelity.
+pub struct FaceMsg {
+    pub data: Vec<f64>,
+    pub wire_bytes: u64,
+}
+
+impl Payload for FaceMsg {
+    fn byte_len(&self) -> u64 {
+        self.wire_bytes
+    }
+}
+
+/// The cooperative runner's [`Coupler`]: ghost exchange + reductions.
+pub struct MpiCoupler<'a> {
+    pub comm: &'a mut Comm,
+    pub plan: &'a HaloPlan,
+    pub decomp: &'a Decomposition,
+    /// `Some(spec)` when this rank's mesh data is GPU-resident (its
+    /// halo faces must be staged through the host).
+    pub gpu_spec: Option<DeviceSpec>,
+    /// §5.3 future work: GPUs exchange halos directly.
+    pub gpu_direct: bool,
+}
+
+impl MpiCoupler<'_> {
+    /// The global box this rank sends for exchange `ex` (the owned
+    /// strip adjacent to the shared plane) and the ghost box it
+    /// receives into, as `(send_lo, send_hi, recv_lo, recv_hi)`.
+    fn boxes(&self, rank: usize, ex: &Exchange, ghost: usize) -> ([i64; 3], [i64; 3], [i64; 3], [i64; 3]) {
+        let axis = ex.axis;
+        let g = ghost as i64;
+        let plane = ex.plane as i64;
+        let mut s_lo = [0i64; 3];
+        let mut s_hi = [0i64; 3];
+        let mut r_lo = [0i64; 3];
+        let mut r_hi = [0i64; 3];
+        for a in 0..3 {
+            if a == axis {
+                continue;
+            }
+            s_lo[a] = ex.lo[a] as i64;
+            s_hi[a] = ex.hi[a] as i64;
+            r_lo[a] = ex.lo[a] as i64;
+            r_hi[a] = ex.hi[a] as i64;
+        }
+        if rank == ex.a {
+            // Low side: own zones just below the plane; ghosts above.
+            s_lo[axis] = plane - g;
+            s_hi[axis] = plane;
+            r_lo[axis] = plane;
+            r_hi[axis] = plane + g;
+        } else {
+            s_lo[axis] = plane;
+            s_hi[axis] = plane + g;
+            r_lo[axis] = plane - g;
+            r_hi[axis] = plane;
+        }
+        (s_lo, s_hi, r_lo, r_hi)
+    }
+
+    /// Convert a global zone box to allocated-local coordinates for
+    /// this rank (`local = global − sub.lo + ghost`; ghost cells land
+    /// at indices `< ghost` or `≥ ghost + extent`).
+    fn to_local(&self, rank: usize, lo: [i64; 3], hi: [i64; 3]) -> ([usize; 3], [usize; 3]) {
+        let sub = &self.decomp.domains[rank];
+        let g = sub.ghost as i64;
+        let mut llo = [0usize; 3];
+        let mut lhi = [0usize; 3];
+        for a in 0..3 {
+            let base = sub.lo[a] as i64;
+            let l = lo[a] - base + g;
+            let h = hi[a] - base + g;
+            debug_assert!(l >= 0, "box {lo:?} below rank {rank} domain");
+            llo[a] = l as usize;
+            lhi[a] = h as usize;
+        }
+        (llo, lhi)
+    }
+
+    /// The cost of one staging leg (device↔host) for `bytes` of halo
+    /// data; zero when this rank's mesh is host-resident or there is
+    /// nothing to move.
+    fn staging_cost(&self, bytes: u64) -> hsim_time::SimDuration {
+        match &self.gpu_spec {
+            Some(spec) if bytes > 0 => xfer::halo_leg_time(spec, bytes, false),
+            _ => hsim_time::SimDuration::ZERO,
+        }
+    }
+
+    /// The cost of a peer-to-peer DMA for `bytes` (only nonzero with
+    /// GPU-direct on a GPU-resident mesh; zero bytes are free).
+    fn p2p_cost(&self, bytes: u64) -> hsim_time::SimDuration {
+        match &self.gpu_spec {
+            Some(spec) if self.gpu_direct && bytes > 0 => xfer::p2p_time(spec, bytes),
+            _ => hsim_time::SimDuration::ZERO,
+        }
+    }
+
+    /// Split this rank's halo bytes into (to/from GPU-rank peers,
+    /// everything else).
+    fn classify_bytes(
+        &self,
+        rank: usize,
+        exchanges: &[(usize, Exchange)],
+        ghost: usize,
+    ) -> (u64, u64) {
+        let mut gpu_peer = 0;
+        let mut other = 0;
+        for (_, ex) in exchanges {
+            let peer = if ex.a == rank { ex.b } else { ex.a };
+            let bytes = ex.bytes(ghost) * NCONS as u64;
+            if self.decomp.owners[peer].is_gpu() {
+                gpu_peer += bytes;
+            } else {
+                other += bytes;
+            }
+        }
+        (gpu_peer, other)
+    }
+}
+
+impl Coupler for MpiCoupler<'_> {
+    fn exchange(&mut self, state: &mut HydroState, clock: &mut RankClock) {
+        let rank = self.comm.rank();
+        let ghost = self.decomp.domains[rank].ghost;
+        let exchanges: Vec<(usize, Exchange)> = self
+            .plan
+            .exchanges_for_indexed(rank)
+            .map(|(i, e)| (i, e.clone()))
+            .collect();
+        if exchanges.is_empty() {
+            return;
+        }
+        // Bring the communicator clock up to the rank's causal time.
+        self.comm.clock_mut().merge(clock.now());
+
+        // Outgoing transfer legs. Without GPU-direct every byte of a
+        // GPU-resident mesh stages D2H; with it, faces bound for other
+        // GPU ranks go peer-to-peer in a single DMA charged on the
+        // sender (§5.3), while faces for CPU ranks still cross the
+        // host both ways.
+        let (gpu_peer_bytes, other_bytes) = self.classify_bytes(rank, &exchanges, ghost);
+        let staged_out = other_bytes + if self.gpu_direct { 0 } else { gpu_peer_bytes };
+        let p2p_out = if self.gpu_direct { gpu_peer_bytes } else { 0 };
+        let cost = self.staging_cost(staged_out) + self.p2p_cost(p2p_out);
+        self.comm.clock_mut().charge(ChargeKind::Memory, cost);
+
+        // Post all sends first (buffered transport: no deadlock).
+        for (idx, ex) in &exchanges {
+            let peer = if ex.a == rank { ex.b } else { ex.a };
+            let (s_lo, s_hi, _, _) = self.boxes(rank, ex, ghost);
+            for var in 0..NCONS {
+                let tag = (*idx as u32) * 16 + var as u32 * 2 + u32::from(ex.a == rank);
+                let data = if state.fidelity == Fidelity::Full {
+                    let (llo, lhi) = self.to_local(rank, s_lo, s_hi);
+                    state.u[var].pack_box(llo, lhi)
+                } else {
+                    Vec::new()
+                };
+                let msg = FaceMsg {
+                    data,
+                    wire_bytes: ex.bytes(ghost),
+                };
+                self.comm
+                    .send(peer, tag, msg)
+                    .expect("halo send to a live peer");
+            }
+        }
+
+        // Receive and unpack.
+        let mut in_bytes = 0u64;
+        for (idx, ex) in &exchanges {
+            let peer = if ex.a == rank { ex.b } else { ex.a };
+            let (_, _, r_lo, r_hi) = self.boxes(rank, ex, ghost);
+            for var in 0..NCONS {
+                // The peer's direction bit is the complement of ours.
+                let tag = (*idx as u32) * 16 + var as u32 * 2 + u32::from(ex.a == peer);
+                let msg: FaceMsg = self.comm.recv(peer, tag).expect("halo recv");
+                in_bytes += msg.wire_bytes;
+                if state.fidelity == Fidelity::Full {
+                    let (llo, lhi) = self.to_local(rank, r_lo, r_hi);
+                    state.u[var].unpack_box(llo, lhi, &msg.data);
+                }
+            }
+        }
+        // Incoming staging: with GPU-direct the peer's DMA already
+        // delivered GPU-peer faces into device memory (no charge
+        // here); CPU-peer faces — and everything without GPU-direct —
+        // pay the H2D leg.
+        let _ = in_bytes;
+        let cost = self.staging_cost(staged_out);
+        self.comm.clock_mut().charge(ChargeKind::Memory, cost);
+
+        // Propagate the communicator's advanced time back.
+        clock.merge(self.comm.now());
+    }
+
+    fn allreduce_min(&mut self, x: f64, clock: &mut RankClock) -> f64 {
+        self.comm.clock_mut().merge(clock.now());
+        let r = self
+            .comm
+            .allreduce_min(x)
+            .expect("allreduce among live ranks");
+        clock.merge(self.comm.now());
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsim_mesh::decomp::block::block_decomp;
+    use hsim_mesh::GlobalGrid;
+    use hsim_mpi::{CommCost, World};
+    use hsim_raja::{CpuModel, Executor, Target};
+    use hsim_time::SimDuration;
+
+    /// Two ranks split along x; verify ghosts carry the neighbor's
+    /// boundary values after an exchange.
+    #[test]
+    fn exchange_fills_ghosts_with_neighbor_data() {
+        let grid = GlobalGrid::new(8, 4, 4);
+        let decomp = block_decomp(grid, 2, 1);
+        let plan = HaloPlan::build(&decomp);
+        let decomp = &decomp;
+        let plan = &plan;
+        let ok = World::run(2, CommCost::on_node(), |comm| {
+            let rank = comm.rank();
+            let sub = decomp.domains[rank];
+            let mut state = HydroState::new(grid, sub, Fidelity::Full);
+            // Tag every owned zone of every field with rank*1000 + var.
+            for var in 0..NCONS {
+                state.u[var].fill_owned((rank * 1000 + var) as f64);
+            }
+            let mut clock = RankClock::new(rank);
+            let mut coupler = MpiCoupler {
+                comm,
+                plan,
+                decomp,
+                gpu_spec: None,
+                gpu_direct: false,
+            };
+            coupler.exchange(&mut state, &mut clock);
+            // Rank 0 owns x ∈ [0,4): its high-x ghosts (allocated x =
+            // 5) must now hold rank 1's values; mirrored for rank 1.
+            let expect = ((1 - rank) * 1000) as f64;
+            let f = &state.u[0];
+            let gx = if rank == 0 { 5 } else { 0 };
+            let idx = f.idx(gx, 2, 2);
+            (f.data()[idx] - expect).abs() < 1e-12
+        });
+        assert!(ok.iter().all(|&b| b), "{ok:?}");
+    }
+
+    #[test]
+    fn exchange_charges_comm_time() {
+        let grid = GlobalGrid::new(16, 16, 16);
+        let decomp = block_decomp(grid, 2, 1);
+        let plan = HaloPlan::build(&decomp);
+        let (decomp, plan) = (&decomp, &plan);
+        let times = World::run(2, CommCost::on_node(), |comm| {
+            let rank = comm.rank();
+            let sub = decomp.domains[rank];
+            let mut state = HydroState::new(grid, sub, Fidelity::CostOnly);
+            let mut clock = RankClock::new(rank);
+            let mut coupler = MpiCoupler {
+                comm,
+                plan,
+                decomp,
+                gpu_spec: None,
+                gpu_direct: false,
+            };
+            coupler.exchange(&mut state, &mut clock);
+            clock.now().as_nanos()
+        });
+        // 16x16 face × 5 fields × 8 B ≈ 10 KB each way + latency.
+        assert!(times.iter().all(|&t| t > 1_000), "{times:?}");
+    }
+
+    #[test]
+    fn gpu_staging_adds_memory_charges_unless_gpu_direct() {
+        let grid = GlobalGrid::new(16, 16, 16);
+        let decomp = block_decomp(grid, 2, 1);
+        let plan = HaloPlan::build(&decomp);
+        let (decomp, plan) = (&decomp, &plan);
+        let mut measured = Vec::new();
+        for gpu_direct in [false, true] {
+            let charges = World::run(2, CommCost::on_node(), |comm| {
+                let rank = comm.rank();
+                let sub = decomp.domains[rank];
+                let mut state = HydroState::new(grid, sub, Fidelity::CostOnly);
+                let mut clock = RankClock::new(rank);
+                let mut coupler = MpiCoupler {
+                    comm,
+                    plan,
+                    decomp,
+                    gpu_spec: Some(DeviceSpec::tesla_k80()),
+                    gpu_direct,
+                };
+                coupler.exchange(&mut state, &mut clock);
+                coupler.comm.clock().bucket(ChargeKind::Memory).as_nanos()
+            });
+            assert!(charges.iter().all(|&c| c > 0), "{charges:?}");
+            measured.push(charges[0]);
+        }
+        // GPU-direct (one peer DMA) must beat two staging legs.
+        assert!(
+            measured[1] < measured[0],
+            "gpu-direct {} vs staged {}",
+            measured[1],
+            measured[0]
+        );
+    }
+
+    #[test]
+    fn allreduce_min_agrees_across_ranks_and_advances_clocks() {
+        let grid = GlobalGrid::new(8, 8, 8);
+        let decomp = block_decomp(grid, 4, 1);
+        let plan = HaloPlan::build(&decomp);
+        let (decomp, plan) = (&decomp, &plan);
+        let out = World::run(4, CommCost::on_node(), |comm| {
+            let rank = comm.rank();
+            let mut clock = RankClock::new(rank);
+            clock.charge(ChargeKind::Compute, SimDuration::from_micros(rank as u64));
+            let mut coupler = MpiCoupler {
+                comm,
+                plan,
+                decomp,
+                gpu_spec: None,
+                gpu_direct: false,
+            };
+            let m = coupler.allreduce_min(1.0 + rank as f64, &mut clock);
+            (m, clock.now().as_nanos())
+        });
+        for (m, t) in &out {
+            assert_eq!(*m, 1.0);
+            // Everyone waited for the slowest entrant (3 µs).
+            assert!(*t >= 3_000, "clock {t}");
+        }
+    }
+
+    /// The keystone correctness test: a 4-rank cooperative run must
+    /// produce *bitwise* the same physics as a single-domain run
+    /// (all reductions are exact-min, so no FP reordering exists).
+    #[test]
+    fn multirank_sedov_matches_solo_bitwise() {
+        use hsim_hydro::sedov::{self, SedovConfig};
+        use hsim_hydro::{step, SoloCoupler};
+
+        let grid = GlobalGrid::new(16, 16, 16);
+        // Solo reference.
+        let solo_rho = {
+            let sub = hsim_mesh::Subdomain::new([0, 0, 0], [16, 16, 16], 1);
+            let mut st = HydroState::new(grid, sub, Fidelity::Full);
+            sedov::init(&mut st, &SedovConfig::default());
+            let mut exec = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::Full);
+            let mut clock = RankClock::new(0);
+            let mut solo = SoloCoupler;
+            for _ in 0..4 {
+                step(&mut st, &mut exec, &mut clock, &mut solo, 0.3, 1.0).unwrap();
+            }
+            st
+        };
+
+        let decomp = block_decomp(grid, 4, 1);
+        let plan = HaloPlan::build(&decomp);
+        let (decomp, plan) = (&decomp, &plan);
+        let pieces = World::run(4, CommCost::on_node(), |comm| {
+            let rank = comm.rank();
+            let sub = decomp.domains[rank];
+            let mut st = HydroState::new(grid, sub, Fidelity::Full);
+            sedov::init(&mut st, &SedovConfig::default());
+            let mut exec = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::Full);
+            let mut clock = RankClock::new(rank);
+            let mut coupler = MpiCoupler {
+                comm,
+                plan,
+                decomp,
+                gpu_spec: None,
+                gpu_direct: false,
+            };
+            for _ in 0..4 {
+                step(&mut st, &mut exec, &mut clock, &mut coupler, 0.3, 1.0).unwrap();
+            }
+            // Return owned density values with global coordinates.
+            let mut out = Vec::new();
+            for k in 0..sub.extent(2) {
+                for j in 0..sub.extent(1) {
+                    for i in 0..sub.extent(0) {
+                        out.push((
+                            [i + sub.lo[0], j + sub.lo[1], k + sub.lo[2]],
+                            st.u[0].get(i, j, k),
+                        ));
+                    }
+                }
+            }
+            out
+        });
+        let mut checked = 0;
+        for piece in pieces {
+            for ([i, j, k], rho) in piece {
+                let reference = solo_rho.u[0].get(i, j, k);
+                assert_eq!(
+                    rho.to_bits(),
+                    reference.to_bits(),
+                    "density mismatch at ({i},{j},{k}): {rho} vs {reference}"
+                );
+                checked += 1;
+            }
+        }
+        assert_eq!(checked, 16 * 16 * 16);
+    }
+}

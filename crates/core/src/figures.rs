@@ -1,0 +1,222 @@
+//! Sweep configurations for every figure of the paper's evaluation
+//! (§7, Figures 12–18).
+//!
+//! Each figure fixes two grid dimensions and sweeps the third; the
+//! main x-axis of the plots is total zones, the top x-axis the swept
+//! dimension. All figures compare three modes: Default (1 MPI/GPU),
+//! MPS (4 MPI/GPU), and Heterogeneous.
+
+/// One sweep point: a concrete grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepPoint {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+}
+
+impl SweepPoint {
+    pub fn zones(&self) -> u64 {
+        self.nx as u64 * self.ny as u64 * self.nz as u64
+    }
+
+    pub fn grid(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+}
+
+/// Which axis a figure sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepAxis {
+    X,
+    Y,
+}
+
+/// One evaluation figure's configuration.
+#[derive(Debug, Clone)]
+pub struct FigureSpec {
+    /// Figure id, e.g. "fig12".
+    pub id: &'static str,
+    /// The paper's caption.
+    pub caption: &'static str,
+    pub sweep: SweepAxis,
+    /// Values of the swept dimension.
+    pub values: Vec<usize>,
+    /// The two fixed dimensions `(x or y, z)`.
+    pub fixed: (usize, usize),
+}
+
+impl FigureSpec {
+    /// Concrete grids for this figure's sweep.
+    pub fn points(&self) -> Vec<SweepPoint> {
+        self.values
+            .iter()
+            .map(|&v| match self.sweep {
+                SweepAxis::Y => SweepPoint {
+                    nx: self.fixed.0,
+                    ny: v,
+                    nz: self.fixed.1,
+                },
+                SweepAxis::X => SweepPoint {
+                    nx: v,
+                    ny: self.fixed.0,
+                    nz: self.fixed.1,
+                },
+            })
+            .collect()
+    }
+
+    /// Largest total zone count in the sweep.
+    pub fn max_zones(&self) -> u64 {
+        self.points().iter().map(SweepPoint::zones).max().unwrap_or(0)
+    }
+}
+
+fn steps(from: usize, to: usize, step: usize) -> Vec<usize> {
+    (from..=to).step_by(step).collect()
+}
+
+/// Figure 12: vary y (x = 320, z = 320). Default kinks at ≈ 37 M.
+pub fn fig12() -> FigureSpec {
+    FigureSpec {
+        id: "fig12",
+        caption: "Varying the size of the y-dimension (x=320, z=320)",
+        sweep: SweepAxis::Y,
+        values: steps(40, 400, 40),
+        fixed: (320, 320),
+    }
+}
+
+/// Figure 13: vary x (y = 240, z = 320). Small x: MPS overlaps;
+/// Hetero is CPU-bound (y too small).
+pub fn fig13() -> FigureSpec {
+    FigureSpec {
+        id: "fig13",
+        caption: "Varying the size of the x-dimension (y=240, z=320)",
+        sweep: SweepAxis::X,
+        values: steps(50, 500, 50),
+        fixed: (240, 320),
+    }
+}
+
+/// Figure 14: vary x (y = 240, z = 160). Hetero still CPU-bound;
+/// Default ≈ MPS.
+pub fn fig14() -> FigureSpec {
+    FigureSpec {
+        id: "fig14",
+        caption: "Varying the size of the x-dimension (y=240, z=160)",
+        sweep: SweepAxis::X,
+        values: steps(100, 700, 75),
+        fixed: (240, 160),
+    }
+}
+
+/// Figure 15: vary x (y = 360, z = 320). MPS best at small x; Hetero
+/// improves with the larger y.
+pub fn fig15() -> FigureSpec {
+    FigureSpec {
+        id: "fig15",
+        caption: "Varying the size of the x-dimension (y=360, z=320)",
+        sweep: SweepAxis::X,
+        values: steps(40, 400, 40),
+        fixed: (360, 320),
+    }
+}
+
+/// Figure 16: vary x (y = 360, z = 160). Large kernels: MPS gains
+/// nothing and pays launch overhead.
+pub fn fig16() -> FigureSpec {
+    FigureSpec {
+        id: "fig16",
+        caption: "Varying the size of the x-dimension (y=360, z=160)",
+        sweep: SweepAxis::X,
+        values: steps(75, 600, 75),
+        fixed: (360, 160),
+    }
+}
+
+/// Figure 17: vary x (y = 480, z = 320). MPS best, Hetero close,
+/// Default hampered.
+pub fn fig17() -> FigureSpec {
+    FigureSpec {
+        id: "fig17",
+        caption: "Varying the size of the x-dimension (y=480, z=320)",
+        sweep: SweepAxis::X,
+        values: steps(30, 300, 30),
+        fixed: (480, 320),
+    }
+}
+
+/// Figure 18: vary x (y = 480, z = 160). The Heterogeneous mode's best
+/// case: up to ~18% over Default past the memory kink.
+pub fn fig18() -> FigureSpec {
+    FigureSpec {
+        id: "fig18",
+        caption: "Varying the size of the x-dimension (y=480, z=160)",
+        sweep: SweepAxis::X,
+        values: steps(75, 600, 75),
+        fixed: (480, 160),
+    }
+}
+
+/// All evaluation figures in paper order.
+pub fn all_figures() -> Vec<FigureSpec> {
+    vec![fig12(), fig13(), fig14(), fig15(), fig16(), fig17(), fig18()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_figures_with_unique_ids() {
+        let figs = all_figures();
+        assert_eq!(figs.len(), 7);
+        let mut ids: Vec<_> = figs.iter().map(|f| f.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 7);
+    }
+
+    #[test]
+    fn fig12_sweeps_y_and_reaches_41m_zones() {
+        let f = fig12();
+        let pts = f.points();
+        assert_eq!(pts[0], SweepPoint { nx: 320, ny: 40, nz: 320 });
+        // Paper: up to ≈ 4.1e7 zones at y=400.
+        assert_eq!(f.max_zones(), 320 * 400 * 320);
+        assert!(f.max_zones() > 37_000_000, "sweep crosses the kink");
+    }
+
+    #[test]
+    fn x_sweep_figures_fix_y_and_z() {
+        for f in [fig13(), fig14(), fig15(), fig16(), fig17(), fig18()] {
+            for p in f.points() {
+                assert_eq!(p.ny, f.fixed.0, "{}", f.id);
+                assert_eq!(p.nz, f.fixed.1, "{}", f.id);
+            }
+        }
+    }
+
+    #[test]
+    fn fig18_crosses_the_default_mode_kink() {
+        assert!(fig18().max_zones() > 37_000_000);
+    }
+
+    #[test]
+    fn fig14_stays_below_the_kink() {
+        // Paper: "Because the z-dimension is smaller … the x-dimension
+        // size goes to a larger value"; the sweep tops out below the
+        // Default kink, so no crossover appears in Figure 14.
+        assert!(fig14().max_zones() < 37_000_000);
+    }
+
+    #[test]
+    fn points_scale_linearly_with_the_swept_value() {
+        let f = fig13();
+        let pts = f.points();
+        let per = pts[0].zones() / pts[0].nx as u64;
+        for p in &pts {
+            assert_eq!(p.zones(), per * p.nx as u64);
+        }
+    }
+}

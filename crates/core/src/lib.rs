@@ -1,0 +1,49 @@
+//! # hsim-core
+//!
+//! The paper's contribution: **cooperative CPU+GPU execution of a
+//! multi-physics simulation on a heterogeneous node**, reproduced on a
+//! fully simulated node (devices, MPI, and time are all virtual — see
+//! the substrate crates).
+//!
+//! The crate assembles everything below it:
+//!
+//! * [`node`] — the machine model: RZHasGPU (2× 8-core Haswell +
+//!   4 K80s, the paper's testbed) and a Sierra-EA preset.
+//! * [`mode`] — the four ways to use the node (paper Figures 1–4):
+//!   CPU-only, Default (1 MPI/GPU), MPS (n MPI/GPU), Heterogeneous.
+//! * [`binding`] — rank → core/GPU bindings and roles (GPU driver vs
+//!   CPU worker); "the CPU core/GPU binding needs to be carefully set
+//!   up to avoid performance degradation" (§5).
+//! * [`memscheme`] — the Figure 8 allocation table (control / mesh /
+//!   temporary × CPU / GPU process).
+//! * [`balance`] — the §6.2 load balancer: FLOPS-based initial split,
+//!   measured per-role times, granularity-constrained adjustment
+//!   between iterations.
+//! * [`coupler`] — halo exchange + reductions over simulated MPI, with
+//!   host-staging charges for GPU ranks (and a GPU-direct toggle,
+//!   §5.3's future work).
+//! * [`runner`] — the cooperative runner: decompose per mode, bind,
+//!   spawn ranks, run hydro cycles, apply the host-bandwidth model,
+//!   report per-rank time breakdowns.
+//! * [`figures`] — sweep configurations for every evaluation figure
+//!   (12–18).
+//! * [`calib`] — every tunable constant of the cost model, documented.
+
+pub mod balance;
+pub mod binding;
+pub mod calib;
+pub mod coupler;
+pub mod figures;
+pub mod memscheme;
+pub mod mode;
+pub mod node;
+pub mod report;
+pub mod runner;
+
+pub use balance::LoadBalancer;
+pub use binding::{build_bindings, RankRole};
+pub use figures::{FigureSpec, SweepPoint};
+pub use mode::ExecMode;
+pub use node::NodeConfig;
+pub use report::{RankReport, RunResult};
+pub use runner::{run, run_balanced, RunConfig};

@@ -1,0 +1,111 @@
+//! The memory-allocation scheme of the paper's Figure 8.
+//!
+//! | data class | CPU-core process | GPU-offloading process |
+//! |------------|------------------|------------------------|
+//! | control    | malloc           | malloc                 |
+//! | mesh       | malloc           | cudaMallocManaged (UM) |
+//! | temporary  | malloc           | cudaMalloc (cnmem pool)|
+//!
+//! "When the libraries are compiled to use CUDA, they often allocate
+//! memory on the GPU. We had to break these assumptions to avoid
+//! touching the GPU memory from the processes executing solely on the
+//! CPU" (§5.2) — [`allocation`] encodes the corrected mapping, and
+//! [`validate_cpu_process`] is the guard that failed before the fix.
+
+use crate::calib;
+
+/// The three data classes ARES distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataClass {
+    /// Control code and host-side bookkeeping.
+    Control,
+    /// Mesh fields (conserved variables, primitives).
+    Mesh,
+    /// Per-kernel scratch.
+    Temporary,
+}
+
+/// Where an allocation lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocKind {
+    /// Plain host allocation.
+    HostMalloc,
+    /// CUDA unified memory (host+device addressable).
+    UnifiedMemory,
+    /// Device memory from a cnmem-style pool.
+    DevicePool,
+}
+
+/// The Figure 8 mapping.
+pub fn allocation(process_offloads_to_gpu: bool, class: DataClass) -> AllocKind {
+    match (process_offloads_to_gpu, class) {
+        (_, DataClass::Control) => AllocKind::HostMalloc,
+        (false, _) => AllocKind::HostMalloc,
+        (true, DataClass::Mesh) => AllocKind::UnifiedMemory,
+        (true, DataClass::Temporary) => AllocKind::DevicePool,
+    }
+}
+
+/// The §5.2 guard: a CPU-only process must never receive a device
+/// allocation (the library-assumption bug the paper had to fix).
+pub fn validate_cpu_process(kinds: &[AllocKind]) -> Result<(), String> {
+    for k in kinds {
+        if *k != AllocKind::HostMalloc {
+            return Err(format!(
+                "CPU-only process received a device allocation ({k:?}): \
+                 touching GPU memory from CPU-only processes degrades performance"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Bytes of persistent mesh data for `zones` zones (ghost-padded
+/// fields approximated at owned size — sizing, not bookkeeping).
+pub fn mesh_bytes(zones: u64) -> u64 {
+    zones * 8 * calib::MESH_FIELDS
+}
+
+/// Bytes of pooled temporary data for `zones` zones.
+pub fn temp_bytes(zones: u64) -> u64 {
+    zones * 8 * calib::TEMP_FIELDS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure8_mapping() {
+        // CPU-core process: everything on the host.
+        for class in [DataClass::Control, DataClass::Mesh, DataClass::Temporary] {
+            assert_eq!(allocation(false, class), AllocKind::HostMalloc);
+        }
+        // GPU process: control host, mesh UM, temporaries pooled.
+        assert_eq!(allocation(true, DataClass::Control), AllocKind::HostMalloc);
+        assert_eq!(allocation(true, DataClass::Mesh), AllocKind::UnifiedMemory);
+        assert_eq!(allocation(true, DataClass::Temporary), AllocKind::DevicePool);
+    }
+
+    #[test]
+    fn cpu_process_guard_fires_on_device_allocations() {
+        assert!(validate_cpu_process(&[AllocKind::HostMalloc]).is_ok());
+        assert!(validate_cpu_process(&[AllocKind::UnifiedMemory]).is_err());
+        assert!(validate_cpu_process(&[AllocKind::DevicePool]).is_err());
+    }
+
+    #[test]
+    fn sizing_scales_with_zones() {
+        assert_eq!(mesh_bytes(1000), 1000 * 8 * calib::MESH_FIELDS);
+        assert!(temp_bytes(1000) < mesh_bytes(1000));
+    }
+
+    #[test]
+    fn default_mode_domains_fit_k80_memory() {
+        // 9.25 M zones per rank (the kink point) in UM: must fit the
+        // K80's 12 GB — the paper's kink is a bandwidth effect, not a
+        // capacity one, and our sizing is consistent with that.
+        let bytes = mesh_bytes(9_250_000);
+        assert!(bytes < 12 * (1 << 30), "mesh {bytes} B exceeds device");
+    }
+}

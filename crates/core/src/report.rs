@@ -1,0 +1,187 @@
+//! Run results and CSV reporting.
+
+use hsim_time::SimDuration;
+
+use crate::binding::RankRole;
+
+/// One rank's virtual-time accounting for a run.
+#[derive(Debug, Clone)]
+pub struct RankReport {
+    pub rank: usize,
+    pub role: RankRole,
+    pub zones: u64,
+    /// One-time setup cost (memory scheme fault-in etc.), excluded
+    /// from `total`.
+    pub setup: SimDuration,
+    /// Cycle-loop runtime (post-setup).
+    pub total: SimDuration,
+    pub compute: SimDuration,
+    pub launch: SimDuration,
+    pub memory: SimDuration,
+    pub comm: SimDuration,
+    pub control: SimDuration,
+    pub wait: SimDuration,
+    pub launches: u64,
+    pub bytes_sent: u64,
+}
+
+/// Aggregate result of one cooperative run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    pub mode_key: String,
+    pub mode_label: String,
+    pub grid: (usize, usize, usize),
+    pub zones: u64,
+    /// End-to-end runtime: the slowest rank's clock.
+    pub runtime: SimDuration,
+    /// Fraction of zones computed by CPU workers.
+    pub cpu_fraction: f64,
+    pub cycles: u64,
+    pub ranks: Vec<RankReport>,
+    /// Per-device kernel busy time (GPU modes).
+    pub device_busy: Vec<SimDuration>,
+    /// Per-cycle rank spans when the run was traced.
+    pub trace: Option<hsim_time::Trace>,
+}
+
+impl RunResult {
+    /// Largest compute-bucket time among CPU-worker ranks.
+    pub fn slowest_cpu_compute(&self) -> SimDuration {
+        self.ranks
+            .iter()
+            .filter(|r| !r.role.is_gpu_driver())
+            .map(|r| r.compute)
+            .fold(SimDuration::ZERO, SimDuration::max)
+    }
+
+    /// Largest device busy time.
+    pub fn slowest_device_busy(&self) -> SimDuration {
+        self.device_busy
+            .iter()
+            .copied()
+            .fold(SimDuration::ZERO, SimDuration::max)
+    }
+
+    /// Total kernel launches across ranks.
+    pub fn total_launches(&self) -> u64 {
+        self.ranks.iter().map(|r| r.launches).sum()
+    }
+
+    /// Total MPI bytes sent across ranks.
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.ranks.iter().map(|r| r.bytes_sent).sum()
+    }
+
+    /// CSV header matching [`RunResult::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "mode,nx,ny,nz,zones,cycles,runtime_s,cpu_fraction,launches,mpi_bytes"
+    }
+
+    /// One CSV line for this run.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{:.6},{:.4},{},{}",
+            self.mode_key,
+            self.grid.0,
+            self.grid.1,
+            self.grid.2,
+            self.zones,
+            self.cycles,
+            self.runtime.as_secs_f64(),
+            self.cpu_fraction,
+            self.total_launches(),
+            self.total_bytes_sent(),
+        )
+    }
+
+    /// Human-readable per-rank breakdown table.
+    pub fn breakdown_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("rank  role        zones      total      compute    launch     memory     comm       wait\n");
+        for r in &self.ranks {
+            let role = match r.role {
+                RankRole::GpuDriver { gpu, .. } => format!("gpu{gpu}-drv"),
+                RankRole::CpuWorker { .. } => "cpu-wrk".to_string(),
+            };
+            out.push_str(&format!(
+                "{:>4}  {:<10} {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}\n",
+                r.rank,
+                role,
+                r.zones,
+                format!("{}", r.total),
+                format!("{}", r.compute),
+                format!("{}", r.launch),
+                format!("{}", r.memory),
+                format!("{}", r.comm),
+                format!("{}", r.wait),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(rank: usize, gpu: bool, compute_us: u64) -> RankReport {
+        RankReport {
+            rank,
+            role: if gpu {
+                RankRole::GpuDriver { core: rank, gpu: 0 }
+            } else {
+                RankRole::CpuWorker { core: rank }
+            },
+            zones: 1000,
+            setup: SimDuration::ZERO,
+            total: SimDuration::from_micros(compute_us * 2),
+            compute: SimDuration::from_micros(compute_us),
+            launch: SimDuration::ZERO,
+            memory: SimDuration::ZERO,
+            comm: SimDuration::ZERO,
+            control: SimDuration::ZERO,
+            wait: SimDuration::ZERO,
+            launches: 10,
+            bytes_sent: 100,
+        }
+    }
+
+    fn result() -> RunResult {
+        RunResult {
+            mode_key: "hetero".into(),
+            mode_label: "Hetero (4 MPI/GPU)".into(),
+            grid: (8, 8, 8),
+            zones: 512,
+            runtime: SimDuration::from_micros(40),
+            cpu_fraction: 0.03,
+            cycles: 10,
+            ranks: vec![report(0, true, 20), report(1, false, 5), report(2, false, 9)],
+            device_busy: vec![SimDuration::from_micros(18)],
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = result();
+        assert_eq!(r.slowest_cpu_compute(), SimDuration::from_micros(9));
+        assert_eq!(r.slowest_device_busy(), SimDuration::from_micros(18));
+        assert_eq!(r.total_launches(), 30);
+        assert_eq!(r.total_bytes_sent(), 300);
+    }
+
+    #[test]
+    fn csv_row_matches_header_field_count() {
+        let r = result();
+        let header_fields = RunResult::csv_header().split(',').count();
+        let row_fields = r.csv_row().split(',').count();
+        assert_eq!(header_fields, row_fields);
+        assert!(r.csv_row().starts_with("hetero,8,8,8,512,10,"));
+    }
+
+    #[test]
+    fn breakdown_table_has_one_line_per_rank_plus_header() {
+        let r = result();
+        assert_eq!(r.breakdown_table().lines().count(), 4);
+    }
+}

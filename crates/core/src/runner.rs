@@ -1,0 +1,650 @@
+//! The cooperative runner: the paper's §5 control code.
+//!
+//! For a given [`ExecMode`] the runner decomposes the grid, binds
+//! ranks to cores and GPUs, sets up the Figure 8 memory scheme, spawns
+//! one simulated MPI rank per binding, runs the Sedov hydro for a
+//! fixed number of cycles, applies the node-level host-bandwidth
+//! model, and reports per-rank virtual-time breakdowns.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use hsim_gpu::memory::MemoryPool;
+use hsim_gpu::Device;
+use hsim_hydro::diffusion::{diffuse_step, DiffusionConfig};
+use hsim_hydro::sedov::{self, SedovConfig};
+use hsim_hydro::workload::{self, PerturbedConfig};
+use hsim_hydro::{sod, step, HydroState};
+use hsim_mesh::decomp::block::{block_decomp, block_decomp_yz};
+use hsim_mesh::decomp::hierarchical::hierarchical_decomp_yz;
+use hsim_mesh::decomp::weighted::{weighted_hetero_decomp, WeightedConfig};
+use hsim_mesh::{Decomposition, GlobalGrid, HaloPlan, OwnerKind};
+use hsim_mpi::World;
+use hsim_raja::{Executor, Fidelity, GpuClient, SharedDevice, Target};
+use hsim_time::clock::ChargeKind;
+use hsim_time::{RankClock, SimDuration, SpanCategory, Trace};
+
+use crate::balance::LoadBalancer;
+use crate::binding::{build_bindings, validate_bindings};
+use crate::calib;
+use crate::coupler::MpiCoupler;
+use crate::memscheme;
+use crate::mode::ExecMode;
+use crate::node::NodeConfig;
+use crate::report::{RankReport, RunResult};
+
+/// The physics problem a run initializes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Problem {
+    /// The paper's workload: the 3D Sedov blast wave (§7, Fig 11).
+    Sedov(SedovConfig),
+    /// The Sod shock tube (validation problem with an exact solution).
+    Sod(sod::SodConfig),
+    /// Seeded random multi-mode perturbations (balancer stress test).
+    Perturbed(PerturbedConfig),
+}
+
+impl Default for Problem {
+    fn default() -> Self {
+        Problem::Sedov(SedovConfig::default())
+    }
+}
+
+impl Problem {
+    fn init(&self, state: &mut HydroState) {
+        match self {
+            Problem::Sedov(cfg) => sedov::init(state, cfg),
+            Problem::Sod(cfg) => sod::init(state, cfg),
+            Problem::Perturbed(cfg) => workload::init(state, cfg),
+        }
+    }
+}
+
+/// Everything one cooperative run needs.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Global grid zones (nx, ny, nz).
+    pub grid: (usize, usize, usize),
+    pub mode: ExecMode,
+    pub node: NodeConfig,
+    pub cycles: u64,
+    pub fidelity: Fidelity,
+    /// §5.3 future work: GPUs exchange halos without host staging.
+    pub gpu_direct: bool,
+    /// Run the thermal-diffusion package after each hydro cycle
+    /// (multi-physics configuration; None = hydro only, as in the
+    /// paper's Sedov study).
+    pub diffusion: Option<DiffusionConfig>,
+    /// MultiPolicy host threshold for GPU ranks (0 = disabled; the
+    /// paper's future-work runtime policy selection).
+    pub multipolicy_threshold: u64,
+    /// Record per-cycle spans per rank (busy vs waiting) for Gantt
+    /// rendering.
+    pub trace: bool,
+    /// The physics problem to initialize (default: Sedov).
+    pub problem: Problem,
+}
+
+impl RunConfig {
+    /// A figure-sweep configuration: RZHasGPU, cost-only fidelity,
+    /// the standard cycle count.
+    pub fn sweep(grid: (usize, usize, usize), mode: ExecMode) -> Self {
+        RunConfig {
+            grid,
+            mode,
+            node: NodeConfig::rzhasgpu(),
+            cycles: calib::SWEEP_CYCLES,
+            fidelity: Fidelity::CostOnly,
+            gpu_direct: false,
+            diffusion: None,
+            multipolicy_threshold: 0,
+            trace: false,
+            problem: Problem::default(),
+        }
+    }
+
+    fn global_grid(&self) -> GlobalGrid {
+        GlobalGrid::new(self.grid.0, self.grid.1, self.grid.2)
+    }
+}
+
+/// Build the mode's decomposition (paper §6.1).
+pub fn build_decomposition(
+    cfg: &RunConfig,
+    cpu_fraction: f64,
+) -> Result<Decomposition, String> {
+    let grid = cfg.global_grid();
+    let node = &cfg.node;
+    match cfg.mode {
+        ExecMode::CpuOnly => {
+            let mut d = block_decomp(grid, node.cores, 1);
+            for o in &mut d.owners {
+                *o = OwnerKind::Cpu;
+            }
+            Ok(d)
+        }
+        ExecMode::Default => Ok(block_decomp_yz(grid, node.gpus, 1)),
+        ExecMode::Mps { per_gpu } => hierarchical_decomp_yz(grid, node.gpus, per_gpu, 2, 1),
+        ExecMode::Heterogeneous { .. } => {
+            let wc = WeightedConfig {
+                n_gpus: node.gpus,
+                cpu_per_gpu: node.workers_per_gpu(),
+                cpu_fraction,
+                carve_axis: 1,
+                ghost: 1,
+                pin_x: true,
+            };
+            weighted_hetero_decomp(grid, &wc)
+        }
+    }
+}
+
+/// The minimum realizable CPU fraction of the heterogeneous
+/// decomposition (one carve-axis plane per CPU rank).
+pub fn hetero_min_fraction(cfg: &RunConfig) -> f64 {
+    let grid = cfg.global_grid();
+    let node = &cfg.node;
+    let top = block_decomp_yz(grid, node.gpus, 1);
+    let ext = top.domains[0].extent(1).max(1);
+    node.workers_per_gpu() as f64 / ext as f64
+}
+
+/// Execute one cooperative run.
+pub fn run(cfg: &RunConfig) -> Result<RunResult, String> {
+    let fraction_request = match cfg.mode {
+        ExecMode::Heterogeneous { cpu_fraction } => {
+            cpu_fraction.unwrap_or_else(|| LoadBalancer::initial_guess(&cfg.node))
+        }
+        _ => 0.0,
+    };
+    run_with_fraction(cfg, fraction_request)
+}
+
+/// Execute one run with an explicit heterogeneous CPU fraction
+/// (ignored by the other modes).
+pub fn run_with_fraction(cfg: &RunConfig, cpu_fraction: f64) -> Result<RunResult, String> {
+    let grid = cfg.global_grid();
+    let node = &cfg.node;
+    let decomp = build_decomposition(cfg, cpu_fraction)?;
+    decomp.validate()?;
+    let plan = HaloPlan::build(&decomp);
+    let roles = build_bindings(&cfg.mode, node);
+    validate_bindings(&roles, node)?;
+    if roles.len() != decomp.len() {
+        return Err(format!(
+            "binding count {} != decomposition count {}",
+            roles.len(),
+            decomp.len()
+        ));
+    }
+    let n_ranks = roles.len();
+
+    // Devices and clients per mode.
+    let mut devices: Vec<Arc<SharedDevice>> = Vec::new();
+    let mut slots: Vec<Option<(GpuClient, Arc<SharedDevice>)>> =
+        (0..n_ranks).map(|_| None).collect();
+    match cfg.mode {
+        ExecMode::CpuOnly => {}
+        ExecMode::Default | ExecMode::Heterogeneous { .. } => {
+            for (g, slot) in slots.iter_mut().take(node.gpus).enumerate() {
+                let device = Device::new(g, node.gpu_spec.clone());
+                let (shared, client) =
+                    SharedDevice::new_exclusive(device, g).map_err(|e| e.to_string())?;
+                *slot = Some((client, Arc::clone(&shared)));
+                devices.push(shared);
+            }
+        }
+        ExecMode::Mps { per_gpu } => {
+            for g in 0..node.gpus {
+                let device = Device::new(g, node.gpu_spec.clone());
+                let pids: Vec<usize> = (0..per_gpu).map(|i| g * per_gpu + i).collect();
+                let (shared, clients) =
+                    SharedDevice::new_mps(device, &pids).map_err(|e| e.to_string())?;
+                for (i, client) in clients.into_iter().enumerate() {
+                    slots[g * per_gpu + i] = Some((client, Arc::clone(&shared)));
+                }
+                devices.push(shared);
+            }
+        }
+    }
+    let slots = Mutex::new(slots);
+
+    // Node-level host-bandwidth model (the Figure 12 kink): aggregate
+    // host traffic beyond the active cores' capacity costs extra,
+    // distributed over ranks in proportion to their zones.
+    let total_zones = grid.zones() as f64;
+    let capacity = n_ranks as f64 * calib::HOST_ZONES_PER_CORE;
+    let excess = (total_zones - capacity).max(0.0);
+    let penalty_per_cycle: Vec<SimDuration> = (0..n_ranks)
+        .map(|r| {
+            let share = decomp.domains[r].zones() as f64 / total_zones;
+            SimDuration::from_nanos_f64(excess * calib::HOST_PENALTY_NS_PER_ZONE * share)
+        })
+        .collect();
+
+    let decomp_ref = &decomp;
+    let plan_ref = &plan;
+    let roles_ref = &roles;
+    let slots_ref = &slots;
+    let penalty_ref = &penalty_per_cycle;
+    let cfg_ref = cfg;
+
+    let outputs: Vec<(RankReport, Trace)> = World::run(n_ranks, node.comm.clone(), |comm| {
+        let rank = comm.rank();
+        let sub = decomp_ref.domains[rank];
+        let role = roles_ref[rank];
+        let client = slots_ref.lock()[rank].take();
+        let mut clock = RankClock::new(rank);
+
+        // Figure 8 memory scheme: GPU ranks put mesh data in unified
+        // memory (paying the initial fault-in) and temporaries in a
+        // device pool; CPU ranks host-allocate everything.
+        let mut _pool: Option<MemoryPool> = None;
+        let target = if let Some((client, shared)) = &client {
+            let mesh = memscheme::mesh_bytes(sub.zones());
+            let (_region, cost) = shared
+                .um_alloc_and_touch(mesh)
+                .expect("mesh fits device memory");
+            clock.charge(ChargeKind::Memory, cost);
+            _pool = Some(MemoryPool::new(memscheme::temp_bytes(sub.zones()).max(4096)));
+            Target::Gpu(client.clone())
+        } else {
+            Target::CpuSeq
+        };
+
+        let mut exec = Executor::new(target, cfg_ref.node.cpu.clone(), cfg_ref.fidelity)
+            .with_multipolicy(hsim_raja::MultiPolicy::with_threshold(
+                cfg_ref.multipolicy_threshold,
+            ));
+        let mut state = HydroState::new(grid, sub, cfg_ref.fidelity);
+        cfg_ref.problem.init(&mut state);
+
+        // Setup complete: synchronize and zero the runtime baseline.
+        // The figures report cycle-loop time (setup — UM fault-in,
+        // allocation — amortizes to noise over a real run's length).
+        comm.clock_mut().merge(clock.now());
+        comm.barrier().expect("setup barrier");
+        clock.merge(comm.now());
+        let t0 = clock.now();
+        let mut trace = if cfg_ref.trace {
+            Trace::enabled()
+        } else {
+            Trace::disabled()
+        };
+
+        let mut coupler = MpiCoupler {
+            comm,
+            plan: plan_ref,
+            decomp: decomp_ref,
+            gpu_spec: client.as_ref().map(|_| cfg_ref.node.gpu_spec.clone()),
+            gpu_direct: cfg_ref.gpu_direct,
+        };
+
+        for _ in 0..cfg_ref.cycles {
+            let cycle_start = clock.now();
+            let wait_before = clock.bucket(ChargeKind::Wait);
+            // Pooled temporaries are grabbed per cycle and released at
+            // the cycle boundary (cnmem discipline).
+            if let Some(pool) = _pool.as_mut() {
+                let a = pool.alloc(memscheme::temp_bytes(sub.zones()).max(256));
+                debug_assert!(a.is_ok());
+                pool.reset();
+            }
+            let stats = step(
+                &mut state,
+                &mut exec,
+                &mut clock,
+                &mut coupler,
+                calib::CFL,
+                calib::COST_ONLY_DT,
+            )
+            .expect("hydro cycle");
+            if let Some(diff) = &cfg_ref.diffusion {
+                diffuse_step(&mut state, &mut exec, &mut clock, &mut coupler, diff, stats.dt)
+                    .expect("diffusion package");
+            }
+            // Serial host control code between kernels.
+            clock.charge(
+                ChargeKind::Control,
+                SimDuration::from_nanos_f64(stats.launches as f64 * calib::CONTROL_NS_PER_LAUNCH),
+            );
+            // Host-bandwidth saturation penalty.
+            clock.charge(ChargeKind::Memory, penalty_ref[rank]);
+            if trace.is_enabled() {
+                // One busy span + one idle span per cycle: the idle
+                // share is the Wait-bucket growth (GPU sync + peers).
+                let wait_delta = clock.bucket(ChargeKind::Wait) - wait_before;
+                let cycle_end = clock.now();
+                let busy_end = cycle_end + hsim_time::SimDuration::ZERO;
+                let busy_end = hsim_time::SimTime::from_nanos(
+                    busy_end.as_nanos().saturating_sub(wait_delta.as_nanos()),
+                );
+                let cat = if role.is_gpu_driver() {
+                    SpanCategory::GpuKernel
+                } else {
+                    SpanCategory::CpuKernel
+                };
+                trace.record(rank, cat, cycle_start, busy_end, "cycle");
+                trace.record(rank, SpanCategory::Idle, busy_end, cycle_end, "wait");
+            }
+        }
+
+        // Fold the communicator's clock into the rank clock and report.
+        let comm_clock = coupler.comm.clock().clone();
+        clock.merge(comm_clock.now());
+        let bytes_sent = coupler.comm.bytes_sent();
+        let report = RankReport {
+            rank,
+            role,
+            zones: sub.zones(),
+            setup: t0 - hsim_time::SimTime::ZERO,
+            total: clock.now() - t0,
+            compute: clock.bucket(ChargeKind::Compute),
+            launch: clock.bucket(ChargeKind::Launch),
+            memory: clock.bucket(ChargeKind::Memory) + comm_clock.bucket(ChargeKind::Memory),
+            comm: comm_clock.bucket(ChargeKind::Comm),
+            control: clock.bucket(ChargeKind::Control),
+            wait: clock.bucket(ChargeKind::Wait) + comm_clock.bucket(ChargeKind::Wait),
+            launches: exec.registry.total_launches(),
+            bytes_sent,
+        };
+        (report, trace)
+    });
+
+    let mut reports = Vec::with_capacity(outputs.len());
+    let mut trace = if cfg.trace {
+        Some(Trace::enabled())
+    } else {
+        None
+    };
+    for (report, rank_trace) in outputs {
+        if let Some(t) = trace.as_mut() {
+            t.absorb(rank_trace);
+        }
+        reports.push(report);
+    }
+
+    let runtime = reports
+        .iter()
+        .map(|r| r.total)
+        .fold(SimDuration::ZERO, SimDuration::max);
+    let device_busy = devices.iter().map(|d| d.busy()).collect();
+    Ok(RunResult {
+        mode_key: cfg.mode.key(),
+        mode_label: cfg.mode.label(),
+        grid: cfg.grid,
+        zones: grid.zones(),
+        runtime,
+        cpu_fraction: decomp.cpu_zone_fraction(),
+        cycles: cfg.cycles,
+        ranks: reports,
+        device_busy,
+        trace,
+    })
+}
+
+/// The §6.2 loop: run, measure CPU vs GPU busy time, adjust the split,
+/// repeat until the fraction converges ("static within an iteration,
+/// but the decomposition can be adjusted between iterations").
+///
+/// Returns the final run and the balancer with its history. For
+/// non-heterogeneous modes this is a single plain run.
+pub fn run_balanced(cfg: &RunConfig) -> Result<(RunResult, LoadBalancer), String> {
+    if !matches!(cfg.mode, ExecMode::Heterogeneous { .. }) {
+        let result = run(cfg)?;
+        return Ok((result, LoadBalancer::with_fraction(0.0)));
+    }
+    let mut lb = match cfg.mode {
+        ExecMode::Heterogeneous {
+            cpu_fraction: Some(f),
+        } => LoadBalancer::with_fraction(f),
+        _ => LoadBalancer::new(&cfg.node),
+    };
+    lb.set_min_fraction(hetero_min_fraction(cfg));
+    let mut result = run_with_fraction(cfg, lb.fraction)?;
+    for _ in 0..calib::BALANCE_MAX_ITERS {
+        let cpu_time = result.slowest_cpu_compute();
+        let gpu_time = result.slowest_device_busy();
+        if cpu_time.is_zero() || gpu_time.is_zero() {
+            break;
+        }
+        let before = lb.fraction;
+        lb.observe(cpu_time, gpu_time);
+        if (lb.fraction - before).abs() < calib::BALANCE_TOL {
+            break;
+        }
+        result = run_with_fraction(cfg, lb.fraction)?;
+    }
+    Ok((result, lb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep_cfg(grid: (usize, usize, usize), mode: ExecMode) -> RunConfig {
+        let mut cfg = RunConfig::sweep(grid, mode);
+        cfg.cycles = 3;
+        cfg
+    }
+
+    #[test]
+    fn all_modes_run_cost_only() {
+        for mode in [
+            ExecMode::CpuOnly,
+            ExecMode::Default,
+            ExecMode::mps4(),
+            ExecMode::hetero(),
+        ] {
+            let cfg = sweep_cfg((64, 48, 32), mode);
+            let r = run(&cfg).unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+            assert!(r.runtime > SimDuration::ZERO, "{mode:?}");
+            assert_eq!(r.zones, 64 * 48 * 32);
+            assert_eq!(r.ranks.len(), mode.total_ranks(&cfg.node));
+        }
+    }
+
+    #[test]
+    fn decompositions_match_modes() {
+        let node = NodeConfig::rzhasgpu();
+        let cfg = sweep_cfg((64, 48, 32), ExecMode::hetero());
+        let d = build_decomposition(&cfg, 0.05).unwrap();
+        assert_eq!(d.len(), 16);
+        assert_eq!(d.gpu_ranks().len(), node.gpus);
+        let cfg2 = sweep_cfg((64, 48, 32), ExecMode::Default);
+        assert_eq!(build_decomposition(&cfg2, 0.0).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn gpu_modes_report_device_busy_and_launch_overhead() {
+        let cfg = sweep_cfg((64, 48, 32), ExecMode::Default);
+        let r = run(&cfg).unwrap();
+        assert_eq!(r.device_busy.len(), 4);
+        assert!(r.slowest_device_busy() > SimDuration::ZERO);
+        for rank in &r.ranks {
+            assert!(rank.launch > SimDuration::ZERO, "launch overhead charged");
+            assert!(rank.compute.is_zero(), "GPU rank computes on device");
+        }
+    }
+
+    #[test]
+    fn cpu_only_mode_computes_on_cores() {
+        let cfg = sweep_cfg((32, 32, 32), ExecMode::CpuOnly);
+        let r = run(&cfg).unwrap();
+        assert!(r.device_busy.is_empty());
+        for rank in &r.ranks {
+            assert!(rank.compute > SimDuration::ZERO);
+            assert!(rank.launch.is_zero());
+        }
+    }
+
+    #[test]
+    fn hetero_assigns_thin_slabs_to_cpu() {
+        let cfg = sweep_cfg((320, 240, 160), ExecMode::hetero());
+        let r = run(&cfg).unwrap();
+        assert!(r.cpu_fraction > 0.0 && r.cpu_fraction < 0.2, "{}", r.cpu_fraction);
+        let cpu_zones: u64 = r
+            .ranks
+            .iter()
+            .filter(|x| !x.role.is_gpu_driver())
+            .map(|x| x.zones)
+            .sum();
+        assert!(cpu_zones > 0);
+    }
+
+    #[test]
+    fn mps_uses_elevated_launch_overhead() {
+        let cfg_mps = sweep_cfg((64, 64, 64), ExecMode::mps4());
+        let cfg_def = sweep_cfg((64, 64, 64), ExecMode::Default);
+        let r_mps = run(&cfg_mps).unwrap();
+        let r_def = run(&cfg_def).unwrap();
+        // Per-rank launch counts are comparable; MPS pays more per
+        // launch, so *total* launch time across the node is higher.
+        let mps_launch: SimDuration = r_mps.ranks.iter().map(|r| r.launch).sum();
+        let def_launch: SimDuration = r_def.ranks.iter().map(|r| r.launch).sum();
+        assert!(
+            mps_launch > def_launch,
+            "MPS launch {mps_launch} vs Default {def_launch}"
+        );
+    }
+
+    #[test]
+    fn host_penalty_kinks_default_mode() {
+        // Beyond 4 × 9.25 M zones the Default mode pays extra; the
+        // other 16-rank modes do not. Compare per-zone cost below and
+        // above the kink.
+        let small = run(&sweep_cfg((320, 320, 240), ExecMode::Default)).unwrap(); // 24.6 M
+        let large = run(&sweep_cfg((320, 320, 480), ExecMode::Default)).unwrap(); // 49 M
+        let per_zone_small = small.runtime.as_secs_f64() / small.zones as f64;
+        let per_zone_large = large.runtime.as_secs_f64() / large.zones as f64;
+        assert!(
+            per_zone_large > per_zone_small * 1.1,
+            "kink missing: {per_zone_small} vs {per_zone_large}"
+        );
+        let mps_small = run(&sweep_cfg((320, 320, 240), ExecMode::mps4())).unwrap();
+        let mps_large = run(&sweep_cfg((320, 320, 480), ExecMode::mps4())).unwrap();
+        let ps = mps_small.runtime.as_secs_f64() / mps_small.zones as f64;
+        let pl = mps_large.runtime.as_secs_f64() / mps_large.zones as f64;
+        assert!(pl < ps * 1.08, "MPS should stay linear: {ps} vs {pl}");
+    }
+
+    #[test]
+    fn run_balanced_converges_for_hetero() {
+        let cfg = sweep_cfg((320, 480, 160), ExecMode::hetero());
+        let (result, lb) = run_balanced(&cfg).unwrap();
+        assert!(lb.history.len() >= 2, "balancer iterated");
+        assert!(result.cpu_fraction > 0.0);
+        // The balanced fraction should be small (the compiler bug caps
+        // the CPU share at a few percent).
+        assert!(result.cpu_fraction < 0.12, "{}", result.cpu_fraction);
+    }
+
+    #[test]
+    fn full_fidelity_multirank_run_is_physical() {
+        // A small functional run through the whole stack: mass is
+        // conserved across a cooperative MPS-mode run.
+        let mut cfg = sweep_cfg((16, 16, 16), ExecMode::mps4());
+        cfg.fidelity = Fidelity::Full;
+        cfg.cycles = 2;
+        let r = run(&cfg).unwrap();
+        assert_eq!(r.ranks.len(), 16);
+        assert!(r.runtime > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn alternate_problems_run_through_the_cooperative_stack() {
+        for problem in [
+            Problem::Sod(hsim_hydro::SodConfig::default()),
+            Problem::Perturbed(PerturbedConfig::default()),
+        ] {
+            let mut cfg = sweep_cfg((16, 16, 16), ExecMode::mps4());
+            cfg.fidelity = Fidelity::Full;
+            cfg.cycles = 2;
+            cfg.problem = problem.clone();
+            let r = run(&cfg).unwrap_or_else(|e| panic!("{problem:?}: {e}"));
+            assert!(r.runtime > SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn diffusion_package_adds_cost_and_stays_green() {
+        let mut cfg = sweep_cfg((64, 48, 32), ExecMode::Default);
+        let base = run(&cfg).unwrap();
+        cfg.diffusion = Some(hsim_hydro::DiffusionConfig::default());
+        let multi = run(&cfg).unwrap();
+        assert!(
+            multi.runtime > base.runtime,
+            "a second physics package must cost time: {} vs {}",
+            multi.runtime,
+            base.runtime
+        );
+        assert!(multi.total_launches() > base.total_launches());
+    }
+
+    #[test]
+    fn multipolicy_helps_tiny_problems_on_gpu_ranks() {
+        // A tiny problem: boundary/face kernels fall below the
+        // break-even size, where launch overhead exceeds host
+        // execution even on the bug-afflicted CPU. A *tuned* threshold
+        // must help; a wildly oversized one (everything to the slow
+        // host) must hurt — both directions are asserted.
+        let node = NodeConfig::rzhasgpu();
+        let tuned = hsim_raja::MultiPolicy::break_even(
+            &node.gpu_spec,
+            &node.cpu,
+            &hsim_hydro::kernels::FLUX,
+        );
+        let mut cfg = sweep_cfg((16, 12, 12), ExecMode::Default);
+        let naive = run(&cfg).unwrap();
+        cfg.multipolicy_threshold = tuned;
+        let multi = run(&cfg).unwrap();
+        assert!(
+            multi.runtime < naive.runtime,
+            "tuned MultiPolicy should help tiny problems: {} vs {}",
+            multi.runtime,
+            naive.runtime
+        );
+        cfg.multipolicy_threshold = 1_000_000;
+        let oversized = run(&cfg).unwrap();
+        assert!(
+            oversized.runtime > naive.runtime,
+            "routing everything to the slow host must hurt: {} vs {}",
+            oversized.runtime,
+            naive.runtime
+        );
+    }
+
+    #[test]
+    fn traced_run_records_spans_for_every_rank_and_cycle() {
+        let mut cfg = sweep_cfg((64, 48, 32), ExecMode::hetero());
+        cfg.trace = true;
+        let r = run(&cfg).unwrap();
+        let trace = r.trace.as_ref().expect("trace requested");
+        // Two spans (busy + wait) per rank per cycle.
+        assert_eq!(
+            trace.len() as u64,
+            2 * cfg.cycles * r.ranks.len() as u64,
+            "span count"
+        );
+        let gantt = trace.render_gantt(60);
+        assert!(gantt.contains('G') && gantt.contains('C'), "{gantt}");
+        // Untraced runs carry no trace.
+        cfg.trace = false;
+        assert!(run(&cfg).unwrap().trace.is_none());
+    }
+
+    #[test]
+    fn gpu_direct_reduces_hetero_runtime() {
+        let mut cfg = sweep_cfg((128, 128, 128), ExecMode::Default);
+        let base = run(&cfg).unwrap();
+        cfg.gpu_direct = true;
+        let direct = run(&cfg).unwrap();
+        assert!(
+            direct.runtime <= base.runtime,
+            "gpu-direct {} vs staged {}",
+            direct.runtime,
+            base.runtime
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Device contexts.
+//!
+//! CUDA allows only a single context to be *active* on a device at a
+//! time; contexts from different processes cannot run concurrently.
+//! This is the constraint that motivates MPS (paper §2): without it,
+//! binding more than one MPI rank to a GPU serializes at the context
+//! level. The simulator enforces the same rule: direct context creation
+//! fails while another owner holds the device, while the MPS server
+//! owns one shared context and multiplexes clients onto it.
+
+use crate::error::GpuError;
+
+/// Opaque context handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ContextId(pub u64);
+
+/// Who owns the active context of a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContextOwner {
+    /// A single process (identified by its MPI rank / pid) owns the
+    /// device exclusively.
+    Process(usize),
+    /// The MPS server owns the device; many clients share it.
+    MpsServer,
+}
+
+/// A created context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Context {
+    pub id: ContextId,
+    pub device: usize,
+    pub owner: ContextOwner,
+}
+
+/// Tracks context ownership for one device.
+#[derive(Debug, Default)]
+pub struct ContextTable {
+    active: Option<Context>,
+    next_id: u64,
+}
+
+impl ContextTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a direct (exclusive) context for `process` on `device`.
+    ///
+    /// Fails with [`GpuError::ContextBusy`] if any context is already
+    /// active — including re-entrant creation by the same process,
+    /// which mirrors the driver's one-primary-context rule closely
+    /// enough for scheduling purposes.
+    pub fn create_exclusive(
+        &mut self,
+        device: usize,
+        process: usize,
+    ) -> Result<Context, GpuError> {
+        if self.active.is_some() {
+            return Err(GpuError::ContextBusy { device });
+        }
+        let ctx = Context {
+            id: ContextId(self.next_id),
+            device,
+            owner: ContextOwner::Process(process),
+        };
+        self.next_id += 1;
+        self.active = Some(ctx);
+        Ok(ctx)
+    }
+
+    /// Create the MPS server's shared context.
+    pub fn create_mps(&mut self, device: usize) -> Result<Context, GpuError> {
+        if self.active.is_some() {
+            return Err(GpuError::ContextBusy { device });
+        }
+        let ctx = Context {
+            id: ContextId(self.next_id),
+            device,
+            owner: ContextOwner::MpsServer,
+        };
+        self.next_id += 1;
+        self.active = Some(ctx);
+        Ok(ctx)
+    }
+
+    /// Destroy the active context, releasing the device.
+    pub fn destroy(&mut self, id: ContextId) -> Result<(), GpuError> {
+        match self.active {
+            Some(ctx) if ctx.id == id => {
+                self.active = None;
+                Ok(())
+            }
+            _ => Err(GpuError::InvalidContext),
+        }
+    }
+
+    /// The currently active context, if any.
+    pub fn active(&self) -> Option<Context> {
+        self.active
+    }
+
+    /// Validate that `id` is the active context.
+    pub fn check(&self, id: ContextId) -> Result<Context, GpuError> {
+        match self.active {
+            Some(ctx) if ctx.id == id => Ok(ctx),
+            _ => Err(GpuError::InvalidContext),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_context_blocks_second_process() {
+        let mut t = ContextTable::new();
+        let c0 = t.create_exclusive(0, 100).unwrap();
+        assert_eq!(c0.owner, ContextOwner::Process(100));
+        let err = t.create_exclusive(0, 101).unwrap_err();
+        assert_eq!(err, GpuError::ContextBusy { device: 0 });
+    }
+
+    #[test]
+    fn destroy_releases_the_device() {
+        let mut t = ContextTable::new();
+        let c0 = t.create_exclusive(0, 100).unwrap();
+        t.destroy(c0.id).unwrap();
+        assert!(t.active().is_none());
+        let c1 = t.create_exclusive(0, 101).unwrap();
+        assert_ne!(c1.id, c0.id, "context ids are not recycled");
+    }
+
+    #[test]
+    fn mps_context_also_exclusive_at_device_level() {
+        let mut t = ContextTable::new();
+        let _mps = t.create_mps(1).unwrap();
+        assert!(t.create_exclusive(1, 5).is_err());
+        assert!(t.create_mps(1).is_err());
+    }
+
+    #[test]
+    fn check_validates_handles() {
+        let mut t = ContextTable::new();
+        let c = t.create_exclusive(0, 1).unwrap();
+        assert!(t.check(c.id).is_ok());
+        assert_eq!(t.check(ContextId(999)).unwrap_err(), GpuError::InvalidContext);
+        t.destroy(c.id).unwrap();
+        assert_eq!(t.check(c.id).unwrap_err(), GpuError::InvalidContext);
+    }
+
+    #[test]
+    fn destroying_wrong_id_fails() {
+        let mut t = ContextTable::new();
+        let _c = t.create_exclusive(0, 1).unwrap();
+        assert_eq!(t.destroy(ContextId(42)).unwrap_err(), GpuError::InvalidContext);
+        assert!(t.active().is_some());
+    }
+}

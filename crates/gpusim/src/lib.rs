@@ -1,0 +1,49 @@
+//! # hsim-gpu
+//!
+//! A CUDA-like GPU **device simulator**: the substrate standing in for
+//! the NVIDIA K80s (and their driver stack) of the paper's RZHasGPU
+//! testbed, which this environment does not have.
+//!
+//! The simulator is *functional where it matters and timed everywhere*:
+//!
+//! * [`spec::DeviceSpec`] — device capability sheet (SMs, FP64 rate,
+//!   memory bandwidth/capacity, launch overhead); presets for the Tesla
+//!   K80 and Volta V100 match the paper's testbed and target machine.
+//! * [`kernel`] — kernel descriptors and the **occupancy model**: a
+//!   kernel's achievable fraction of device throughput as a function of
+//!   its innermost-dimension extent and total element count. This single
+//!   curve drives the paper's Figures 13–17 (when MPS overlap pays off).
+//! * [`timeline`] — a rate-sharing device timeline: concurrent kernels
+//!   are malleable jobs whose rates water-fill the device's capacity,
+//!   each capped by its occupancy. One resident context ⇒ kernels
+//!   serialize; MPS ⇒ kernels from co-resident clients overlap exactly
+//!   when single kernels underfill the device.
+//! * [`context`] / [`stream`] — CUDA's "one active context per device"
+//!   rule (the reason MPS exists, paper §2) and in-order streams.
+//! * [`mps`] — the Multi-Process Service: clients funnel through one
+//!   shared context, paying a higher launch overhead (paper §2) in
+//!   exchange for overlap.
+//! * [`memory`] — the three data classes of the paper's Figure 8:
+//!   device allocations (first-fit, capacity-checked), **unified
+//!   memory** (page residency + migration charges), and a cnmem-style
+//!   **pool** for temporaries.
+//! * [`xfer`] — PCIe staging-cost model for host↔device copies.
+
+pub mod context;
+pub mod device;
+pub mod error;
+pub mod kernel;
+pub mod memory;
+pub mod mps;
+pub mod spec;
+pub mod stream;
+pub mod timeline;
+pub mod xfer;
+
+pub use context::{Context, ContextId};
+pub use device::Device;
+pub use error::GpuError;
+pub use kernel::{occupancy, KernelDesc, KernelShape};
+pub use spec::DeviceSpec;
+pub use stream::{Stream, StreamId};
+pub use timeline::{Job, JobOutcome, RateSharingTimeline};

@@ -1,0 +1,234 @@
+//! First-fit device heap with capacity accounting.
+//!
+//! Models `cudaMalloc`/`cudaFree`: allocations must fit in the device's
+//! global memory; exhaustion is an error the application sees (ARES
+//! sizes its domains against exactly this limit — the Default mode in
+//! the paper runs out of room per rank before the others do).
+
+use crate::error::GpuError;
+
+/// A live device allocation (offset within the device heap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceAllocation {
+    pub offset: u64,
+    pub size: u64,
+}
+
+/// A first-fit free-list allocator over a fixed capacity.
+#[derive(Debug, Clone)]
+pub struct DeviceHeap {
+    capacity: u64,
+    /// Sorted, coalesced list of free extents (offset, size).
+    free: Vec<(u64, u64)>,
+    used: u64,
+    /// Peak bytes in use, for reporting.
+    high_water: u64,
+    alignment: u64,
+}
+
+impl DeviceHeap {
+    /// A heap of `capacity` bytes with 256-byte allocation granularity
+    /// (CUDA's allocation alignment).
+    pub fn new(capacity: u64) -> Self {
+        DeviceHeap {
+            capacity,
+            free: if capacity > 0 { vec![(0, capacity)] } else { Vec::new() },
+            used: 0,
+            high_water: 0,
+            alignment: 256,
+        }
+    }
+
+    fn align(&self, size: u64) -> u64 {
+        let a = self.alignment;
+        size.div_ceil(a).max(1) * a
+    }
+
+    /// Allocate `size` bytes (first fit).
+    pub fn alloc(&mut self, size: u64) -> Result<DeviceAllocation, GpuError> {
+        let size = self.align(size);
+        for i in 0..self.free.len() {
+            let (off, len) = self.free[i];
+            if len >= size {
+                if len == size {
+                    self.free.remove(i);
+                } else {
+                    self.free[i] = (off + size, len - size);
+                }
+                self.used += size;
+                self.high_water = self.high_water.max(self.used);
+                return Ok(DeviceAllocation { offset: off, size });
+            }
+        }
+        Err(GpuError::OutOfMemory {
+            requested: size,
+            free: self.free_bytes(),
+        })
+    }
+
+    /// Free a previous allocation, coalescing neighbors.
+    pub fn free(&mut self, a: DeviceAllocation) -> Result<(), GpuError> {
+        // Reject frees that overlap an existing free extent (double
+        // free) or fall outside the heap.
+        if a.offset + a.size > self.capacity {
+            return Err(GpuError::InvalidFree { offset: a.offset });
+        }
+        let pos = self.free.partition_point(|&(off, _)| off < a.offset);
+        if pos < self.free.len() {
+            let (off, _) = self.free[pos];
+            if a.offset + a.size > off {
+                return Err(GpuError::InvalidFree { offset: a.offset });
+            }
+        }
+        if pos > 0 {
+            let (off, len) = self.free[pos - 1];
+            if off + len > a.offset {
+                return Err(GpuError::InvalidFree { offset: a.offset });
+            }
+        }
+        self.free.insert(pos, (a.offset, a.size));
+        self.used = self.used.saturating_sub(a.size);
+        // Coalesce with right neighbor, then left.
+        if pos + 1 < self.free.len() {
+            let (off, len) = self.free[pos];
+            let (noff, nlen) = self.free[pos + 1];
+            if off + len == noff {
+                self.free[pos] = (off, len + nlen);
+                self.free.remove(pos + 1);
+            }
+        }
+        if pos > 0 {
+            let (poff, plen) = self.free[pos - 1];
+            let (off, len) = self.free[pos];
+            if poff + plen == off {
+                self.free[pos - 1] = (poff, plen + len);
+                self.free.remove(pos);
+            }
+        }
+        Ok(())
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+
+    /// Largest single allocatable block (fragmentation indicator).
+    pub fn largest_free_block(&self) -> u64 {
+        self.free.iter().map(|&(_, len)| len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_roundtrip() {
+        let mut h = DeviceHeap::new(1 << 20);
+        let a = h.alloc(1000).unwrap();
+        assert_eq!(a.size, 1024, "rounded to 256-byte granularity");
+        assert_eq!(h.used(), 1024);
+        h.free(a).unwrap();
+        assert_eq!(h.used(), 0);
+        assert_eq!(h.largest_free_block(), 1 << 20);
+    }
+
+    #[test]
+    fn exhaustion_is_reported_with_free_bytes() {
+        let mut h = DeviceHeap::new(4096);
+        let _a = h.alloc(4096).unwrap();
+        match h.alloc(1) {
+            Err(GpuError::OutOfMemory { requested, free }) => {
+                assert_eq!(requested, 256);
+                assert_eq!(free, 0);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn coalescing_restores_contiguity() {
+        let mut h = DeviceHeap::new(4096);
+        let a = h.alloc(1024).unwrap();
+        let b = h.alloc(1024).unwrap();
+        let c = h.alloc(1024).unwrap();
+        h.free(b).unwrap();
+        h.free(a).unwrap();
+        h.free(c).unwrap();
+        assert_eq!(h.largest_free_block(), 4096);
+        // Can now satisfy a full-capacity request again.
+        assert!(h.alloc(4096).is_ok());
+    }
+
+    #[test]
+    fn fragmentation_limits_largest_block() {
+        let mut h = DeviceHeap::new(4096);
+        let a = h.alloc(1024).unwrap();
+        let b = h.alloc(1024).unwrap();
+        let _c = h.alloc(1024).unwrap();
+        let _d = h.alloc(1024).unwrap();
+        h.free(a).unwrap();
+        h.free(b).unwrap();
+        // a and b coalesce to 2048 even with c, d still live.
+        assert_eq!(h.largest_free_block(), 2048);
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let mut h = DeviceHeap::new(4096);
+        let a = h.alloc(512).unwrap();
+        h.free(a).unwrap();
+        assert!(matches!(h.free(a), Err(GpuError::InvalidFree { .. })));
+    }
+
+    #[test]
+    fn out_of_range_free_detected() {
+        let mut h = DeviceHeap::new(4096);
+        assert!(matches!(
+            h.free(DeviceAllocation {
+                offset: 4096,
+                size: 256
+            }),
+            Err(GpuError::InvalidFree { .. })
+        ));
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut h = DeviceHeap::new(1 << 20);
+        let a = h.alloc(4096).unwrap();
+        let b = h.alloc(4096).unwrap();
+        h.free(a).unwrap();
+        h.free(b).unwrap();
+        assert_eq!(h.high_water(), 8192);
+        assert_eq!(h.used(), 0);
+    }
+
+    #[test]
+    fn first_fit_reuses_earliest_hole() {
+        let mut h = DeviceHeap::new(4096);
+        let a = h.alloc(1024).unwrap();
+        let _b = h.alloc(1024).unwrap();
+        h.free(a).unwrap();
+        let c = h.alloc(512).unwrap();
+        assert_eq!(c.offset, 0, "first fit should reuse the first hole");
+    }
+
+    #[test]
+    fn zero_capacity_heap_rejects_everything() {
+        let mut h = DeviceHeap::new(0);
+        assert!(h.alloc(1).is_err());
+    }
+}

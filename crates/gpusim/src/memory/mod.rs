@@ -1,0 +1,19 @@
+//! The device memory subsystem: the three data classes of the paper's
+//! Figure 8.
+//!
+//! | data class     | CPU-only process | GPU-driving process        |
+//! |----------------|------------------|----------------------------|
+//! | control code   | host malloc      | host malloc                |
+//! | mesh data      | host malloc      | unified memory ([`unified`]) |
+//! | temporary data | host malloc      | device pool ([`pool`], cnmem-style) |
+//!
+//! [`device_alloc`] is the underlying capacity-checked device heap that
+//! both unified-memory backing and pools draw from.
+
+pub mod device_alloc;
+pub mod pool;
+pub mod unified;
+
+pub use device_alloc::{DeviceAllocation, DeviceHeap};
+pub use pool::{MemoryPool, PoolAllocation};
+pub use unified::{Residency, UnifiedMemory, UnifiedRegionId};

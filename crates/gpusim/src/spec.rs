@@ -1,0 +1,152 @@
+//! Device capability sheets.
+//!
+//! A [`DeviceSpec`] is the static description of one GPU: its compute
+//! rate, memory system, and driver overheads. The figure sweeps only
+//! depend on *ratios* of these terms (GPU:CPU speed, launch overhead vs
+//! kernel duration, capacity per rank), so the presets use public
+//! datasheet numbers for the paper's hardware.
+
+use hsim_time::SimDuration;
+
+/// Static description of one simulated GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name, for reports.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Peak FP64 throughput in GFLOP/s.
+    pub fp64_gflops: f64,
+    /// Device (global) memory bandwidth in GB/s.
+    pub mem_bandwidth_gbs: f64,
+    /// Device global memory capacity in bytes.
+    pub mem_capacity: u64,
+    /// Base kernel launch overhead (driver + hardware submit path).
+    pub launch_overhead: SimDuration,
+    /// Multiplier on launch overhead when launches are routed through
+    /// the MPS server (paper §2: "the kernel launch overhead is
+    /// higher").
+    pub mps_launch_factor: f64,
+    /// Host↔device interconnect bandwidth (PCIe for the K80) in GB/s.
+    pub pcie_bandwidth_gbs: f64,
+    /// Latency of one host↔device DMA setup.
+    pub pcie_latency: SimDuration,
+    /// Unified-memory page size in bytes.
+    pub um_page_size: u64,
+    /// Cost to migrate one UM page across the interconnect (fault +
+    /// transfer amortized).
+    pub um_page_migration: SimDuration,
+    /// Elements needed to saturate the device (occupancy size ramp):
+    /// roughly threads-in-flight. See [`crate::kernel::occupancy`].
+    pub saturation_elems: f64,
+    /// Innermost-dimension half-efficiency point: an inner extent equal
+    /// to this achieves 50% of peak per-element rate. Models warp/
+    /// vector utilization of the innermost loop.
+    pub inner_half_extent: f64,
+    /// Per-co-resident-kernel capacity derate: concurrent kernels from
+    /// different clients contend for L2/DRAM, so the device's
+    /// aggregate rate with `n` residents is `1 − penalty·(n−1)`
+    /// (floored). This is why MPS loses when single kernels already
+    /// fill the device (paper Figure 16).
+    pub sharing_penalty: f64,
+}
+
+impl DeviceSpec {
+    /// One logical GPU of a Tesla K80 board as scheduled on RZHasGPU
+    /// (the paper exposes four GPUs per node). Datasheet: 13 SMs/GK210,
+    /// ~1.45 TFLOP/s FP64 per board (≈0.7 per logical GPU with boost),
+    /// 240 GB/s and 12 GB per logical GPU.
+    pub fn tesla_k80() -> Self {
+        DeviceSpec {
+            name: "Tesla K80 (1/2 board)",
+            sm_count: 13,
+            fp64_gflops: 700.0,
+            mem_bandwidth_gbs: 240.0,
+            mem_capacity: 12 * (1 << 30),
+            launch_overhead: SimDuration::from_micros(8),
+            mps_launch_factor: 2.5,
+            pcie_bandwidth_gbs: 12.0,
+            pcie_latency: SimDuration::from_micros(10),
+            um_page_size: 64 * 1024,
+            um_page_migration: SimDuration::from_micros(5),
+            saturation_elems: 3.0e4,
+            inner_half_extent: 20.0,
+            sharing_penalty: 0.02,
+        }
+    }
+
+    /// Volta V100 as on the Sierra early-access systems (§2: SIERRA
+    /// nodes pair two POWER9 CPUs with four Voltas; NVLink instead of
+    /// PCIe).
+    pub fn volta_v100() -> Self {
+        DeviceSpec {
+            name: "Tesla V100 (Sierra EA)",
+            sm_count: 80,
+            fp64_gflops: 7000.0,
+            mem_bandwidth_gbs: 900.0,
+            mem_capacity: 16 * (1 << 30),
+            launch_overhead: SimDuration::from_micros(5),
+            mps_launch_factor: 1.5,
+            pcie_bandwidth_gbs: 60.0, // NVLink2 per direction
+            pcie_latency: SimDuration::from_micros(3),
+            um_page_size: 64 * 1024,
+            um_page_migration: SimDuration::from_micros(2),
+            saturation_elems: 1.6e5,
+            inner_half_extent: 24.0,
+            sharing_penalty: 0.01,
+        }
+    }
+
+    /// Seconds to move `bytes` across the host↔device interconnect
+    /// (one DMA: latency + bytes/bandwidth).
+    pub fn xfer_time(&self, bytes: u64) -> SimDuration {
+        let secs = bytes as f64 / (self.pcie_bandwidth_gbs * 1e9);
+        self.pcie_latency + SimDuration::from_secs_f64(secs)
+    }
+
+    /// Number of UM pages covering `bytes`.
+    pub fn pages_for(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.um_page_size.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k80_preset_matches_datasheet_ratios() {
+        let k80 = DeviceSpec::tesla_k80();
+        assert_eq!(k80.mem_capacity, 12 * 1024 * 1024 * 1024);
+        assert!(k80.fp64_gflops > 500.0 && k80.fp64_gflops < 1500.0);
+        assert!(k80.mps_launch_factor > 1.0, "MPS must cost more per launch");
+    }
+
+    #[test]
+    fn volta_is_strictly_faster_than_k80() {
+        let k80 = DeviceSpec::tesla_k80();
+        let v100 = DeviceSpec::volta_v100();
+        assert!(v100.fp64_gflops > k80.fp64_gflops);
+        assert!(v100.mem_bandwidth_gbs > k80.mem_bandwidth_gbs);
+        assert!(v100.launch_overhead < k80.launch_overhead);
+    }
+
+    #[test]
+    fn xfer_time_is_latency_plus_bandwidth() {
+        let k80 = DeviceSpec::tesla_k80();
+        let t0 = k80.xfer_time(0);
+        assert_eq!(t0, k80.pcie_latency);
+        // 12 GB at 12 GB/s ≈ 1 s (plus tiny latency).
+        let t = k80.xfer_time(12 * (1 << 30));
+        assert!((t.as_secs_f64() - 1.073).abs() < 0.01, "{t}");
+    }
+
+    #[test]
+    fn pages_for_rounds_up() {
+        let k80 = DeviceSpec::tesla_k80();
+        assert_eq!(k80.pages_for(0), 0);
+        assert_eq!(k80.pages_for(1), 1);
+        assert_eq!(k80.pages_for(64 * 1024), 1);
+        assert_eq!(k80.pages_for(64 * 1024 + 1), 2);
+    }
+}

@@ -1,0 +1,108 @@
+//! In-order execution streams.
+//!
+//! A stream is a FIFO lane within a context: kernels submitted to the
+//! same stream execute in submission order; kernels in different
+//! streams may overlap (subject to the device's rate-sharing capacity).
+//! The RAJA CUDA backend of the paper launches each `forall` onto a
+//! stream (its Figure 6 shows the `stream` launch parameter).
+
+use crate::context::ContextId;
+use crate::error::GpuError;
+
+/// Opaque stream handle. Stream ids are globally unique per device so
+/// they can be used directly as timeline stream keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamId(pub u64);
+
+/// A created stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stream {
+    pub id: StreamId,
+    pub context: ContextId,
+}
+
+/// Stream registry for one device.
+#[derive(Debug, Default)]
+pub struct StreamTable {
+    streams: Vec<Stream>,
+    next_id: u64,
+}
+
+impl StreamTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a stream in `context`.
+    pub fn create(&mut self, context: ContextId) -> Stream {
+        let s = Stream {
+            id: StreamId(self.next_id),
+            context,
+        };
+        self.next_id += 1;
+        self.streams.push(s);
+        s
+    }
+
+    /// Look up a stream and verify it belongs to `context`.
+    pub fn check(&self, id: StreamId, context: ContextId) -> Result<Stream, GpuError> {
+        self.streams
+            .iter()
+            .find(|s| s.id == id && s.context == context)
+            .copied()
+            .ok_or(GpuError::InvalidStream)
+    }
+
+    /// Destroy all streams belonging to `context` (context teardown).
+    pub fn destroy_for_context(&mut self, context: ContextId) {
+        self.streams.retain(|s| s.context != context);
+    }
+
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_get_unique_ids() {
+        let mut t = StreamTable::new();
+        let ctx = ContextId(0);
+        let a = t.create(ctx);
+        let b = t.create(ctx);
+        assert_ne!(a.id, b.id);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn check_enforces_context_ownership() {
+        let mut t = StreamTable::new();
+        let a = t.create(ContextId(0));
+        assert!(t.check(a.id, ContextId(0)).is_ok());
+        assert_eq!(
+            t.check(a.id, ContextId(1)).unwrap_err(),
+            GpuError::InvalidStream
+        );
+        assert_eq!(
+            t.check(StreamId(99), ContextId(0)).unwrap_err(),
+            GpuError::InvalidStream
+        );
+    }
+
+    #[test]
+    fn context_teardown_removes_its_streams() {
+        let mut t = StreamTable::new();
+        let _a = t.create(ContextId(0));
+        let b = t.create(ContextId(1));
+        t.destroy_for_context(ContextId(0));
+        assert_eq!(t.len(), 1);
+        assert!(t.check(b.id, ContextId(1)).is_ok());
+    }
+}

@@ -1,0 +1,185 @@
+//! Primitive-variable kernels (ideal-gas EOS).
+//!
+//! Primitives are computed over the *allocated* region (owned +
+//! ghosts) so the flux kernels can evaluate both sides of boundary
+//! faces after a halo exchange / boundary fill.
+
+use hsim_gpu::GpuError;
+use hsim_raja::Executor;
+use hsim_time::RankClock;
+
+use crate::kernels;
+use crate::state::{HydroState, EN, GAMMA, MX, MY, MZ, P_FLOOR, RHO, RHO_FLOOR};
+
+/// Linear indexer for a dims-shaped array.
+#[inline]
+pub(crate) fn indexer(dims: [usize; 3]) -> impl Fn(usize, usize, usize) -> usize {
+    move |i, j, k| i + j * dims[0] + k * dims[0] * dims[1]
+}
+
+/// Compute velocity, pressure, and sound speed from the conserved
+/// fields (three kernels).
+pub fn primitives(
+    state: &mut HydroState,
+    exec: &mut Executor,
+    clock: &mut RankClock,
+) -> Result<(), GpuError> {
+    let ext = state.ext_all();
+    let dims = state.u[RHO].dims();
+    let at = indexer(dims);
+
+    // Velocity: v_a = m_a / ρ (with a floor on ρ).
+    {
+        let (u, vel) = (&state.u, &mut state.vel);
+        let rho = u[RHO].data();
+        let mx = u[MX].data();
+        let my = u[MY].data();
+        let mz = u[MZ].data();
+        let [vx_f, vy_f, vz_f] = vel;
+        let vx = vx_f.data_mut();
+        let vy = vy_f.data_mut();
+        let vz = vz_f.data_mut();
+        let at = &at;
+        exec.forall3(clock, &kernels::VELOCITY, ext, |i, j, k| {
+            let idx = at(i, j, k);
+            let r = rho[idx].max(RHO_FLOOR);
+            vx[idx] = mx[idx] / r;
+            vy[idx] = my[idx] / r;
+            vz[idx] = mz[idx] / r;
+        })?;
+    }
+
+    // Pressure: p = (γ−1)(E − ½ρ|v|²), floored.
+    {
+        let (u, vel, p_f) = (&state.u, &state.vel, &mut state.p);
+        let rho = u[RHO].data();
+        let en = u[EN].data();
+        let vx = vel[0].data();
+        let vy = vel[1].data();
+        let vz = vel[2].data();
+        let p = p_f.data_mut();
+        let at = &at;
+        exec.forall3(clock, &kernels::PRESSURE, ext, |i, j, k| {
+            let idx = at(i, j, k);
+            let r = rho[idx].max(RHO_FLOOR);
+            let ke = 0.5 * r * (vx[idx] * vx[idx] + vy[idx] * vy[idx] + vz[idx] * vz[idx]);
+            p[idx] = ((GAMMA - 1.0) * (en[idx] - ke)).max(P_FLOOR);
+        })?;
+    }
+
+    // Sound speed: c = sqrt(γ p / ρ).
+    {
+        let (u, p_f, cs_f) = (&state.u, &state.p, &mut state.cs);
+        let rho = u[RHO].data();
+        let p = p_f.data();
+        let cs = cs_f.data_mut();
+        let at = &at;
+        exec.forall3(clock, &kernels::SOUND_SPEED, ext, |i, j, k| {
+            let idx = at(i, j, k);
+            cs[idx] = (GAMMA * p[idx] / rho[idx].max(RHO_FLOOR)).sqrt();
+        })?;
+    }
+    Ok(())
+}
+
+/// The CFL-limited timestep bound over this rank's owned zones
+/// (one min-reduction kernel). Returns `default` in cost-only mode.
+pub fn cfl_dt(
+    state: &mut HydroState,
+    exec: &mut Executor,
+    clock: &mut RankClock,
+    cfl: f64,
+    default: f64,
+) -> Result<f64, GpuError> {
+    let ext = state.ext();
+    let g = state.sub.ghost;
+    let dims = state.u[RHO].dims();
+    let at = indexer(dims);
+    let h = state.dx();
+    let (vel, cs_f) = (&state.vel, &state.cs);
+    let vx = vel[0].data();
+    let vy = vel[1].data();
+    let vz = vel[2].data();
+    let cs = cs_f.data();
+    let at = &at;
+    let bound = exec.forall3_min(clock, &kernels::CFL, ext, default / cfl, |i, j, k| {
+        let idx = at(i + g, j + g, k + g);
+        let vmax = vx[idx].abs().max(vy[idx].abs()).max(vz[idx].abs());
+        h / (vmax + cs[idx]).max(1e-30)
+    })?;
+    Ok(cfl * bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsim_mesh::{GlobalGrid, Subdomain};
+    use hsim_raja::{CpuModel, Fidelity, Target};
+
+    fn setup() -> (HydroState, Executor, RankClock) {
+        let grid = GlobalGrid::new(8, 8, 8);
+        let sub = Subdomain::new([0, 0, 0], [8, 8, 8], 1);
+        let mut state = HydroState::new(grid, sub, Fidelity::Full);
+        state.init_ambient(1.0, 0.4);
+        let exec = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::Full);
+        (state, exec, RankClock::new(0))
+    }
+
+    #[test]
+    fn ambient_primitives_are_uniform() {
+        let (mut state, mut exec, mut clock) = setup();
+        primitives(&mut state, &mut exec, &mut clock).unwrap();
+        // p = 0.4, ρ = 1 ⇒ cs = sqrt(1.4·0.4) ≈ 0.7483.
+        let idx = state.p.idx(4, 4, 4);
+        assert!((state.p.data()[idx] - 0.4).abs() < 1e-12);
+        assert!((state.cs.data()[idx] - (1.4f64 * 0.4).sqrt()).abs() < 1e-12);
+        assert_eq!(state.vel[0].data()[idx], 0.0);
+    }
+
+    #[test]
+    fn moving_gas_has_correct_velocity_and_pressure() {
+        let (mut state, mut exec, mut clock) = setup();
+        // Give everything ρ=2, v=(1,0,0), p=0.8:
+        // m_x = 2, E = p/(γ-1) + ½ρv² = 2 + 1 = 3.
+        state.u[RHO].fill(2.0);
+        state.u[MX].fill(2.0);
+        state.u[EN].fill(0.8 / (GAMMA - 1.0) + 1.0);
+        primitives(&mut state, &mut exec, &mut clock).unwrap();
+        let idx = state.p.idx(4, 4, 4);
+        assert!((state.vel[0].data()[idx] - 1.0).abs() < 1e-12);
+        assert!((state.p.data()[idx] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pressure_floor_prevents_negativity() {
+        let (mut state, mut exec, mut clock) = setup();
+        // Kinetic energy exceeds total energy: raw p would be negative.
+        state.u[RHO].fill(1.0);
+        state.u[MX].fill(10.0);
+        state.u[EN].fill(1.0);
+        primitives(&mut state, &mut exec, &mut clock).unwrap();
+        let idx = state.p.idx(2, 2, 2);
+        assert_eq!(state.p.data()[idx], P_FLOOR);
+    }
+
+    #[test]
+    fn cfl_dt_matches_hand_computation() {
+        let (mut state, mut exec, mut clock) = setup();
+        primitives(&mut state, &mut exec, &mut clock).unwrap();
+        let dt = cfl_dt(&mut state, &mut exec, &mut clock, 0.3, 1.0).unwrap();
+        let cs = (1.4f64 * 0.4).sqrt();
+        let expect = 0.3 * state.dx() / cs;
+        assert!((dt - expect).abs() / expect < 1e-12, "dt {dt} vs {expect}");
+    }
+
+    #[test]
+    fn cost_only_cfl_returns_default() {
+        let grid = GlobalGrid::new(8, 8, 8);
+        let sub = Subdomain::new([0, 0, 0], [8, 8, 8], 1);
+        let mut state = HydroState::new(grid, sub, Fidelity::CostOnly);
+        let mut exec = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::CostOnly);
+        let mut clock = RankClock::new(0);
+        let dt = cfl_dt(&mut state, &mut exec, &mut clock, 0.3, 0.125).unwrap();
+        assert!((dt - 0.125).abs() < 1e-15);
+    }
+}

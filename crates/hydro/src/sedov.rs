@@ -1,0 +1,245 @@
+//! The 3D Sedov blast wave problem (paper §7, Figure 11).
+//!
+//! A point-like energy deposition in a cold uniform gas drives a
+//! self-similar spherical shock: `R(t) = ξ₀ (E₀ t² / ρ₀)^{1/5}`
+//! (Sedov 1946, the paper's reference \[18\]). The problem "stresses the
+//! hydrodynamics calculation in ARES" and is the workload behind every
+//! figure of the evaluation.
+
+use crate::state::{HydroState, EN, RHO};
+use hsim_raja::Fidelity;
+
+/// Problem parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SedovConfig {
+    /// Total deposited energy.
+    pub e0: f64,
+    /// Ambient density.
+    pub rho0: f64,
+    /// Ambient pressure (cold background).
+    pub p0: f64,
+    /// Deposition radius in zone widths.
+    pub deposit_radius_zones: f64,
+}
+
+impl Default for SedovConfig {
+    fn default() -> Self {
+        SedovConfig {
+            e0: 1.0,
+            rho0: 1.0,
+            p0: 1e-6,
+            deposit_radius_zones: 1.8,
+        }
+    }
+}
+
+/// The self-similar shock radius at time `t` (γ = 1.4 similarity
+/// constant ξ₀ ≈ 1.152).
+pub fn sedov_shock_radius(e0: f64, rho0: f64, t: f64) -> f64 {
+    1.152 * (e0 * t * t / rho0).powf(0.2)
+}
+
+/// Initialize the Sedov problem on this rank's subdomain.
+///
+/// Deterministic and decomposition-independent: every rank computes
+/// the same global deposition-zone count, so the deposited energy
+/// density is identical regardless of how the grid is partitioned.
+pub fn init(state: &mut HydroState, cfg: &SedovConfig) {
+    state.init_ambient(cfg.rho0, cfg.p0);
+    state.t = 0.0;
+    state.cycle = 0;
+    if state.fidelity == Fidelity::CostOnly {
+        return;
+    }
+    let grid = state.grid;
+    let (dx, _, _) = grid.spacing();
+    let center = (grid.lx / 2.0, grid.ly / 2.0, grid.lz / 2.0);
+    let r_dep = cfg.deposit_radius_zones * dx;
+
+    // Global count of deposition zones (scan a bounding box around the
+    // center — cheap, radius is a few zones).
+    let reach = cfg.deposit_radius_zones.ceil() as i64 + 1;
+    let (ci, cj, ck) = grid.zone_at(center.0, center.1, center.2);
+    let mut in_sphere: Vec<(usize, usize, usize)> = Vec::new();
+    for dk in -reach..=reach {
+        for dj in -reach..=reach {
+            for di in -reach..=reach {
+                let i = ci as i64 + di;
+                let j = cj as i64 + dj;
+                let k = ck as i64 + dk;
+                if i < 0 || j < 0 || k < 0 {
+                    continue;
+                }
+                let (i, j, k) = (i as usize, j as usize, k as usize);
+                if i >= grid.nx || j >= grid.ny || k >= grid.nz {
+                    continue;
+                }
+                let (x, y, z) = grid.zone_center(i, j, k);
+                let d2 = (x - center.0).powi(2) + (y - center.1).powi(2) + (z - center.2).powi(2);
+                if d2 <= r_dep * r_dep {
+                    in_sphere.push((i, j, k));
+                }
+            }
+        }
+    }
+    assert!(!in_sphere.is_empty(), "deposition radius too small");
+    let e_density = cfg.e0 / (in_sphere.len() as f64 * dx * dx * dx);
+
+    // Deposit into owned zones.
+    let sub = state.sub;
+    for &(i, j, k) in &in_sphere {
+        let inside = (0..3).all(|a| {
+            let c = [i, j, k][a];
+            c >= sub.lo[a] && c < sub.hi[a]
+        });
+        if inside {
+            let (li, lj, lk) = (i - sub.lo[0], j - sub.lo[1], k - sub.lo[2]);
+            let base = state.u[EN].get(li, lj, lk);
+            state.u[EN].set(li, lj, lk, base + e_density);
+        }
+    }
+}
+
+/// Radially-binned mean density: `(r_mid, mean_rho, zone_count)` per
+/// bin over this rank's owned zones. For a full-domain state this is
+/// the Figure 11 visualization's data.
+pub fn radial_density_profile(state: &HydroState, nbins: usize) -> Vec<(f64, f64, u64)> {
+    assert!(nbins > 0);
+    let grid = state.grid;
+    let center = (grid.lx / 2.0, grid.ly / 2.0, grid.lz / 2.0);
+    let r_max = (center.0.powi(2) + center.1.powi(2) + center.2.powi(2)).sqrt();
+    let mut sum = vec![0.0; nbins];
+    let mut count = vec![0u64; nbins];
+    let sub = state.sub;
+    let rho = &state.u[RHO];
+    for k in 0..sub.extent(2) {
+        for j in 0..sub.extent(1) {
+            for i in 0..sub.extent(0) {
+                let (x, y, z) =
+                    grid.zone_center(i + sub.lo[0], j + sub.lo[1], k + sub.lo[2]);
+                let r = ((x - center.0).powi(2) + (y - center.1).powi(2) + (z - center.2).powi(2))
+                    .sqrt();
+                let bin = ((r / r_max) * nbins as f64) as usize;
+                let bin = bin.min(nbins - 1);
+                sum[bin] += rho.get(i, j, k);
+                count[bin] += 1;
+            }
+        }
+    }
+    (0..nbins)
+        .map(|b| {
+            let r_mid = (b as f64 + 0.5) / nbins as f64 * r_max;
+            let mean = if count[b] > 0 {
+                sum[b] / count[b] as f64
+            } else {
+                0.0
+            };
+            (r_mid, mean, count[b])
+        })
+        .collect()
+}
+
+/// The radius of peak mean density — the numerical shock position.
+pub fn shock_position(profile: &[(f64, f64, u64)]) -> f64 {
+    profile
+        .iter()
+        .filter(|(_, _, c)| *c > 0)
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("densities are finite"))
+        .map(|(r, _, _)| *r)
+        .unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::GAMMA;
+    use hsim_mesh::{GlobalGrid, Subdomain};
+
+    fn full_state(n: usize) -> HydroState {
+        let grid = GlobalGrid::new(n, n, n);
+        let sub = Subdomain::new([0, 0, 0], [n, n, n], 1);
+        HydroState::new(grid, sub, Fidelity::Full)
+    }
+
+    #[test]
+    fn deposit_conserves_total_energy() {
+        let mut st = full_state(16);
+        let cfg = SedovConfig::default();
+        init(&mut st, &cfg);
+        let e_total = st.total_energy();
+        // Background energy: p0/(γ-1) × volume.
+        let vol = st.grid.lx * st.grid.ly * st.grid.lz;
+        let background = cfg.p0 / (GAMMA - 1.0) * vol;
+        assert!(
+            ((e_total - background) - cfg.e0).abs() / cfg.e0 < 1e-10,
+            "deposited {} vs e0 {}",
+            e_total - background,
+            cfg.e0
+        );
+    }
+
+    #[test]
+    fn deposit_is_decomposition_independent() {
+        // Sum of energies over 8 octant subdomains equals the
+        // full-domain energy.
+        let cfg = SedovConfig::default();
+        let mut full = full_state(16);
+        init(&mut full, &cfg);
+        let e_full = full.total_energy();
+
+        let grid = GlobalGrid::new(16, 16, 16);
+        let mut e_split = 0.0;
+        for oz in 0..2 {
+            for oy in 0..2 {
+                for ox in 0..2 {
+                    let sub = Subdomain::new(
+                        [ox * 8, oy * 8, oz * 8],
+                        [(ox + 1) * 8, (oy + 1) * 8, (oz + 1) * 8],
+                        1,
+                    );
+                    let mut st = HydroState::new(grid, sub, Fidelity::Full);
+                    init(&mut st, &cfg);
+                    e_split += st.total_energy();
+                }
+            }
+        }
+        assert!((e_full - e_split).abs() / e_full < 1e-10);
+    }
+
+    #[test]
+    fn analytic_radius_grows_as_t_to_two_fifths() {
+        let r1 = sedov_shock_radius(1.0, 1.0, 0.01);
+        let r2 = sedov_shock_radius(1.0, 1.0, 0.02);
+        let ratio = r2 / r1;
+        assert!((ratio - 2f64.powf(0.4)).abs() < 1e-12);
+        // More energy ⇒ bigger shock.
+        assert!(sedov_shock_radius(2.0, 1.0, 0.01) > r1);
+        // Denser medium ⇒ smaller shock.
+        assert!(sedov_shock_radius(1.0, 2.0, 0.01) < r1);
+    }
+
+    #[test]
+    fn profile_of_fresh_deposit_peaks_at_center_energy_only() {
+        let mut st = full_state(16);
+        init(&mut st, &SedovConfig::default());
+        let profile = radial_density_profile(&st, 8);
+        assert_eq!(profile.len(), 8);
+        // Density is still uniform: all non-empty bins at rho0.
+        for (_, rho, c) in &profile {
+            if *c > 0 {
+                assert!((rho - 1.0).abs() < 1e-12);
+            }
+        }
+        let total: u64 = profile.iter().map(|(_, _, c)| c).sum();
+        assert_eq!(total, 16 * 16 * 16);
+    }
+
+    #[test]
+    fn cost_only_init_is_a_noop() {
+        let grid = GlobalGrid::new(64, 64, 64);
+        let sub = Subdomain::new([0, 0, 0], [64, 64, 64], 1);
+        let mut st = HydroState::new(grid, sub, Fidelity::CostOnly);
+        init(&mut st, &SedovConfig::default());
+        assert!(st.u[EN].data().len() < 64);
+    }
+}

@@ -1,0 +1,233 @@
+//! The hydrodynamic state on one rank's subdomain.
+
+use hsim_mesh::{Centering, Field, GlobalGrid, Subdomain};
+use hsim_raja::Fidelity;
+
+/// Number of conserved variables: ρ, ρu, ρv, ρw, E.
+pub const NCONS: usize = 5;
+
+/// Conserved-variable indices.
+pub const RHO: usize = 0;
+pub const MX: usize = 1;
+pub const MY: usize = 2;
+pub const MZ: usize = 3;
+pub const EN: usize = 4;
+
+/// Ratio of specific heats (ideal gas).
+pub const GAMMA: f64 = 1.4;
+
+/// Density/pressure floors keeping the cold background physical.
+pub const RHO_FLOOR: f64 = 1e-10;
+pub const P_FLOOR: f64 = 1e-12;
+
+/// The per-rank hydro state: conserved fields, primitive scratch, RK
+/// stage copy, and face-flux scratch.
+///
+/// Under [`Fidelity::CostOnly`] the arrays are not allocated (the
+/// bodies never run); the logical extents are retained so kernel
+/// launches charge exactly the same virtual time.
+pub struct HydroState {
+    pub grid: GlobalGrid,
+    pub sub: Subdomain,
+    pub fidelity: Fidelity,
+    /// Conserved variables (ghost width 1).
+    pub u: Vec<Field>,
+    /// RK stage-0 snapshot of `u`.
+    pub u0: Vec<Field>,
+    /// Primitive scratch: velocity components, pressure, sound speed.
+    pub vel: [Field; 3],
+    pub p: Field,
+    pub cs: Field,
+    /// Face-centered scratch: wavespeed and one variable's flux,
+    /// sized for the largest axis.
+    pub wavespeed: Vec<f64>,
+    pub flux: Vec<f64>,
+    /// Simulated physical time.
+    pub t: f64,
+    /// Completed cycles.
+    pub cycle: u64,
+}
+
+impl HydroState {
+    /// Allocate the state for `sub` of `grid`.
+    pub fn new(grid: GlobalGrid, sub: Subdomain, fidelity: Fidelity) -> Self {
+        assert!(sub.ghost >= 1, "hydro needs at least one ghost layer");
+        let (alloc_sub, alloc_fidelity) = match fidelity {
+            Fidelity::Full => (sub, fidelity),
+            // Cost-only states allocate a token 1³ subdomain so Field
+            // construction stays cheap while extents for cost purposes
+            // come from `sub` itself.
+            Fidelity::CostOnly => (
+                Subdomain::new(sub.lo, [sub.lo[0] + 1, sub.lo[1] + 1, sub.lo[2] + 1], 1),
+                fidelity,
+            ),
+        };
+        let mk = || Field::new(&alloc_sub, Centering::Zone);
+        let u: Vec<Field> = (0..NCONS).map(|_| mk()).collect();
+        let u0: Vec<Field> = (0..NCONS).map(|_| mk()).collect();
+        let vel = [mk(), mk(), mk()];
+        let p = mk();
+        let cs = mk();
+        // Face scratch sized for the largest face grid among axes.
+        let face_len = match alloc_fidelity {
+            Fidelity::Full => (0..3)
+                .map(|a| Self::face_count(sub.extents(), a))
+                .max()
+                .unwrap_or(0),
+            Fidelity::CostOnly => 1,
+        };
+        HydroState {
+            grid,
+            sub,
+            fidelity,
+            u,
+            u0,
+            vel,
+            p,
+            cs,
+            wavespeed: vec![0.0; face_len],
+            flux: vec![0.0; face_len],
+            t: 0.0,
+            cycle: 0,
+        }
+    }
+
+    /// Faces along `axis` for extents `ext`: `(ext[axis]+1) · rest`.
+    pub fn face_count(ext: [usize; 3], axis: usize) -> usize {
+        (ext[axis] + 1) * ext[(axis + 1) % 3] * ext[(axis + 2) % 3]
+    }
+
+    /// Owned zone extents.
+    pub fn ext(&self) -> [usize; 3] {
+        self.sub.extents()
+    }
+
+    /// Allocated (owned + ghost) extents of the zone fields.
+    pub fn ext_all(&self) -> [usize; 3] {
+        let g = 2 * self.sub.ghost;
+        let e = self.ext();
+        [e[0] + g, e[1] + g, e[2] + g]
+    }
+
+    /// Zone spacing (cubic zones).
+    pub fn dx(&self) -> f64 {
+        self.grid.spacing().0
+    }
+
+    /// Total owned mass (Σ ρ · V).
+    pub fn total_mass(&self) -> f64 {
+        let h = self.dx();
+        self.u[RHO].sum_owned() * h * h * h
+    }
+
+    /// Total owned energy (Σ E · V).
+    pub fn total_energy(&self) -> f64 {
+        let h = self.dx();
+        self.u[EN].sum_owned() * h * h * h
+    }
+
+    /// Initialize a uniform ambient gas: density `rho0`, pressure
+    /// `p0`, at rest.
+    pub fn init_ambient(&mut self, rho0: f64, p0: f64) {
+        if self.fidelity == Fidelity::CostOnly {
+            return;
+        }
+        self.u[RHO].fill(rho0);
+        self.u[MX].fill(0.0);
+        self.u[MY].fill(0.0);
+        self.u[MZ].fill(0.0);
+        self.u[EN].fill(p0 / (GAMMA - 1.0));
+    }
+
+    /// Face-grid dimensions along `axis` (owned).
+    pub fn face_dims(&self, axis: usize) -> [usize; 3] {
+        let mut d = self.ext();
+        d[axis] += 1;
+        d
+    }
+
+    /// Linear index into a face array for `axis` with face coordinate
+    /// `f` along the axis and zone coordinates transverse.
+    #[inline]
+    pub fn face_idx(&self, axis: usize, i: usize, j: usize, k: usize) -> usize {
+        let d = self.face_dims(axis);
+        i + j * d[0] + k * d[0] * d[1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> HydroState {
+        let grid = GlobalGrid::new(8, 8, 8);
+        let sub = Subdomain::new([0, 0, 0], [8, 8, 8], 1);
+        HydroState::new(grid, sub, Fidelity::Full)
+    }
+
+    #[test]
+    fn allocation_shapes() {
+        let s = small();
+        assert_eq!(s.ext(), [8, 8, 8]);
+        assert_eq!(s.ext_all(), [10, 10, 10]);
+        assert_eq!(s.u.len(), NCONS);
+        assert_eq!(s.u[RHO].data().len(), 1000);
+        // Face scratch must fit any axis: (8+1)*8*8.
+        assert!(s.wavespeed.len() >= 9 * 64);
+    }
+
+    #[test]
+    fn cost_only_is_tiny() {
+        let grid = GlobalGrid::new(320, 480, 160);
+        let sub = Subdomain::new([0, 0, 0], [320, 480, 160], 1);
+        let s = HydroState::new(grid, sub, Fidelity::CostOnly);
+        // Logical extents are the real ones…
+        assert_eq!(s.ext(), [320, 480, 160]);
+        // …but allocation is token-sized.
+        assert!(s.u[RHO].data().len() < 64);
+        assert_eq!(s.wavespeed.len(), 1);
+    }
+
+    #[test]
+    fn ambient_init_sets_energy_from_pressure() {
+        let mut s = small();
+        s.init_ambient(1.0, 0.4);
+        // E = p/(γ-1) = 0.4/0.4 = 1.0 per zone.
+        assert!((s.u[EN].get(3, 3, 3) - 1.0).abs() < 1e-12);
+        let h = s.dx();
+        let expect_mass = 1.0 * (8.0 * h) * (8.0 * h) * (8.0 * h);
+        assert!((s.total_mass() - expect_mass).abs() < 1e-12);
+    }
+
+    #[test]
+    fn face_counts() {
+        assert_eq!(HydroState::face_count([4, 3, 2], 0), 5 * 3 * 2);
+        assert_eq!(HydroState::face_count([4, 3, 2], 1), 4 * 4 * 2);
+        assert_eq!(HydroState::face_count([4, 3, 2], 2), 4 * 3 * 3);
+    }
+
+    #[test]
+    fn face_idx_is_dense_and_unique() {
+        let s = small();
+        let d = s.face_dims(0);
+        let mut seen = vec![false; d[0] * d[1] * d[2]];
+        for k in 0..d[2] {
+            for j in 0..d[1] {
+                for i in 0..d[0] {
+                    let idx = s.face_idx(0, i, j, k);
+                    assert!(!seen[idx]);
+                    seen[idx] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    #[should_panic(expected = "ghost")]
+    fn ghostless_subdomain_rejected() {
+        let grid = GlobalGrid::new(8, 8, 8);
+        let sub = Subdomain::new([0, 0, 0], [8, 8, 8], 0);
+        let _ = HydroState::new(grid, sub, Fidelity::Full);
+    }
+}

@@ -1,0 +1,245 @@
+//! The heterogeneous weighted decomposition (Figure 10c).
+//!
+//! "To achieve load balance in the heterogeneous case, we used a
+//! weighted decomposition between the CPU cores and the GPUs,
+//! assigning less work to the CPU cores, as illustrated by the thin
+//! slabs in Figure 10 (c)." (§6.2.)
+//!
+//! Each GPU's near-cubic block donates a thin slab of `cpu_fraction`
+//! of its y-extent; the slab is split into one piece per CPU rank
+//! attached to that GPU. The *minimum granularity* is one y-plane per
+//! CPU rank: when `cpu_fraction` asks for less, the decomposition
+//! silently grows the slab to the minimum — this is precisely the
+//! regime where the paper's Figures 13/14 show the Heterogeneous mode
+//! losing (the CPU ranks cannot be given a small enough share).
+
+use crate::decomp::block::{block_decomp, block_decomp_yz};
+use crate::decomp::{Decomposition, OwnerKind};
+use crate::grid::GlobalGrid;
+
+/// Parameters of the weighted heterogeneous decomposition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedConfig {
+    /// Number of GPUs (each gets a top-level block and one driving
+    /// rank).
+    pub n_gpus: usize,
+    /// CPU worker ranks attached to each GPU block.
+    pub cpu_per_gpu: usize,
+    /// Desired fraction of each block's zones for its CPU ranks
+    /// (0.0..1.0); the realized fraction honors the one-plane-per-rank
+    /// minimum granularity.
+    pub cpu_fraction: f64,
+    /// Axis from which CPU slabs are carved (the paper uses y = 1).
+    pub carve_axis: usize,
+    /// Ghost width.
+    pub ghost: usize,
+    /// Keep the x-dimension whole in the top-level GPU blocks (the
+    /// paper's Figure 10 arrangement).
+    pub pin_x: bool,
+}
+
+impl WeightedConfig {
+    /// The paper's RZHasGPU arrangement: 4 GPUs, 3 CPU workers each
+    /// (12 of the 16 cores), carving in y.
+    pub fn rzhasgpu(cpu_fraction: f64) -> Self {
+        WeightedConfig {
+            n_gpus: 4,
+            cpu_per_gpu: 3,
+            cpu_fraction,
+            carve_axis: 1,
+            ghost: 1,
+            pin_x: true,
+        }
+    }
+}
+
+/// Build the heterogeneous decomposition.
+///
+/// Rank order: ranks `0..n_gpus` are the GPU-driving ranks (owning the
+/// shrunken blocks); ranks `n_gpus..` are CPU workers, grouped by GPU
+/// block.
+///
+/// Fails when a block's carve axis cannot give each CPU rank at least
+/// one plane while leaving the GPU a non-empty remainder.
+pub fn weighted_hetero_decomp(
+    grid: GlobalGrid,
+    cfg: &WeightedConfig,
+) -> Result<Decomposition, String> {
+    assert!(cfg.carve_axis < 3);
+    if cfg.n_gpus == 0 {
+        return Err("need at least one GPU".into());
+    }
+    if !(0.0..1.0).contains(&cfg.cpu_fraction) {
+        return Err(format!("cpu_fraction {} out of [0,1)", cfg.cpu_fraction));
+    }
+    let top = if cfg.pin_x {
+        block_decomp_yz(grid, cfg.n_gpus, cfg.ghost)
+    } else {
+        block_decomp(grid, cfg.n_gpus, cfg.ghost)
+    };
+    if cfg.cpu_per_gpu == 0 {
+        // Pure GPU decomposition: identical to Default mode's blocks.
+        return Ok(Decomposition {
+            scheme: "weighted",
+            ..top
+        });
+    }
+
+    let mut gpu_domains = Vec::with_capacity(cfg.n_gpus);
+    let mut cpu_domains = Vec::with_capacity(cfg.n_gpus * cfg.cpu_per_gpu);
+    for (g, block) in top.domains.iter().enumerate() {
+        let extent = block.extent(cfg.carve_axis);
+        // Desired slab thickness in planes, honoring the minimum of
+        // one plane per CPU rank.
+        let desired = (cfg.cpu_fraction * extent as f64).round() as usize;
+        let thickness = desired.max(cfg.cpu_per_gpu);
+        if thickness >= extent {
+            return Err(format!(
+                "GPU block {g}: carve axis extent {extent} cannot host {} CPU planes \
+                 and a non-empty GPU remainder",
+                cfg.cpu_per_gpu
+            ));
+        }
+        let (gpu_part, slab) = block.carve_high(cfg.carve_axis, thickness);
+        gpu_domains.push((g, gpu_part));
+        for piece in slab.split_along(cfg.carve_axis, cfg.cpu_per_gpu) {
+            cpu_domains.push(piece);
+        }
+    }
+
+    let mut domains = Vec::with_capacity(cfg.n_gpus * (1 + cfg.cpu_per_gpu));
+    let mut owners = Vec::with_capacity(domains.capacity());
+    for (g, d) in gpu_domains {
+        domains.push(d);
+        owners.push(OwnerKind::Gpu(g));
+    }
+    for d in cpu_domains {
+        domains.push(d);
+        owners.push(OwnerKind::Cpu);
+    }
+    Ok(Decomposition {
+        grid,
+        domains,
+        owners,
+        scheme: "weighted",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_is_valid_and_ordered() {
+        let grid = GlobalGrid::new(320, 480, 160);
+        let d = weighted_hetero_decomp(grid, &WeightedConfig::rzhasgpu(0.02)).unwrap();
+        assert_eq!(d.len(), 16);
+        d.validate().unwrap();
+        assert_eq!(d.gpu_ranks(), vec![0, 1, 2, 3]);
+        assert_eq!(d.cpu_ranks().len(), 12);
+    }
+
+    #[test]
+    fn realized_fraction_tracks_request_when_feasible() {
+        let grid = GlobalGrid::new(320, 480, 160);
+        // 480 y-zones over (1,2,2) top blocks... whatever the block
+        // shape, 5% of the carve extent is >= 3 planes here.
+        let d = weighted_hetero_decomp(grid, &WeightedConfig::rzhasgpu(0.05)).unwrap();
+        let f = d.cpu_zone_fraction();
+        assert!((f - 0.05).abs() < 0.02, "realized fraction {f}");
+    }
+
+    #[test]
+    fn minimum_granularity_inflates_small_requests() {
+        // y = 80 per block and 3 CPU ranks: minimum slab is 3 planes
+        // = 3.75% of the block even though we ask for 1%.
+        let grid = GlobalGrid::new(320, 80, 320);
+        let cfg = WeightedConfig {
+            n_gpus: 4,
+            cpu_per_gpu: 3,
+            cpu_fraction: 0.01,
+            carve_axis: 1,
+            ghost: 1,
+            pin_x: false,
+        };
+        let d = weighted_hetero_decomp(grid, &cfg).unwrap();
+        d.validate().unwrap();
+        let f = d.cpu_zone_fraction();
+        assert!(f > 0.03, "min granularity should force f up: {f}");
+    }
+
+    #[test]
+    fn paper_fifteen_percent_case() {
+        // Paper: "the smallest number of zones we are able to assign to
+        // the CPU (12 cores) is 15% of zones" at the low end of the
+        // y-dimension. With blocks of 20 y-planes and 3 CPU ranks per
+        // block, 3/20 = 15%.
+        let grid = GlobalGrid::new(320, 20, 320);
+        let cfg = WeightedConfig {
+            n_gpus: 4,
+            cpu_per_gpu: 3,
+            cpu_fraction: 0.01,
+            carve_axis: 1,
+            ghost: 1,
+            pin_x: false,
+        };
+        // Top blocks: factor3(4) = [1,2,2]; y is the smallest axis so
+        // it keeps factor 1 → blocks span all 20 y-planes.
+        let d = weighted_hetero_decomp(grid, &cfg).unwrap();
+        let f = d.cpu_zone_fraction();
+        assert!((f - 0.15).abs() < 0.01, "realized fraction {f}");
+    }
+
+    #[test]
+    fn cpu_slabs_keep_x_extent() {
+        let grid = GlobalGrid::new(320, 480, 160);
+        let d = weighted_hetero_decomp(grid, &WeightedConfig::rzhasgpu(0.02)).unwrap();
+        for &r in &d.cpu_ranks() {
+            // CPU slab x extent equals its GPU block's x extent (thin
+            // slabs in y only).
+            assert!(d.domains[r].extent(0) >= 160);
+        }
+    }
+
+    #[test]
+    fn infeasible_carve_is_an_error() {
+        // 3 CPU planes needed but block has only 3 y-planes: no
+        // remainder for the GPU.
+        let grid = GlobalGrid::new(64, 3, 64);
+        let cfg = WeightedConfig {
+            n_gpus: 1,
+            cpu_per_gpu: 3,
+            cpu_fraction: 0.5,
+            carve_axis: 1,
+            ghost: 1,
+            pin_x: false,
+        };
+        assert!(weighted_hetero_decomp(grid, &cfg).is_err());
+    }
+
+    #[test]
+    fn zero_cpu_ranks_degenerates_to_block() {
+        let grid = GlobalGrid::new(64, 64, 64);
+        let cfg = WeightedConfig {
+            n_gpus: 4,
+            cpu_per_gpu: 0,
+            cpu_fraction: 0.0,
+            carve_axis: 1,
+            ghost: 1,
+            pin_x: true,
+        };
+        let d = weighted_hetero_decomp(grid, &cfg).unwrap();
+        assert_eq!(d.len(), 4);
+        assert!(d.cpu_ranks().is_empty());
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn bad_fraction_rejected() {
+        let grid = GlobalGrid::new(64, 64, 64);
+        let mut cfg = WeightedConfig::rzhasgpu(1.5);
+        assert!(weighted_hetero_decomp(grid, &cfg).is_err());
+        cfg.cpu_fraction = -0.1;
+        assert!(weighted_hetero_decomp(grid, &cfg).is_err());
+    }
+}

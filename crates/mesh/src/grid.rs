@@ -1,0 +1,115 @@
+//! The global structured grid.
+
+/// A global 3D grid of `nx × ny × nz` zones (cells). Node counts are
+/// one larger in each dimension. Zone (i, j, k) spans
+/// `[i·dx, (i+1)·dx] × …` of the physical box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlobalGrid {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+    /// Physical box extents (used by the hydro problem setup).
+    pub lx: f64,
+    pub ly: f64,
+    pub lz: f64,
+}
+
+impl GlobalGrid {
+    /// A grid of `nx × ny × nz` zones over a unit-ish box with cubic
+    /// zones (`dx = dy = dz = 1/max_dim`).
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "grid dims must be positive");
+        let h = 1.0 / nx.max(ny).max(nz) as f64;
+        GlobalGrid {
+            nx,
+            ny,
+            nz,
+            lx: h * nx as f64,
+            ly: h * ny as f64,
+            lz: h * nz as f64,
+        }
+    }
+
+    /// Total zone count.
+    pub fn zones(&self) -> u64 {
+        self.nx as u64 * self.ny as u64 * self.nz as u64
+    }
+
+    /// Total node count.
+    pub fn nodes(&self) -> u64 {
+        (self.nx as u64 + 1) * (self.ny as u64 + 1) * (self.nz as u64 + 1)
+    }
+
+    /// Zone widths (dx, dy, dz).
+    pub fn spacing(&self) -> (f64, f64, f64) {
+        (
+            self.lx / self.nx as f64,
+            self.ly / self.ny as f64,
+            self.lz / self.nz as f64,
+        )
+    }
+
+    /// The zone containing physical point (x, y, z), clamped to the
+    /// grid.
+    pub fn zone_at(&self, x: f64, y: f64, z: f64) -> (usize, usize, usize) {
+        let (dx, dy, dz) = self.spacing();
+        let clamp = |v: f64, n: usize| ((v / 1.0).max(0.0) as usize).min(n - 1);
+        (
+            clamp(x / dx, self.nx),
+            clamp(y / dy, self.ny),
+            clamp(z / dz, self.nz),
+        )
+    }
+
+    /// Center coordinates of zone (i, j, k).
+    pub fn zone_center(&self, i: usize, j: usize, k: usize) -> (f64, f64, f64) {
+        let (dx, dy, dz) = self.spacing();
+        (
+            (i as f64 + 0.5) * dx,
+            (j as f64 + 0.5) * dy,
+            (k as f64 + 0.5) * dz,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_products() {
+        let g = GlobalGrid::new(320, 240, 160);
+        assert_eq!(g.zones(), 320 * 240 * 160);
+        assert_eq!(g.nodes(), 321 * 241 * 161);
+    }
+
+    #[test]
+    fn zones_are_cubic() {
+        let g = GlobalGrid::new(320, 240, 160);
+        let (dx, dy, dz) = g.spacing();
+        assert!((dx - dy).abs() < 1e-15 && (dy - dz).abs() < 1e-15);
+        assert!((g.lx - 1.0).abs() < 1e-12, "longest axis spans 1.0");
+    }
+
+    #[test]
+    fn zone_center_is_inside_the_zone() {
+        let g = GlobalGrid::new(10, 10, 10);
+        let (x, y, z) = g.zone_center(0, 0, 0);
+        let (dx, _, _) = g.spacing();
+        assert!((x - dx / 2.0).abs() < 1e-15);
+        assert!(y > 0.0 && z > 0.0);
+    }
+
+    #[test]
+    fn zone_at_clamps_to_grid() {
+        let g = GlobalGrid::new(10, 10, 10);
+        assert_eq!(g.zone_at(-5.0, 0.0, 0.0).0, 0);
+        assert_eq!(g.zone_at(99.0, 0.05, 0.05), (9, 0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_rejected() {
+        let _ = GlobalGrid::new(0, 4, 4);
+    }
+}

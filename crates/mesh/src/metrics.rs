@@ -1,0 +1,100 @@
+//! Decomposition quality metrics.
+//!
+//! These quantify the §6.1 trade-offs: load imbalance, surface-to-
+//! volume, and communication volume per rank.
+
+use crate::decomp::Decomposition;
+use crate::domain::Subdomain;
+use crate::halo::HaloPlan;
+
+/// Summary statistics for a decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecompMetrics {
+    /// Ranks in the decomposition.
+    pub ranks: usize,
+    /// Largest domain zones / mean domain zones (1.0 = perfect).
+    pub imbalance: f64,
+    /// Mean surface/volume over domains (lower = chunkier domains).
+    pub mean_surface_to_volume: f64,
+    /// Total halo area (zone faces), each shared face counted once.
+    pub total_halo_area: u64,
+    /// Largest per-rank neighbor count.
+    pub max_neighbors: usize,
+    /// Largest per-rank halo area.
+    pub max_rank_halo_area: u64,
+}
+
+/// Compute metrics for a decomposition (builds a halo plan).
+pub fn measure(decomp: &Decomposition) -> DecompMetrics {
+    let plan = HaloPlan::build(decomp);
+    measure_with_plan(decomp, &plan)
+}
+
+/// Compute metrics reusing an existing halo plan.
+pub fn measure_with_plan(decomp: &Decomposition, plan: &HaloPlan) -> DecompMetrics {
+    let n = decomp.len();
+    let zones: Vec<u64> = decomp.domains.iter().map(Subdomain::zones).collect();
+    let mean = zones.iter().sum::<u64>() as f64 / n.max(1) as f64;
+    let max = zones.iter().copied().max().unwrap_or(0);
+    let s2v = decomp
+        .domains
+        .iter()
+        .map(|d| d.surface() as f64 / d.zones() as f64)
+        .sum::<f64>()
+        / n.max(1) as f64;
+    DecompMetrics {
+        ranks: n,
+        imbalance: if mean > 0.0 { max as f64 / mean } else { 1.0 },
+        mean_surface_to_volume: s2v,
+        total_halo_area: plan.total_area(),
+        max_neighbors: plan.max_neighbors(),
+        max_rank_halo_area: (0..n).map(|r| plan.area_for(r)).max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::block::block_decomp;
+    use crate::decomp::hierarchical::hierarchical_decomp;
+    use crate::grid::GlobalGrid;
+
+    #[test]
+    fn balanced_blocks_have_unit_imbalance() {
+        let grid = GlobalGrid::new(64, 64, 64);
+        let m = measure(&block_decomp(grid, 8, 1));
+        assert_eq!(m.ranks, 8);
+        assert!((m.imbalance - 1.0).abs() < 1e-12);
+        assert!(m.max_neighbors >= 3);
+    }
+
+    #[test]
+    fn more_ranks_mean_more_surface() {
+        let grid = GlobalGrid::new(128, 128, 128);
+        let m4 = measure(&block_decomp(grid, 4, 1));
+        let m16 = measure(&block_decomp(grid, 16, 1));
+        assert!(m16.total_halo_area > m4.total_halo_area);
+        assert!(m16.mean_surface_to_volume > m4.mean_surface_to_volume);
+    }
+
+    #[test]
+    fn hierarchical_beats_square_on_max_neighbors(/* Fig 10 rationale */) {
+        let grid = GlobalGrid::new(128, 128, 128);
+        let hier = hierarchical_decomp(grid, 4, 4, 2, 1).unwrap();
+        let square = block_decomp(grid, 16, 1);
+        let mh = measure(&hier);
+        let ms = measure(&square);
+        assert!(mh.max_neighbors <= ms.max_neighbors);
+    }
+
+    #[test]
+    fn elongated_domains_have_worse_surface_to_volume() {
+        // 1D slab decomposition of a cube vs near-cubic blocks.
+        let grid = GlobalGrid::new(64, 64, 64);
+        let slabs = block_decomp(GlobalGrid::new(64, 64, 64), 13, 1); // 13 is prime: slabs
+        let cubes = block_decomp(grid, 8, 1);
+        let msl = measure(&slabs);
+        let mcu = measure(&cubes);
+        assert!(msl.mean_surface_to_volume > mcu.mean_surface_to_volume);
+    }
+}

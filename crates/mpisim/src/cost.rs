@@ -1,0 +1,87 @@
+//! Message cost model (α–β with send/recv overheads).
+
+use hsim_time::SimDuration;
+
+/// Latency/bandwidth model for one transport.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommCost {
+    /// One-way message latency (α).
+    pub latency: SimDuration,
+    /// Transport bandwidth in GB/s (β is `1/bandwidth`).
+    pub bandwidth_gbs: f64,
+    /// CPU time the sender spends in the send path.
+    pub send_overhead: SimDuration,
+    /// CPU time the receiver spends in the receive path.
+    pub recv_overhead: SimDuration,
+}
+
+impl CommCost {
+    /// Shared-memory transport between ranks of one node (the paper's
+    /// single-node experiments): sub-microsecond latency, memory-copy
+    /// bandwidth.
+    pub fn on_node() -> Self {
+        CommCost {
+            latency: SimDuration::from_nanos(600),
+            bandwidth_gbs: 8.0,
+            send_overhead: SimDuration::from_nanos(250),
+            recv_overhead: SimDuration::from_nanos(250),
+        }
+    }
+
+    /// EDR InfiniBand-class inter-node transport (for the multi-node
+    /// extension experiments).
+    pub fn infiniband() -> Self {
+        CommCost {
+            latency: SimDuration::from_micros(2),
+            bandwidth_gbs: 12.0,
+            send_overhead: SimDuration::from_nanos(400),
+            recv_overhead: SimDuration::from_nanos(400),
+        }
+    }
+
+    /// A zero-cost model for semantics-only tests.
+    pub fn free() -> Self {
+        CommCost {
+            latency: SimDuration::ZERO,
+            bandwidth_gbs: f64::INFINITY,
+            send_overhead: SimDuration::ZERO,
+            recv_overhead: SimDuration::ZERO,
+        }
+    }
+
+    /// Wire time for `bytes`: `α + bytes/β`.
+    pub fn msg_time(&self, bytes: u64) -> SimDuration {
+        let bw = if self.bandwidth_gbs.is_finite() && self.bandwidth_gbs > 0.0 {
+            SimDuration::from_secs_f64(bytes as f64 / (self.bandwidth_gbs * 1e9))
+        } else {
+            SimDuration::ZERO
+        };
+        self.latency + bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_time_is_affine_in_bytes() {
+        let c = CommCost::on_node();
+        let t0 = c.msg_time(0);
+        let t1 = c.msg_time(8_000_000); // 8 MB at 8 GB/s = 1 ms
+        assert_eq!(t0, c.latency);
+        let wire = t1 - t0;
+        assert!((wire.as_millis_f64() - 1.0).abs() < 0.01, "{wire}");
+    }
+
+    #[test]
+    fn free_model_is_actually_free() {
+        let c = CommCost::free();
+        assert_eq!(c.msg_time(1 << 30), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn infiniband_has_higher_latency_than_shared_memory() {
+        assert!(CommCost::infiniband().latency > CommCost::on_node().latency);
+    }
+}

@@ -1,0 +1,45 @@
+//! Error type for the in-process MPI runtime.
+
+use std::fmt;
+
+/// Communication errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// Destination or source rank outside `0..size`.
+    RankOutOfRange { rank: usize, size: usize },
+    /// The peer's thread has exited while a receive was pending.
+    Disconnected { peer: usize },
+    /// A typed receive got a payload of a different type.
+    TypeMismatch { tag: u32 },
+    /// Self-send without a buffered message (unsupported pattern).
+    SelfMessage,
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::RankOutOfRange { rank, size } => {
+                write!(f, "rank {rank} out of range for communicator of size {size}")
+            }
+            MpiError::Disconnected { peer } => write!(f, "peer rank {peer} disconnected"),
+            MpiError::TypeMismatch { tag } => {
+                write!(f, "receive type does not match sent payload (tag {tag})")
+            }
+            MpiError::SelfMessage => write!(f, "blocking self-send is a deadlock"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        let e = MpiError::RankOutOfRange { rank: 9, size: 4 };
+        assert!(e.to_string().contains('9') && e.to_string().contains('4'));
+        assert!(MpiError::Disconnected { peer: 3 }.to_string().contains('3'));
+    }
+}

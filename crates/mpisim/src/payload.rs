@@ -1,0 +1,80 @@
+//! Typed message payloads.
+//!
+//! Anything sent through the simulated MPI must report its wire size so
+//! the cost model can price it. Implementations exist for the types the
+//! hydro code actually ships: field slices, byte buffers, and scalars.
+
+/// A sendable message body.
+pub trait Payload: Send + 'static {
+    /// Size on the wire in bytes.
+    fn byte_len(&self) -> u64;
+}
+
+impl Payload for Vec<f64> {
+    fn byte_len(&self) -> u64 {
+        (self.len() * std::mem::size_of::<f64>()) as u64
+    }
+}
+
+impl Payload for Vec<u8> {
+    fn byte_len(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
+impl Payload for Vec<u64> {
+    fn byte_len(&self) -> u64 {
+        (self.len() * std::mem::size_of::<u64>()) as u64
+    }
+}
+
+impl Payload for Vec<i64> {
+    fn byte_len(&self) -> u64 {
+        (self.len() * std::mem::size_of::<i64>()) as u64
+    }
+}
+
+impl Payload for f64 {
+    fn byte_len(&self) -> u64 {
+        std::mem::size_of::<f64>() as u64
+    }
+}
+
+impl Payload for u64 {
+    fn byte_len(&self) -> u64 {
+        std::mem::size_of::<u64>() as u64
+    }
+}
+
+impl Payload for usize {
+    fn byte_len(&self) -> u64 {
+        std::mem::size_of::<usize>() as u64
+    }
+}
+
+impl Payload for (f64, f64) {
+    fn byte_len(&self) -> u64 {
+        16
+    }
+}
+
+impl Payload for () {
+    fn byte_len(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_lengths_match_memory_sizes() {
+        assert_eq!(vec![1.0f64; 10].byte_len(), 80);
+        assert_eq!(vec![0u8; 7].byte_len(), 7);
+        assert_eq!(vec![0u64; 3].byte_len(), 24);
+        assert_eq!(1.5f64.byte_len(), 8);
+        assert_eq!(().byte_len(), 0);
+        assert_eq!((1.0, 2.0).byte_len(), 16);
+    }
+}

@@ -1,0 +1,461 @@
+//! The world launcher: spawns one thread per rank and wires mailboxes.
+
+use crossbeam::channel::unbounded;
+
+use crate::comm::{Comm, Packet};
+use crate::cost::CommCost;
+
+/// Entry point for SPMD programs.
+pub struct World;
+
+impl World {
+    /// Run `f` on `size` ranks (threads), returning each rank's result
+    /// in rank order. Panics in any rank propagate after all threads
+    /// join (std scoped threads re-raise on join).
+    ///
+    /// `f` receives the rank's [`Comm`], which owns its virtual clock.
+    pub fn run<R, F>(size: usize, cost: CommCost, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+    {
+        assert!(size > 0, "world needs at least one rank");
+        // Channel matrix: chan[src][dst].
+        let mut txs: Vec<Vec<_>> = Vec::with_capacity(size);
+        let mut rxs: Vec<Vec<Option<_>>> = (0..size).map(|_| Vec::with_capacity(size)).collect();
+        for _src in 0..size {
+            let mut row = Vec::with_capacity(size);
+            for rx_row in rxs.iter_mut() {
+                let (tx, rx) = unbounded::<Packet>();
+                row.push(tx);
+                rx_row.push(Some(rx));
+            }
+            txs.push(row);
+        }
+
+        // Build each rank's endpoint: senders[dst] = tx[me][dst],
+        // receivers[src] = rx side of chan[src][me].
+        let mut comms: Vec<Comm> = Vec::with_capacity(size);
+        for (rank, rx_row) in rxs.iter_mut().enumerate() {
+            let senders: Vec<_> = (0..size).map(|dst| txs[rank][dst].clone()).collect();
+            let receivers: Vec<_> = rx_row
+                .iter_mut()
+                .map(|r| r.take().expect("receiver taken once"))
+                .collect();
+            comms.push(Comm::new(rank, size, cost.clone(), senders, receivers));
+        }
+        drop(txs);
+
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|mut comm| scope.spawn(move || f(&mut comm)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
+        })
+    }
+
+    /// Like [`World::run`] but also returns each rank's final virtual
+    /// time breakdown `(result, now_ns, comm_ns, wait_ns)`.
+    pub fn run_timed<R, F>(size: usize, cost: CommCost, f: F) -> Vec<(R, u64, u64, u64)>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+    {
+        use hsim_time::clock::ChargeKind;
+        Self::run(size, cost, |comm| {
+            let r = f(comm);
+            let now = comm.now().as_nanos();
+            let comm_ns = comm.clock().bucket(ChargeKind::Comm).as_nanos();
+            let wait_ns = comm.clock().bucket(ChargeKind::Wait).as_nanos();
+            (r, now, comm_ns, wait_ns)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsim_time::clock::ChargeKind;
+    use hsim_time::SimDuration;
+
+    #[test]
+    fn single_rank_world_runs() {
+        let out = World::run(1, CommCost::free(), |comm| comm.rank() + comm.size());
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn ranks_see_their_ids_in_order() {
+        let out = World::run(6, CommCost::free(), |comm| comm.rank());
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn ping_pong_roundtrip() {
+        let out = World::run(2, CommCost::on_node(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, vec![1.0f64, 2.0, 3.0]).unwrap();
+                let back: Vec<f64> = comm.recv(1, 8).unwrap();
+                back.iter().sum::<f64>()
+            } else {
+                let v: Vec<f64> = comm.recv(0, 7).unwrap();
+                let doubled: Vec<f64> = v.iter().map(|x| x * 2.0).collect();
+                comm.send(0, 8, doubled).unwrap();
+                0.0
+            }
+        });
+        assert_eq!(out[0], 12.0);
+    }
+
+    #[test]
+    fn tag_matching_buffers_out_of_order_messages() {
+        let out = World::run(2, CommCost::free(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 10, 1.0f64).unwrap();
+                comm.send(1, 20, 2.0f64).unwrap();
+                0.0
+            } else {
+                // Receive in reverse tag order.
+                let b: f64 = comm.recv(0, 20).unwrap();
+                let a: f64 = comm.recv(0, 10).unwrap();
+                a + 10.0 * b
+            }
+        });
+        assert_eq!(out[1], 21.0);
+    }
+
+    #[test]
+    fn type_mismatch_is_detected() {
+        let out = World::run(2, CommCost::free(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, vec![1.0f64]).unwrap();
+                true
+            } else {
+                comm.recv::<Vec<u8>>(0, 1).is_err()
+            }
+        });
+        assert!(out[1]);
+    }
+
+    #[test]
+    fn self_send_is_an_error() {
+        let out = World::run(1, CommCost::free(), |comm| comm.send(0, 1, 1.0f64).is_err());
+        assert!(out[0]);
+    }
+
+    #[test]
+    fn rank_out_of_range_is_an_error() {
+        let out = World::run(2, CommCost::free(), |comm| {
+            comm.send(5, 1, 1.0f64).unwrap_err()
+        });
+        assert!(matches!(
+            out[0],
+            crate::error::MpiError::RankOutOfRange { rank: 5, size: 2 }
+        ));
+    }
+
+    #[test]
+    fn allreduce_sum_and_min_and_max() {
+        for size in [1, 2, 3, 4, 5, 8, 16] {
+            let out = World::run(size, CommCost::on_node(), |comm| {
+                let x = comm.rank() as f64 + 1.0;
+                let s = comm.allreduce_sum(x).unwrap();
+                let mn = comm.allreduce_min(x).unwrap();
+                let mx = comm.allreduce_max(x).unwrap();
+                (s, mn, mx)
+            });
+            let expect_sum = (size * (size + 1)) as f64 / 2.0;
+            for (s, mn, mx) in out {
+                assert_eq!(s, expect_sum, "size {size}");
+                assert_eq!(mn, 1.0);
+                assert_eq!(mx, size as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_delivers_root_value_everywhere() {
+        for size in [1, 2, 3, 5, 7, 16] {
+            let out = World::run(size, CommCost::free(), |comm| {
+                let x = if comm.rank() == 0 { 42.0 } else { -1.0 };
+                comm.bcast(x).unwrap()
+            });
+            assert!(out.iter().all(|&v| v == 42.0), "size {size}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = World::run(5, CommCost::free(), |comm| {
+            comm.gather_f64(comm.rank() as f64 * 2.0).unwrap()
+        });
+        assert_eq!(out[0], Some(vec![0.0, 2.0, 4.0, 6.0, 8.0]));
+        assert!(out[1..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn allgather_collects_on_every_rank() {
+        let out = World::run(4, CommCost::on_node(), |comm| {
+            comm.allgather_f64((comm.rank() * comm.rank()) as f64).unwrap()
+        });
+        for v in out {
+            assert_eq!(v, vec![0.0, 1.0, 4.0, 9.0]);
+        }
+    }
+
+    #[test]
+    fn barrier_equalizes_virtual_clocks() {
+        let out = World::run(4, CommCost::on_node(), |comm| {
+            // Rank r does r milliseconds of work.
+            let work = SimDuration::from_millis(comm.rank() as u64);
+            comm.charge(ChargeKind::Compute, work);
+            comm.barrier().unwrap();
+            comm.now().as_nanos()
+        });
+        // All clocks must be at least the slowest rank's 3 ms.
+        let min = *out.iter().min().unwrap();
+        let max = *out.iter().max().unwrap();
+        assert!(min >= 3_000_000, "clocks: {out:?}");
+        // And tightly clustered (within the collective's own cost).
+        assert!(max - min < 1_000_000, "clocks: {out:?}");
+    }
+
+    #[test]
+    fn virtual_time_reflects_message_cost() {
+        // 8 MB at 8 GB/s ≈ 1 ms wire time: the receiver's clock must
+        // advance by about that much.
+        let out = World::run(2, CommCost::on_node(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, vec![0.0f64; 1_000_000]).unwrap();
+                0
+            } else {
+                let _: Vec<f64> = comm.recv(0, 1).unwrap();
+                comm.now().as_nanos()
+            }
+        });
+        let t = out[1];
+        assert!(t > 900_000, "receiver clock {t} ns");
+        assert!(t < 3_000_000, "receiver clock {t} ns");
+    }
+
+    #[test]
+    fn sendrecv_exchanges_between_peers() {
+        let out = World::run(2, CommCost::free(), |comm| {
+            let peer = 1 - comm.rank();
+            let got: f64 = comm.sendrecv(peer, 3, comm.rank() as f64).unwrap();
+            got
+        });
+        assert_eq!(out, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn byte_and_message_counters_accumulate() {
+        let out = World::run(2, CommCost::free(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, vec![0u8; 100]).unwrap();
+                comm.send(1, 2, vec![0u8; 50]).unwrap();
+                (comm.bytes_sent(), comm.msgs_sent())
+            } else {
+                let _: Vec<u8> = comm.recv(0, 1).unwrap();
+                let _: Vec<u8> = comm.recv(0, 2).unwrap();
+                (0, 0)
+            }
+        });
+        assert_eq!(out[0], (150, 2));
+    }
+
+    #[test]
+    fn run_timed_reports_breakdowns() {
+        let out = World::run_timed(2, CommCost::on_node(), |comm| {
+            comm.charge(ChargeKind::Compute, SimDuration::from_micros(5));
+            comm.barrier().unwrap();
+            comm.rank()
+        });
+        assert_eq!(out.len(), 2);
+        for (rank, now, _comm_ns, _wait_ns) in out {
+            assert!(now >= 5_000, "rank {rank} now {now}");
+        }
+    }
+
+    #[test]
+    fn irecv_wait_matches_blocking_recv() {
+        let out = World::run(2, CommCost::on_node(), |comm| {
+            if comm.rank() == 0 {
+                comm.isend(1, 5, vec![1.0f64, 2.0]).unwrap();
+                0.0
+            } else {
+                let req = comm.irecv(0, 5).unwrap();
+                // Overlap: compute while the message is in flight.
+                comm.charge(ChargeKind::Compute, SimDuration::from_micros(50));
+                let v: Vec<f64> = comm.wait(req).unwrap();
+                v.iter().sum()
+            }
+        });
+        assert_eq!(out[1], 3.0);
+    }
+
+    #[test]
+    fn irecv_overlap_hides_message_latency() {
+        // With enough compute posted between irecv and wait, the
+        // receiver's clock should show almost no Wait time.
+        let out = World::run(2, CommCost::on_node(), |comm| {
+            if comm.rank() == 0 {
+                comm.isend(1, 1, vec![0.0f64; 100_000]).unwrap(); // ~0.1 ms wire
+                0
+            } else {
+                let req = comm.irecv(0, 1).unwrap();
+                comm.charge(ChargeKind::Compute, SimDuration::from_millis(5));
+                let _: Vec<f64> = comm.wait(req).unwrap();
+                comm.clock().bucket(ChargeKind::Wait).as_nanos()
+            }
+        });
+        assert!(out[1] < 10_000, "overlapped wait should be tiny: {} ns", out[1]);
+    }
+
+    #[test]
+    fn waitall_completes_posted_receives_in_order() {
+        let out = World::run(2, CommCost::free(), |comm| {
+            if comm.rank() == 0 {
+                for t in 0..4u32 {
+                    comm.isend(1, t, t as f64).unwrap();
+                }
+                vec![]
+            } else {
+                let reqs: Vec<_> = (0..4u32).map(|t| comm.irecv(0, t).unwrap()).collect();
+                comm.waitall::<f64>(reqs).unwrap()
+            }
+        });
+        assert_eq!(out[1], vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn test_reports_pending_and_arrived_messages() {
+        let out = World::run(2, CommCost::free(), |comm| {
+            if comm.rank() == 0 {
+                // Let rank 1 poll emptiness first.
+                let _: f64 = comm.recv(1, 9).unwrap();
+                comm.isend(1, 2, 7.0f64).unwrap();
+                0.0
+            } else {
+                let req = comm.irecv(0, 2).unwrap();
+                let early: Option<f64> = comm.test(&req).unwrap();
+                assert!(early.is_none(), "nothing sent yet");
+                comm.send(0, 9, 0.0f64).unwrap();
+                // Spin on test until the message lands.
+                loop {
+                    if let Some(v) = comm.test::<f64>(&req).unwrap() {
+                        break v;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        });
+        assert_eq!(out[1], 7.0);
+    }
+
+    #[test]
+    fn bcast_vec_delivers_whole_payload() {
+        for size in [2, 3, 5, 8] {
+            let out = World::run(size, CommCost::on_node(), |comm| {
+                let x = if comm.rank() == 0 {
+                    vec![1.0, 2.0, 3.0]
+                } else {
+                    vec![]
+                };
+                comm.bcast_vec(x).unwrap()
+            });
+            for v in out {
+                assert_eq!(v, vec![1.0, 2.0, 3.0], "size {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_vec_collects_rows_in_rank_order() {
+        let out = World::run(3, CommCost::free(), |comm| {
+            comm.gather_vec(vec![comm.rank() as f64; comm.rank() + 1]).unwrap()
+        });
+        let rows = out[0].as_ref().unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], vec![0.0]);
+        assert_eq!(rows[2], vec![2.0, 2.0, 2.0]);
+        assert!(out[1].is_none() && out[2].is_none());
+    }
+
+    #[test]
+    fn allreduce_vec_sum_adds_elementwise() {
+        for size in [1, 2, 3, 4, 7] {
+            let out = World::run(size, CommCost::on_node(), |comm| {
+                comm.allreduce_vec_sum(vec![comm.rank() as f64, 1.0]).unwrap()
+            });
+            let expect0 = (size * (size - 1)) as f64 / 2.0;
+            for v in out {
+                assert_eq!(v, vec![expect0, size as f64], "size {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn communication_matrix_rows_track_destinations() {
+        let rows = World::run(3, CommCost::free(), |comm| {
+            match comm.rank() {
+                0 => {
+                    comm.send(1, 1, vec![0u8; 100]).unwrap();
+                    comm.send(2, 1, vec![0u8; 50]).unwrap();
+                }
+                1 => {
+                    let _: Vec<u8> = comm.recv(0, 1).unwrap();
+                }
+                _ => {
+                    let _: Vec<u8> = comm.recv(0, 1).unwrap();
+                }
+            }
+            comm.bytes_per_dst().to_vec()
+        });
+        assert_eq!(rows[0], vec![0, 100, 50]);
+        assert_eq!(rows[1], vec![0, 0, 0]);
+        // Row sums equal bytes_sent.
+        assert_eq!(rows[0].iter().sum::<u64>(), 150);
+    }
+
+    #[test]
+    fn cartesian_ring_shift_with_virtual_time() {
+        use crate::topology::CartComm;
+        // A 2x2x2 process grid: every rank shifts a value to its +x
+        // neighbor (periodic), so everyone receives its -x neighbor's
+        // rank id.
+        let out = World::run(8, CommCost::on_node(), |comm| {
+            let cart = CartComm::new([2, 2, 2], [true, true, true]);
+            let right = cart.neighbor(comm.rank(), 0, 1).unwrap().unwrap();
+            let left = cart.neighbor(comm.rank(), 0, -1).unwrap().unwrap();
+            comm.send(right, 1, comm.rank() as f64).unwrap();
+            let got: f64 = comm.recv(left, 1).unwrap();
+            (got as usize, left)
+        });
+        for (rank, (got, left)) in out.iter().enumerate() {
+            assert_eq!(*got, *left, "rank {rank} received its left neighbor's id");
+        }
+    }
+
+    #[test]
+    fn many_ranks_heavy_traffic_terminates() {
+        // Stress: 16 ranks, ring of messages, several rounds.
+        let out = World::run(16, CommCost::on_node(), |comm| {
+            let right = (comm.rank() + 1) % comm.size();
+            let left = (comm.rank() + comm.size() - 1) % comm.size();
+            let mut acc = comm.rank() as f64;
+            for round in 0..10u32 {
+                comm.send(right, round, acc).unwrap();
+                let got: f64 = comm.recv(left, round).unwrap();
+                acc += got;
+            }
+            acc
+        });
+        assert_eq!(out.len(), 16);
+    }
+}

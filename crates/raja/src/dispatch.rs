@@ -1,0 +1,107 @@
+//! Runtime policy selection (the paper's Figure 7).
+//!
+//! ARES "defines several execution policies, indicating whether the
+//! loop is thread safe, not thread safe, has a significant amount of
+//! work, etc. These execution policies can then be defined to use
+//! different RAJA backends depending on the architecture." The control
+//! code injects the architecture at runtime:
+//! `AresArchPolicy = DynamicPolicy<AresPolicy, CPU|GPU>`.
+
+/// Application-level loop intent (what ARES annotates on each loop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AresPolicy {
+    /// Iterations independent; safe on any parallel backend.
+    ThreadSafe,
+    /// Iterations carry dependencies; must run sequentially per rank.
+    NotThreadSafe,
+    /// Thread safe and heavy: worth a device launch even when small.
+    HeavyCompute,
+    /// Thread safe but tiny: launch overhead may dominate on a device.
+    LightCompute,
+    /// A reduction loop (min/max/sum).
+    Reduction,
+}
+
+/// The architecture a rank executes on, decided by the control code at
+/// runtime (GPU-driving rank vs CPU-only rank).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// A CPU-only MPI process (one core).
+    CpuSequential,
+    /// A CPU process owning several cores (OpenMP-style).
+    CpuThreaded,
+    /// A GPU-driving MPI process.
+    Gpu,
+}
+
+/// The backend a loop actually uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Plain sequential loop.
+    Seq,
+    /// Vectorized sequential loop (SIMD hint).
+    Simd,
+    /// Work-shared across host threads.
+    OpenMp,
+    /// CUDA-style device launch on a stream.
+    CudaStream,
+}
+
+/// The Figure 7 selection: map (intent, architecture) to a backend.
+///
+/// On GPU-driving processes every thread-safe loop goes to the device
+/// (the paper's "CUDA-specific policies used on MPI processes driving
+/// the GPU"); CPU-only processes get "sequential execution policies",
+/// with SIMD for the safe loops.
+pub fn select_policy(intent: AresPolicy, arch: Arch) -> PolicyKind {
+    match (intent, arch) {
+        (AresPolicy::NotThreadSafe, _) => PolicyKind::Seq,
+        (_, Arch::CpuSequential) => PolicyKind::Simd,
+        (AresPolicy::LightCompute, Arch::Gpu) => PolicyKind::CudaStream,
+        (_, Arch::Gpu) => PolicyKind::CudaStream,
+        (_, Arch::CpuThreaded) => PolicyKind::OpenMp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_ranks_offload_thread_safe_loops() {
+        assert_eq!(
+            select_policy(AresPolicy::ThreadSafe, Arch::Gpu),
+            PolicyKind::CudaStream
+        );
+        assert_eq!(
+            select_policy(AresPolicy::HeavyCompute, Arch::Gpu),
+            PolicyKind::CudaStream
+        );
+        assert_eq!(
+            select_policy(AresPolicy::Reduction, Arch::Gpu),
+            PolicyKind::CudaStream
+        );
+    }
+
+    #[test]
+    fn unsafe_loops_are_sequential_everywhere() {
+        for arch in [Arch::CpuSequential, Arch::CpuThreaded, Arch::Gpu] {
+            assert_eq!(
+                select_policy(AresPolicy::NotThreadSafe, arch),
+                PolicyKind::Seq
+            );
+        }
+    }
+
+    #[test]
+    fn cpu_only_ranks_get_host_policies() {
+        assert_eq!(
+            select_policy(AresPolicy::ThreadSafe, Arch::CpuSequential),
+            PolicyKind::Simd
+        );
+        assert_eq!(
+            select_policy(AresPolicy::ThreadSafe, Arch::CpuThreaded),
+            PolicyKind::OpenMp
+        );
+    }
+}

@@ -1,0 +1,424 @@
+//! The `forall` executor: single-source loops under runtime-selected
+//! execution targets.
+//!
+//! This is the Rust analogue of the paper's Figure 5/6: the
+//! application writes one loop body; the executor decides where it
+//! "runs" (which clock pays for it) based on the rank's role. Bodies
+//! are plain closures and always execute on the host thread when
+//! fidelity is [`Fidelity::Full`] — single source, exactly as RAJA
+//! promises — while the *virtual cost* lands on the CPU core or the
+//! GPU device according to the target.
+
+use hsim_gpu::{GpuError, KernelDesc, KernelShape};
+use hsim_time::clock::ChargeKind;
+use hsim_time::{RankClock, SimTime};
+
+use crate::cpu::CpuModel;
+use crate::multipolicy::{MultiPolicy, PolicyChoice};
+use crate::registry::KernelRegistry;
+use crate::simgpu::GpuClient;
+
+/// Whether kernel bodies actually execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Run the arithmetic (tests, examples, small meshes).
+    Full,
+    /// Charge time only (large figure sweeps; timing never depends on
+    /// field values, so results are identical).
+    CostOnly,
+}
+
+/// Where a rank's kernels execute.
+pub enum Target {
+    /// Sequential on the rank's own core (the paper's CPU-only MPI
+    /// processes).
+    CpuSeq,
+    /// OpenMP-like across `threads` cores (used by the CpuOnly mode
+    /// where one rank may own several cores).
+    CpuParallel { threads: usize },
+    /// Offloaded to a (shared) simulated GPU.
+    Gpu(GpuClient),
+}
+
+impl Target {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Target::CpuSeq => "cpu-seq",
+            Target::CpuParallel { .. } => "cpu-omp",
+            Target::Gpu(_) => "gpu",
+        }
+    }
+
+    pub fn is_gpu(&self) -> bool {
+        matches!(self, Target::Gpu(_))
+    }
+}
+
+/// The per-rank kernel executor.
+pub struct Executor {
+    pub target: Target,
+    pub cpu: CpuModel,
+    pub fidelity: Fidelity,
+    pub registry: KernelRegistry,
+    /// Runtime policy selection (paper §5.1 future work): when
+    /// enabled, kernels below the threshold run on the host core even
+    /// on GPU-driving ranks, avoiding launch overhead.
+    pub multipolicy: MultiPolicy,
+}
+
+impl Executor {
+    pub fn new(target: Target, cpu: CpuModel, fidelity: Fidelity) -> Self {
+        Executor {
+            target,
+            cpu,
+            fidelity,
+            registry: KernelRegistry::new(),
+            multipolicy: MultiPolicy::disabled(),
+        }
+    }
+
+    /// Enable MultiPolicy with the given host threshold.
+    pub fn with_multipolicy(mut self, policy: MultiPolicy) -> Self {
+        self.multipolicy = policy;
+        self
+    }
+
+    /// Execute a 1D kernel over `[0, n)`.
+    ///
+    /// `inner_extent` is the unit-stride extent the iteration space
+    /// presents to the device (for 1D loops it is `n` itself, clamped
+    /// to u32).
+    pub fn forall<F>(
+        &mut self,
+        clock: &mut RankClock,
+        desc: &KernelDesc,
+        n: usize,
+        inner_extent: u32,
+        mut body: F,
+    ) -> Result<(), GpuError>
+    where
+        F: FnMut(usize),
+    {
+        let shape = KernelShape::new(n as u64, inner_extent);
+        self.charge_launch(clock, desc, shape)?;
+        if self.fidelity == Fidelity::Full {
+            for i in 0..n {
+                body(i);
+            }
+        }
+        self.registry.record_launch(desc.name, n as u64);
+        Ok(())
+    }
+
+    /// Execute a 3D kernel over `ext[0] × ext[1] × ext[2]` (i fastest).
+    pub fn forall3<F>(
+        &mut self,
+        clock: &mut RankClock,
+        desc: &KernelDesc,
+        ext: [usize; 3],
+        mut body: F,
+    ) -> Result<(), GpuError>
+    where
+        F: FnMut(usize, usize, usize),
+    {
+        let elems = (ext[0] * ext[1] * ext[2]) as u64;
+        let shape = KernelShape::new(elems, ext[0].min(u32::MAX as usize) as u32);
+        self.charge_launch(clock, desc, shape)?;
+        if self.fidelity == Fidelity::Full {
+            for k in 0..ext[2] {
+                for j in 0..ext[1] {
+                    for i in 0..ext[0] {
+                        body(i, j, k);
+                    }
+                }
+            }
+        }
+        self.registry.record_launch(desc.name, elems);
+        Ok(())
+    }
+
+    /// 3D min-reduction (the CFL timestep). In [`Fidelity::CostOnly`]
+    /// the body is skipped and `default` is returned.
+    pub fn forall3_min<F>(
+        &mut self,
+        clock: &mut RankClock,
+        desc: &KernelDesc,
+        ext: [usize; 3],
+        default: f64,
+        mut body: F,
+    ) -> Result<f64, GpuError>
+    where
+        F: FnMut(usize, usize, usize) -> f64,
+    {
+        let elems = (ext[0] * ext[1] * ext[2]) as u64;
+        let shape = KernelShape::new(elems, ext[0].min(u32::MAX as usize) as u32);
+        self.charge_launch(clock, desc, shape)?;
+        let mut acc = f64::INFINITY;
+        if self.fidelity == Fidelity::Full {
+            for k in 0..ext[2] {
+                for j in 0..ext[1] {
+                    for i in 0..ext[0] {
+                        acc = acc.min(body(i, j, k));
+                    }
+                }
+            }
+        } else {
+            acc = default;
+        }
+        self.registry.record_launch(desc.name, elems);
+        // Reductions on the GPU also stage the scalar result back.
+        if let Target::Gpu(client) = &self.target {
+            clock.charge(ChargeKind::Memory, client.spec().xfer_time(8));
+        }
+        Ok(acc)
+    }
+
+    /// 3D sum-reduction (diagnostics). Skipped body returns `default`.
+    pub fn forall3_sum<F>(
+        &mut self,
+        clock: &mut RankClock,
+        desc: &KernelDesc,
+        ext: [usize; 3],
+        default: f64,
+        mut body: F,
+    ) -> Result<f64, GpuError>
+    where
+        F: FnMut(usize, usize, usize) -> f64,
+    {
+        let elems = (ext[0] * ext[1] * ext[2]) as u64;
+        let shape = KernelShape::new(elems, ext[0].min(u32::MAX as usize) as u32);
+        self.charge_launch(clock, desc, shape)?;
+        let mut acc = 0.0;
+        if self.fidelity == Fidelity::Full {
+            for k in 0..ext[2] {
+                for j in 0..ext[1] {
+                    for i in 0..ext[0] {
+                        acc += body(i, j, k);
+                    }
+                }
+            }
+        } else {
+            acc = default;
+        }
+        self.registry.record_launch(desc.name, elems);
+        if let Target::Gpu(client) = &self.target {
+            clock.charge(ChargeKind::Memory, client.spec().xfer_time(8));
+        }
+        Ok(acc)
+    }
+
+    /// Charge the virtual cost of one launch according to the target.
+    fn charge_launch(
+        &mut self,
+        clock: &mut RankClock,
+        desc: &KernelDesc,
+        shape: KernelShape,
+    ) -> Result<(), GpuError> {
+        match &self.target {
+            Target::CpuSeq => {
+                clock.charge(ChargeKind::Compute, self.cpu.kernel_time(desc, shape.elems));
+            }
+            Target::CpuParallel { threads } => {
+                clock.charge(
+                    ChargeKind::Compute,
+                    self.cpu.kernel_time_parallel(desc, shape.elems, *threads),
+                );
+            }
+            Target::Gpu(client) => {
+                if self.multipolicy.recommend(shape) == PolicyChoice::Host {
+                    // MultiPolicy: tiny kernel — cheaper on the host
+                    // core than paying the launch path.
+                    clock.charge(ChargeKind::Compute, self.cpu.kernel_time(desc, shape.elems));
+                } else {
+                    let overhead = client.launch(desc, shape, clock.now())?;
+                    clock.charge(ChargeKind::Launch, overhead);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Synchronize with the GPU (no-op for CPU targets): the rank's
+    /// clock advances to its stream's completion time.
+    pub fn sync(&mut self, clock: &mut RankClock) -> SimTime {
+        if let Target::Gpu(client) = &self.target {
+            let end = client.sync(clock.now());
+            clock.wait_until(end);
+        }
+        clock.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simgpu::SharedDevice;
+    use hsim_gpu::{Device, DeviceSpec};
+
+    fn desc() -> KernelDesc {
+        KernelDesc::new("axpy", 2.0, 24.0)
+    }
+
+    #[test]
+    fn cpu_seq_runs_body_and_charges_compute() {
+        let mut exec = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::Full);
+        let mut clock = RankClock::new(0);
+        let mut x = vec![1.0f64; 100];
+        exec.forall(&mut clock, &desc(), 100, 100, |i| x[i] *= 2.0)
+            .unwrap();
+        assert!(x.iter().all(|&v| v == 2.0));
+        assert!(clock.bucket(ChargeKind::Compute) > hsim_time::SimDuration::ZERO);
+        assert_eq!(clock.bucket(ChargeKind::Launch), hsim_time::SimDuration::ZERO);
+    }
+
+    #[test]
+    fn cost_only_skips_bodies_but_charges_time() {
+        let mut exec = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::CostOnly);
+        let mut clock = RankClock::new(0);
+        let mut touched = false;
+        exec.forall(&mut clock, &desc(), 1000, 1000, |_| touched = true)
+            .unwrap();
+        assert!(!touched);
+        assert!(clock.now() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn parallel_cpu_is_faster_than_seq() {
+        let mut seq = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::CostOnly);
+        let mut par = Executor::new(
+            Target::CpuParallel { threads: 8 },
+            CpuModel::haswell_fixed(),
+            Fidelity::CostOnly,
+        );
+        let mut c1 = RankClock::new(0);
+        let mut c2 = RankClock::new(1);
+        seq.forall(&mut c1, &desc(), 1_000_000, 1000, |_| {}).unwrap();
+        par.forall(&mut c2, &desc(), 1_000_000, 1000, |_| {}).unwrap();
+        assert!(c2.now() < c1.now());
+    }
+
+    #[test]
+    fn forall3_iterates_x_fastest() {
+        let mut exec = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::Full);
+        let mut clock = RankClock::new(0);
+        let mut order = Vec::new();
+        exec.forall3(&mut clock, &desc(), [2, 2, 1], |i, j, k| {
+            order.push((i, j, k));
+        })
+        .unwrap();
+        assert_eq!(order, vec![(0, 0, 0), (1, 0, 0), (0, 1, 0), (1, 1, 0)]);
+    }
+
+    #[test]
+    fn min_reduction_matches_serial_and_default() {
+        let mut exec = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::Full);
+        let mut clock = RankClock::new(0);
+        let m = exec
+            .forall3_min(&mut clock, &desc(), [4, 4, 4], 99.0, |i, j, k| {
+                (i + j + k) as f64 - 3.0
+            })
+            .unwrap();
+        assert_eq!(m, -3.0);
+        let mut cost_only =
+            Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::CostOnly);
+        let d = cost_only
+            .forall3_min(&mut clock, &desc(), [4, 4, 4], 99.0, |_, _, _| 0.0)
+            .unwrap();
+        assert_eq!(d, 99.0);
+    }
+
+    #[test]
+    fn sum_reduction_matches_serial() {
+        let mut exec = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::Full);
+        let mut clock = RankClock::new(0);
+        let s = exec
+            .forall3_sum(&mut clock, &desc(), [3, 3, 3], 0.0, |_, _, _| 1.0)
+            .unwrap();
+        assert_eq!(s, 27.0);
+    }
+
+    #[test]
+    fn gpu_target_charges_launch_and_sync_waits() {
+        let device = Device::new(0, DeviceSpec::tesla_k80());
+        let (_dev, client) = SharedDevice::new_exclusive(device, 0).unwrap();
+        let mut exec = Executor::new(Target::Gpu(client), CpuModel::haswell_e5_2667v3(), Fidelity::Full);
+        let mut clock = RankClock::new(0);
+        let mut x = vec![0.0f64; 1000];
+        exec.forall(&mut clock, &desc(), 1000, 10, |i| x[i] = i as f64)
+            .unwrap();
+        // Body ran on the host (single source) …
+        assert_eq!(x[999], 999.0);
+        // … launch overhead charged, compute not (it's on the device).
+        assert!(clock.bucket(ChargeKind::Launch) > hsim_time::SimDuration::ZERO);
+        assert_eq!(clock.bucket(ChargeKind::Compute), hsim_time::SimDuration::ZERO);
+        let before = clock.now();
+        exec.sync(&mut clock);
+        assert!(clock.now() >= before);
+        assert!(clock.bucket(ChargeKind::Wait) > hsim_time::SimDuration::ZERO);
+    }
+
+    #[test]
+    fn registry_counts_launches() {
+        let mut exec = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::CostOnly);
+        let mut clock = RankClock::new(0);
+        for _ in 0..3 {
+            exec.forall(&mut clock, &desc(), 10, 10, |_| {}).unwrap();
+        }
+        let report = exec.registry.report();
+        assert_eq!(report.len(), 1);
+        assert_eq!(report[0].launches, 3);
+        assert_eq!(report[0].elems, 30);
+    }
+
+    #[test]
+    fn multipolicy_routes_tiny_kernels_to_the_host() {
+        let device = Device::new(0, DeviceSpec::tesla_k80());
+        let (_dev, client) = SharedDevice::new_exclusive(device, 0).unwrap();
+        let mut exec = Executor::new(
+            Target::Gpu(client),
+            CpuModel::haswell_fixed(),
+            Fidelity::CostOnly,
+        )
+        .with_multipolicy(crate::MultiPolicy::with_threshold(10_000));
+        let mut clock = RankClock::new(0);
+        // Tiny kernel: charged as host compute, no launch.
+        exec.forall(&mut clock, &desc(), 100, 10, |_| {}).unwrap();
+        assert!(clock.bucket(ChargeKind::Compute) > hsim_time::SimDuration::ZERO);
+        assert_eq!(clock.bucket(ChargeKind::Launch), hsim_time::SimDuration::ZERO);
+        // Big kernel: launched on the device.
+        exec.forall(&mut clock, &desc(), 100_000, 100, |_| {}).unwrap();
+        assert!(clock.bucket(ChargeKind::Launch) > hsim_time::SimDuration::ZERO);
+        exec.sync(&mut clock);
+    }
+
+    #[test]
+    fn multipolicy_beats_naive_offload_for_many_tiny_kernels() {
+        let cpu = CpuModel::haswell_fixed();
+        let run = |threshold: u64| -> u64 {
+            let device = Device::new(0, DeviceSpec::tesla_k80());
+            let (_dev, client) = SharedDevice::new_exclusive(device, 0).unwrap();
+            let mut exec = Executor::new(Target::Gpu(client), cpu.clone(), Fidelity::CostOnly)
+                .with_multipolicy(crate::MultiPolicy::with_threshold(threshold));
+            let mut clock = RankClock::new(0);
+            for _ in 0..200 {
+                exec.forall(&mut clock, &desc(), 64, 8, |_| {}).unwrap();
+            }
+            exec.sync(&mut clock);
+            clock.now().as_nanos()
+        };
+        let naive = run(0);
+        let multi = run(1_000);
+        assert!(
+            multi < naive / 2,
+            "MultiPolicy {multi}ns should beat naive offload {naive}ns for tiny kernels"
+        );
+    }
+
+    #[test]
+    fn target_labels() {
+        assert_eq!(Target::CpuSeq.label(), "cpu-seq");
+        assert_eq!(Target::CpuParallel { threads: 4 }.label(), "cpu-omp");
+        assert!(!Target::CpuSeq.is_gpu());
+    }
+}

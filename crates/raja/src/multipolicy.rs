@@ -1,0 +1,160 @@
+//! MultiPolicy runtime selection.
+//!
+//! "In the future, we plan to use the MultiPolicy runtime policy
+//! selection mechanism in RAJA." (Paper §5.1.) RAJA's `MultiPolicy`
+//! picks an execution policy per `forall` call from a runtime
+//! predicate — canonically the iteration count: tiny kernels are not
+//! worth a device launch (the launch overhead exceeds the kernel), so
+//! a GPU-driving rank runs them on its host core instead.
+//!
+//! [`MultiPolicy::recommend`] encodes that selector, and the
+//! [`crate::Executor`] consults it on every launch when enabled. The
+//! break-even threshold can be derived from the cost models via
+//! [`MultiPolicy::break_even`].
+
+use hsim_gpu::{DeviceSpec, KernelDesc, KernelShape};
+
+use crate::cpu::CpuModel;
+
+/// Where MultiPolicy decides one launch should execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyChoice {
+    /// Submit to the device as usual.
+    Device,
+    /// Run on the rank's host core (tiny kernel: launch overhead
+    /// would dominate).
+    Host,
+}
+
+/// Iteration-count-based runtime policy selector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiPolicy {
+    /// Kernels with fewer elements than this run on the host. Zero
+    /// disables the mechanism (every kernel goes to the device).
+    pub host_threshold: u64,
+}
+
+impl MultiPolicy {
+    /// Disabled selector (the paper's present-day behaviour).
+    pub fn disabled() -> Self {
+        MultiPolicy { host_threshold: 0 }
+    }
+
+    /// A selector with a fixed element threshold.
+    pub fn with_threshold(host_threshold: u64) -> Self {
+        MultiPolicy { host_threshold }
+    }
+
+    /// Derive the break-even element count for `desc`: the size at
+    /// which one device launch (overhead + device execution) is as
+    /// fast as running the loop on the host core. Below it, the host
+    /// wins.
+    pub fn break_even(spec: &DeviceSpec, cpu: &CpuModel, desc: &KernelDesc) -> u64 {
+        // t_host(n) = n * cpu_elem
+        // t_dev(n)  = launch + n * dev_elem / eff  (eff ≈ small-n floor)
+        // Solve t_host = t_dev for n, with a conservative device
+        // efficiency for tiny kernels.
+        let cpu_elem = cpu.elem_time_secs(desc);
+        let dev_elem_full = (desc.flops_per_elem / (spec.fp64_gflops * 1e9))
+            .max(desc.bytes_per_elem / (spec.mem_bandwidth_gbs * 1e9));
+        let tiny_eff = 0.05; // tiny kernels barely occupy the device
+        let dev_elem = dev_elem_full / tiny_eff;
+        let launch = spec.launch_overhead.as_secs_f64();
+        if cpu_elem <= dev_elem {
+            // The host is faster per element outright (rare): any size
+            // below device-efficiency crossover; pick launch/cpu_elem
+            // as a sane bound.
+            return (launch / cpu_elem) as u64;
+        }
+        (launch / (cpu_elem - dev_elem)) as u64
+    }
+
+    /// A selector tuned to the break-even point of `desc`.
+    pub fn tuned(spec: &DeviceSpec, cpu: &CpuModel, desc: &KernelDesc) -> Self {
+        MultiPolicy {
+            host_threshold: Self::break_even(spec, cpu, desc),
+        }
+    }
+
+    /// The per-launch decision.
+    pub fn recommend(&self, shape: KernelShape) -> PolicyChoice {
+        if shape.elems < self.host_threshold {
+            PolicyChoice::Host
+        } else {
+            PolicyChoice::Device
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.host_threshold > 0
+    }
+}
+
+impl Default for MultiPolicy {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k80() -> DeviceSpec {
+        DeviceSpec::tesla_k80()
+    }
+
+    #[test]
+    fn disabled_policy_always_picks_the_device() {
+        let mp = MultiPolicy::disabled();
+        assert!(!mp.is_enabled());
+        assert_eq!(mp.recommend(KernelShape::new(1, 1)), PolicyChoice::Device);
+        assert_eq!(
+            mp.recommend(KernelShape::new(1_000_000, 320)),
+            PolicyChoice::Device
+        );
+    }
+
+    #[test]
+    fn threshold_splits_small_from_large() {
+        let mp = MultiPolicy::with_threshold(1000);
+        assert_eq!(mp.recommend(KernelShape::new(999, 10)), PolicyChoice::Host);
+        assert_eq!(mp.recommend(KernelShape::new(1000, 10)), PolicyChoice::Device);
+    }
+
+    #[test]
+    fn break_even_is_in_a_plausible_range() {
+        // 8 µs launch overhead vs ~10 ns/elem host cost: break-even in
+        // the hundreds-to-thousands of elements.
+        let n = MultiPolicy::break_even(
+            &k80(),
+            &CpuModel::haswell_fixed(),
+            &hsim_gpu::KernelDesc::new("k", 30.0, 40.0),
+        );
+        assert!(
+            (100..100_000).contains(&n),
+            "break-even {n} elements looks wrong"
+        );
+    }
+
+    #[test]
+    fn slower_host_lowers_the_break_even() {
+        let desc = hsim_gpu::KernelDesc::new("k", 30.0, 40.0);
+        let fast_host = MultiPolicy::break_even(&k80(), &CpuModel::haswell_fixed(), &desc);
+        let slow_host = MultiPolicy::break_even(&k80(), &CpuModel::haswell_e5_2667v3(), &desc);
+        assert!(
+            slow_host <= fast_host,
+            "buggy-compiler host must take fewer kernels: {slow_host} vs {fast_host}"
+        );
+    }
+
+    #[test]
+    fn tuned_policy_is_enabled() {
+        let mp = MultiPolicy::tuned(
+            &k80(),
+            &CpuModel::haswell_fixed(),
+            &hsim_gpu::KernelDesc::new("k", 30.0, 40.0),
+        );
+        assert!(mp.is_enabled());
+    }
+}

@@ -1,0 +1,358 @@
+//! A work-sharing thread pool: the OpenMP-like host backend.
+//!
+//! Persistent worker threads pull fixed-size chunks of the iteration
+//! space off an atomic cursor (dynamic scheduling). This is the
+//! functional twin of the cost model's parallel path and is built the
+//! way the project's concurrency guide prescribes: acquire/release
+//! pairing on the job slot, an atomic cursor for the iteration space,
+//! and a condition variable for idle parking.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// The unit of work handed to workers for one parallel region.
+struct Job {
+    /// Type-erased body: `body(begin, end)` processes `[begin, end)`.
+    body: Box<dyn Fn(usize, usize) + Send + Sync>,
+    cursor: AtomicUsize,
+    end: usize,
+    chunk: usize,
+    /// Workers still inside this job (for completion detection).
+    remaining: AtomicUsize,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work_ready: Condvar,
+    work_done: Condvar,
+}
+
+enum State {
+    Idle,
+    Running(Arc<Job>),
+    Shutdown,
+}
+
+/// A persistent pool of worker threads executing chunked parallel
+/// loops.
+pub struct WorkPool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl WorkPool {
+    /// Spawn a pool with `threads` workers (the caller's thread also
+    /// participates in loops, so total parallelism is `threads + 1`).
+    pub fn new(threads: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State::Idle),
+            work_ready: Condvar::new(),
+            work_done: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        WorkPool {
+            shared,
+            workers,
+            threads,
+        }
+    }
+
+    /// Total participating threads (workers + the calling thread).
+    pub fn parallelism(&self) -> usize {
+        self.threads + 1
+    }
+
+    /// Execute `body(i)` for every `i` in `[begin, end)` in parallel,
+    /// dynamically scheduled in `chunk`-sized pieces. Blocks until the
+    /// whole range is processed.
+    pub fn for_each<F>(&self, begin: usize, end: usize, chunk: usize, body: F)
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        self.for_chunks(begin, end, chunk, |b, e| {
+            for i in b..e {
+                body(i);
+            }
+        });
+    }
+
+    /// Chunked variant: `body(b, e)` processes `[b, e)`.
+    pub fn for_chunks<F>(&self, begin: usize, end: usize, chunk: usize, body: F)
+    where
+        F: Fn(usize, usize) + Send + Sync,
+    {
+        if begin >= end {
+            return;
+        }
+        let chunk = chunk.max(1);
+        // Borrowed bodies cannot be handed to the persistent workers
+        // (they require 'static), so regions with borrowed captures
+        // run on scoped threads; `for_each_static` uses the persistent
+        // workers for 'static bodies.
+        let cursor = AtomicUsize::new(begin);
+        std::thread::scope(|scope| {
+            let body = &body;
+            let cursor = &cursor;
+            let n_workers = self.threads;
+            let mut handles = Vec::with_capacity(n_workers);
+            for _ in 0..n_workers {
+                handles.push(scope.spawn(move || loop {
+                    let b = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if b >= end {
+                        break;
+                    }
+                    body(b, (b + chunk).min(end));
+                }));
+            }
+            // The calling thread works too.
+            loop {
+                let b = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if b >= end {
+                    break;
+                }
+                body(b, (b + chunk).min(end));
+            }
+        });
+    }
+
+    /// Parallel region for `'static` bodies, executed on the
+    /// *persistent* workers (no per-region thread spawn).
+    pub fn for_each_static<F>(&self, begin: usize, end: usize, chunk: usize, body: F)
+    where
+        F: Fn(usize) + Send + Sync + 'static,
+    {
+        if begin >= end {
+            return;
+        }
+        let chunk = chunk.max(1);
+        let job = Arc::new(Job {
+            body: Box::new(move |b, e| {
+                for i in b..e {
+                    body(i);
+                }
+            }),
+            cursor: AtomicUsize::new(begin),
+            end,
+            chunk,
+            remaining: AtomicUsize::new(self.threads),
+        });
+        {
+            let mut st = self.shared.state.lock();
+            *st = State::Running(Arc::clone(&job));
+            self.shared.work_ready.notify_all();
+        }
+        // The caller participates as well.
+        run_job(&job);
+        // Wait for the workers to drain the job.
+        let mut st = self.shared.state.lock();
+        while job.remaining.load(Ordering::Acquire) != 0 {
+            self.shared.work_done.wait(&mut st);
+        }
+        *st = State::Idle;
+        // Wake workers parked on the job-swap wait so they return to
+        // the ready queue.
+        self.shared.work_done.notify_all();
+    }
+
+    /// Parallel sum reduction: `Σ body(i)` over `[begin, end)` with a
+    /// deterministic per-chunk partial order (chunk partials summed in
+    /// chunk order).
+    pub fn sum<F>(&self, begin: usize, end: usize, chunk: usize, body: F) -> f64
+    where
+        F: Fn(usize) -> f64 + Send + Sync,
+    {
+        if begin >= end {
+            return 0.0;
+        }
+        let chunk = chunk.max(1);
+        let n_chunks = (end - begin).div_ceil(chunk);
+        let partials: Vec<Mutex<f64>> = (0..n_chunks).map(|_| Mutex::new(0.0)).collect();
+        let partials_ref = &partials;
+        self.for_chunks(begin, end, chunk, move |b, e| {
+            let mut acc = 0.0;
+            for i in b..e {
+                acc += body(i);
+            }
+            let idx = (b - begin) / chunk;
+            *partials_ref[idx].lock() = acc;
+        });
+        partials.iter().map(|m| *m.lock()).sum()
+    }
+
+    /// Parallel min reduction over `body(i)`.
+    pub fn min<F>(&self, begin: usize, end: usize, chunk: usize, body: F) -> f64
+    where
+        F: Fn(usize) -> f64 + Send + Sync,
+    {
+        if begin >= end {
+            return f64::INFINITY;
+        }
+        let chunk = chunk.max(1);
+        let n_chunks = (end - begin).div_ceil(chunk);
+        let partials: Vec<Mutex<f64>> =
+            (0..n_chunks).map(|_| Mutex::new(f64::INFINITY)).collect();
+        let partials_ref = &partials;
+        self.for_chunks(begin, end, chunk, move |b, e| {
+            let mut acc = f64::INFINITY;
+            for i in b..e {
+                acc = acc.min(body(i));
+            }
+            let idx = (b - begin) / chunk;
+            *partials_ref[idx].lock() = acc;
+        });
+        partials.iter().map(|m| *m.lock()).fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl Drop for WorkPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            *st = State::Shutdown;
+            self.shared.work_ready.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn run_job(job: &Job) {
+    loop {
+        let b = job.cursor.fetch_add(job.chunk, Ordering::Relaxed);
+        if b >= job.end {
+            break;
+        }
+        (job.body)(b, (b + job.chunk).min(job.end));
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock();
+            loop {
+                match &*st {
+                    State::Shutdown => return,
+                    State::Running(job) => break Arc::clone(job),
+                    State::Idle => shared.work_ready.wait(&mut st),
+                }
+            }
+        };
+        run_job(&job);
+        // Release pairs with the Acquire in `for_each_static`'s wait.
+        if job.remaining.fetch_sub(1, Ordering::Release) == 1 {
+            let _guard = shared.state.lock();
+            shared.work_done.notify_all();
+        }
+        // Wait until the coordinator swaps the job out, so we don't
+        // double-count ourselves on the same job.
+        let mut st = shared.state.lock();
+        while matches!(&*st, State::Running(j) if Arc::ptr_eq(j, &job)) {
+            shared.work_done.wait(&mut st);
+        }
+        drop(st);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn for_each_visits_every_index_once() {
+        let pool = WorkPool::new(3);
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        pool.for_each(0, 1000, 7, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn empty_and_reversed_ranges_are_noops() {
+        let pool = WorkPool::new(2);
+        let count = AtomicU64::new(0);
+        pool.for_each(5, 5, 1, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.for_each(9, 3, 1, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let pool = WorkPool::new(4);
+        let total = pool.sum(0, 10_000, 64, |i| i as f64);
+        let expect = (10_000f64 - 1.0) * 10_000.0 / 2.0;
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn min_matches_serial() {
+        let pool = WorkPool::new(4);
+        let m = pool.min(0, 1000, 32, |i| ((i as f64) - 500.0).abs());
+        assert_eq!(m, 0.0);
+        let empty = pool.min(3, 3, 8, |_| 0.0);
+        assert_eq!(empty, f64::INFINITY);
+    }
+
+    #[test]
+    fn for_each_static_runs_on_persistent_workers() {
+        let pool = WorkPool::new(3);
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..5 {
+            let h = Arc::clone(&hits);
+            pool.for_each_static(0, 100, 9, move |_| {
+                h.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn zero_worker_pool_still_completes_on_caller() {
+        let pool = WorkPool::new(0);
+        let total = pool.sum(0, 100, 10, |i| i as f64);
+        assert_eq!(total, 4950.0);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        pool.for_each_static(0, 10, 3, move |_| {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn chunk_of_zero_is_clamped() {
+        let pool = WorkPool::new(2);
+        let count = AtomicU64::new(0);
+        pool.for_each(0, 10, 0, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn parallelism_reports_workers_plus_caller() {
+        assert_eq!(WorkPool::new(3).parallelism(), 4);
+        assert_eq!(WorkPool::new(0).parallelism(), 1);
+    }
+
+    #[test]
+    fn pool_drops_cleanly_while_idle() {
+        let pool = WorkPool::new(4);
+        drop(pool);
+    }
+}

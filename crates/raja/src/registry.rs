@@ -1,0 +1,116 @@
+//! Per-kernel launch statistics.
+//!
+//! The runner uses these to report the Figure 11 caption's claim ("a
+//! hydrodynamics calculation with 80 kernels") and to feed the load
+//! balancer's measured view of where time goes.
+
+use std::collections::HashMap;
+
+use hsim_time::{SimDuration, Welford};
+
+/// Aggregate statistics for one kernel name.
+#[derive(Debug, Clone)]
+pub struct KernelStats {
+    pub name: &'static str,
+    pub launches: u64,
+    pub elems: u64,
+    pub time: Welford,
+}
+
+/// Registry of all kernels a rank has launched.
+#[derive(Debug, Default)]
+pub struct KernelRegistry {
+    stats: HashMap<&'static str, KernelStats>,
+}
+
+impl KernelRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one launch of `name` over `elems` elements.
+    pub fn record_launch(&mut self, name: &'static str, elems: u64) {
+        let entry = self.stats.entry(name).or_insert_with(|| KernelStats {
+            name,
+            launches: 0,
+            elems: 0,
+            time: Welford::new(),
+        });
+        entry.launches += 1;
+        entry.elems += elems;
+    }
+
+    /// Attribute measured time to `name`.
+    pub fn record_time(&mut self, name: &'static str, d: SimDuration) {
+        if let Some(entry) = self.stats.get_mut(name) {
+            entry.time.push_duration(d);
+        }
+    }
+
+    /// Number of distinct kernels seen.
+    pub fn distinct_kernels(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Total launches across kernels.
+    pub fn total_launches(&self) -> u64 {
+        self.stats.values().map(|s| s.launches).sum()
+    }
+
+    /// Stats sorted by launch count (descending), then name.
+    pub fn report(&self) -> Vec<KernelStats> {
+        let mut v: Vec<KernelStats> = self.stats.values().cloned().collect();
+        v.sort_by(|a, b| b.launches.cmp(&a.launches).then(a.name.cmp(b.name)));
+        v
+    }
+
+    /// Reset all statistics (cycle boundary).
+    pub fn clear(&mut self) {
+        self.stats.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launches_accumulate_per_kernel() {
+        let mut r = KernelRegistry::new();
+        r.record_launch("eos", 100);
+        r.record_launch("eos", 100);
+        r.record_launch("force", 50);
+        assert_eq!(r.distinct_kernels(), 2);
+        assert_eq!(r.total_launches(), 3);
+        let report = r.report();
+        assert_eq!(report[0].name, "eos");
+        assert_eq!(report[0].elems, 200);
+    }
+
+    #[test]
+    fn time_attribution_requires_prior_launch() {
+        let mut r = KernelRegistry::new();
+        r.record_time("ghost", SimDuration::from_micros(1));
+        assert_eq!(r.distinct_kernels(), 0);
+        r.record_launch("eos", 10);
+        r.record_time("eos", SimDuration::from_micros(2));
+        assert_eq!(r.report()[0].time.count(), 1);
+    }
+
+    #[test]
+    fn report_breaks_ties_by_name() {
+        let mut r = KernelRegistry::new();
+        r.record_launch("b", 1);
+        r.record_launch("a", 1);
+        let names: Vec<_> = r.report().iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut r = KernelRegistry::new();
+        r.record_launch("x", 1);
+        r.clear();
+        assert_eq!(r.total_launches(), 0);
+    }
+}

@@ -1,0 +1,506 @@
+//! The CUDA-like backend: sharing one simulated device between rank
+//! threads.
+//!
+//! Real CUDA resolves concurrency on the device itself; our simulated
+//! device resolves it at a **sync rendezvous**: every client (rank)
+//! submits its kernel launches with virtual arrival times, then all
+//! clients of the device meet in [`GpuClient::sync`]. The last arrival
+//! runs the rate-sharing timeline over the whole batch, publishes each
+//! stream's completion time, and wakes the others. This mirrors the
+//! bulk-synchronous structure of the application (every rank
+//! synchronizes with its device at least once per cycle).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use hsim_gpu::mps::{MpsClient, MpsServer};
+use hsim_gpu::{ContextId, Device, DeviceSpec, GpuError, KernelDesc, KernelShape, StreamId};
+use hsim_time::{SimDuration, SimTime};
+
+struct Inner {
+    device: Device,
+    mps: Option<MpsServer>,
+    clients: usize,
+    syncers: usize,
+    epoch: u64,
+    /// job id → stream key for the in-flight epoch.
+    job_streams: HashMap<u64, u64>,
+    /// stream key → completion time of the last kernel in the resolved
+    /// epoch (cumulative across epochs).
+    stream_end: HashMap<u64, SimTime>,
+    /// Last job id submitted per stream in the in-flight epoch.
+    stream_last_job: HashMap<u64, u64>,
+    /// CUDA-style timing events: pending (recorded, not yet resolved
+    /// by a sync) and resolved.
+    next_event: u64,
+    events_pending: HashMap<u64, EventMark>,
+    events_resolved: HashMap<u64, SimTime>,
+}
+
+/// What a recorded event points at: the last job on its stream at
+/// record time (if any this epoch), plus the stream's prior completion
+/// time as fallback.
+#[derive(Debug, Clone, Copy)]
+struct EventMark {
+    job: Option<u64>,
+    fallback: SimTime,
+}
+
+/// One simulated GPU shared by one or more rank threads.
+pub struct SharedDevice {
+    inner: Mutex<Inner>,
+    resolved: Condvar,
+    spec: DeviceSpec,
+    id: usize,
+}
+
+/// A rank's connection to a [`SharedDevice`].
+#[derive(Clone)]
+pub struct GpuClient {
+    dev: Arc<SharedDevice>,
+    ctx: ContextId,
+    stream: StreamId,
+    mps_client: Option<MpsClient>,
+}
+
+impl SharedDevice {
+    /// Exclusive arrangement: one rank owns the device directly (the
+    /// Default mode). Returns the shared handle and the single client.
+    pub fn new_exclusive(mut device: Device, pid: usize) -> Result<(Arc<Self>, GpuClient), GpuError> {
+        let spec = device.spec().clone();
+        let id = device.id();
+        let ctx = device.create_context(pid)?;
+        let stream = device.create_stream(ctx.id)?;
+        let dev = Arc::new(SharedDevice {
+            inner: Mutex::new(Inner {
+                device,
+                mps: None,
+                clients: 1,
+                syncers: 0,
+                epoch: 0,
+                job_streams: HashMap::new(),
+                stream_end: HashMap::new(),
+                stream_last_job: HashMap::new(),
+                next_event: 0,
+                events_pending: HashMap::new(),
+                events_resolved: HashMap::new(),
+            }),
+            resolved: Condvar::new(),
+            spec,
+            id,
+        });
+        let client = GpuClient {
+            dev: Arc::clone(&dev),
+            ctx: ctx.id,
+            stream: stream.id,
+            mps_client: None,
+        };
+        Ok((dev, client))
+    }
+
+    /// MPS arrangement: `pids` ranks share the device through the MPS
+    /// server (the paper's "n MPI/GPU" mode).
+    pub fn new_mps(
+        mut device: Device,
+        pids: &[usize],
+    ) -> Result<(Arc<Self>, Vec<GpuClient>), GpuError> {
+        let spec = device.spec().clone();
+        let id = device.id();
+        let mut server = MpsServer::start(&mut device, MpsServer::DEFAULT_MAX_CLIENTS)?;
+        let mut mps_clients = Vec::with_capacity(pids.len());
+        for &pid in pids {
+            mps_clients.push(server.connect(&mut device, pid)?);
+        }
+        let ctx = device
+            .active_context()
+            .expect("MPS server owns a context")
+            .id;
+        let dev = Arc::new(SharedDevice {
+            inner: Mutex::new(Inner {
+                device,
+                mps: Some(server),
+                clients: pids.len(),
+                syncers: 0,
+                epoch: 0,
+                job_streams: HashMap::new(),
+                stream_end: HashMap::new(),
+                stream_last_job: HashMap::new(),
+                next_event: 0,
+                events_pending: HashMap::new(),
+                events_resolved: HashMap::new(),
+            }),
+            resolved: Condvar::new(),
+            spec,
+            id,
+        });
+        let clients = mps_clients
+            .into_iter()
+            .map(|mc| GpuClient {
+                dev: Arc::clone(&dev),
+                ctx,
+                stream: mc.stream.id,
+                mps_client: Some(mc),
+            })
+            .collect();
+        Ok((dev, clients))
+    }
+
+    /// The device's capability sheet.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Device id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of resolved sync epochs so far.
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().epoch
+    }
+
+    /// Lifetime launch count.
+    pub fn total_launches(&self) -> u64 {
+        self.inner.lock().device.total_launches()
+    }
+
+    /// Cumulative per-job device busy time (the load balancer's view
+    /// of how hard the GPU worked).
+    pub fn busy(&self) -> SimDuration {
+        self.inner.lock().device.busy()
+    }
+
+    /// Allocate a unified-memory region of `bytes` and fault it onto
+    /// the device (ARES mesh data, Figure 8). Returns the region and
+    /// the migration charge the caller must add to its clock.
+    pub fn um_alloc_and_touch(
+        &self,
+        bytes: u64,
+    ) -> Result<(hsim_gpu::memory::UnifiedRegionId, SimDuration), GpuError> {
+        let mut inner = self.inner.lock();
+        let region = inner.device.um_mut().alloc(bytes);
+        let cost = inner.device.um_mut().touch_device(region)?;
+        Ok((region, cost))
+    }
+
+    /// Touch `bytes` of a UM region from the host (halo staging of
+    /// mesh data without GPU-direct). Returns the migration charge.
+    pub fn um_touch_host_range(
+        &self,
+        region: hsim_gpu::memory::UnifiedRegionId,
+        offset: u64,
+        len: u64,
+    ) -> Result<SimDuration, GpuError> {
+        let mut inner = self.inner.lock();
+        inner.device.um_mut().touch_host_range(region, offset, len)
+    }
+
+    /// Bytes currently resident on the device (UM accounting).
+    pub fn um_resident_bytes(&self) -> u64 {
+        self.inner.lock().device.um().device_resident_bytes()
+    }
+}
+
+impl GpuClient {
+    /// Device capability sheet.
+    pub fn spec(&self) -> &DeviceSpec {
+        self.dev.spec()
+    }
+
+    /// Whether launches go through the MPS server.
+    pub fn is_mps(&self) -> bool {
+        self.mps_client.is_some()
+    }
+
+    /// Submit one kernel launch at virtual instant `at`. Returns the
+    /// host-side launch overhead the caller must charge to its clock.
+    pub fn launch(
+        &self,
+        desc: &KernelDesc,
+        shape: KernelShape,
+        at: SimTime,
+    ) -> Result<SimDuration, GpuError> {
+        let mut inner = self.dev.inner.lock();
+        let inner = &mut *inner;
+        let ticket = match (&self.mps_client, &inner.mps) {
+            (Some(mc), Some(server)) => server.launch(&mut inner.device, mc, desc, shape, at)?,
+            (None, None) => {
+                inner
+                    .device
+                    .submit(self.ctx, self.stream, desc, shape, at, false)?
+            }
+            _ => return Err(GpuError::InvalidContext),
+        };
+        inner.job_streams.insert(ticket.job, self.stream.0);
+        inner.stream_last_job.insert(self.stream.0, ticket.job);
+        Ok(ticket.overhead)
+    }
+
+    /// Rendezvous with the device's other clients; resolves all pending
+    /// launches and returns the completion time of this client's
+    /// stream (or `at` when the stream had no pending work).
+    ///
+    /// Every client of the device must call `sync` once per epoch
+    /// (bulk-synchronous discipline); a client calling twice before
+    /// the others once would deadlock, matching a real stream-sync
+    /// against peers that never launch.
+    pub fn sync(&self, at: SimTime) -> SimTime {
+        let mut inner = self.dev.inner.lock();
+        inner.syncers += 1;
+        let my_epoch = inner.epoch;
+        if inner.syncers == inner.clients {
+            // Leader: resolve the batch.
+            let outcomes = inner.device.run_pending();
+            let mut job_ends: HashMap<u64, SimTime> = HashMap::new();
+            for o in &outcomes {
+                job_ends.insert(o.id, o.end);
+                if let Some(&stream) = inner.job_streams.get(&o.id) {
+                    let e = inner.stream_end.entry(stream).or_insert(SimTime::ZERO);
+                    *e = e.merge(o.end);
+                }
+            }
+            inner.job_streams.clear();
+            inner.stream_last_job.clear();
+            // Resolve recorded events: the completion of the last job
+            // submitted to their stream before the record, or the
+            // stream's prior end when nothing was in flight.
+            let pending: Vec<(u64, EventMark)> = inner.events_pending.drain().collect();
+            for (ev, mark) in pending {
+                let t = mark
+                    .job
+                    .and_then(|j| job_ends.get(&j).copied())
+                    .unwrap_or(mark.fallback);
+                inner.events_resolved.insert(ev, t);
+            }
+            inner.syncers = 0;
+            inner.epoch += 1;
+            self.dev.resolved.notify_all();
+        } else {
+            while inner.epoch == my_epoch {
+                self.dev.resolved.wait(&mut inner);
+            }
+        }
+        inner
+            .stream_end
+            .get(&self.stream.0)
+            .copied()
+            .unwrap_or(at)
+            .merge(at)
+    }
+}
+
+/// Handle to a recorded timing event (see [`GpuClient::record_event`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+impl GpuClient {
+    /// Record a CUDA-style timing event on this client's stream: it
+    /// resolves, at the next sync, to the completion time of the last
+    /// kernel submitted to the stream before the record.
+    pub fn record_event(&self) -> EventHandle {
+        let mut inner = self.dev.inner.lock();
+        let id = inner.next_event;
+        inner.next_event += 1;
+        let mark = EventMark {
+            job: inner.stream_last_job.get(&self.stream.0).copied(),
+            fallback: inner
+                .stream_end
+                .get(&self.stream.0)
+                .copied()
+                .unwrap_or(SimTime::ZERO),
+        };
+        inner.events_pending.insert(id, mark);
+        EventHandle(id)
+    }
+
+    /// The resolved time of an event; `None` until a sync has resolved
+    /// it (CUDA's `cudaEventQuery` returning not-ready).
+    pub fn event_time(&self, ev: EventHandle) -> Option<SimTime> {
+        self.dev.inner.lock().events_resolved.get(&ev.0).copied()
+    }
+
+    /// Elapsed virtual time between two resolved events (CUDA's
+    /// `cudaEventElapsedTime`); `None` if either is unresolved.
+    pub fn event_elapsed(&self, start: EventHandle, end: EventHandle) -> Option<SimDuration> {
+        let inner = self.dev.inner.lock();
+        let a = inner.events_resolved.get(&start.0)?;
+        let b = inner.events_resolved.get(&end.0)?;
+        Some(*b - *a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k80() -> Device {
+        Device::new(0, DeviceSpec::tesla_k80())
+    }
+
+    fn desc() -> KernelDesc {
+        KernelDesc::new("k", 60.0, 16.0)
+    }
+
+    #[test]
+    fn exclusive_client_launch_and_sync() {
+        let (_dev, client) = SharedDevice::new_exclusive(k80(), 0).unwrap();
+        let overhead = client
+            .launch(&desc(), KernelShape::new(1_000_000, 320), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(overhead, DeviceSpec::tesla_k80().launch_overhead);
+        let end = client.sync(SimTime::ZERO);
+        assert!(end > SimTime::ZERO);
+    }
+
+    #[test]
+    fn sync_without_launches_returns_at() {
+        let (_dev, client) = SharedDevice::new_exclusive(k80(), 0).unwrap();
+        let at = SimTime::from_nanos(123);
+        assert_eq!(client.sync(at), at);
+    }
+
+    #[test]
+    fn epochs_advance_per_sync_round() {
+        let (dev, client) = SharedDevice::new_exclusive(k80(), 0).unwrap();
+        assert_eq!(dev.epoch(), 0);
+        client.sync(SimTime::ZERO);
+        client.sync(SimTime::ZERO);
+        assert_eq!(dev.epoch(), 2);
+    }
+
+    #[test]
+    fn mps_clients_rendezvous_across_threads() {
+        let (dev, clients) = SharedDevice::new_mps(k80(), &[0, 1, 2, 3]).unwrap();
+        let zones = 2_000_000u64;
+        let ends: Vec<SimTime> = std::thread::scope(|s| {
+            let handles: Vec<_> = clients
+                .iter()
+                .map(|c| {
+                    s.spawn(move || {
+                        c.launch(&desc(), KernelShape::new(zones, 40), SimTime::ZERO)
+                            .unwrap();
+                        c.sync(SimTime::ZERO)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(ends.len(), 4);
+        assert!(ends.iter().all(|&e| e > SimTime::ZERO));
+        assert_eq!(dev.epoch(), 1);
+        assert_eq!(dev.total_launches(), 4);
+    }
+
+    #[test]
+    fn mps_small_kernels_beat_exclusive_serialization() {
+        // The end-to-end MPS effect through the shared-device path:
+        // 4 clients with small-x kernels finish sooner than one
+        // exclusive client doing 4 kernels' worth of work.
+        let zones_total = 8_000_000u64;
+        let inner_dim = 40;
+
+        let (_d1, solo) = SharedDevice::new_exclusive(k80(), 0).unwrap();
+        solo.launch(&desc(), KernelShape::new(zones_total, inner_dim), SimTime::ZERO)
+            .unwrap();
+        let solo_end = solo.sync(SimTime::ZERO);
+
+        let (_d2, clients) =
+            SharedDevice::new_mps(Device::new(1, DeviceSpec::tesla_k80()), &[0, 1, 2, 3]).unwrap();
+        let ends: Vec<SimTime> = std::thread::scope(|s| {
+            clients
+                .iter()
+                .map(|c| {
+                    s.spawn(move || {
+                        c.launch(
+                            &desc(),
+                            KernelShape::new(zones_total / 4, inner_dim),
+                            SimTime::ZERO,
+                        )
+                        .unwrap();
+                        c.sync(SimTime::ZERO)
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let mps_end = ends.into_iter().fold(SimTime::ZERO, SimTime::merge);
+        assert!(
+            mps_end < solo_end,
+            "MPS {mps_end} should beat exclusive {solo_end}"
+        );
+    }
+
+    #[test]
+    fn mps_launch_overhead_is_elevated() {
+        let (_dev, clients) = SharedDevice::new_mps(k80(), &[0, 1]).unwrap();
+        let overhead = clients[0]
+            .launch(&desc(), KernelShape::new(1000, 10), SimTime::ZERO)
+            .unwrap();
+        assert!(overhead > DeviceSpec::tesla_k80().launch_overhead);
+    }
+
+    #[test]
+    fn events_resolve_to_stream_completion_times() {
+        let (_dev, client) = SharedDevice::new_exclusive(k80(), 0).unwrap();
+        let start = client.record_event();
+        client
+            .launch(&desc(), KernelShape::new(4_000_000, 320), SimTime::ZERO)
+            .unwrap();
+        let end = client.record_event();
+        assert!(client.event_time(end).is_none(), "unresolved before sync");
+        let sync_end = client.sync(SimTime::ZERO);
+        // `start` was recorded on an empty stream: resolves to zero;
+        // `end` resolves to the kernel's completion.
+        assert_eq!(client.event_time(start), Some(SimTime::ZERO));
+        assert_eq!(client.event_time(end), Some(sync_end));
+        let elapsed = client.event_elapsed(start, end).unwrap();
+        assert!(elapsed > hsim_time::SimDuration::ZERO);
+    }
+
+    #[test]
+    fn events_measure_per_cycle_gpu_time() {
+        // The load-balancer use case: bracket a batch of kernels with
+        // events and read the GPU time back.
+        let (_dev, client) = SharedDevice::new_exclusive(k80(), 0).unwrap();
+        client
+            .launch(&desc(), KernelShape::new(2_000_000, 320), SimTime::ZERO)
+            .unwrap();
+        client.sync(SimTime::ZERO);
+        let before = client.record_event();
+        for _ in 0..3 {
+            client
+                .launch(&desc(), KernelShape::new(2_000_000, 320), SimTime::ZERO)
+                .unwrap();
+        }
+        let after = client.record_event();
+        client.sync(SimTime::ZERO);
+        let gpu_time = client.event_elapsed(before, after).unwrap();
+        assert!(gpu_time > hsim_time::SimDuration::ZERO);
+    }
+
+    #[test]
+    fn streams_keep_clients_ordered_within_themselves() {
+        let (_dev, client) = SharedDevice::new_exclusive(k80(), 0).unwrap();
+        // Two launches on the same client serialize: total ≈ 2x one.
+        client
+            .launch(&desc(), KernelShape::new(4_000_000, 320), SimTime::ZERO)
+            .unwrap();
+        let one = client.sync(SimTime::ZERO);
+        client
+            .launch(&desc(), KernelShape::new(4_000_000, 320), SimTime::ZERO)
+            .unwrap();
+        client
+            .launch(&desc(), KernelShape::new(4_000_000, 320), SimTime::ZERO)
+            .unwrap();
+        let two = client.sync(SimTime::ZERO);
+        let d_one = one - SimTime::ZERO;
+        let d_two = two - SimTime::ZERO;
+        let ratio = d_two.ratio(d_one);
+        assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    }
+}

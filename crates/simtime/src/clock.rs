@@ -1,0 +1,217 @@
+//! Per-rank virtual clocks.
+//!
+//! Each simulated MPI rank owns a [`RankClock`]. Compute and
+//! communication charge durations to it; synchronization points merge
+//! clocks Lamport-style (`max`). Between synchronization points the
+//! clock also accumulates per-category buckets so that the reporting
+//! layer can attribute time to compute / communication / launch
+//! overhead / memory traffic, which is how the paper's discussion
+//! reasons about the modes.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Broad attribution buckets for charged time.
+///
+/// These mirror the cost terms the paper identifies: kernel compute,
+/// kernel-launch overhead, data transfer / memory traffic, MPI
+/// communication, and host-side serial control code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChargeKind {
+    /// Arithmetic inside a kernel (CPU or GPU).
+    Compute,
+    /// Kernel launch overhead (host → device submit path).
+    Launch,
+    /// Memory traffic: UM migration, host staging, pool operations.
+    Memory,
+    /// MPI point-to-point and collective time.
+    Comm,
+    /// Serial host control code between kernels.
+    Control,
+    /// Time spent waiting on another rank or on the device.
+    Wait,
+}
+
+impl ChargeKind {
+    /// All kinds, in reporting order.
+    pub const ALL: [ChargeKind; 6] = [
+        ChargeKind::Compute,
+        ChargeKind::Launch,
+        ChargeKind::Memory,
+        ChargeKind::Comm,
+        ChargeKind::Control,
+        ChargeKind::Wait,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            ChargeKind::Compute => 0,
+            ChargeKind::Launch => 1,
+            ChargeKind::Memory => 2,
+            ChargeKind::Comm => 3,
+            ChargeKind::Control => 4,
+            ChargeKind::Wait => 5,
+        }
+    }
+
+    /// Short label used in CSV headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChargeKind::Compute => "compute",
+            ChargeKind::Launch => "launch",
+            ChargeKind::Memory => "memory",
+            ChargeKind::Comm => "comm",
+            ChargeKind::Control => "control",
+            ChargeKind::Wait => "wait",
+        }
+    }
+}
+
+/// The virtual clock owned by one simulated rank.
+#[derive(Debug, Clone)]
+pub struct RankClock {
+    rank: usize,
+    now: SimTime,
+    buckets: [SimDuration; 6],
+}
+
+impl RankClock {
+    /// A fresh clock at the simulated epoch.
+    pub fn new(rank: usize) -> Self {
+        RankClock {
+            rank,
+            now: SimTime::ZERO,
+            buckets: [SimDuration::ZERO; 6],
+        }
+    }
+
+    /// The rank this clock belongs to.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Current simulated instant.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Charge `d` of kind `kind`, advancing the clock.
+    #[inline]
+    pub fn charge(&mut self, kind: ChargeKind, d: SimDuration) {
+        self.now += d;
+        self.buckets[kind.index()] += d;
+    }
+
+    /// Advance to `t` if it is in the future, attributing the gap to
+    /// [`ChargeKind::Wait`]. Used when a receive or a device
+    /// synchronization blocks until another timeline catches up.
+    pub fn wait_until(&mut self, t: SimTime) {
+        if t > self.now {
+            let gap = t - self.now;
+            self.now = t;
+            self.buckets[ChargeKind::Wait.index()] += gap;
+        }
+    }
+
+    /// Merge with another rank's announced instant (e.g. a message
+    /// arrival time): identical to [`RankClock::wait_until`].
+    #[inline]
+    pub fn merge(&mut self, t: SimTime) {
+        self.wait_until(t);
+    }
+
+    /// Time accumulated in one bucket.
+    #[inline]
+    pub fn bucket(&self, kind: ChargeKind) -> SimDuration {
+        self.buckets[kind.index()]
+    }
+
+    /// Sum of all buckets (equals `now` for a clock that never merged
+    /// forward past its own charges).
+    pub fn total_charged(&self) -> SimDuration {
+        self.buckets.iter().copied().sum()
+    }
+
+    /// Reset the attribution buckets but keep the current instant.
+    /// Called by the runner at cycle boundaries so per-cycle breakdowns
+    /// can be reported.
+    pub fn reset_buckets(&mut self) {
+        self.buckets = [SimDuration::ZERO; 6];
+    }
+
+    /// A snapshot of (kind, duration) pairs in reporting order.
+    pub fn breakdown(&self) -> Vec<(ChargeKind, SimDuration)> {
+        ChargeKind::ALL
+            .iter()
+            .map(|&k| (k, self.buckets[k.index()]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_advances_and_attributes() {
+        let mut c = RankClock::new(3);
+        c.charge(ChargeKind::Compute, SimDuration::from_nanos(100));
+        c.charge(ChargeKind::Comm, SimDuration::from_nanos(40));
+        assert_eq!(c.rank(), 3);
+        assert_eq!(c.now(), SimTime::from_nanos(140));
+        assert_eq!(c.bucket(ChargeKind::Compute), SimDuration::from_nanos(100));
+        assert_eq!(c.bucket(ChargeKind::Comm), SimDuration::from_nanos(40));
+        assert_eq!(c.bucket(ChargeKind::Launch), SimDuration::ZERO);
+        assert_eq!(c.total_charged(), SimDuration::from_nanos(140));
+    }
+
+    #[test]
+    fn wait_until_only_moves_forward() {
+        let mut c = RankClock::new(0);
+        c.charge(ChargeKind::Compute, SimDuration::from_nanos(50));
+        c.wait_until(SimTime::from_nanos(30)); // in the past: no-op
+        assert_eq!(c.now(), SimTime::from_nanos(50));
+        assert_eq!(c.bucket(ChargeKind::Wait), SimDuration::ZERO);
+        c.wait_until(SimTime::from_nanos(80));
+        assert_eq!(c.now(), SimTime::from_nanos(80));
+        assert_eq!(c.bucket(ChargeKind::Wait), SimDuration::from_nanos(30));
+    }
+
+    #[test]
+    fn merge_is_wait_until() {
+        let mut a = RankClock::new(0);
+        let mut b = RankClock::new(1);
+        a.charge(ChargeKind::Compute, SimDuration::from_nanos(10));
+        b.charge(ChargeKind::Compute, SimDuration::from_nanos(25));
+        a.merge(b.now());
+        assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn reset_buckets_keeps_now() {
+        let mut c = RankClock::new(0);
+        c.charge(ChargeKind::Launch, SimDuration::from_micros(2));
+        c.reset_buckets();
+        assert_eq!(c.now(), SimTime::from_nanos(2_000));
+        assert_eq!(c.total_charged(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn breakdown_reports_all_kinds_in_order() {
+        let mut c = RankClock::new(0);
+        c.charge(ChargeKind::Memory, SimDuration::from_nanos(7));
+        let bd = c.breakdown();
+        assert_eq!(bd.len(), 6);
+        assert_eq!(bd[2], (ChargeKind::Memory, SimDuration::from_nanos(7)));
+        assert!(bd.iter().all(|(k, _)| ChargeKind::ALL.contains(k)));
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = ChargeKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 6);
+    }
+}

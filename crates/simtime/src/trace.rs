@@ -1,0 +1,274 @@
+//! Span traces and an ASCII Gantt renderer.
+//!
+//! The cooperative runner can record `(rank, category, start, end,
+//! label)` spans. Examples render them as a terminal Gantt chart, which
+//! makes the paper's Figures 1–4 (who computes when, on what resource)
+//! directly observable from a run.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Which resource a span occupied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanCategory {
+    /// CPU-core kernel execution.
+    CpuKernel,
+    /// GPU kernel execution (charged on the device timeline).
+    GpuKernel,
+    /// Kernel launch / driver submit path.
+    Launch,
+    /// Halo exchange and collectives.
+    Comm,
+    /// Unified-memory or staging traffic.
+    Memory,
+    /// Waiting on a peer or device.
+    Idle,
+}
+
+impl SpanCategory {
+    /// One-character glyph for the Gantt renderer.
+    pub fn glyph(self) -> char {
+        match self {
+            SpanCategory::CpuKernel => 'C',
+            SpanCategory::GpuKernel => 'G',
+            SpanCategory::Launch => 'l',
+            SpanCategory::Comm => 'x',
+            SpanCategory::Memory => 'm',
+            SpanCategory::Idle => '.',
+        }
+    }
+}
+
+/// One recorded interval on a rank's timeline.
+#[derive(Debug, Clone)]
+pub struct Span {
+    pub rank: usize,
+    pub category: SpanCategory,
+    pub start: SimTime,
+    pub end: SimTime,
+    pub label: &'static str,
+}
+
+impl Span {
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+/// A collection of spans with rendering helpers.
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    spans: Vec<Span>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A disabled trace: `record` is a no-op. This is the default so hot
+    /// paths pay one branch when tracing is off.
+    pub fn disabled() -> Self {
+        Trace {
+            spans: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// An enabled trace that stores every recorded span.
+    pub fn enabled() -> Self {
+        Trace {
+            spans: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record a span if tracing is enabled. Spans with `end < start` are
+    /// clamped to zero length rather than rejected.
+    pub fn record(
+        &mut self,
+        rank: usize,
+        category: SpanCategory,
+        start: SimTime,
+        end: SimTime,
+        label: &'static str,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let end = end.merge(start);
+        self.spans.push(Span {
+            rank,
+            category,
+            start,
+            end,
+            label,
+        });
+    }
+
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Merge spans recorded by another trace (e.g. another rank thread).
+    pub fn absorb(&mut self, other: Trace) {
+        if self.enabled {
+            self.spans.extend(other.spans);
+        }
+    }
+
+    /// Total time attributed to `category` across all spans.
+    pub fn total(&self, category: SpanCategory) -> SimDuration {
+        self.spans
+            .iter()
+            .filter(|s| s.category == category)
+            .map(Span::duration)
+            .sum()
+    }
+
+    /// The latest end time over all spans (the makespan).
+    pub fn makespan(&self) -> SimTime {
+        self.spans
+            .iter()
+            .map(|s| s.end)
+            .fold(SimTime::ZERO, SimTime::merge)
+    }
+
+    /// Serialize spans to CSV (`rank,category,start_ns,end_ns,label`)
+    /// for external tooling.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("rank,category,start_ns,end_ns,label\n");
+        for s in &self.spans {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                s.rank,
+                s.category.glyph(),
+                s.start.as_nanos(),
+                s.end.as_nanos(),
+                s.label
+            ));
+        }
+        out
+    }
+
+    /// Render an ASCII Gantt chart, one row per rank, `width` columns
+    /// covering `[0, makespan]`. Later spans overwrite earlier ones in
+    /// the same cell; empty cells are spaces.
+    pub fn render_gantt(&self, width: usize) -> String {
+        let width = width.max(10);
+        let makespan = self.makespan();
+        if makespan == SimTime::ZERO || self.spans.is_empty() {
+            return String::from("(empty trace)\n");
+        }
+        let max_rank = self.spans.iter().map(|s| s.rank).max().unwrap_or(0);
+        let mut rows = vec![vec![' '; width]; max_rank + 1];
+        let span_ns = makespan.as_nanos() as f64;
+        for s in &self.spans {
+            let c0 = ((s.start.as_nanos() as f64 / span_ns) * width as f64) as usize;
+            let c1 = ((s.end.as_nanos() as f64 / span_ns) * width as f64).ceil() as usize;
+            let c1 = c1.clamp(c0 + 1, width);
+            for cell in &mut rows[s.rank][c0.min(width - 1)..c1] {
+                *cell = s.category.glyph();
+            }
+        }
+        let mut out = String::with_capacity((width + 16) * rows.len());
+        for (rank, row) in rows.iter().enumerate() {
+            out.push_str(&format!("r{rank:>3} |"));
+            out.extend(row.iter());
+            out.push_str("|\n");
+        }
+        out.push_str(&format!(
+            "      0{:>w$}\n",
+            format!("{makespan}"),
+            w = width
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut tr = Trace::disabled();
+        tr.record(0, SpanCategory::CpuKernel, t(0), t(10), "k");
+        assert!(tr.is_empty());
+        assert!(!tr.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_records_and_totals() {
+        let mut tr = Trace::enabled();
+        tr.record(0, SpanCategory::GpuKernel, t(0), t(10), "a");
+        tr.record(1, SpanCategory::GpuKernel, t(5), t(25), "b");
+        tr.record(0, SpanCategory::Comm, t(10), t(14), "halo");
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.total(SpanCategory::GpuKernel), SimDuration::from_nanos(30));
+        assert_eq!(tr.total(SpanCategory::Comm), SimDuration::from_nanos(4));
+        assert_eq!(tr.makespan(), t(25));
+    }
+
+    #[test]
+    fn inverted_spans_clamp_to_zero_length() {
+        let mut tr = Trace::enabled();
+        tr.record(0, SpanCategory::Idle, t(20), t(5), "bad");
+        assert_eq!(tr.spans()[0].duration(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn absorb_merges_spans() {
+        let mut a = Trace::enabled();
+        let mut b = Trace::enabled();
+        a.record(0, SpanCategory::CpuKernel, t(0), t(5), "a");
+        b.record(1, SpanCategory::CpuKernel, t(0), t(7), "b");
+        a.absorb(b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn gantt_renders_one_row_per_rank() {
+        let mut tr = Trace::enabled();
+        tr.record(0, SpanCategory::GpuKernel, t(0), t(100), "g");
+        tr.record(1, SpanCategory::CpuKernel, t(0), t(50), "c");
+        let chart = tr.render_gantt(40);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3); // two ranks + axis
+        assert!(lines[0].contains('G'));
+        assert!(lines[1].contains('C'));
+        // Rank 1 busy only half the time: fewer glyphs than rank 0.
+        let g = lines[0].matches('G').count();
+        let c = lines[1].matches('C').count();
+        assert!(c < g);
+    }
+
+    #[test]
+    fn gantt_empty_trace_is_graceful() {
+        let tr = Trace::enabled();
+        assert_eq!(tr.render_gantt(40), "(empty trace)\n");
+    }
+
+    #[test]
+    fn csv_has_one_line_per_span_plus_header() {
+        let mut tr = Trace::enabled();
+        tr.record(0, SpanCategory::GpuKernel, t(0), t(10), "a");
+        tr.record(1, SpanCategory::Comm, t(5), t(9), "halo");
+        let csv = tr.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.contains("1,x,5,9,halo"));
+    }
+}

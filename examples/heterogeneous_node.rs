@@ -1,0 +1,57 @@
+//! The paper's core comparison (Figures 1–4): the same problem run in
+//! all four node-utilization modes, with per-rank time breakdowns.
+//!
+//! ```sh
+//! cargo run --release --example heterogeneous_node
+//! ```
+
+use heterosim::core::{run_balanced, ExecMode, RunConfig};
+
+fn main() {
+    let grid = (320, 480, 160); // a mid-size Figure 18 point
+    println!(
+        "Sedov on a simulated RZHasGPU node, grid {}x{}x{} = {} zones, 10 cycles",
+        grid.0,
+        grid.1,
+        grid.2,
+        grid.0 * grid.1 * grid.2
+    );
+    println!();
+
+    let mut default_runtime = None;
+    for mode in [
+        ExecMode::CpuOnly,
+        ExecMode::Default,
+        ExecMode::mps4(),
+        ExecMode::hetero(),
+    ] {
+        let cfg = RunConfig::sweep(grid, mode);
+        let (r, lb) = run_balanced(&cfg).expect("mode runs");
+        let vs_default = match default_runtime {
+            Some(d) => format!("{:+6.1}% vs Default", (r.runtime.as_secs_f64() / d - 1.0) * 100.0),
+            None => String::new(),
+        };
+        if matches!(mode, ExecMode::Default) {
+            default_runtime = Some(r.runtime.as_secs_f64());
+        }
+        println!(
+            "{:24} runtime {:>8.4}s  ranks {:>2}  cpu share {:>5.2}%  {}",
+            r.mode_label,
+            r.runtime.as_secs_f64(),
+            r.ranks.len(),
+            r.cpu_fraction * 100.0,
+            vs_default
+        );
+        if matches!(mode, ExecMode::Heterogeneous { .. }) {
+            println!(
+                "  balancer history: {:?}",
+                lb.history.iter().map(|f| (f * 1e4).round() / 1e4).collect::<Vec<_>>()
+            );
+            println!();
+            println!("  heterogeneous per-rank breakdown:");
+            for line in r.breakdown_table().lines() {
+                println!("  {line}");
+            }
+        }
+    }
+}

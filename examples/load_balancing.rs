@@ -1,0 +1,59 @@
+//! The §6.2 load balancer at work: start from the FLOPS guess, feed
+//! back measured CPU/GPU times, converge — then compare against naive
+//! fixed splits and against the projected fixed-compiler node.
+//!
+//! ```sh
+//! cargo run --release --example load_balancing
+//! ```
+
+use heterosim::core::runner::run_with_fraction;
+use heterosim::core::{run_balanced, ExecMode, NodeConfig, RunConfig};
+use heterosim::raja::Fidelity;
+
+fn main() {
+    let grid = (450, 480, 160);
+    let cfg = RunConfig::sweep(grid, ExecMode::hetero());
+
+    println!("heterogeneous load balancing on grid {grid:?} ({} zones)", grid.0 * grid.1 * grid.2);
+    let (balanced, lb) = run_balanced(&cfg).expect("balanced run");
+    println!();
+    println!("balancer trajectory (CPU fraction per iteration):");
+    for (i, f) in lb.history.iter().enumerate() {
+        println!("  iter {i}: {:.4} ({:.2}% of zones)", f, f * 100.0);
+    }
+    println!("converged: {}", lb.converged(0.002));
+    println!("balanced runtime: {:.4}s at cpu share {:.2}%",
+        balanced.runtime.as_secs_f64(),
+        balanced.cpu_fraction * 100.0
+    );
+
+    println!();
+    println!("naive splits for comparison:");
+    for f in [0.005, 0.02, 0.08, 0.15] {
+        let r = run_with_fraction(&cfg, f).expect("fixed-fraction run");
+        println!(
+            "  fixed {:>5.1}% -> runtime {:.4}s (realized {:.2}%)",
+            f * 100.0,
+            r.runtime.as_secs_f64(),
+            r.cpu_fraction * 100.0
+        );
+    }
+
+    // The paper's projection: once the nvcc decorated-lambda bug is
+    // fixed, significantly more work can go to the CPUs.
+    let fixed_node = RunConfig {
+        node: NodeConfig::rzhasgpu_fixed_compiler(),
+        fidelity: Fidelity::CostOnly,
+        ..cfg.clone()
+    };
+    let (projected, lb2) = run_balanced(&fixed_node).expect("projected run");
+    println!();
+    println!(
+        "with the compiler issue resolved: cpu share {:.2}% (vs {:.2}%), runtime {:.4}s (vs {:.4}s)",
+        projected.cpu_fraction * 100.0,
+        balanced.cpu_fraction * 100.0,
+        projected.runtime.as_secs_f64(),
+        balanced.runtime.as_secs_f64()
+    );
+    println!("projected balancer: {:?}", lb2.history.iter().map(|f| (f * 1e4).round() / 1e4).collect::<Vec<_>>());
+}

@@ -1,0 +1,49 @@
+//! Multi-physics on the heterogeneous node: hydro + thermal diffusion
+//! run cooperatively across all four execution modes.
+//!
+//! ```sh
+//! cargo run --release --example multiphysics
+//! ```
+
+use heterosim::core::{run, ExecMode, RunConfig};
+use heterosim::hydro::DiffusionConfig;
+
+fn main() {
+    let grid = (256, 240, 160);
+    println!(
+        "hydro + diffusion packages on {}x{}x{} = {} zones (10 cycles)",
+        grid.0,
+        grid.1,
+        grid.2,
+        grid.0 * grid.1 * grid.2
+    );
+    println!();
+    println!("{:24} {:>12} {:>12} {:>10}", "mode", "hydro-only", "+diffusion", "overhead");
+    for mode in [
+        ExecMode::Default,
+        ExecMode::mps4(),
+        ExecMode::hetero(),
+        ExecMode::CpuOnly,
+    ] {
+        let base_cfg = RunConfig::sweep(grid, mode);
+        let base = run(&base_cfg).expect("hydro-only run");
+        let multi_cfg = RunConfig {
+            diffusion: Some(DiffusionConfig { kappa: 1e-3 }),
+            ..base_cfg
+        };
+        let multi = run(&multi_cfg).expect("multi-physics run");
+        println!(
+            "{:24} {:>10.4}s {:>10.4}s {:>9.1}%",
+            base.mode_label,
+            base.runtime.as_secs_f64(),
+            multi.runtime.as_secs_f64(),
+            (multi.runtime.as_secs_f64() / base.runtime.as_secs_f64() - 1.0) * 100.0
+        );
+    }
+    println!();
+    println!(
+        "The diffusion package adds the same relative cost in every mode: its kernels\n\
+         run through the identical portability layer and decomposition, which is the\n\
+         paper's single-source premise extended to a second physics package."
+    );
+}

@@ -1,0 +1,78 @@
+//! The Sod shock tube against its exact Riemann solution, at first
+//! and second (MUSCL) order.
+//!
+//! ```sh
+//! cargo run --release --example sod_shocktube
+//! ```
+
+use heterosim::hydro::muscl::Reconstruction;
+use heterosim::hydro::sod::{self, axial_density, exact_solution, SodConfig};
+use heterosim::hydro::{step_with, HydroState, SoloCoupler};
+use heterosim::mesh::{GlobalGrid, Subdomain};
+use heterosim::raja::{CpuModel, Executor, Fidelity, Target};
+use heterosim::time::RankClock;
+
+fn run_tube(n: usize, recon: Reconstruction) -> (Vec<f64>, f64) {
+    let grid = GlobalGrid::new(n, 4, 4);
+    let ghost = match recon {
+        Reconstruction::FirstOrder => 1,
+        Reconstruction::Muscl => 2,
+    };
+    let sub = Subdomain::new([0, 0, 0], [n, 4, 4], ghost);
+    let mut st = HydroState::new(grid, sub, Fidelity::Full);
+    sod::init(&mut st, &SodConfig::default());
+    let mut exec = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::Full);
+    let mut clock = RankClock::new(0);
+    let mut solo = SoloCoupler;
+    while st.t < 0.15 {
+        step_with(&mut st, &mut exec, &mut clock, &mut solo, 0.25, 1.0, recon).expect("cycle");
+    }
+    let t = st.t;
+    (axial_density(&st), t)
+}
+
+fn main() {
+    let n = 128;
+    let cfg = SodConfig::default();
+    println!("Sod shock tube, {n} zones, t = 0.15 (density profiles)");
+    println!();
+
+    let (first, t1) = run_tube(n, Reconstruction::FirstOrder);
+    let (second, _) = run_tube(n, Reconstruction::Muscl);
+
+    let grid = GlobalGrid::new(n, 4, 4);
+    let (dx, _, _) = grid.spacing();
+    let x0 = cfg.diaphragm * grid.lx;
+
+    println!("   x      exact   1st-ord  muscl    | profile (e=exact, 1=first, 2=muscl)");
+    let mut l1_first = 0.0;
+    let mut l1_second = 0.0;
+    for i in (0..n).step_by(4) {
+        let x = (i as f64 + 0.5) * dx;
+        let exact = exact_solution(&cfg.left, &cfg.right, (x - x0) / t1).rho;
+        let f = first[i];
+        let s = second[i];
+        let bar = |v: f64| ((v / 1.1) * 40.0) as usize;
+        let mut row = vec![' '; 44];
+        row[bar(exact).min(43)] = 'e';
+        row[bar(f).min(43)] = '1';
+        row[bar(s).min(43)] = '2';
+        println!(
+            "{x:>6.3}  {exact:>7.4}  {f:>7.4}  {s:>7.4}  |{}",
+            row.iter().collect::<String>()
+        );
+    }
+    for i in 0..n {
+        let x = (i as f64 + 0.5) * dx;
+        let exact = exact_solution(&cfg.left, &cfg.right, (x - x0) / t1).rho;
+        l1_first += (first[i] - exact).abs();
+        l1_second += (second[i] - exact).abs();
+    }
+    println!();
+    println!(
+        "L1 density error: first-order {:.5}, MUSCL {:.5} ({:.1}x better)",
+        l1_first / n as f64,
+        l1_second / n as f64,
+        l1_first / l1_second
+    );
+}

@@ -1,0 +1,183 @@
+//! Command-line driver for the cooperative heterogeneous runner.
+//!
+//! ```text
+//! heterosim [--mode default|mps|hetero|cpuonly] [--grid X,Y,Z]
+//!           [--cycles N] [--full] [--node rzhasgpu|fixed|sierra]
+//!           [--gpu-direct] [--diffusion KAPPA] [--multipolicy N]
+//!           [--no-balance] [--trace] [--csv]
+//! ```
+//!
+//! Examples:
+//! ```sh
+//! cargo run --release --bin heterosim -- --mode hetero --grid 600,480,160
+//! cargo run --release --bin heterosim -- --mode mps --grid 320,240,160 --trace
+//! ```
+
+use heterosim::core::{run_balanced, runner, ExecMode, NodeConfig, RunConfig, RunResult};
+use heterosim::hydro::DiffusionConfig;
+use heterosim::raja::Fidelity;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: heterosim [--mode default|mps|hetero|cpuonly] [--grid X,Y,Z]\n\
+         \x20                [--cycles N] [--full] [--node rzhasgpu|fixed|sierra]\n\
+         \x20                [--gpu-direct] [--diffusion KAPPA] [--multipolicy N]\n\
+         \x20                [--fraction F] [--problem sedov|sod|perturbed] [--trace] [--csv]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_grid(s: &str) -> (usize, usize, usize) {
+    let parts: Vec<usize> = s
+        .split(',')
+        .map(|p| p.trim().parse().unwrap_or_else(|_| usage()))
+        .collect();
+    match parts.as_slice() {
+        [x, y, z] => (*x, *y, *z),
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let mut mode = ExecMode::hetero();
+    let mut grid = (320, 480, 160);
+    let mut cycles = 10u64;
+    let mut fidelity = Fidelity::CostOnly;
+    let mut node = NodeConfig::rzhasgpu();
+    let mut gpu_direct = false;
+    let mut diffusion = None;
+    let mut multipolicy = 0u64;
+    let mut fraction: Option<f64> = None;
+    let mut trace = false;
+    let mut csv = false;
+    let mut problem_choice = heterosim::core::runner::Problem::default();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--mode" => {
+                mode = match value().as_str() {
+                    "default" => ExecMode::Default,
+                    "mps" => ExecMode::mps4(),
+                    "hetero" => ExecMode::hetero(),
+                    "cpuonly" => ExecMode::CpuOnly,
+                    _ => usage(),
+                }
+            }
+            "--grid" => grid = parse_grid(&value()),
+            "--cycles" => cycles = value().parse().unwrap_or_else(|_| usage()),
+            "--full" => fidelity = Fidelity::Full,
+            "--node" => {
+                node = match value().as_str() {
+                    "rzhasgpu" => NodeConfig::rzhasgpu(),
+                    "fixed" => NodeConfig::rzhasgpu_fixed_compiler(),
+                    "sierra" => NodeConfig::sierra_ea(),
+                    _ => usage(),
+                }
+            }
+            "--gpu-direct" => gpu_direct = true,
+            "--diffusion" => {
+                diffusion = Some(DiffusionConfig {
+                    kappa: value().parse().unwrap_or_else(|_| usage()),
+                })
+            }
+            "--multipolicy" => multipolicy = value().parse().unwrap_or_else(|_| usage()),
+            "--fraction" => fraction = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--trace" => trace = true,
+            "--csv" => csv = true,
+            "--problem" => {
+                problem_choice = match value().as_str() {
+                    "sedov" => heterosim::core::runner::Problem::default(),
+                    "sod" => heterosim::core::runner::Problem::Sod(Default::default()),
+                    "perturbed" => {
+                        heterosim::core::runner::Problem::Perturbed(Default::default())
+                    }
+                    _ => usage(),
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+
+    if let (ExecMode::Heterogeneous { cpu_fraction }, Some(f)) = (&mut mode, fraction) {
+        *cpu_fraction = Some(f);
+    }
+    let cfg = RunConfig {
+        grid,
+        mode,
+        node,
+        cycles,
+        fidelity,
+        gpu_direct,
+        diffusion,
+        multipolicy_threshold: multipolicy,
+        trace,
+        problem: problem_choice,
+    };
+
+    let (result, lb) = match run_balanced(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if csv {
+        println!("{}", RunResult::csv_header());
+        println!("{}", result.csv_row());
+        return;
+    }
+
+    println!("mode:            {}", result.mode_label);
+    println!(
+        "grid:            {} x {} x {} = {} zones",
+        grid.0, grid.1, grid.2, result.zones
+    );
+    println!("node:            {}", cfg.node.name);
+    println!("cycles:          {}", result.cycles);
+    println!("ranks:           {}", result.ranks.len());
+    println!("runtime:         {:.6} simulated seconds", result.runtime.as_secs_f64());
+    if result.cpu_fraction > 0.0 {
+        println!(
+            "CPU share:       {:.2}% (balancer: {:?})",
+            result.cpu_fraction * 100.0,
+            lb.history
+                .iter()
+                .map(|f| (f * 1e4).round() / 1e4)
+                .collect::<Vec<_>>()
+        );
+    }
+    println!("kernel launches: {}", result.total_launches());
+    println!("MPI bytes:       {}", result.total_bytes_sent());
+    if matches!(cfg.mode, ExecMode::Heterogeneous { .. }) {
+        // Context: what the other modes would cost.
+        for other in [ExecMode::Default, ExecMode::mps4()] {
+            let other_cfg = RunConfig {
+                mode: other,
+                trace: false,
+                ..cfg.clone()
+            };
+            if let Ok(r) = runner::run(&other_cfg) {
+                println!(
+                    "vs {:22} {:.6} s ({:+.1}%)",
+                    r.mode_label,
+                    r.runtime.as_secs_f64(),
+                    (result.runtime.as_secs_f64() / r.runtime.as_secs_f64() - 1.0) * 100.0
+                );
+            }
+        }
+    }
+    println!();
+    println!("{}", result.breakdown_table());
+    if let Some(t) = &result.trace {
+        println!("timeline (G = GPU-driving rank busy, C = CPU rank busy, . = waiting):");
+        println!("{}", t.render_gantt(96));
+    }
+}

@@ -1,0 +1,342 @@
+//! Property-based tests over the core data structures and invariants
+//! of the stack (proptest).
+
+use proptest::prelude::*;
+
+use heterosim::gpu::{Job, RateSharingTimeline};
+use heterosim::mesh::decomp::weighted::{weighted_hetero_decomp, WeightedConfig};
+use heterosim::mesh::decomp::{block_decomp, block_decomp_yz};
+use heterosim::mesh::{Centering, Field, GlobalGrid, HaloPlan, Side, Subdomain};
+use heterosim::time::{SimDuration, SimTime, Welford};
+
+proptest! {
+    /// Any block decomposition covers the grid exactly once.
+    #[test]
+    fn block_decomposition_always_valid(
+        nx in 4usize..40,
+        ny in 4usize..40,
+        nz in 4usize..40,
+        n in 1usize..17,
+    ) {
+        let grid = GlobalGrid::new(nx, ny, nz);
+        // Skip infeasible splits (more parts than zones on an axis).
+        let d = std::panic::catch_unwind(|| block_decomp(grid, n, 1));
+        if let Ok(d) = d {
+            prop_assert!(d.validate().is_ok(), "{:?}", d.validate());
+            prop_assert_eq!(d.len(), n);
+        }
+    }
+
+    /// The x-pinned decomposition never cuts x and stays valid.
+    #[test]
+    fn yz_decomposition_never_cuts_x(
+        nx in 4usize..64,
+        ny in 8usize..64,
+        nz in 8usize..64,
+        n in 1usize..9,
+    ) {
+        let grid = GlobalGrid::new(nx, ny, nz);
+        let d = std::panic::catch_unwind(|| block_decomp_yz(grid, n, 1));
+        if let Ok(d) = d {
+            prop_assert!(d.validate().is_ok());
+            for s in &d.domains {
+                prop_assert_eq!(s.extent(0), nx);
+            }
+        }
+    }
+
+    /// The weighted heterogeneous decomposition is valid for any
+    /// feasible fraction, and its realized CPU fraction respects the
+    /// one-plane-per-rank minimum.
+    #[test]
+    fn weighted_decomposition_valid_and_floored(
+        ny in 40usize..200,
+        fraction in 0.0f64..0.4,
+    ) {
+        let grid = GlobalGrid::new(64, ny, 64);
+        let cfg = WeightedConfig {
+            n_gpus: 4,
+            cpu_per_gpu: 3,
+            cpu_fraction: fraction,
+            carve_axis: 1,
+            ghost: 1,
+            pin_x: true,
+        };
+        match weighted_hetero_decomp(grid, &cfg) {
+            Ok(d) => {
+                prop_assert!(d.validate().is_ok());
+                prop_assert_eq!(d.len(), 16);
+                // Every CPU rank got at least one plane of its block.
+                let block_y = d.domains[0].extent(1) + {
+                    // GPU block + its slab span the whole block.
+                    let cpu_zones: usize = (4..7)
+                        .map(|r| d.domains[r].extent(1))
+                        .sum();
+                    cpu_zones
+                };
+                prop_assert!(block_y >= 4);
+                for &r in &d.cpu_ranks() {
+                    prop_assert!(d.domains[r].extent(1) >= 1);
+                }
+            }
+            Err(_) => {
+                // Only legitimate when the carve cannot fit.
+                prop_assert!(ny / 2 <= 3 || fraction >= 0.99);
+            }
+        }
+    }
+
+    /// Halo plans are symmetric: every exchange appears in both
+    /// endpoints' lists, and per-rank areas sum to twice the total.
+    #[test]
+    fn halo_plan_is_symmetric(
+        nx in 8usize..32,
+        ny in 8usize..32,
+        nz in 8usize..32,
+        n in 2usize..13,
+    ) {
+        let grid = GlobalGrid::new(nx, ny, nz);
+        if let Ok(d) = std::panic::catch_unwind(|| block_decomp(grid, n, 1)) {
+            let plan = HaloPlan::build(&d);
+            let per_rank: u64 = (0..n).map(|r| plan.area_for(r)).sum();
+            prop_assert_eq!(per_rank, 2 * plan.total_area());
+            for ex in plan.exchanges() {
+                prop_assert!(ex.a < n && ex.b < n && ex.a != ex.b);
+                prop_assert!(ex.area() > 0);
+            }
+        }
+    }
+
+    /// Field pack/unpack roundtrips: packing a face and unpacking it
+    /// into a matching neighbor's ghost layer preserves every value.
+    #[test]
+    fn field_pack_unpack_roundtrip(
+        ex in 2usize..8,
+        ey in 2usize..8,
+        ez in 2usize..8,
+        axis in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let left = Subdomain::new([0, 0, 0], [ex, ey, ez], 1);
+        let mut f = Field::new(&left, Centering::Zone);
+        let mut rng = heterosim::time::SplitMix64::new(seed);
+        for k in 0..ez {
+            for j in 0..ey {
+                for i in 0..ex {
+                    f.set(i, j, k, rng.next_f64());
+                }
+            }
+        }
+        let packed = f.pack_face(axis, Side::High, 1);
+        prop_assert_eq!(packed.len(), f.face_len(axis, 1));
+        // Unpack into a clone's opposite ghost layer and verify the
+        // values line up with the source face.
+        let mut g = f.clone();
+        g.unpack_ghost(axis, Side::Low, 1, &packed);
+        let repacked = {
+            let mut lo = [0usize; 3];
+            let mut hi = g.dims();
+            hi[axis] = 1;
+            let mut lo2 = lo;
+            let mut hi2 = hi;
+            for a in 0..3 {
+                if a != axis {
+                    lo2[a] = 1;
+                    hi2[a] = g.dims()[a] - 1;
+                }
+            }
+            lo = lo2;
+            hi = hi2;
+            g.pack_box(lo, hi)
+        };
+        prop_assert_eq!(repacked.len(), packed.len());
+        for (a, b) in repacked.iter().zip(&packed) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Rate-sharing timeline conservation: total completed work never
+    /// exceeds capacity × makespan, and every job ends after it starts.
+    #[test]
+    fn timeline_conserves_work(
+        jobs in prop::collection::vec(
+            (0u64..4, 0u64..1_000_000u64, 1u64..1_000_000u64, 0.05f64..1.0),
+            1..12,
+        ),
+    ) {
+        let jobs: Vec<Job> = jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (stream, arrival_us, work_us, rate))| Job {
+                id: i as u64,
+                stream,
+                arrival: SimTime::from_nanos(arrival_us * 1000),
+                work: work_us as f64 * 1e-6,
+                max_rate: rate,
+            })
+            .collect();
+        let tl = RateSharingTimeline::new();
+        let out = tl.simulate(&jobs);
+        prop_assert_eq!(out.len(), jobs.len());
+        let mut makespan = SimTime::ZERO;
+        let mut first_start = u64::MAX;
+        let mut total_work = 0.0;
+        for (o, j) in out.iter().zip(&jobs) {
+            prop_assert!(o.end >= o.start, "job {} inverted", o.id);
+            prop_assert!(o.start >= j.arrival, "job {} starts early", o.id);
+            makespan = makespan.merge(o.end);
+            first_start = first_start.min(o.start.as_nanos());
+            total_work += j.work;
+        }
+        let window = (makespan.as_nanos() - first_start) as f64 * 1e-9;
+        prop_assert!(
+            total_work <= window * 1.0 + 1e-6,
+            "work {total_work} exceeds capacity x window {window}"
+        );
+    }
+
+    /// Welford merge is order-independent (within fp tolerance).
+    #[test]
+    fn welford_merge_is_associative_enough(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..60),
+        split in 1usize..59,
+    ) {
+        let split = split.min(xs.len() - 1);
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..split] {
+            a.push(x);
+        }
+        for &x in &xs[split..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-6);
+    }
+
+    /// Durations: saturating arithmetic never panics and ordering is
+    /// preserved under addition.
+    #[test]
+    fn duration_arithmetic_is_total(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+        let da = SimDuration::from_nanos(a);
+        let db = SimDuration::from_nanos(b);
+        let sum = da + db;
+        prop_assert!(sum >= da.max(db));
+        let diff = da - db;
+        prop_assert!(diff <= da);
+    }
+}
+
+proptest! {
+    /// The device heap never loses bytes: random alloc/free sequences
+    /// keep `used + free == capacity`, frees restore contiguity, and
+    /// double frees are always rejected.
+    #[test]
+    fn device_heap_invariants(ops in prop::collection::vec((0u8..4, 1u64..64), 1..200)) {
+        use heterosim::gpu::memory::DeviceHeap;
+        let capacity = 1u64 << 20;
+        let mut heap = DeviceHeap::new(capacity);
+        let mut live = Vec::new();
+        for (op, size_kb) in ops {
+            match op {
+                // Allocate.
+                0 | 1 => {
+                    if let Ok(a) = heap.alloc(size_kb * 1024) {
+                        live.push(a);
+                    }
+                }
+                // Free the most recent.
+                2 => {
+                    if let Some(a) = live.pop() {
+                        heap.free(a).expect("live allocation frees");
+                    }
+                }
+                // Free the oldest (exercises coalescing paths).
+                _ => {
+                    if !live.is_empty() {
+                        let a = live.remove(0);
+                        heap.free(a).expect("live allocation frees");
+                    }
+                }
+            }
+            let used: u64 = live.iter().map(|a| a.size).sum();
+            prop_assert_eq!(heap.used(), used);
+            prop_assert_eq!(heap.free_bytes(), capacity - used);
+            prop_assert!(heap.largest_free_block() <= heap.free_bytes());
+        }
+        // Drain: full capacity must come back in one block.
+        for a in live.drain(..) {
+            heap.free(a).expect("drain");
+        }
+        prop_assert_eq!(heap.largest_free_block(), capacity);
+    }
+
+    /// The pool enforces LIFO and reset always restores the full slab.
+    #[test]
+    fn memory_pool_discipline(sizes in prop::collection::vec(1u64..1024, 1..50)) {
+        use heterosim::gpu::memory::MemoryPool;
+        let mut pool = MemoryPool::new(1 << 20);
+        let mut live = Vec::new();
+        for s in &sizes {
+            if let Ok(a) = pool.alloc(s * 256) {
+                live.push(a);
+            }
+        }
+        // Out-of-order free must fail while ≥2 allocations live.
+        if live.len() >= 2 {
+            let first = live[0];
+            prop_assert!(pool.free(first).is_err());
+        }
+        // LIFO drain succeeds.
+        while let Some(a) = live.pop() {
+            pool.free(a).expect("LIFO free");
+        }
+        prop_assert_eq!(pool.in_use(), 0);
+        pool.reset();
+        prop_assert!(pool.alloc(1 << 20).is_ok());
+    }
+
+    /// WorkPool parallel sum equals the serial sum for arbitrary
+    /// inputs, chunk sizes, and worker counts.
+    #[test]
+    fn workpool_sum_matches_serial(
+        xs in prop::collection::vec(-100.0f64..100.0, 1..500),
+        chunk in 1usize..64,
+        workers in 0usize..5,
+    ) {
+        use heterosim::raja::WorkPool;
+        let pool = WorkPool::new(workers);
+        let parallel = pool.sum(0, xs.len(), chunk, |i| xs[i]);
+        let serial: f64 = xs.iter().sum();
+        prop_assert!((parallel - serial).abs() < 1e-9 * (1.0 + serial.abs()));
+    }
+
+    /// Exact Riemann solutions are physical for random left/right
+    /// states: positive density/pressure everywhere in the fan.
+    #[test]
+    fn riemann_solution_is_physical(
+        rho_l in 0.1f64..5.0,
+        p_l in 0.05f64..5.0,
+        u_l in -1.0f64..1.0,
+        rho_r in 0.1f64..5.0,
+        p_r in 0.05f64..5.0,
+        u_r in -1.0f64..1.0,
+    ) {
+        use heterosim::hydro::{exact_solution, GasState};
+        let left = GasState { rho: rho_l, u: u_l, p: p_l };
+        let right = GasState { rho: rho_r, u: u_r, p: p_r };
+        for i in 0..40 {
+            let xi = -4.0 + 8.0 * i as f64 / 39.0;
+            let s = exact_solution(&left, &right, xi);
+            prop_assert!(s.rho > 0.0 && s.rho.is_finite(), "rho {} at xi {}", s.rho, xi);
+            prop_assert!(s.p > 0.0 && s.p.is_finite(), "p {} at xi {}", s.p, xi);
+            prop_assert!(s.u.is_finite());
+        }
+    }
+}

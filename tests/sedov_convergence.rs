@@ -1,0 +1,116 @@
+//! Physics validation of the hydro substrate: the computed Sedov
+//! blast wave must converge toward the similarity solution with
+//! resolution, conserve invariants, and stay symmetric.
+
+use heterosim::hydro::sedov::{self, radial_density_profile, shock_position, SedovConfig};
+use heterosim::hydro::{step, HydroState, SoloCoupler};
+use heterosim::mesh::{GlobalGrid, Subdomain};
+use heterosim::raja::{CpuModel, Executor, Fidelity, Target};
+use heterosim::time::RankClock;
+
+/// Run a Sedov problem to t ≈ t_end; returns (state, shock radius).
+fn run_to(n: usize, t_end: f64) -> (HydroState, f64) {
+    let grid = GlobalGrid::new(n, n, n);
+    let sub = Subdomain::new([0, 0, 0], [n, n, n], 1);
+    let mut st = HydroState::new(grid, sub, Fidelity::Full);
+    sedov::init(&mut st, &SedovConfig::default());
+    let mut exec = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::Full);
+    let mut clock = RankClock::new(0);
+    let mut solo = SoloCoupler;
+    let mut guard = 0;
+    while st.t < t_end {
+        step(&mut st, &mut exec, &mut clock, &mut solo, 0.3, 1.0).expect("cycle");
+        guard += 1;
+        assert!(guard < 3000, "did not reach t={t_end}");
+    }
+    let profile = radial_density_profile(&st, (n as f64 * 0.75) as usize);
+    let r = shock_position(&profile);
+    (st, r)
+}
+
+#[test]
+fn shock_radius_is_within_fifteen_percent_of_similarity_solution() {
+    let t_end = 0.06;
+    let (st, r_num) = run_to(32, t_end);
+    let r_ana = sedov::sedov_shock_radius(1.0, 1.0, st.t);
+    let rel = (r_num - r_ana).abs() / r_ana;
+    assert!(
+        rel < 0.15,
+        "shock at {r_num:.4} vs analytic {r_ana:.4} (rel {rel:.3})"
+    );
+}
+
+/// With resolution the captured shock sharpens: the shell's peak
+/// density climbs monotonically toward the strong-shock limit
+/// (γ+1)/(γ−1) = 6 (a first-order scheme smears it heavily on coarse
+/// grids — what matters is monotone convergence).
+#[test]
+fn shock_peak_density_converges_with_resolution() {
+    let t_end = 0.05;
+    let peak = |n: usize| -> f64 {
+        let (st, _) = run_to(n, t_end);
+        radial_density_profile(&st, n)
+            .iter()
+            .map(|(_, d, _)| *d)
+            .fold(0.0, f64::max)
+    };
+    let p16 = peak(16);
+    let p24 = peak(24);
+    let p32 = peak(32);
+    assert!(
+        p16 < p24 && p24 < p32,
+        "peak density must grow with resolution: {p16:.3}, {p24:.3}, {p32:.3}"
+    );
+    assert!(p32 < 6.0, "peak cannot exceed the strong-shock limit");
+}
+
+#[test]
+fn invariants_hold_over_a_long_run() {
+    let grid = GlobalGrid::new(20, 20, 20);
+    let sub = Subdomain::new([0, 0, 0], [20, 20, 20], 1);
+    let mut st = HydroState::new(grid, sub, Fidelity::Full);
+    sedov::init(&mut st, &SedovConfig::default());
+    let mass0 = st.total_mass();
+    let e0 = st.total_energy();
+    let mut exec = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::Full);
+    let mut clock = RankClock::new(0);
+    let mut solo = SoloCoupler;
+    let mut last_dt = f64::INFINITY;
+    for cycle in 0..60 {
+        let stats = step(&mut st, &mut exec, &mut clock, &mut solo, 0.3, 1.0).expect("cycle");
+        assert!(stats.dt > 0.0 && stats.dt.is_finite(), "cycle {cycle}");
+        // After the initial transient the timestep grows smoothly as
+        // the blast decelerates; it must never collapse.
+        if cycle > 5 {
+            assert!(stats.dt > last_dt * 0.5, "dt collapsed at cycle {cycle}");
+        }
+        last_dt = stats.dt;
+    }
+    assert!(((st.total_mass() - mass0) / mass0).abs() < 1e-9, "mass drift");
+    assert!(((st.total_energy() - e0) / e0).abs() < 1e-9, "energy drift");
+}
+
+#[test]
+fn blast_is_octant_symmetric() {
+    let (st, _) = run_to(24, 0.03);
+    let n = 24;
+    // Check across two mirror planes:
+    for k in 0..n {
+        for j in 0..n {
+            for i in 0..n / 2 {
+                let a = st.u[0].get(i, j, k);
+                let bx = st.u[0].get(n - 1 - i, j, k);
+                assert!((a - bx).abs() < 1e-9, "x-mirror at ({i},{j},{k})");
+            }
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n / 2 {
+                let a = st.u[0].get(i, j, k);
+                let by = st.u[0].get(i, n - 1 - j, k);
+                assert!((a - by).abs() < 1e-9, "y-mirror at ({i},{j},{k})");
+            }
+        }
+    }
+}
