@@ -19,6 +19,7 @@ fn cfg_with(node: NodeConfig) -> RunConfig {
         diffusion: None,
         multipolicy_threshold: 0,
         trace: false,
+        telemetry: false,
         problem: Default::default(),
     }
 }

@@ -47,7 +47,10 @@ fn bench(c: &mut Criterion) {
         let mut um = UnifiedMemory::new(&spec);
         let region = um.alloc(256 << 20);
         um.touch_device(region).expect("live region");
-        b.iter(|| um.touch_host_range(region, 0, 2 << 20).expect("live region"));
+        b.iter(|| {
+            um.touch_host_range(region, 0, 2 << 20)
+                .expect("live region")
+        });
     });
     group.finish();
 }

@@ -1,11 +1,84 @@
 //! Modes side by side (paper Figures 1–4): one fixed problem run in
 //! each of the four node-utilization modes, with the simulated
 //! runtimes printed for the record.
+//!
+//! Also proves the telemetry contract: with no collector installed
+//! (the default for every run here), the per-launch recording calls
+//! perform zero heap allocations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hsim_core::{run, ExecMode, RunConfig};
+use hsim_time::{SimDuration, SimTime};
+
+/// System allocator with an allocation counter, so the bench can
+/// assert the disabled telemetry hot path never touches the heap.
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Drive every per-launch recording entry point with telemetry
+/// disabled and assert the allocation counter did not move.
+fn assert_disabled_telemetry_is_allocation_free() {
+    use hsim_telemetry as tel;
+    assert!(!tel::is_enabled(), "bench must start with telemetry off");
+    const CALLS: u64 = 10_000;
+    // One warm-up round so lazy thread-local init cannot be charged
+    // to the measured window.
+    tel::count(tel::Counter::KernelLaunches, 1);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..CALLS {
+        let t0 = SimTime::ZERO;
+        let t1 = SimTime::ZERO + SimDuration::from_nanos(i);
+        tel::count(tel::Counter::KernelLaunches, 1);
+        tel::time_stat(tel::TimeStat::KernelTime, SimDuration::from_nanos(i));
+        tel::gauge_max(tel::Gauge::DeviceOccupancy, 0.5);
+        tel::rank_span(tel::Category::CpuKernel, "probe", t0, t1);
+        tel::span_args(
+            0,
+            0,
+            tel::Category::GpuKernel,
+            "probe",
+            t0,
+            t1,
+            &[("elems", i)],
+        );
+        tel::kernel_launch("probe", 64, 0, SimDuration::from_nanos(i), false, 1.0);
+    }
+    let allocated = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocated, 0,
+        "disabled telemetry hot path allocated {allocated} times"
+    );
+    eprintln!(
+        "telemetry disabled-path: 0 heap allocations across {} record calls",
+        CALLS * 6
+    );
+}
 
 fn bench(c: &mut Criterion) {
+    assert_disabled_telemetry_is_allocation_free();
     let grid = (320, 240, 160);
     let mut group = c.benchmark_group("mode_overhead");
     group.sample_size(10);

@@ -24,10 +24,15 @@ fn bench(c: &mut Criterion) {
         });
     });
     group.bench_function("forall_seq_cost_only", |b| {
-        let mut exec = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::CostOnly);
+        let mut exec = Executor::new(
+            Target::CpuSeq,
+            CpuModel::haswell_fixed(),
+            Fidelity::CostOnly,
+        );
         let mut clock = RankClock::new(0);
         b.iter(|| {
-            exec.forall(&mut clock, &desc, n, n as u32, |_| {}).expect("forall");
+            exec.forall(&mut clock, &desc, n, n as u32, |_| {})
+                .expect("forall");
         });
     });
     group.bench_function("raw_loop_reference", |b| {

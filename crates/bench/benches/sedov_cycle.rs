@@ -41,7 +41,11 @@ fn bench(c: &mut Criterion) {
         let grid = GlobalGrid::new(320, 480, 160);
         let sub = Subdomain::new([0, 0, 0], [320, 480, 160], 1);
         let mut st = HydroState::new(grid, sub, Fidelity::CostOnly);
-        let mut exec = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::CostOnly);
+        let mut exec = Executor::new(
+            Target::CpuSeq,
+            CpuModel::haswell_fixed(),
+            Fidelity::CostOnly,
+        );
         let mut clock = RankClock::new(0);
         let mut solo = SoloCoupler;
         b.iter(|| step(&mut st, &mut exec, &mut clock, &mut solo, 0.3, 1e-4).expect("cycle"));

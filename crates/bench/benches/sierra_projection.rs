@@ -19,6 +19,7 @@ fn cfg(node: NodeConfig, mode: ExecMode) -> RunConfig {
         diffusion: None,
         multipolicy_threshold: 0,
         trace: false,
+        telemetry: false,
         problem: Default::default(),
     }
 }

@@ -1,16 +1,60 @@
 //! Regenerate every evaluation figure of the paper (12–18): write CSV
 //! series into `target/figures/` and print ASCII charts.
 //!
-//! Usage: `cargo run -p hsim-bench --bin figures [--release] [fig12 ...]`
+//! Usage: `cargo run -p hsim-bench --bin figures [--release] [fig12 ...]
+//!         [--trace-json PATH] [--metrics-json PATH]`
+//!
+//! The telemetry flags instrument one Fig-18 Heterogeneous reference
+//! run (x=300, y=480, z=160) and write its Chrome trace / metrics
+//! JSON alongside the sweeps.
 
 use std::fs;
 use std::path::Path;
 
 use hsim_bench::{ascii_chart, paper_modes, run_figure};
 use hsim_core::figures;
+use hsim_core::{run_balanced, ExecMode, RunConfig};
+
+/// Run the instrumented Fig-18 Heterogeneous reference point and
+/// write whichever telemetry outputs were requested.
+fn reference_run(trace_json: Option<&str>, metrics_json: Option<&str>) {
+    let cfg = RunConfig {
+        telemetry: true,
+        ..RunConfig::sweep((300, 480, 160), ExecMode::hetero())
+    };
+    eprintln!("running instrumented fig18 reference point (hetero, 300x480x160)...");
+    let (result, _lb) = run_balanced(&cfg).expect("fig18 reference run");
+    let summary = result.telemetry.as_ref().expect("telemetry enabled");
+    if let Some(path) = trace_json {
+        fs::write(path, summary.to_chrome_json()).expect("write trace json");
+        eprintln!("wrote Chrome trace to {path}");
+    }
+    if let Some(path) = metrics_json {
+        fs::write(path, summary.to_metrics_json()).expect("write metrics json");
+        eprintln!("wrote metrics to {path}");
+    }
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut take_flag = |flag: &str| -> Option<String> {
+        let i = args.iter().position(|a| a == flag)?;
+        if i + 1 >= args.len() {
+            eprintln!("{flag} needs a PATH argument");
+            std::process::exit(2);
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Some(v)
+    };
+    let trace_json = take_flag("--trace-json");
+    let metrics_json = take_flag("--metrics-json");
+    if trace_json.is_some() || metrics_json.is_some() {
+        reference_run(trace_json.as_deref(), metrics_json.as_deref());
+        if args.is_empty() {
+            return;
+        }
+    }
     let out_dir = Path::new("target/figures");
     fs::create_dir_all(out_dir).expect("create target/figures");
     let modes = paper_modes();

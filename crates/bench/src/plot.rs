@@ -7,7 +7,10 @@ pub fn ascii_chart(series: &[(String, Vec<(f64, f64)>)], width: usize, height: u
     let width = width.max(20);
     let height = height.max(8);
     let glyphs = ['o', 'x', '+', '*', '#', '@'];
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().copied())
+        .collect();
     if all.is_empty() {
         return String::from("(no data)\n");
     }
@@ -55,7 +58,11 @@ pub fn ascii_chart(series: &[(String, Vec<(f64, f64)>)], width: usize, height: u
         w = width - 9
     ));
     for (si, (label, _)) in series.iter().enumerate() {
-        out.push_str(&format!("            {} {}\n", glyphs[si % glyphs.len()], label));
+        out.push_str(&format!(
+            "            {} {}\n",
+            glyphs[si % glyphs.len()],
+            label
+        ));
     }
     out
 }

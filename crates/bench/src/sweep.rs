@@ -44,7 +44,12 @@ pub fn run_figure(spec: &FigureSpec, modes: &[ExecMode]) -> FigureData {
                     continue;
                 }
             };
-            points.push((result.zones, v, result.runtime.as_secs_f64(), result.cpu_fraction));
+            points.push((
+                result.zones,
+                v,
+                result.runtime.as_secs_f64(),
+                result.cpu_fraction,
+            ));
         }
         series.push(Series {
             mode: *mode,
@@ -84,7 +89,8 @@ impl FigureData {
                 _ => "—".to_string(),
             };
             let cell = |x: Option<(f64, f64)>| {
-                x.map(|(t, _)| format!("{t:.4}")).unwrap_or_else(|| "—".into())
+                x.map(|(t, _)| format!("{t:.4}"))
+                    .unwrap_or_else(|| "—".into())
             };
             let share = hh
                 .map(|(_, f)| format!("{:.2}%", f * 100.0))
@@ -123,10 +129,7 @@ impl FigureData {
             .map(|s| {
                 (
                     s.label.clone(),
-                    s.points
-                        .iter()
-                        .map(|&(z, _, t, _)| (z as f64, t))
-                        .collect(),
+                    s.points.iter().map(|&(z, _, t, _)| (z as f64, t)).collect(),
                 )
             })
             .collect()

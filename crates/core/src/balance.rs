@@ -166,7 +166,11 @@ mod tests {
             let gpu_time = SimDuration::from_secs_f64((1.0 - f) / 99.0);
             lb.observe(cpu_time, gpu_time);
         }
-        assert!((lb.fraction - 0.05).abs() < 1e-12, "floored at {}", lb.fraction);
+        assert!(
+            (lb.fraction - 0.05).abs() < 1e-12,
+            "floored at {}",
+            lb.fraction
+        );
     }
 
     #[test]

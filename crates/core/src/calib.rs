@@ -75,12 +75,14 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn sixteen_rank_modes_never_kink_in_the_sweeps() {
         // Largest sweep in the paper ≈ 5e7 zones.
         assert!(16.0 * HOST_ZONES_PER_CORE > 5.5e7);
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn constants_are_sane() {
         assert!(CFL > 0.0 && CFL < 0.5);
         assert!(BALANCE_GAIN > 0.0 && BALANCE_GAIN <= 1.0);

@@ -44,7 +44,12 @@ impl MpiCoupler<'_> {
     /// The global box this rank sends for exchange `ex` (the owned
     /// strip adjacent to the shared plane) and the ghost box it
     /// receives into, as `(send_lo, send_hi, recv_lo, recv_hi)`.
-    fn boxes(&self, rank: usize, ex: &Exchange, ghost: usize) -> ([i64; 3], [i64; 3], [i64; 3], [i64; 3]) {
+    fn boxes(
+        &self,
+        rank: usize,
+        ex: &Exchange,
+        ghost: usize,
+    ) -> ([i64; 3], [i64; 3], [i64; 3], [i64; 3]) {
         let axis = ex.axis;
         let g = ghost as i64;
         let plane = ex.plane as i64;
@@ -160,8 +165,17 @@ impl Coupler for MpiCoupler<'_> {
         let (gpu_peer_bytes, other_bytes) = self.classify_bytes(rank, &exchanges, ghost);
         let staged_out = other_bytes + if self.gpu_direct { 0 } else { gpu_peer_bytes };
         let p2p_out = if self.gpu_direct { gpu_peer_bytes } else { 0 };
+        let t_stage = self.comm.now();
         let cost = self.staging_cost(staged_out) + self.p2p_cost(p2p_out);
         self.comm.clock_mut().charge(ChargeKind::Memory, cost);
+        if cost > hsim_time::SimDuration::ZERO {
+            hsim_telemetry::rank_span(
+                hsim_telemetry::Category::Transfer,
+                "halo_stage_out",
+                t_stage,
+                self.comm.now(),
+            );
+        }
 
         // Post all sends first (buffered transport: no deadlock).
         for (idx, ex) in &exchanges {
@@ -206,8 +220,17 @@ impl Coupler for MpiCoupler<'_> {
         // here); CPU-peer faces — and everything without GPU-direct —
         // pay the H2D leg.
         let _ = in_bytes;
+        let t_stage = self.comm.now();
         let cost = self.staging_cost(staged_out);
         self.comm.clock_mut().charge(ChargeKind::Memory, cost);
+        if cost > hsim_time::SimDuration::ZERO {
+            hsim_telemetry::rank_span(
+                hsim_telemetry::Category::Transfer,
+                "halo_stage_in",
+                t_stage,
+                self.comm.now(),
+            );
+        }
 
         // Propagate the communicator's advanced time back.
         clock.merge(self.comm.now());

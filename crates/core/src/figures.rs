@@ -67,7 +67,11 @@ impl FigureSpec {
 
     /// Largest total zone count in the sweep.
     pub fn max_zones(&self) -> u64 {
-        self.points().iter().map(SweepPoint::zones).max().unwrap_or(0)
+        self.points()
+            .iter()
+            .map(SweepPoint::zones)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -160,7 +164,15 @@ pub fn fig18() -> FigureSpec {
 
 /// All evaluation figures in paper order.
 pub fn all_figures() -> Vec<FigureSpec> {
-    vec![fig12(), fig13(), fig14(), fig15(), fig16(), fig17(), fig18()]
+    vec![
+        fig12(),
+        fig13(),
+        fig14(),
+        fig15(),
+        fig16(),
+        fig17(),
+        fig18(),
+    ]
 }
 
 #[cfg(test)]
@@ -181,7 +193,14 @@ mod tests {
     fn fig12_sweeps_y_and_reaches_41m_zones() {
         let f = fig12();
         let pts = f.points();
-        assert_eq!(pts[0], SweepPoint { nx: 320, ny: 40, nz: 320 });
+        assert_eq!(
+            pts[0],
+            SweepPoint {
+                nx: 320,
+                ny: 40,
+                nz: 320
+            }
+        );
         // Paper: up to ≈ 4.1e7 zones at y=400.
         assert_eq!(f.max_zones(), 320 * 400 * 320);
         assert!(f.max_zones() > 37_000_000, "sweep crosses the kink");

@@ -84,7 +84,10 @@ mod tests {
         // GPU process: control host, mesh UM, temporaries pooled.
         assert_eq!(allocation(true, DataClass::Control), AllocKind::HostMalloc);
         assert_eq!(allocation(true, DataClass::Mesh), AllocKind::UnifiedMemory);
-        assert_eq!(allocation(true, DataClass::Temporary), AllocKind::DevicePool);
+        assert_eq!(
+            allocation(true, DataClass::Temporary),
+            AllocKind::DevicePool
+        );
     }
 
     #[test]

@@ -42,6 +42,9 @@ pub struct RunResult {
     pub device_busy: Vec<SimDuration>,
     /// Per-cycle rank spans when the run was traced.
     pub trace: Option<hsim_time::Trace>,
+    /// Full telemetry (metrics, kernel profiles, structured spans)
+    /// when [`crate::RunConfig::telemetry`] was set.
+    pub telemetry: Option<hsim_telemetry::Summary>,
 }
 
 impl RunResult {
@@ -72,15 +75,21 @@ impl RunResult {
         self.ranks.iter().map(|r| r.bytes_sent).sum()
     }
 
+    /// Version of the CSV schema emitted by [`RunResult::csv_row`].
+    /// Bump when columns are added, removed, or reordered so archived
+    /// sweep outputs stay distinguishable.
+    pub const CSV_SCHEMA_VERSION: u32 = 2;
+
     /// CSV header matching [`RunResult::csv_row`].
     pub fn csv_header() -> &'static str {
-        "mode,nx,ny,nz,zones,cycles,runtime_s,cpu_fraction,launches,mpi_bytes"
+        "schema,mode,nx,ny,nz,zones,cycles,runtime_s,cpu_fraction,launches,mpi_bytes"
     }
 
     /// One CSV line for this run.
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{:.6},{:.4},{},{}",
+            "{},{},{},{},{},{},{},{:.6},{:.4},{},{}",
+            Self::CSV_SCHEMA_VERSION,
             self.mode_key,
             self.grid.0,
             self.grid.1,
@@ -92,6 +101,47 @@ impl RunResult {
             self.total_launches(),
             self.total_bytes_sent(),
         )
+    }
+
+    /// Parse one [`RunResult::csv_row`] line back into its fields
+    /// (schema checked). Returns
+    /// `(mode, grid, zones, cycles, runtime_s, cpu_fraction, launches, mpi_bytes)`.
+    #[allow(clippy::type_complexity)]
+    pub fn parse_csv_row(
+        line: &str,
+    ) -> Result<(String, (usize, usize, usize), u64, u64, f64, f64, u64, u64), String> {
+        let fields: Vec<&str> = line.trim().split(',').collect();
+        let expect = Self::csv_header().split(',').count();
+        if fields.len() != expect {
+            return Err(format!("expected {expect} fields, got {}", fields.len()));
+        }
+        let schema: u32 = fields[0].parse().map_err(|e| format!("schema: {e}"))?;
+        if schema != Self::CSV_SCHEMA_VERSION {
+            return Err(format!(
+                "schema {schema} != current {}",
+                Self::CSV_SCHEMA_VERSION
+            ));
+        }
+        let num = |i: usize, what: &str| -> Result<u64, String> {
+            fields[i].parse().map_err(|e| format!("{what}: {e}"))
+        };
+        let fnum = |i: usize, what: &str| -> Result<f64, String> {
+            fields[i].parse().map_err(|e| format!("{what}: {e}"))
+        };
+        Ok((
+            fields[1].to_string(),
+            (
+                num(2, "nx")? as usize,
+                num(3, "ny")? as usize,
+                num(4, "nz")? as usize,
+            ),
+            num(5, "zones")?,
+            num(6, "cycles")?,
+            fnum(7, "runtime_s")?,
+            fnum(8, "cpu_fraction")?,
+            num(9, "launches")?,
+            num(10, "mpi_bytes")?,
+        ))
     }
 
     /// Human-readable per-rank breakdown table.
@@ -155,9 +205,14 @@ mod tests {
             runtime: SimDuration::from_micros(40),
             cpu_fraction: 0.03,
             cycles: 10,
-            ranks: vec![report(0, true, 20), report(1, false, 5), report(2, false, 9)],
+            ranks: vec![
+                report(0, true, 20),
+                report(1, false, 5),
+                report(2, false, 9),
+            ],
             device_busy: vec![SimDuration::from_micros(18)],
             trace: None,
+            telemetry: None,
         }
     }
 
@@ -176,7 +231,32 @@ mod tests {
         let header_fields = RunResult::csv_header().split(',').count();
         let row_fields = r.csv_row().split(',').count();
         assert_eq!(header_fields, row_fields);
-        assert!(r.csv_row().starts_with("hetero,8,8,8,512,10,"));
+        assert!(r.csv_row().starts_with("2,hetero,8,8,8,512,10,"));
+        assert_eq!(RunResult::csv_header().split(',').next(), Some("schema"));
+    }
+
+    #[test]
+    fn csv_row_round_trips() {
+        let r = result();
+        let (mode, grid, zones, cycles, runtime_s, cpu_fraction, launches, mpi_bytes) =
+            RunResult::parse_csv_row(&r.csv_row()).unwrap();
+        assert_eq!(mode, r.mode_key);
+        assert_eq!(grid, r.grid);
+        assert_eq!(zones, r.zones);
+        assert_eq!(cycles, r.cycles);
+        assert!((runtime_s - r.runtime.as_secs_f64()).abs() < 1e-6);
+        assert!((cpu_fraction - r.cpu_fraction).abs() < 1e-4);
+        assert_eq!(launches, r.total_launches());
+        assert_eq!(mpi_bytes, r.total_bytes_sent());
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_and_shape() {
+        let r = result();
+        let row = r.csv_row();
+        let stale = row.replacen("2,", "1,", 1);
+        assert!(RunResult::parse_csv_row(&stale).is_err());
+        assert!(RunResult::parse_csv_row("2,hetero,8").is_err());
     }
 
     #[test]

@@ -22,8 +22,9 @@ use hsim_mesh::decomp::weighted::{weighted_hetero_decomp, WeightedConfig};
 use hsim_mesh::{Decomposition, GlobalGrid, HaloPlan, OwnerKind};
 use hsim_mpi::World;
 use hsim_raja::{Executor, Fidelity, GpuClient, SharedDevice, Target};
+use hsim_telemetry::{Category, Collector, Counter, Gauge, Summary, TimeStat};
 use hsim_time::clock::ChargeKind;
-use hsim_time::{RankClock, SimDuration, SpanCategory, Trace};
+use hsim_time::{RankClock, SimDuration, SimTime};
 
 use crate::balance::LoadBalancer;
 use crate::binding::{build_bindings, validate_bindings};
@@ -82,6 +83,10 @@ pub struct RunConfig {
     /// Record per-cycle spans per rank (busy vs waiting) for Gantt
     /// rendering.
     pub trace: bool,
+    /// Collect full telemetry (metrics, kernel profiles, structured
+    /// spans) into [`RunResult::telemetry`]. Off by default: the
+    /// per-launch hot path then stays allocation-free.
+    pub telemetry: bool,
     /// The physics problem to initialize (default: Sedov).
     pub problem: Problem,
 }
@@ -100,6 +105,7 @@ impl RunConfig {
             diffusion: None,
             multipolicy_threshold: 0,
             trace: false,
+            telemetry: false,
             problem: Problem::default(),
         }
     }
@@ -110,10 +116,7 @@ impl RunConfig {
 }
 
 /// Build the mode's decomposition (paper §6.1).
-pub fn build_decomposition(
-    cfg: &RunConfig,
-    cpu_fraction: f64,
-) -> Result<Decomposition, String> {
+pub fn build_decomposition(cfg: &RunConfig, cpu_fraction: f64) -> Result<Decomposition, String> {
     let grid = cfg.global_grid();
     let node = &cfg.node;
     match cfg.mode {
@@ -230,140 +233,169 @@ pub fn run_with_fraction(cfg: &RunConfig, cpu_fraction: f64) -> Result<RunResult
     let penalty_ref = &penalty_per_cycle;
     let cfg_ref = cfg;
 
-    let outputs: Vec<(RankReport, Trace)> = World::run(n_ranks, node.comm.clone(), |comm| {
-        let rank = comm.rank();
-        let sub = decomp_ref.domains[rank];
-        let role = roles_ref[rank];
-        let client = slots_ref.lock()[rank].take();
-        let mut clock = RankClock::new(rank);
+    // One collector per rank thread serves both consumers: the full
+    // telemetry summary and the legacy per-cycle Gantt trace (now a
+    // projection of the same span store).
+    let collect = cfg.telemetry || cfg.trace;
 
-        // Figure 8 memory scheme: GPU ranks put mesh data in unified
-        // memory (paying the initial fault-in) and temporaries in a
-        // device pool; CPU ranks host-allocate everything.
-        let mut _pool: Option<MemoryPool> = None;
-        let target = if let Some((client, shared)) = &client {
-            let mesh = memscheme::mesh_bytes(sub.zones());
-            let (_region, cost) = shared
-                .um_alloc_and_touch(mesh)
-                .expect("mesh fits device memory");
-            clock.charge(ChargeKind::Memory, cost);
-            _pool = Some(MemoryPool::new(memscheme::temp_bytes(sub.zones()).max(4096)));
-            Target::Gpu(client.clone())
-        } else {
-            Target::CpuSeq
-        };
-
-        let mut exec = Executor::new(target, cfg_ref.node.cpu.clone(), cfg_ref.fidelity)
-            .with_multipolicy(hsim_raja::MultiPolicy::with_threshold(
-                cfg_ref.multipolicy_threshold,
-            ));
-        let mut state = HydroState::new(grid, sub, cfg_ref.fidelity);
-        cfg_ref.problem.init(&mut state);
-
-        // Setup complete: synchronize and zero the runtime baseline.
-        // The figures report cycle-loop time (setup — UM fault-in,
-        // allocation — amortizes to noise over a real run's length).
-        comm.clock_mut().merge(clock.now());
-        comm.barrier().expect("setup barrier");
-        clock.merge(comm.now());
-        let t0 = clock.now();
-        let mut trace = if cfg_ref.trace {
-            Trace::enabled()
-        } else {
-            Trace::disabled()
-        };
-
-        let mut coupler = MpiCoupler {
-            comm,
-            plan: plan_ref,
-            decomp: decomp_ref,
-            gpu_spec: client.as_ref().map(|_| cfg_ref.node.gpu_spec.clone()),
-            gpu_direct: cfg_ref.gpu_direct,
-        };
-
-        for _ in 0..cfg_ref.cycles {
-            let cycle_start = clock.now();
-            let wait_before = clock.bucket(ChargeKind::Wait);
-            // Pooled temporaries are grabbed per cycle and released at
-            // the cycle boundary (cnmem discipline).
-            if let Some(pool) = _pool.as_mut() {
-                let a = pool.alloc(memscheme::temp_bytes(sub.zones()).max(256));
-                debug_assert!(a.is_ok());
-                pool.reset();
+    let outputs: Vec<(RankReport, Option<Collector>)> =
+        World::run(n_ranks, node.comm.clone(), |comm| {
+            let rank = comm.rank();
+            let sub = decomp_ref.domains[rank];
+            let role = roles_ref[rank];
+            let client = slots_ref.lock()[rank].take();
+            let mut clock = RankClock::new(rank);
+            if collect {
+                hsim_telemetry::install(Collector::new(rank));
             }
-            let stats = step(
-                &mut state,
-                &mut exec,
-                &mut clock,
-                &mut coupler,
-                calib::CFL,
-                calib::COST_ONLY_DT,
-            )
-            .expect("hydro cycle");
-            if let Some(diff) = &cfg_ref.diffusion {
-                diffuse_step(&mut state, &mut exec, &mut clock, &mut coupler, diff, stats.dt)
+
+            // Figure 8 memory scheme: GPU ranks put mesh data in unified
+            // memory (paying the initial fault-in) and temporaries in a
+            // device pool; CPU ranks host-allocate everything.
+            let mut _pool: Option<MemoryPool> = None;
+            let target = if let Some((client, shared)) = &client {
+                let mesh = memscheme::mesh_bytes(sub.zones());
+                let t_um = clock.now();
+                let (_region, cost) = shared
+                    .um_alloc_and_touch(mesh)
+                    .expect("mesh fits device memory");
+                clock.charge(ChargeKind::Memory, cost);
+                hsim_telemetry::count(Counter::UmMigrations, 1);
+                hsim_telemetry::count(Counter::UmBytesMigrated, mesh);
+                hsim_telemetry::time_stat(TimeStat::MigrationTime, cost);
+                hsim_telemetry::rank_span(Category::UmMigration, "um_fault_in", t_um, clock.now());
+                _pool = Some(MemoryPool::new(
+                    memscheme::temp_bytes(sub.zones()).max(4096),
+                ));
+                Target::Gpu(client.clone())
+            } else {
+                Target::CpuSeq
+            };
+
+            let mut exec = Executor::new(target, cfg_ref.node.cpu.clone(), cfg_ref.fidelity)
+                .with_multipolicy(hsim_raja::MultiPolicy::with_threshold(
+                    cfg_ref.multipolicy_threshold,
+                ));
+            let mut state = HydroState::new(grid, sub, cfg_ref.fidelity);
+            cfg_ref.problem.init(&mut state);
+
+            // Setup complete: synchronize and zero the runtime baseline.
+            // The figures report cycle-loop time (setup — UM fault-in,
+            // allocation — amortizes to noise over a real run's length).
+            comm.clock_mut().merge(clock.now());
+            comm.barrier().expect("setup barrier");
+            clock.merge(comm.now());
+            let t0 = clock.now();
+            hsim_telemetry::rank_span(Category::Runtime, "setup", SimTime::ZERO, t0);
+
+            let mut coupler = MpiCoupler {
+                comm,
+                plan: plan_ref,
+                decomp: decomp_ref,
+                gpu_spec: client.as_ref().map(|_| cfg_ref.node.gpu_spec.clone()),
+                gpu_direct: cfg_ref.gpu_direct,
+            };
+
+            for _ in 0..cfg_ref.cycles {
+                let cycle_start = clock.now();
+                let wait_before = clock.bucket(ChargeKind::Wait);
+                // Pooled temporaries are grabbed per cycle and released at
+                // the cycle boundary (cnmem discipline).
+                if let Some(pool) = _pool.as_mut() {
+                    let a = pool.alloc(memscheme::temp_bytes(sub.zones()).max(256));
+                    debug_assert!(a.is_ok());
+                    pool.reset();
+                }
+                let stats = step(
+                    &mut state,
+                    &mut exec,
+                    &mut clock,
+                    &mut coupler,
+                    calib::CFL,
+                    calib::COST_ONLY_DT,
+                )
+                .expect("hydro cycle");
+                if let Some(diff) = &cfg_ref.diffusion {
+                    diffuse_step(
+                        &mut state,
+                        &mut exec,
+                        &mut clock,
+                        &mut coupler,
+                        diff,
+                        stats.dt,
+                    )
                     .expect("diffusion package");
-            }
-            // Serial host control code between kernels.
-            clock.charge(
-                ChargeKind::Control,
-                SimDuration::from_nanos_f64(stats.launches as f64 * calib::CONTROL_NS_PER_LAUNCH),
-            );
-            // Host-bandwidth saturation penalty.
-            clock.charge(ChargeKind::Memory, penalty_ref[rank]);
-            if trace.is_enabled() {
-                // One busy span + one idle span per cycle: the idle
-                // share is the Wait-bucket growth (GPU sync + peers).
-                let wait_delta = clock.bucket(ChargeKind::Wait) - wait_before;
-                let cycle_end = clock.now();
-                let busy_end = cycle_end + hsim_time::SimDuration::ZERO;
-                let busy_end = hsim_time::SimTime::from_nanos(
-                    busy_end.as_nanos().saturating_sub(wait_delta.as_nanos()),
+                }
+                // Serial host control code between kernels.
+                clock.charge(
+                    ChargeKind::Control,
+                    SimDuration::from_nanos_f64(
+                        stats.launches as f64 * calib::CONTROL_NS_PER_LAUNCH,
+                    ),
                 );
-                let cat = if role.is_gpu_driver() {
-                    SpanCategory::GpuKernel
-                } else {
-                    SpanCategory::CpuKernel
-                };
-                trace.record(rank, cat, cycle_start, busy_end, "cycle");
-                trace.record(rank, SpanCategory::Idle, busy_end, cycle_end, "wait");
+                // Host-bandwidth saturation penalty.
+                clock.charge(ChargeKind::Memory, penalty_ref[rank]);
+                if collect {
+                    // One busy span + one idle span per cycle: the idle
+                    // share is the Wait-bucket growth (GPU sync + peers).
+                    let wait_delta = clock.bucket(ChargeKind::Wait) - wait_before;
+                    let cycle_end = clock.now();
+                    let busy_end = SimTime::from_nanos(
+                        cycle_end.as_nanos().saturating_sub(wait_delta.as_nanos()),
+                    );
+                    let cat = if role.is_gpu_driver() {
+                        Category::GpuKernel
+                    } else {
+                        Category::CpuKernel
+                    };
+                    hsim_telemetry::rank_span(cat, "cycle", cycle_start, busy_end);
+                    hsim_telemetry::rank_span(Category::Idle, "wait", busy_end, cycle_end);
+                }
             }
-        }
 
-        // Fold the communicator's clock into the rank clock and report.
-        let comm_clock = coupler.comm.clock().clone();
-        clock.merge(comm_clock.now());
-        let bytes_sent = coupler.comm.bytes_sent();
-        let report = RankReport {
-            rank,
-            role,
-            zones: sub.zones(),
-            setup: t0 - hsim_time::SimTime::ZERO,
-            total: clock.now() - t0,
-            compute: clock.bucket(ChargeKind::Compute),
-            launch: clock.bucket(ChargeKind::Launch),
-            memory: clock.bucket(ChargeKind::Memory) + comm_clock.bucket(ChargeKind::Memory),
-            comm: comm_clock.bucket(ChargeKind::Comm),
-            control: clock.bucket(ChargeKind::Control),
-            wait: clock.bucket(ChargeKind::Wait) + comm_clock.bucket(ChargeKind::Wait),
-            launches: exec.registry.total_launches(),
-            bytes_sent,
-        };
-        (report, trace)
-    });
+            // Fold the communicator's clock into the rank clock and report.
+            let comm_clock = coupler.comm.clock().clone();
+            clock.merge(comm_clock.now());
+            let bytes_sent = coupler.comm.bytes_sent();
+            let report = RankReport {
+                rank,
+                role,
+                zones: sub.zones(),
+                setup: t0 - hsim_time::SimTime::ZERO,
+                total: clock.now() - t0,
+                compute: clock.bucket(ChargeKind::Compute),
+                launch: clock.bucket(ChargeKind::Launch),
+                memory: clock.bucket(ChargeKind::Memory) + comm_clock.bucket(ChargeKind::Memory),
+                comm: comm_clock.bucket(ChargeKind::Comm),
+                control: clock.bucket(ChargeKind::Control),
+                wait: clock.bucket(ChargeKind::Wait) + comm_clock.bucket(ChargeKind::Wait),
+                launches: exec.registry.total_launches(),
+                bytes_sent,
+            };
+            (report, hsim_telemetry::uninstall())
+        });
 
     let mut reports = Vec::with_capacity(outputs.len());
-    let mut trace = if cfg.trace {
-        Some(Trace::enabled())
+    let mut collectors = Vec::new();
+    for (report, collector) in outputs {
+        collectors.extend(collector);
+        reports.push(report);
+    }
+
+    // Merge the rank collectors once; the legacy Gantt trace is a
+    // filtered projection of the same span store.
+    let summary = if collect {
+        let mut s = Summary::from_collectors(collectors);
+        s.metrics
+            .gauge_set(Gauge::CpuFraction, decomp.cpu_zone_fraction());
+        Some(s)
     } else {
         None
     };
-    for (report, rank_trace) in outputs {
-        if let Some(t) = trace.as_mut() {
-            t.absorb(rank_trace);
-        }
-        reports.push(report);
-    }
+    let trace = match (&summary, cfg.trace) {
+        (Some(s), true) => Some(s.legacy_trace_where(|sp| sp.name == "cycle" || sp.name == "wait")),
+        _ => None,
+    };
 
     let runtime = reports
         .iter()
@@ -381,6 +413,7 @@ pub fn run_with_fraction(cfg: &RunConfig, cpu_fraction: f64) -> Result<RunResult
         ranks: reports,
         device_busy,
         trace,
+        telemetry: if cfg.telemetry { summary } else { None },
     })
 }
 
@@ -403,6 +436,7 @@ pub fn run_balanced(cfg: &RunConfig) -> Result<(RunResult, LoadBalancer), String
     };
     lb.set_min_fraction(hetero_min_fraction(cfg));
     let mut result = run_with_fraction(cfg, lb.fraction)?;
+    let mut rebalances = 0u64;
     for _ in 0..calib::BALANCE_MAX_ITERS {
         let cpu_time = result.slowest_cpu_compute();
         let gpu_time = result.slowest_device_busy();
@@ -414,7 +448,11 @@ pub fn run_balanced(cfg: &RunConfig) -> Result<(RunResult, LoadBalancer), String
         if (lb.fraction - before).abs() < calib::BALANCE_TOL {
             break;
         }
+        rebalances += 1;
         result = run_with_fraction(cfg, lb.fraction)?;
+    }
+    if let Some(s) = result.telemetry.as_mut() {
+        s.metrics.count(Counter::Rebalances, rebalances);
     }
     Ok((result, lb))
 }
@@ -483,7 +521,11 @@ mod tests {
     fn hetero_assigns_thin_slabs_to_cpu() {
         let cfg = sweep_cfg((320, 240, 160), ExecMode::hetero());
         let r = run(&cfg).unwrap();
-        assert!(r.cpu_fraction > 0.0 && r.cpu_fraction < 0.2, "{}", r.cpu_fraction);
+        assert!(
+            r.cpu_fraction > 0.0 && r.cpu_fraction < 0.2,
+            "{}",
+            r.cpu_fraction
+        );
         let cpu_zones: u64 = r
             .ranks
             .iter()

@@ -50,11 +50,7 @@ impl ContextTable {
     /// active — including re-entrant creation by the same process,
     /// which mirrors the driver's one-primary-context rule closely
     /// enough for scheduling purposes.
-    pub fn create_exclusive(
-        &mut self,
-        device: usize,
-        process: usize,
-    ) -> Result<Context, GpuError> {
+    pub fn create_exclusive(&mut self, device: usize, process: usize) -> Result<Context, GpuError> {
         if self.active.is_some() {
             return Err(GpuError::ContextBusy { device });
         }
@@ -144,7 +140,10 @@ mod tests {
         let mut t = ContextTable::new();
         let c = t.create_exclusive(0, 1).unwrap();
         assert!(t.check(c.id).is_ok());
-        assert_eq!(t.check(ContextId(999)).unwrap_err(), GpuError::InvalidContext);
+        assert_eq!(
+            t.check(ContextId(999)).unwrap_err(),
+            GpuError::InvalidContext
+        );
         t.destroy(c.id).unwrap();
         assert_eq!(t.check(c.id).unwrap_err(), GpuError::InvalidContext);
     }
@@ -153,7 +152,10 @@ mod tests {
     fn destroying_wrong_id_fails() {
         let mut t = ContextTable::new();
         let _c = t.create_exclusive(0, 1).unwrap();
-        assert_eq!(t.destroy(ContextId(42)).unwrap_err(), GpuError::InvalidContext);
+        assert_eq!(
+            t.destroy(ContextId(42)).unwrap_err(),
+            GpuError::InvalidContext
+        );
         assert!(t.active().is_some());
     }
 }

@@ -111,7 +111,9 @@ impl Device {
             return Err(GpuError::InvalidContext);
         }
         let overhead = if via_mps {
-            self.spec.launch_overhead.mul_f64(self.spec.mps_launch_factor)
+            self.spec
+                .launch_overhead
+                .mul_f64(self.spec.mps_launch_factor)
         } else {
             self.spec.launch_overhead
         };
@@ -133,6 +135,12 @@ impl Device {
     /// Number of launches queued but not yet executed.
     pub fn pending_len(&self) -> usize {
         self.pending.len()
+    }
+
+    /// The queued launches themselves (profilers read `work` and
+    /// `max_rate` before [`Device::run_pending`] clears the queue).
+    pub fn pending_jobs(&self) -> &[Job] {
+        &self.pending
     }
 
     /// Execute every pending launch on the rate-sharing timeline.
@@ -225,8 +233,12 @@ mod tests {
         let s = d.create_stream(ctx.id).unwrap();
         let k = KernelDesc::new("k", 50.0, 8.0);
         let shape = KernelShape::new(5_000_000, 320);
-        let t1 = d.submit(ctx.id, s.id, &k, shape, SimTime::ZERO, false).unwrap();
-        let t2 = d.submit(ctx.id, s.id, &k, shape, SimTime::ZERO, false).unwrap();
+        let t1 = d
+            .submit(ctx.id, s.id, &k, shape, SimTime::ZERO, false)
+            .unwrap();
+        let t2 = d
+            .submit(ctx.id, s.id, &k, shape, SimTime::ZERO, false)
+            .unwrap();
         let out = d.run_pending();
         assert_eq!(out.len(), 2);
         let o1 = out.iter().find(|o| o.id == t1.job).unwrap();
@@ -279,8 +291,15 @@ mod tests {
         let s = d.create_stream(ctx.id).unwrap();
         let k = KernelDesc::new("k", 1.0, 1.0);
         for _ in 0..5 {
-            d.submit(ctx.id, s.id, &k, KernelShape::new(100, 10), SimTime::ZERO, false)
-                .unwrap();
+            d.submit(
+                ctx.id,
+                s.id,
+                &k,
+                KernelShape::new(100, 10),
+                SimTime::ZERO,
+                false,
+            )
+            .unwrap();
         }
         d.run_pending();
         assert_eq!(d.total_launches(), 5);

@@ -30,7 +30,10 @@ impl fmt::Display for GpuError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GpuError::OutOfMemory { requested, free } => {
-                write!(f, "out of device memory: requested {requested} B, {free} B free")
+                write!(
+                    f,
+                    "out of device memory: requested {requested} B, {free} B free"
+                )
             }
             GpuError::ContextBusy { device } => {
                 write!(f, "device {device} already has an active context (use MPS)")
@@ -61,7 +64,9 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("1024") && s.contains("512"));
-        assert!(GpuError::ContextBusy { device: 2 }.to_string().contains("MPS"));
+        assert!(GpuError::ContextBusy { device: 2 }
+            .to_string()
+            .contains("MPS"));
     }
 
     #[test]

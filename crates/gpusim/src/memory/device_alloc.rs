@@ -32,7 +32,11 @@ impl DeviceHeap {
     pub fn new(capacity: u64) -> Self {
         DeviceHeap {
             capacity,
-            free: if capacity > 0 { vec![(0, capacity)] } else { Vec::new() },
+            free: if capacity > 0 {
+                vec![(0, capacity)]
+            } else {
+                Vec::new()
+            },
             used: 0,
             high_water: 0,
             alignment: 256,

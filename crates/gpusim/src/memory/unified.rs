@@ -235,7 +235,10 @@ mod tests {
         m.touch_device(r).unwrap();
         let cost = m.touch_host_range(r, 0, page * 100).unwrap();
         assert_eq!(cost, DeviceSpec::tesla_k80().um_page_migration);
-        assert_eq!(m.touch_host_range(r, page * 5, 1).unwrap(), SimDuration::ZERO);
+        assert_eq!(
+            m.touch_host_range(r, page * 5, 1).unwrap(),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -147,7 +147,13 @@ mod tests {
         let c = mps.connect(&mut d, 0).unwrap();
         let k = KernelDesc::new("k", 10.0, 8.0);
         let ticket = mps
-            .launch(&mut d, &c, &k, KernelShape::new(1_000_000, 64), SimTime::ZERO)
+            .launch(
+                &mut d,
+                &c,
+                &k,
+                KernelShape::new(1_000_000, 64),
+                SimTime::ZERO,
+            )
             .unwrap();
         let spec = DeviceSpec::tesla_k80();
         let base = spec.launch_overhead;
@@ -169,18 +175,30 @@ mod tests {
         let mut d1 = Device::new(0, spec.clone());
         let ctx = d1.create_context(0).unwrap();
         let s = d1.create_stream(ctx.id).unwrap();
-        d1.submit(ctx.id, s.id, &k, KernelShape::new(zones_total, inner), SimTime::ZERO, false)
-            .unwrap();
+        d1.submit(
+            ctx.id,
+            s.id,
+            &k,
+            KernelShape::new(zones_total, inner),
+            SimTime::ZERO,
+            false,
+        )
+        .unwrap();
         let serial_end = d1.run_pending()[0].end;
 
         // MPS: four clients each with a quarter of the zones.
         let mut d2 = Device::new(1, spec);
         let mut mps = MpsServer::start(&mut d2, 4).unwrap();
-        let clients: Vec<MpsClient> =
-            (0..4).map(|p| mps.connect(&mut d2, p).unwrap()).collect();
+        let clients: Vec<MpsClient> = (0..4).map(|p| mps.connect(&mut d2, p).unwrap()).collect();
         for c in &clients {
-            mps.launch(&mut d2, c, &k, KernelShape::new(zones_total / 4, inner), SimTime::ZERO)
-                .unwrap();
+            mps.launch(
+                &mut d2,
+                c,
+                &k,
+                KernelShape::new(zones_total / 4, inner),
+                SimTime::ZERO,
+            )
+            .unwrap();
         }
         let mps_end = d2
             .run_pending()
@@ -207,16 +225,29 @@ mod tests {
         let mut d1 = Device::new(0, spec.clone());
         let ctx = d1.create_context(0).unwrap();
         let s = d1.create_stream(ctx.id).unwrap();
-        d1.submit(ctx.id, s.id, &k, KernelShape::new(zones_total, inner), SimTime::ZERO, false)
-            .unwrap();
+        d1.submit(
+            ctx.id,
+            s.id,
+            &k,
+            KernelShape::new(zones_total, inner),
+            SimTime::ZERO,
+            false,
+        )
+        .unwrap();
         let serial_end = d1.run_pending()[0].end;
 
         let mut d2 = Device::new(1, spec);
         let mut mps = MpsServer::start(&mut d2, 4).unwrap();
         for p in 0..4 {
             let c = mps.connect(&mut d2, p).unwrap();
-            mps.launch(&mut d2, &c, &k, KernelShape::new(zones_total / 4, inner), SimTime::ZERO)
-                .unwrap();
+            mps.launch(
+                &mut d2,
+                &c,
+                &k,
+                KernelShape::new(zones_total / 4, inner),
+                SimTime::ZERO,
+            )
+            .unwrap();
         }
         let mps_end = d2
             .run_pending()
@@ -227,7 +258,10 @@ mod tests {
         // Allow a small tolerance: they should be within a few percent,
         // with MPS not meaningfully ahead.
         let ratio = (mps_end - SimTime::ZERO).ratio(serial_end - SimTime::ZERO);
-        assert!(ratio > 0.97, "MPS should not win for large kernels: {ratio}");
+        assert!(
+            ratio > 0.97,
+            "MPS should not win for large kernels: {ratio}"
+        );
     }
 
     #[test]

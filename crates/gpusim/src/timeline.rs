@@ -410,8 +410,16 @@ mod tests {
         let tl = RateSharingTimeline::new();
         let jobs = vec![job(1, 0, 0, 2.0, 1.0), job(2, 1, 1_000_000_000, 0.5, 1.0)];
         let out = tl.simulate(&jobs);
-        assert!((secs(out[1].end) - 2.0).abs() < 1e-6, "B end {}", secs(out[1].end));
-        assert!((secs(out[0].end) - 2.5).abs() < 1e-6, "A end {}", secs(out[0].end));
+        assert!(
+            (secs(out[1].end) - 2.0).abs() < 1e-6,
+            "B end {}",
+            secs(out[1].end)
+        );
+        assert!(
+            (secs(out[0].end) - 2.5).abs() < 1e-6,
+            "A end {}",
+            secs(out[0].end)
+        );
     }
 
     #[test]

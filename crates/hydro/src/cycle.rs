@@ -22,12 +22,12 @@ use hsim_gpu::GpuError;
 use hsim_raja::Executor;
 use hsim_time::RankClock;
 
+use crate::bc;
 use crate::eos::{cfl_dt, indexer, primitives};
 use crate::flux::sweep;
-use crate::muscl::{sweep_muscl, Reconstruction};
 use crate::kernels;
+use crate::muscl::{sweep_muscl, Reconstruction};
 use crate::state::{HydroState, NCONS, RHO};
-use crate::bc;
 
 /// Approximate kernel launches per cycle for an interior rank (the
 /// Figure 11 caption's "80 kernels").
@@ -123,7 +123,15 @@ pub fn step<C: Coupler>(
     cfl: f64,
     fallback_dt: f64,
 ) -> Result<CycleStats, GpuError> {
-    step_with(st, exec, clock, coupler, cfl, fallback_dt, Reconstruction::FirstOrder)
+    step_with(
+        st,
+        exec,
+        clock,
+        coupler,
+        cfl,
+        fallback_dt,
+        Reconstruction::FirstOrder,
+    )
 }
 
 /// [`step`] with an explicit spatial reconstruction order (MUSCL needs
@@ -139,6 +147,7 @@ pub fn step_with<C: Coupler>(
     recon: Reconstruction,
 ) -> Result<CycleStats, GpuError> {
     let launches_before = exec.registry.total_launches();
+    let cycle_start = clock.now();
     let do_sweep = |st: &mut HydroState,
                     exec: &mut Executor,
                     clock: &mut RankClock,
@@ -149,38 +158,68 @@ pub fn step_with<C: Coupler>(
             Reconstruction::Muscl => sweep_muscl(st, exec, clock, dt),
         }
     };
+    // Phase span helper: brackets a closure on the rank timeline.
+    fn phase<R>(
+        name: &'static str,
+        clock: &mut RankClock,
+        f: impl FnOnce(&mut RankClock) -> R,
+    ) -> R {
+        let t0 = clock.now();
+        let r = f(clock);
+        hsim_telemetry::rank_span(hsim_telemetry::Category::Phase, name, t0, clock.now());
+        r
+    }
 
     // Stage 0: snapshot.
-    save_state(st, exec, clock)?;
+    phase("save", clock, |clock| save_state(st, exec, clock))?;
 
     // Stage 1 inputs: ghosts of u^n.
-    bc::apply(st, exec, clock)?;
-    coupler.exchange(st, clock);
-    primitives(st, exec, clock)?;
+    phase("halo", clock, |clock| -> Result<(), GpuError> {
+        bc::apply(st, exec, clock)?;
+        coupler.exchange(st, clock);
+        Ok(())
+    })?;
+    phase("eos", clock, |clock| primitives(st, exec, clock))?;
 
     // Timestep: local CFL bound, device sync, global min.
-    let local_dt = cfl_dt(st, exec, clock, cfl, fallback_dt)?;
-    exec.sync(clock);
-    let dt = coupler
-        .allreduce_min(local_dt, clock)
-        .min(fallback_dt.max(1e-30));
+    let dt = phase("cfl", clock, |clock| -> Result<f64, GpuError> {
+        let local_dt = cfl_dt(st, exec, clock, cfl, fallback_dt)?;
+        exec.sync(clock);
+        Ok(coupler
+            .allreduce_min(local_dt, clock)
+            .min(fallback_dt.max(1e-30)))
+    })?;
 
     // Stage 1: u0 ← u^n − dt·L(u^n) = u*.
-    do_sweep(st, exec, clock, dt)?;
-    std::mem::swap(&mut st.u, &mut st.u0);
-    exec.sync(clock);
+    phase("flux", clock, |clock| -> Result<(), GpuError> {
+        do_sweep(st, exec, clock, dt)?;
+        std::mem::swap(&mut st.u, &mut st.u0);
+        exec.sync(clock);
+        Ok(())
+    })?;
 
     // Stage 2: u0 ← ½u^n + ½u*, then u0 −= ½dt·L(u*).
-    combine(st, exec, clock)?;
-    bc::apply(st, exec, clock)?;
-    coupler.exchange(st, clock);
-    primitives(st, exec, clock)?;
-    do_sweep(st, exec, clock, 0.5 * dt)?;
-    std::mem::swap(&mut st.u, &mut st.u0);
-    exec.sync(clock);
+    phase("combine", clock, |clock| combine(st, exec, clock))?;
+    phase("halo", clock, |clock| -> Result<(), GpuError> {
+        bc::apply(st, exec, clock)?;
+        coupler.exchange(st, clock);
+        Ok(())
+    })?;
+    phase("eos", clock, |clock| primitives(st, exec, clock))?;
+    phase("flux", clock, |clock| -> Result<(), GpuError> {
+        do_sweep(st, exec, clock, 0.5 * dt)?;
+        std::mem::swap(&mut st.u, &mut st.u0);
+        exec.sync(clock);
+        Ok(())
+    })?;
 
     st.t += dt;
     st.cycle += 1;
+    hsim_telemetry::count(hsim_telemetry::Counter::Cycles, 1);
+    hsim_telemetry::time_stat(
+        hsim_telemetry::TimeStat::CycleTime,
+        clock.now() - cycle_start,
+    );
     Ok(CycleStats {
         dt,
         t: st.t,
@@ -328,8 +367,24 @@ mod tests {
         st_full.init_ambient(1.0, 0.4);
         let (mut st_cost, mut exec_cost, mut clock_cost) = setup(10, Fidelity::CostOnly);
         let mut solo = SoloCoupler;
-        step(&mut st_full, &mut exec_full, &mut clock_full, &mut solo, 0.3, 1.0).unwrap();
-        step(&mut st_cost, &mut exec_cost, &mut clock_cost, &mut solo, 0.3, 1.0).unwrap();
+        step(
+            &mut st_full,
+            &mut exec_full,
+            &mut clock_full,
+            &mut solo,
+            0.3,
+            1.0,
+        )
+        .unwrap();
+        step(
+            &mut st_cost,
+            &mut exec_cost,
+            &mut clock_cost,
+            &mut solo,
+            0.3,
+            1.0,
+        )
+        .unwrap();
         assert_eq!(
             clock_full.now(),
             clock_cost.now(),
@@ -365,7 +420,13 @@ mod tests {
     #[test]
     fn energy_floor_keeps_pressure_positive_everywhere() {
         let (mut st, mut exec, mut clock) = setup(12, Fidelity::Full);
-        sedov::init(&mut st, &SedovConfig { e0: 10.0, ..Default::default() });
+        sedov::init(
+            &mut st,
+            &SedovConfig {
+                e0: 10.0,
+                ..Default::default()
+            },
+        );
         let mut solo = SoloCoupler;
         for _ in 0..10 {
             step(&mut st, &mut exec, &mut clock, &mut solo, 0.25, 1.0).unwrap();

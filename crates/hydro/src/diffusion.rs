@@ -154,7 +154,11 @@ pub fn diffuse_step<C: Coupler>(
     let n = (dt_total / dt_max).ceil().max(1.0) as u32;
     // Cost-only sweeps cap substeps: the per-cycle package cost is
     // what matters, not resolving a fictitious fallback dt.
-    let n = if st.fidelity == Fidelity::CostOnly { 1 } else { n };
+    let n = if st.fidelity == Fidelity::CostOnly {
+        1
+    } else {
+        n
+    };
     let dt = dt_total / n as f64;
     for _ in 0..n {
         crate::bc::apply(st, exec, clock)?;
@@ -217,8 +221,15 @@ mod tests {
         let (mut st, mut exec, mut clock) = setup(10);
         let e0 = st.total_energy();
         let mut solo = SoloCoupler;
-        diffuse_step(&mut st, &mut exec, &mut clock, &mut solo, &DiffusionConfig::default(), 0.05)
-            .unwrap();
+        diffuse_step(
+            &mut st,
+            &mut exec,
+            &mut clock,
+            &mut solo,
+            &DiffusionConfig::default(),
+            0.05,
+        )
+        .unwrap();
         assert!(((st.total_energy() - e0) / e0).abs() < 1e-12);
         let v = st.u[EN].get(3, 3, 3);
         assert!((v - 0.4 / (GAMMA - 1.0)).abs() < 1e-12);
@@ -233,9 +244,15 @@ mod tests {
         let e0 = st.total_energy();
         let peak0 = st.u[EN].get(8, 8, 8);
         let mut solo = SoloCoupler;
-        let steps =
-            diffuse_step(&mut st, &mut exec, &mut clock, &mut solo, &DiffusionConfig { kappa: 2e-3 }, 0.2)
-                .unwrap();
+        let steps = diffuse_step(
+            &mut st,
+            &mut exec,
+            &mut clock,
+            &mut solo,
+            &DiffusionConfig { kappa: 2e-3 },
+            0.2,
+        )
+        .unwrap();
         assert!(steps >= 1);
         let peak1 = st.u[EN].get(8, 8, 8);
         assert!(peak1 < peak0, "peak must decay: {peak0} → {peak1}");
@@ -299,7 +316,11 @@ mod tests {
         let grid = GlobalGrid::new(32, 32, 32);
         let sub = Subdomain::new([0, 0, 0], [32, 32, 32], 1);
         let mut st = HydroState::new(grid, sub, Fidelity::CostOnly);
-        let mut exec = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::CostOnly);
+        let mut exec = Executor::new(
+            Target::CpuSeq,
+            CpuModel::haswell_fixed(),
+            Fidelity::CostOnly,
+        );
         let mut clock = RankClock::new(0);
         let mut solo = SoloCoupler;
         let steps = diffuse_step(

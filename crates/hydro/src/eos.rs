@@ -177,7 +177,11 @@ mod tests {
         let grid = GlobalGrid::new(8, 8, 8);
         let sub = Subdomain::new([0, 0, 0], [8, 8, 8], 1);
         let mut state = HydroState::new(grid, sub, Fidelity::CostOnly);
-        let mut exec = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::CostOnly);
+        let mut exec = Executor::new(
+            Target::CpuSeq,
+            CpuModel::haswell_fixed(),
+            Fidelity::CostOnly,
+        );
         let mut clock = RankClock::new(0);
         let dt = cfl_dt(&mut state, &mut exec, &mut clock, 0.3, 0.125).unwrap();
         assert!((dt - 0.125).abs() < 1e-15);

@@ -161,6 +161,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn flux_kernels_are_the_heaviest_per_element() {
         assert!(FLUX.bytes_per_elem >= UPDATE.bytes_per_elem);
         assert!(FLUX.flops_per_elem > COMBINE.flops_per_elem);

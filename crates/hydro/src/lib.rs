@@ -36,10 +36,10 @@ pub mod sod;
 pub mod state;
 pub mod workload;
 
-pub use cycle::{step, step_with, CycleStats, Coupler, SoloCoupler};
-pub use muscl::{sweep_muscl, Reconstruction};
+pub use cycle::{step, step_with, Coupler, CycleStats, SoloCoupler};
 pub use diffusion::{diffuse_step, diffusion_dt, DiffusionConfig};
+pub use muscl::{sweep_muscl, Reconstruction};
 pub use sedov::{sedov_shock_radius, SedovConfig};
 pub use sod::{exact_solution, GasState, SodConfig};
-pub use workload::PerturbedConfig;
 pub use state::{HydroState, NCONS};
+pub use workload::PerturbedConfig;

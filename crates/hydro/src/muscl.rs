@@ -214,16 +214,8 @@ mod tests {
         let mut solo = SoloCoupler;
         let t_end = 0.15;
         while st.t < t_end {
-            crate::cycle::step_with(
-                &mut st,
-                &mut exec,
-                &mut clock,
-                &mut solo,
-                0.25,
-                1.0,
-                recon,
-            )
-            .unwrap();
+            crate::cycle::step_with(&mut st, &mut exec, &mut clock, &mut solo, 0.25, 1.0, recon)
+                .unwrap();
         }
         let sim = axial_density(&st);
         let (dx, _, _) = grid.spacing();

@@ -115,8 +115,7 @@ pub fn radial_density_profile(state: &HydroState, nbins: usize) -> Vec<(f64, f64
     for k in 0..sub.extent(2) {
         for j in 0..sub.extent(1) {
             for i in 0..sub.extent(0) {
-                let (x, y, z) =
-                    grid.zone_center(i + sub.lo[0], j + sub.lo[1], k + sub.lo[2]);
+                let (x, y, z) = grid.zone_center(i + sub.lo[0], j + sub.lo[1], k + sub.lo[2]);
                 let r = ((x - center.0).powi(2) + (y - center.1).powi(2) + (z - center.2).powi(2))
                     .sqrt();
                 let bin = ((r / r_max) * nbins as f64) as usize;

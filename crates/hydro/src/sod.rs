@@ -318,8 +318,8 @@ mod tests {
         // the simulated profile bracket the exact extreme states.
         let max = sim.iter().cloned().fold(0.0, f64::max);
         let min = sim.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(max <= 1.0 + 1e-6 && max > 0.9);
-        assert!(min >= 0.125 - 1e-6 && min < 0.2);
+        assert!((0.9..=1.0 + 1e-6).contains(&max));
+        assert!(((0.125 - 1e-6)..0.2).contains(&min));
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub fn factor3(n: usize) -> [usize; 3] {
 /// callers relabel owners for other schemes.
 pub fn block_decomp(grid: GlobalGrid, n: usize, ghost: usize) -> Decomposition {
     let factors = factor3(n); // ascending
-    // Pair ascending factors with ascending grid extents.
+                              // Pair ascending factors with ascending grid extents.
     let extents = [grid.nx, grid.ny, grid.nz];
     let mut axes: Vec<usize> = vec![0, 1, 2];
     axes.sort_by_key(|&a| extents[a]);
@@ -117,7 +117,11 @@ pub fn block_decomp_yz(grid: GlobalGrid, n: usize, ghost: usize) -> Decompositio
         }
     }
     // Larger factor on the longer of (y, z).
-    let (py, pz) = if grid.ny >= grid.nz { (fz, fy) } else { (fy, fz) };
+    let (py, pz) = if grid.ny >= grid.nz {
+        (fz, fy)
+    } else {
+        (fy, fz)
+    };
     assert!(
         py <= grid.ny && pz <= grid.nz,
         "cannot split {n} ranks over y={}, z={}",
@@ -183,8 +187,7 @@ mod tests {
         let d = block_decomp(grid, 4, 1);
         // 4 = 1x2x2; the long x axis should get a factor too... with
         // ascending pairing, x (longest) gets the largest factor 2.
-        let x_cuts: std::collections::BTreeSet<usize> =
-            d.domains.iter().map(|s| s.lo[0]).collect();
+        let x_cuts: std::collections::BTreeSet<usize> = d.domains.iter().map(|s| s.lo[0]).collect();
         assert!(x_cuts.len() >= 2, "x axis should be cut: {x_cuts:?}");
     }
 
@@ -222,8 +225,7 @@ mod tests {
         let d = block_decomp_yz(grid, 8, 1);
         d.validate().unwrap();
         // 8 = 2x4: y (longer) gets 4.
-        let y_cuts: std::collections::BTreeSet<usize> =
-            d.domains.iter().map(|s| s.lo[1]).collect();
+        let y_cuts: std::collections::BTreeSet<usize> = d.domains.iter().map(|s| s.lo[1]).collect();
         assert_eq!(y_cuts.len(), 4);
     }
 

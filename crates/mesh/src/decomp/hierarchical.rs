@@ -25,7 +25,13 @@ pub fn hierarchical_decomp(
     split_axis: usize,
     ghost: usize,
 ) -> Result<Decomposition, String> {
-    hierarchical_with_top(grid, block_decomp(grid, n_gpus, ghost), n_gpus, per_gpu, split_axis)
+    hierarchical_with_top(
+        grid,
+        block_decomp(grid, n_gpus, ghost),
+        n_gpus,
+        per_gpu,
+        split_axis,
+    )
 }
 
 /// [`hierarchical_decomp`] with the paper's x-pinned top level: GPU
@@ -37,7 +43,13 @@ pub fn hierarchical_decomp_yz(
     split_axis: usize,
     ghost: usize,
 ) -> Result<Decomposition, String> {
-    hierarchical_with_top(grid, block_decomp_yz(grid, n_gpus, ghost), n_gpus, per_gpu, split_axis)
+    hierarchical_with_top(
+        grid,
+        block_decomp_yz(grid, n_gpus, ghost),
+        n_gpus,
+        per_gpu,
+        split_axis,
+    )
 }
 
 fn hierarchical_with_top(

@@ -54,12 +54,16 @@ impl Decomposition {
 
     /// Ranks whose domains run on a GPU.
     pub fn gpu_ranks(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&r| self.owners[r].is_gpu()).collect()
+        (0..self.len())
+            .filter(|&r| self.owners[r].is_gpu())
+            .collect()
     }
 
     /// Ranks whose domains run on CPU cores.
     pub fn cpu_ranks(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&r| !self.owners[r].is_gpu()).collect()
+        (0..self.len())
+            .filter(|&r| !self.owners[r].is_gpu())
+            .collect()
     }
 
     /// Fraction of zones assigned to CPU ranks.

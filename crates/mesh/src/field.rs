@@ -361,7 +361,7 @@ mod tests {
         assert!(hi_x.iter().all(|&v| (v as usize) % 10 == 3), "{hi_x:?}");
         let lo_y = f.pack_face(1, Side::Low, 1);
         assert_eq!(lo_y.len(), 4 * 2);
-        assert!(lo_y.iter().all(|&v| ((v as usize) / 10) % 10 == 0));
+        assert!(lo_y.iter().all(|&v| ((v as usize) / 10).is_multiple_of(10)));
     }
 
     #[test]
@@ -424,10 +424,7 @@ mod tests {
     fn face_len_matches_pack_len() {
         let f = Field::new(&sub(), Centering::Zone);
         for axis in 0..3 {
-            assert_eq!(
-                f.face_len(axis, 1),
-                f.pack_face(axis, Side::Low, 1).len()
-            );
+            assert_eq!(f.face_len(axis, 1), f.pack_face(axis, Side::Low, 1).len());
         }
     }
 }

@@ -16,6 +16,16 @@ use crate::payload::Payload;
 /// stay below it.
 const COLL_TAG_BASE: u32 = 0x8000_0000;
 
+/// Telemetry category for a message tag: collective-space tags trace
+/// as collective traffic, everything else as point-to-point.
+fn tag_category(tag: u32) -> hsim_telemetry::Category {
+    if tag >= COLL_TAG_BASE {
+        hsim_telemetry::Category::Collective
+    } else {
+        hsim_telemetry::Category::MpiMessage
+    }
+}
+
 /// Handle to a posted nonblocking receive (see [`Comm::irecv`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecvRequest {
@@ -151,17 +161,16 @@ impl Comm {
         if dst == self.rank {
             return Err(MpiError::SelfMessage);
         }
-        debug_assert!(tag < COLL_TAG_BASE, "user tag collides with collective space");
+        debug_assert!(
+            tag < COLL_TAG_BASE,
+            "user tag collides with collective space"
+        );
         self.send_internal(dst, tag, data)
     }
 
-    fn send_internal<T: Payload>(
-        &mut self,
-        dst: usize,
-        tag: u32,
-        data: T,
-    ) -> Result<(), MpiError> {
+    fn send_internal<T: Payload>(&mut self, dst: usize, tag: u32, data: T) -> Result<(), MpiError> {
         let bytes = data.byte_len();
+        let t0 = self.clock.now();
         self.clock.charge(ChargeKind::Comm, self.cost.send_overhead);
         let pkt = Packet {
             tag,
@@ -172,6 +181,17 @@ impl Comm {
         self.bytes_sent += bytes;
         self.msgs_sent += 1;
         self.bytes_per_dst[dst] += bytes;
+        hsim_telemetry::count(hsim_telemetry::Counter::MpiSends, 1);
+        hsim_telemetry::count(hsim_telemetry::Counter::MpiBytesSent, bytes);
+        hsim_telemetry::span_args(
+            self.rank as u32,
+            0,
+            tag_category(tag),
+            "mpi_send",
+            t0,
+            self.clock.now(),
+            &[("bytes", bytes), ("dst", dst as u64), ("tag", tag as u64)],
+        );
         self.senders[dst]
             .send(pkt)
             .map_err(|_| MpiError::Disconnected { peer: dst })
@@ -206,13 +226,36 @@ impl Comm {
         };
         // Virtual arrival: departure + wire time. Wait for it, then pay
         // the receive-path overhead.
+        let t0 = self.clock.now();
         let arrival = pkt.departure + self.cost.msg_time(pkt.bytes);
         self.clock.wait_until(arrival);
         self.clock.charge(ChargeKind::Comm, self.cost.recv_overhead);
+        self.note_recv(src, tag, pkt.bytes, t0, arrival);
         pkt.data
             .downcast::<T>()
             .map(|b| *b)
             .map_err(|_| MpiError::TypeMismatch { tag })
+    }
+
+    /// Telemetry for one completed receive (shared by the blocking and
+    /// nonblocking completion paths). No-op without a collector.
+    fn note_recv(&mut self, src: usize, tag: u32, bytes: u64, t0: SimTime, arrival: SimTime) {
+        hsim_telemetry::count(hsim_telemetry::Counter::MpiRecvs, 1);
+        hsim_telemetry::count(hsim_telemetry::Counter::MpiBytesReceived, bytes);
+        hsim_telemetry::time_stat(hsim_telemetry::TimeStat::MpiWait, arrival - t0);
+        hsim_telemetry::time_stat(
+            hsim_telemetry::TimeStat::MessageLatency,
+            self.clock.now() - t0,
+        );
+        hsim_telemetry::span_args(
+            self.rank as u32,
+            0,
+            tag_category(tag),
+            "mpi_recv",
+            t0,
+            self.clock.now(),
+            &[("bytes", bytes), ("src", src as u64), ("tag", tag as u64)],
+        );
     }
 
     /// Combined exchange with one peer: send then receive (safe because
@@ -275,9 +318,11 @@ impl Comm {
         match found {
             None => Ok(None),
             Some(pkt) => {
+                let t0 = self.clock.now();
                 let arrival = pkt.departure + self.cost.msg_time(pkt.bytes);
                 self.clock.wait_until(arrival);
                 self.clock.charge(ChargeKind::Comm, self.cost.recv_overhead);
+                self.note_recv(req.src, req.tag, pkt.bytes, t0, arrival);
                 pkt.data
                     .downcast::<T>()
                     .map(|b| Some(*b))
@@ -359,6 +404,7 @@ impl Comm {
         if self.size == 1 {
             return Ok(x);
         }
+        hsim_telemetry::count(hsim_telemetry::Counter::MpiCollectives, 1);
         let tag = self.next_coll_tag();
         let reduced = self.reduce_scalar(x, tag, op)?;
         self.bcast_scalar(reduced, tag)
@@ -401,6 +447,7 @@ impl Comm {
         if self.size == 1 {
             return Ok(x);
         }
+        hsim_telemetry::count(hsim_telemetry::Counter::MpiCollectives, 1);
         let tag = self.next_coll_tag();
         let val = if self.rank == 0 { Some(x) } else { None };
         self.bcast_scalar(val, tag)
@@ -412,6 +459,7 @@ impl Comm {
         if self.size == 1 {
             return Ok(x);
         }
+        hsim_telemetry::count(hsim_telemetry::Counter::MpiCollectives, 1);
         let tag = self.next_coll_tag();
         let mut offset = 1usize;
         while offset < self.size {
@@ -442,6 +490,7 @@ impl Comm {
     /// Gather one vector per rank to rank 0 (rank order). Returns
     /// `Some(rows)` on rank 0, `None` elsewhere.
     pub fn gather_vec(&mut self, x: Vec<f64>) -> Result<Option<Vec<Vec<f64>>>, MpiError> {
+        hsim_telemetry::count(hsim_telemetry::Counter::MpiCollectives, 1);
         let tag = self.next_coll_tag();
         if self.rank == 0 {
             let mut out = Vec::with_capacity(self.size);
@@ -462,6 +511,7 @@ impl Comm {
         if self.size == 1 {
             return Ok(x);
         }
+        hsim_telemetry::count(hsim_telemetry::Counter::MpiCollectives, 1);
         let tag = self.next_coll_tag();
         let mut offset = 1;
         let mut holds = true;
@@ -485,7 +535,11 @@ impl Comm {
             }
             offset = group;
         }
-        let val = if holds && self.rank == 0 { Some(x) } else { None };
+        let val = if holds && self.rank == 0 {
+            Some(x)
+        } else {
+            None
+        };
         // Reuse the vector broadcast for the down-sweep.
         let tag2 = self.next_coll_tag();
         let mut offset = 1usize;
@@ -517,6 +571,7 @@ impl Comm {
     /// Gather one `f64` per rank to rank 0 (rank order). Returns
     /// `Some(values)` on rank 0, `None` elsewhere.
     pub fn gather_f64(&mut self, x: f64) -> Result<Option<Vec<f64>>, MpiError> {
+        hsim_telemetry::count(hsim_telemetry::Counter::MpiCollectives, 1);
         let tag = self.next_coll_tag();
         if self.rank == 0 {
             let mut out = Vec::with_capacity(self.size);
@@ -535,6 +590,7 @@ impl Comm {
     /// vector would need vector bcast; with node-scale rank counts a
     /// linear exchange is fine).
     pub fn allgather_f64(&mut self, x: f64) -> Result<Vec<f64>, MpiError> {
+        hsim_telemetry::count(hsim_telemetry::Counter::MpiCollectives, 1);
         let tag = self.next_coll_tag();
         let mut out = vec![0.0; self.size];
         out[self.rank] = x;
@@ -561,6 +617,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn collective_tags_live_in_reserved_space() {
         assert!(COLL_TAG_BASE > u32::MAX / 2);
     }

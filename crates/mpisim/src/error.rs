@@ -19,7 +19,10 @@ impl fmt::Display for MpiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MpiError::RankOutOfRange { rank, size } => {
-                write!(f, "rank {rank} out of range for communicator of size {size}")
+                write!(
+                    f,
+                    "rank {rank} out of range for communicator of size {size}"
+                )
             }
             MpiError::Disconnected { peer } => write!(f, "peer rank {peer} disconnected"),
             MpiError::TypeMismatch { tag } => {

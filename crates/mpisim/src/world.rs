@@ -201,7 +201,8 @@ mod tests {
     #[test]
     fn allgather_collects_on_every_rank() {
         let out = World::run(4, CommCost::on_node(), |comm| {
-            comm.allgather_f64((comm.rank() * comm.rank()) as f64).unwrap()
+            comm.allgather_f64((comm.rank() * comm.rank()) as f64)
+                .unwrap()
         });
         for v in out {
             assert_eq!(v, vec![0.0, 1.0, 4.0, 9.0]);
@@ -314,7 +315,11 @@ mod tests {
                 comm.clock().bucket(ChargeKind::Wait).as_nanos()
             }
         });
-        assert!(out[1] < 10_000, "overlapped wait should be tiny: {} ns", out[1]);
+        assert!(
+            out[1] < 10_000,
+            "overlapped wait should be tiny: {} ns",
+            out[1]
+        );
     }
 
     #[test]
@@ -378,7 +383,8 @@ mod tests {
     #[test]
     fn gather_vec_collects_rows_in_rank_order() {
         let out = World::run(3, CommCost::free(), |comm| {
-            comm.gather_vec(vec![comm.rank() as f64; comm.rank() + 1]).unwrap()
+            comm.gather_vec(vec![comm.rank() as f64; comm.rank() + 1])
+                .unwrap()
         });
         let rows = out[0].as_ref().unwrap();
         assert_eq!(rows.len(), 3);
@@ -391,7 +397,8 @@ mod tests {
     fn allreduce_vec_sum_adds_elementwise() {
         for size in [1, 2, 3, 4, 7] {
             let out = World::run(size, CommCost::on_node(), |comm| {
-                comm.allreduce_vec_sum(vec![comm.rank() as f64, 1.0]).unwrap()
+                comm.allreduce_vec_sum(vec![comm.rank() as f64, 1.0])
+                    .unwrap()
             });
             let expect0 = (size * (size - 1)) as f64 / 2.0;
             for v in out {

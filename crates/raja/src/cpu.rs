@@ -77,7 +77,12 @@ impl CpuModel {
 
     /// Duration with the loop split over `threads` cores at parallel
     /// efficiency `eff` (OpenMP-like backend).
-    pub fn kernel_time_parallel(&self, desc: &KernelDesc, elems: u64, threads: usize) -> SimDuration {
+    pub fn kernel_time_parallel(
+        &self,
+        desc: &KernelDesc,
+        elems: u64,
+        threads: usize,
+    ) -> SimDuration {
         let threads = threads.max(1) as f64;
         // Parallel efficiency falls off mildly with thread count
         // (barrier + NUMA effects).
@@ -147,7 +152,10 @@ mod tests {
     fn fixed_compiler_has_no_penalty() {
         let cpu = CpuModel::haswell_fixed();
         assert_eq!(cpu.bug_slowdown(&saxpy()), 1.0);
-        assert!(cpu.kernel_time(&saxpy(), 1000) < CpuModel::haswell_e5_2667v3().kernel_time(&saxpy(), 1000));
+        assert!(
+            cpu.kernel_time(&saxpy(), 1000)
+                < CpuModel::haswell_e5_2667v3().kernel_time(&saxpy(), 1000)
+        );
     }
 
     #[test]

@@ -209,30 +209,64 @@ impl Executor {
     }
 
     /// Charge the virtual cost of one launch according to the target.
+    ///
+    /// Host-executed kernels feed the telemetry profiler here;
+    /// device-executed kernels feed it at the sync that resolves them
+    /// (see [`GpuClient::sync`]), so every dispatch is profiled exactly
+    /// once.
     fn charge_launch(
         &mut self,
         clock: &mut RankClock,
         desc: &KernelDesc,
         shape: KernelShape,
     ) -> Result<(), GpuError> {
+        let t0 = clock.now();
         match &self.target {
             Target::CpuSeq => {
-                clock.charge(ChargeKind::Compute, self.cpu.kernel_time(desc, shape.elems));
+                let dur = self.cpu.kernel_time(desc, shape.elems);
+                clock.charge(ChargeKind::Compute, dur);
+                hsim_telemetry::kernel_launch(desc.name, shape.elems, 0, dur, false, 1.0);
+                hsim_telemetry::rank_span(
+                    hsim_telemetry::Category::CpuKernel,
+                    desc.name,
+                    t0,
+                    clock.now(),
+                );
             }
             Target::CpuParallel { threads } => {
-                clock.charge(
-                    ChargeKind::Compute,
-                    self.cpu.kernel_time_parallel(desc, shape.elems, *threads),
+                let dur = self.cpu.kernel_time_parallel(desc, shape.elems, *threads);
+                clock.charge(ChargeKind::Compute, dur);
+                hsim_telemetry::kernel_launch(desc.name, shape.elems, 0, dur, false, 1.0);
+                hsim_telemetry::rank_span(
+                    hsim_telemetry::Category::CpuKernel,
+                    desc.name,
+                    t0,
+                    clock.now(),
                 );
             }
             Target::Gpu(client) => {
                 if self.multipolicy.recommend(shape) == PolicyChoice::Host {
                     // MultiPolicy: tiny kernel — cheaper on the host
                     // core than paying the launch path.
-                    clock.charge(ChargeKind::Compute, self.cpu.kernel_time(desc, shape.elems));
+                    let dur = self.cpu.kernel_time(desc, shape.elems);
+                    clock.charge(ChargeKind::Compute, dur);
+                    hsim_telemetry::kernel_launch(desc.name, shape.elems, 0, dur, false, 1.0);
+                    hsim_telemetry::rank_span(
+                        hsim_telemetry::Category::CpuKernel,
+                        desc.name,
+                        t0,
+                        clock.now(),
+                    );
                 } else {
                     let overhead = client.launch(desc, shape, clock.now())?;
                     clock.charge(ChargeKind::Launch, overhead);
+                    hsim_telemetry::time_stat(hsim_telemetry::TimeStat::LaunchTime, overhead);
+                    hsim_telemetry::rank_span(
+                        hsim_telemetry::Category::Launch,
+                        desc.name,
+                        t0,
+                        clock.now(),
+                    );
                 }
             }
         }
@@ -269,12 +303,19 @@ mod tests {
             .unwrap();
         assert!(x.iter().all(|&v| v == 2.0));
         assert!(clock.bucket(ChargeKind::Compute) > hsim_time::SimDuration::ZERO);
-        assert_eq!(clock.bucket(ChargeKind::Launch), hsim_time::SimDuration::ZERO);
+        assert_eq!(
+            clock.bucket(ChargeKind::Launch),
+            hsim_time::SimDuration::ZERO
+        );
     }
 
     #[test]
     fn cost_only_skips_bodies_but_charges_time() {
-        let mut exec = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::CostOnly);
+        let mut exec = Executor::new(
+            Target::CpuSeq,
+            CpuModel::haswell_fixed(),
+            Fidelity::CostOnly,
+        );
         let mut clock = RankClock::new(0);
         let mut touched = false;
         exec.forall(&mut clock, &desc(), 1000, 1000, |_| touched = true)
@@ -285,7 +326,11 @@ mod tests {
 
     #[test]
     fn parallel_cpu_is_faster_than_seq() {
-        let mut seq = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::CostOnly);
+        let mut seq = Executor::new(
+            Target::CpuSeq,
+            CpuModel::haswell_fixed(),
+            Fidelity::CostOnly,
+        );
         let mut par = Executor::new(
             Target::CpuParallel { threads: 8 },
             CpuModel::haswell_fixed(),
@@ -293,8 +338,10 @@ mod tests {
         );
         let mut c1 = RankClock::new(0);
         let mut c2 = RankClock::new(1);
-        seq.forall(&mut c1, &desc(), 1_000_000, 1000, |_| {}).unwrap();
-        par.forall(&mut c2, &desc(), 1_000_000, 1000, |_| {}).unwrap();
+        seq.forall(&mut c1, &desc(), 1_000_000, 1000, |_| {})
+            .unwrap();
+        par.forall(&mut c2, &desc(), 1_000_000, 1000, |_| {})
+            .unwrap();
         assert!(c2.now() < c1.now());
     }
 
@@ -320,8 +367,11 @@ mod tests {
             })
             .unwrap();
         assert_eq!(m, -3.0);
-        let mut cost_only =
-            Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::CostOnly);
+        let mut cost_only = Executor::new(
+            Target::CpuSeq,
+            CpuModel::haswell_fixed(),
+            Fidelity::CostOnly,
+        );
         let d = cost_only
             .forall3_min(&mut clock, &desc(), [4, 4, 4], 99.0, |_, _, _| 0.0)
             .unwrap();
@@ -342,7 +392,11 @@ mod tests {
     fn gpu_target_charges_launch_and_sync_waits() {
         let device = Device::new(0, DeviceSpec::tesla_k80());
         let (_dev, client) = SharedDevice::new_exclusive(device, 0).unwrap();
-        let mut exec = Executor::new(Target::Gpu(client), CpuModel::haswell_e5_2667v3(), Fidelity::Full);
+        let mut exec = Executor::new(
+            Target::Gpu(client),
+            CpuModel::haswell_e5_2667v3(),
+            Fidelity::Full,
+        );
         let mut clock = RankClock::new(0);
         let mut x = vec![0.0f64; 1000];
         exec.forall(&mut clock, &desc(), 1000, 10, |i| x[i] = i as f64)
@@ -351,7 +405,10 @@ mod tests {
         assert_eq!(x[999], 999.0);
         // … launch overhead charged, compute not (it's on the device).
         assert!(clock.bucket(ChargeKind::Launch) > hsim_time::SimDuration::ZERO);
-        assert_eq!(clock.bucket(ChargeKind::Compute), hsim_time::SimDuration::ZERO);
+        assert_eq!(
+            clock.bucket(ChargeKind::Compute),
+            hsim_time::SimDuration::ZERO
+        );
         let before = clock.now();
         exec.sync(&mut clock);
         assert!(clock.now() >= before);
@@ -360,7 +417,11 @@ mod tests {
 
     #[test]
     fn registry_counts_launches() {
-        let mut exec = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::CostOnly);
+        let mut exec = Executor::new(
+            Target::CpuSeq,
+            CpuModel::haswell_fixed(),
+            Fidelity::CostOnly,
+        );
         let mut clock = RankClock::new(0);
         for _ in 0..3 {
             exec.forall(&mut clock, &desc(), 10, 10, |_| {}).unwrap();
@@ -385,9 +446,13 @@ mod tests {
         // Tiny kernel: charged as host compute, no launch.
         exec.forall(&mut clock, &desc(), 100, 10, |_| {}).unwrap();
         assert!(clock.bucket(ChargeKind::Compute) > hsim_time::SimDuration::ZERO);
-        assert_eq!(clock.bucket(ChargeKind::Launch), hsim_time::SimDuration::ZERO);
+        assert_eq!(
+            clock.bucket(ChargeKind::Launch),
+            hsim_time::SimDuration::ZERO
+        );
         // Big kernel: launched on the device.
-        exec.forall(&mut clock, &desc(), 100_000, 100, |_| {}).unwrap();
+        exec.forall(&mut clock, &desc(), 100_000, 100, |_| {})
+            .unwrap();
         assert!(clock.bucket(ChargeKind::Launch) > hsim_time::SimDuration::ZERO);
         exec.sync(&mut clock);
     }

@@ -76,12 +76,14 @@ impl IndexSet {
 
     /// Iterate every index in segment order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.segments.iter().flat_map(|s| -> Box<dyn Iterator<Item = usize>> {
-            match s {
-                Segment::Range(b, e) => Box::new(*b..*e),
-                Segment::List(v) => Box::new(v.iter().copied()),
-            }
-        })
+        self.segments
+            .iter()
+            .flat_map(|s| -> Box<dyn Iterator<Item = usize>> {
+                match s {
+                    Segment::Range(b, e) => Box::new(*b..*e),
+                    Segment::List(v) => Box::new(v.iter().copied()),
+                }
+            })
     }
 }
 
@@ -132,7 +134,10 @@ mod tests {
     #[test]
     fn construction_drops_empty_segments() {
         let mut set = IndexSet::new();
-        set.push_range(5, 5).push_range(0, 3).push_list(vec![]).push_list(vec![9, 11]);
+        set.push_range(5, 5)
+            .push_range(0, 3)
+            .push_list(vec![])
+            .push_list(vec![9, 11]);
         assert_eq!(set.segments().len(), 2);
         assert_eq!(set.len(), 5);
         assert!(!set.is_empty());
@@ -143,19 +148,25 @@ mod tests {
     #[test]
     fn forall_set_visits_everything_once_in_order() {
         let mut set = IndexSet::new();
-        set.push_range(0, 4).push_list(vec![10, 12]).push_range(20, 22);
+        set.push_range(0, 4)
+            .push_list(vec![10, 12])
+            .push_range(20, 22);
         let mut e = exec(Fidelity::Full);
         let mut clock = RankClock::new(0);
         let mut seen = Vec::new();
-        e.forall_set(&mut clock, &KernelDesc::new("seg", 2.0, 16.0), &set, |i| seen.push(i))
-            .unwrap();
+        e.forall_set(&mut clock, &KernelDesc::new("seg", 2.0, 16.0), &set, |i| {
+            seen.push(i)
+        })
+        .unwrap();
         assert_eq!(seen, vec![0, 1, 2, 3, 10, 12, 20, 21]);
     }
 
     #[test]
     fn one_launch_per_segment() {
         let mut set = IndexSet::new();
-        set.push_range(0, 100).push_list(vec![1, 2, 3]).push_range(200, 300);
+        set.push_range(0, 100)
+            .push_list(vec![1, 2, 3])
+            .push_range(200, 300);
         let mut e = exec(Fidelity::CostOnly);
         let mut clock = RankClock::new(0);
         e.forall_set(&mut clock, &KernelDesc::new("seg", 2.0, 16.0), &set, |_| {})
@@ -170,9 +181,12 @@ mod tests {
         let set = IndexSet::new();
         let mut e = exec(Fidelity::Full);
         let mut clock = RankClock::new(0);
-        e.forall_set(&mut clock, &KernelDesc::new("seg", 2.0, 16.0), &set, |_| {
-            unreachable!()
-        })
+        e.forall_set(
+            &mut clock,
+            &KernelDesc::new("seg", 2.0, 16.0),
+            &set,
+            |_| unreachable!(),
+        )
         .unwrap();
         assert_eq!(e.registry.total_launches(), 0);
         assert_eq!(clock.now().as_nanos(), 0);

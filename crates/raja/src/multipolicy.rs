@@ -119,7 +119,10 @@ mod tests {
     fn threshold_splits_small_from_large() {
         let mp = MultiPolicy::with_threshold(1000);
         assert_eq!(mp.recommend(KernelShape::new(999, 10)), PolicyChoice::Host);
-        assert_eq!(mp.recommend(KernelShape::new(1000, 10)), PolicyChoice::Device);
+        assert_eq!(
+            mp.recommend(KernelShape::new(1000, 10)),
+            PolicyChoice::Device
+        );
     }
 
     #[test]

@@ -197,8 +197,7 @@ impl WorkPool {
         }
         let chunk = chunk.max(1);
         let n_chunks = (end - begin).div_ceil(chunk);
-        let partials: Vec<Mutex<f64>> =
-            (0..n_chunks).map(|_| Mutex::new(f64::INFINITY)).collect();
+        let partials: Vec<Mutex<f64>> = (0..n_chunks).map(|_| Mutex::new(f64::INFINITY)).collect();
         let partials_ref = &partials;
         self.for_chunks(begin, end, chunk, move |b, e| {
             let mut acc = f64::INFINITY;
@@ -208,7 +207,10 @@ impl WorkPool {
             let idx = (b - begin) / chunk;
             *partials_ref[idx].lock() = acc;
         });
-        partials.iter().map(|m| *m.lock()).fold(f64::INFINITY, f64::min)
+        partials
+            .iter()
+            .map(|m| *m.lock())
+            .fold(f64::INFINITY, f64::min)
     }
 }
 

@@ -37,6 +37,26 @@ struct Inner {
     next_event: u64,
     events_pending: HashMap<u64, EventMark>,
     events_resolved: HashMap<u64, SimTime>,
+    /// job id → (kernel name, elements) for the in-flight epoch.
+    /// Populated only when the submitting thread records telemetry, so
+    /// the disabled path never allocates here.
+    job_meta: HashMap<u64, (&'static str, u64)>,
+    /// Kernels resolved at the last sync, keyed by stream, awaiting
+    /// drain by each stream's owning client thread. Per-client drain
+    /// keeps span/profile attribution independent of which thread
+    /// happened to be the sync leader.
+    resolved_kernels: HashMap<u64, Vec<ResolvedKernel>>,
+}
+
+/// One device-side kernel execution resolved at a sync, pending
+/// telemetry drain by its stream's client.
+#[derive(Debug, Clone)]
+struct ResolvedKernel {
+    name: &'static str,
+    elems: u64,
+    start: SimTime,
+    end: SimTime,
+    occupancy: f64,
 }
 
 /// What a recorded event points at: the last job on its stream at
@@ -68,7 +88,10 @@ pub struct GpuClient {
 impl SharedDevice {
     /// Exclusive arrangement: one rank owns the device directly (the
     /// Default mode). Returns the shared handle and the single client.
-    pub fn new_exclusive(mut device: Device, pid: usize) -> Result<(Arc<Self>, GpuClient), GpuError> {
+    pub fn new_exclusive(
+        mut device: Device,
+        pid: usize,
+    ) -> Result<(Arc<Self>, GpuClient), GpuError> {
         let spec = device.spec().clone();
         let id = device.id();
         let ctx = device.create_context(pid)?;
@@ -86,6 +109,8 @@ impl SharedDevice {
                 next_event: 0,
                 events_pending: HashMap::new(),
                 events_resolved: HashMap::new(),
+                job_meta: HashMap::new(),
+                resolved_kernels: HashMap::new(),
             }),
             resolved: Condvar::new(),
             spec,
@@ -130,6 +155,8 @@ impl SharedDevice {
                 next_event: 0,
                 events_pending: HashMap::new(),
                 events_resolved: HashMap::new(),
+                job_meta: HashMap::new(),
+                resolved_kernels: HashMap::new(),
             }),
             resolved: Condvar::new(),
             spec,
@@ -227,15 +254,16 @@ impl GpuClient {
         let inner = &mut *inner;
         let ticket = match (&self.mps_client, &inner.mps) {
             (Some(mc), Some(server)) => server.launch(&mut inner.device, mc, desc, shape, at)?,
-            (None, None) => {
-                inner
-                    .device
-                    .submit(self.ctx, self.stream, desc, shape, at, false)?
-            }
+            (None, None) => inner
+                .device
+                .submit(self.ctx, self.stream, desc, shape, at, false)?,
             _ => return Err(GpuError::InvalidContext),
         };
         inner.job_streams.insert(ticket.job, self.stream.0);
         inner.stream_last_job.insert(self.stream.0, ticket.job);
+        if hsim_telemetry::is_enabled() {
+            inner.job_meta.insert(ticket.job, (desc.name, shape.elems));
+        }
         Ok(ticket.overhead)
     }
 
@@ -252,7 +280,19 @@ impl GpuClient {
         inner.syncers += 1;
         let my_epoch = inner.epoch;
         if inner.syncers == inner.clients {
-            // Leader: resolve the batch.
+            // Leader: resolve the batch. Snapshot the queued jobs'
+            // work/occupancy caps first — the profiler needs them and
+            // `run_pending` clears the queue.
+            let job_caps: HashMap<u64, (f64, f64)> = if inner.job_meta.is_empty() {
+                HashMap::new()
+            } else {
+                inner
+                    .device
+                    .pending_jobs()
+                    .iter()
+                    .map(|j| (j.id, (j.work, j.max_rate)))
+                    .collect()
+            };
             let outcomes = inner.device.run_pending();
             let mut job_ends: HashMap<u64, SimTime> = HashMap::new();
             for o in &outcomes {
@@ -261,7 +301,32 @@ impl GpuClient {
                     let e = inner.stream_end.entry(stream).or_insert(SimTime::ZERO);
                     *e = e.merge(o.end);
                 }
+                // Stash the kernel for its own client to drain: which
+                // thread led the sync must not change the telemetry.
+                if let Some(&(name, elems)) = inner.job_meta.get(&o.id) {
+                    let (work, max_rate) = job_caps.get(&o.id).copied().unwrap_or((0.0, 1.0));
+                    let elapsed = (o.end - o.start).as_secs_f64();
+                    let occupancy = if elapsed > 0.0 {
+                        (work / elapsed).clamp(0.0, 1.0)
+                    } else {
+                        max_rate
+                    };
+                    if let Some(&stream) = inner.job_streams.get(&o.id) {
+                        inner
+                            .resolved_kernels
+                            .entry(stream)
+                            .or_default()
+                            .push(ResolvedKernel {
+                                name,
+                                elems,
+                                start: o.start,
+                                end: o.end,
+                                occupancy,
+                            });
+                    }
+                }
             }
+            inner.job_meta.clear();
             inner.job_streams.clear();
             inner.stream_last_job.clear();
             // Resolve recorded events: the completion of the last job
@@ -281,6 +346,36 @@ impl GpuClient {
         } else {
             while inner.epoch == my_epoch {
                 self.dev.resolved.wait(&mut inner);
+            }
+        }
+        // Drain this stream's resolved kernels into the calling
+        // thread's collector (device-timeline spans + the per-kernel
+        // profile — GPU kernels feed the profiler here, not at launch).
+        hsim_telemetry::count(hsim_telemetry::Counter::DeviceSyncs, 1);
+        if let Some(kernels) = inner.resolved_kernels.remove(&self.stream.0) {
+            if hsim_telemetry::is_enabled() {
+                let pid = hsim_telemetry::DEVICE_PID_BASE + self.dev.id as u32;
+                let tid = self.stream.0 as u32;
+                for k in kernels {
+                    hsim_telemetry::span_args(
+                        pid,
+                        tid,
+                        hsim_telemetry::Category::GpuKernel,
+                        k.name,
+                        k.start,
+                        k.end,
+                        &[("elems", k.elems)],
+                    );
+                    hsim_telemetry::kernel_launch(
+                        k.name,
+                        k.elems,
+                        0,
+                        k.end - k.start,
+                        true,
+                        k.occupancy,
+                    );
+                    hsim_telemetry::gauge_max(hsim_telemetry::Gauge::DeviceOccupancy, k.occupancy);
+                }
             }
         }
         inner
@@ -403,8 +498,12 @@ mod tests {
         let inner_dim = 40;
 
         let (_d1, solo) = SharedDevice::new_exclusive(k80(), 0).unwrap();
-        solo.launch(&desc(), KernelShape::new(zones_total, inner_dim), SimTime::ZERO)
-            .unwrap();
+        solo.launch(
+            &desc(),
+            KernelShape::new(zones_total, inner_dim),
+            SimTime::ZERO,
+        )
+        .unwrap();
         let solo_end = solo.sync(SimTime::ZERO);
 
         let (_d2, clients) =

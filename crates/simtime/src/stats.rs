@@ -100,9 +100,8 @@ impl Welford {
         let n_total = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n_total as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * (self.n as f64 * other.n as f64) / n_total as f64;
+        let m2 =
+            self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n_total as f64;
         self.n = n_total;
         self.mean = mean;
         self.m2 = m2;
@@ -297,6 +296,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::excessive_precision)]
     fn histogram_edge_rounding_stays_in_range() {
         let mut h = Histogram::new(0.0, 0.3, 3);
         // 0.3 * (2/3) style values can round to the bucket count.

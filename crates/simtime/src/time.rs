@@ -294,8 +294,14 @@ mod tests {
     fn from_secs_f64_handles_pathological_inputs() {
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY).as_nanos(), u64::MAX);
-        assert_eq!(SimDuration::from_secs_f64(1.5), SimDuration::from_millis(1500));
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::INFINITY).as_nanos(),
+            u64::MAX
+        );
+        assert_eq!(
+            SimDuration::from_secs_f64(1.5),
+            SimDuration::from_millis(1500)
+        );
     }
 
     #[test]

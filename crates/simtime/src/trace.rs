@@ -218,7 +218,10 @@ mod tests {
         tr.record(1, SpanCategory::GpuKernel, t(5), t(25), "b");
         tr.record(0, SpanCategory::Comm, t(10), t(14), "halo");
         assert_eq!(tr.len(), 3);
-        assert_eq!(tr.total(SpanCategory::GpuKernel), SimDuration::from_nanos(30));
+        assert_eq!(
+            tr.total(SpanCategory::GpuKernel),
+            SimDuration::from_nanos(30)
+        );
         assert_eq!(tr.total(SpanCategory::Comm), SimDuration::from_nanos(4));
         assert_eq!(tr.makespan(), t(25));
     }

@@ -1,0 +1,150 @@
+//! Chrome trace-event JSON export (the "JSON Array Format" with a
+//! `traceEvents` wrapper), loadable in `chrome://tracing` and
+//! Perfetto.
+//!
+//! Hand-rolled writer: the workspace is offline and dependency-free,
+//! and the event schema is small. Timestamps are microseconds (the
+//! format's unit) printed as `ns/1000` with three decimals so no
+//! virtual-time precision is lost.
+
+use crate::span::SpanEvent;
+use crate::DEVICE_PID_BASE;
+
+/// Render virtual nanoseconds as a microsecond JSON number with
+/// nanosecond precision (e.g. `1234` ns → `1.234`).
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// Minimal JSON string escaping for span names (quotes, backslashes,
+/// control characters).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn process_name(pid: u32) -> String {
+    if pid >= DEVICE_PID_BASE {
+        format!("device {}", pid - DEVICE_PID_BASE)
+    } else {
+        format!("rank {pid}")
+    }
+}
+
+/// Serialize sorted spans as Chrome trace-event JSON. Emits one
+/// `ph:"M"` process-name metadata event per distinct pid, then one
+/// `ph:"X"` complete event per span.
+pub fn to_chrome_json(spans: &[SpanEvent]) -> String {
+    let mut pids: Vec<u32> = spans.iter().map(|s| s.pid).collect();
+    pids.sort_unstable();
+    pids.dedup();
+
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for pid in &pids {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            process_name(*pid)
+        ));
+    }
+    for s in spans {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":{},\"tid\":{}",
+            escape(s.name),
+            s.cat.chrome_name(),
+            us(s.ts.as_nanos()),
+            us(s.dur.as_nanos()),
+            s.pid,
+            s.tid
+        ));
+        if !s.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (i, (k, v)) in s.args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":{}", escape(k), v));
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Category;
+    use hsim_time::{SimDuration, SimTime};
+
+    fn ev(pid: u32, tid: u32, cat: Category, name: &'static str, ts: u64, dur: u64) -> SpanEvent {
+        SpanEvent {
+            pid,
+            tid,
+            cat,
+            name,
+            ts: SimTime::from_nanos(ts),
+            dur: SimDuration::from_nanos(dur),
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn emits_complete_events_with_required_fields() {
+        let spans = vec![
+            ev(0, 0, Category::CpuKernel, "eos", 0, 1500),
+            ev(1002, 3, Category::GpuKernel, "flux_x", 500, 2750),
+        ];
+        let json = to_chrome_json(&spans);
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":0.000"));
+        assert!(json.contains("\"dur\":1.500"));
+        assert!(json.contains("\"ts\":0.500"));
+        assert!(json.contains("\"dur\":2.750"));
+        assert!(json.contains("\"pid\":1002,\"tid\":3"));
+        assert!(json.contains("\"name\":\"device 2\""));
+        assert!(json.contains("\"name\":\"rank 0\""));
+        assert!(json.contains("\"cat\":\"gpu_kernel\""));
+    }
+
+    #[test]
+    fn args_are_rendered_as_json_object() {
+        let mut e = ev(0, 0, Category::MpiMessage, "send", 10, 20);
+        e.args = vec![("bytes", 4096), ("tag", 7)];
+        let json = to_chrome_json(&[e]);
+        assert!(json.contains("\"args\":{\"bytes\":4096,\"tag\":7}"));
+    }
+
+    #[test]
+    fn escaping_keeps_json_safe() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn sub_microsecond_durations_keep_precision() {
+        assert_eq!(us(1), "0.001");
+        assert_eq!(us(999), "0.999");
+        assert_eq!(us(1_000_001), "1000.001");
+    }
+}

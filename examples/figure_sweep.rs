@@ -11,13 +11,20 @@ use heterosim::bench::{ascii_chart, paper_modes, run_figure};
 use heterosim::core::figures;
 
 fn main() {
-    let pick = std::env::args().nth(1).unwrap_or_else(|| "fig18".to_string());
+    let pick = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "fig18".to_string());
     let spec = figures::all_figures()
         .into_iter()
         .find(|f| f.id == pick)
         .unwrap_or_else(|| panic!("unknown figure {pick}; use fig12..fig18"));
 
-    eprintln!("sweeping {} — {} ({} points x 3 modes)...", spec.id, spec.caption, spec.values.len());
+    eprintln!(
+        "sweeping {} — {} ({} points x 3 modes)...",
+        spec.id,
+        spec.caption,
+        spec.values.len()
+    );
     let data = run_figure(&spec, &paper_modes());
 
     println!("\n=== {} — {} ===", spec.id, spec.caption);
@@ -31,7 +38,10 @@ fn main() {
             } else {
                 String::new()
             };
-            println!("    {:>10} zones (dim {:>4}) -> {:>8.4}s{share}", zones, swept, t);
+            println!(
+                "    {:>10} zones (dim {:>4}) -> {:>8.4}s{share}",
+                zones, swept, t
+            );
         }
     }
 }

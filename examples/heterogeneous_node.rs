@@ -28,7 +28,10 @@ fn main() {
         let cfg = RunConfig::sweep(grid, mode);
         let (r, lb) = run_balanced(&cfg).expect("mode runs");
         let vs_default = match default_runtime {
-            Some(d) => format!("{:+6.1}% vs Default", (r.runtime.as_secs_f64() / d - 1.0) * 100.0),
+            Some(d) => format!(
+                "{:+6.1}% vs Default",
+                (r.runtime.as_secs_f64() / d - 1.0) * 100.0
+            ),
             None => String::new(),
         };
         if matches!(mode, ExecMode::Default) {
@@ -45,7 +48,10 @@ fn main() {
         if matches!(mode, ExecMode::Heterogeneous { .. }) {
             println!(
                 "  balancer history: {:?}",
-                lb.history.iter().map(|f| (f * 1e4).round() / 1e4).collect::<Vec<_>>()
+                lb.history
+                    .iter()
+                    .map(|f| (f * 1e4).round() / 1e4)
+                    .collect::<Vec<_>>()
             );
             println!();
             println!("  heterogeneous per-rank breakdown:");

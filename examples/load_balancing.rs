@@ -14,7 +14,10 @@ fn main() {
     let grid = (450, 480, 160);
     let cfg = RunConfig::sweep(grid, ExecMode::hetero());
 
-    println!("heterogeneous load balancing on grid {grid:?} ({} zones)", grid.0 * grid.1 * grid.2);
+    println!(
+        "heterogeneous load balancing on grid {grid:?} ({} zones)",
+        grid.0 * grid.1 * grid.2
+    );
     let (balanced, lb) = run_balanced(&cfg).expect("balanced run");
     println!();
     println!("balancer trajectory (CPU fraction per iteration):");
@@ -22,7 +25,8 @@ fn main() {
         println!("  iter {i}: {:.4} ({:.2}% of zones)", f, f * 100.0);
     }
     println!("converged: {}", lb.converged(0.002));
-    println!("balanced runtime: {:.4}s at cpu share {:.2}%",
+    println!(
+        "balanced runtime: {:.4}s at cpu share {:.2}%",
         balanced.runtime.as_secs_f64(),
         balanced.cpu_fraction * 100.0
     );
@@ -55,5 +59,11 @@ fn main() {
         projected.runtime.as_secs_f64(),
         balanced.runtime.as_secs_f64()
     );
-    println!("projected balancer: {:?}", lb2.history.iter().map(|f| (f * 1e4).round() / 1e4).collect::<Vec<_>>());
+    println!(
+        "projected balancer: {:?}",
+        lb2.history
+            .iter()
+            .map(|f| (f * 1e4).round() / 1e4)
+            .collect::<Vec<_>>()
+    );
 }

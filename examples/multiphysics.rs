@@ -18,7 +18,10 @@ fn main() {
         grid.0 * grid.1 * grid.2
     );
     println!();
-    println!("{:24} {:>12} {:>12} {:>10}", "mode", "hydro-only", "+diffusion", "overhead");
+    println!(
+        "{:24} {:>12} {:>12} {:>10}",
+        "mode", "hydro-only", "+diffusion", "overhead"
+    );
     for mode in [
         ExecMode::Default,
         ExecMode::mps4(),

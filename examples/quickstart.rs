@@ -20,8 +20,14 @@ fn main() {
     );
     println!("cycles:        {}", result.cycles);
     println!("ranks:         {}", result.ranks.len());
-    println!("CPU work:      {:.2}% of zones", result.cpu_fraction * 100.0);
-    println!("runtime:       {:.4} simulated seconds", result.runtime.as_secs_f64());
+    println!(
+        "CPU work:      {:.2}% of zones",
+        result.cpu_fraction * 100.0
+    );
+    println!(
+        "runtime:       {:.4} simulated seconds",
+        result.runtime.as_secs_f64()
+    );
     println!("kernel launches: {}", result.total_launches());
     println!("MPI traffic:     {} bytes", result.total_bytes_sent());
     println!();

@@ -28,14 +28,17 @@ fn main() {
     let mass0 = state.total_mass();
     let energy0 = state.total_energy();
 
-    println!("3D Sedov blast wave on a {n}^3 grid (E0 = {}, rho0 = {})", cfg.e0, cfg.rho0);
+    println!(
+        "3D Sedov blast wave on a {n}^3 grid (E0 = {}, rho0 = {})",
+        cfg.e0, cfg.rho0
+    );
     println!();
     println!("cycle    t          dt         shock_r    analytic_r");
     let mut cycles = 0u64;
     while cycles < 120 {
         let stats = step(&mut state, &mut exec, &mut clock, &mut solo, 0.3, 1.0).expect("cycle");
         cycles += 1;
-        if cycles % 20 == 0 {
+        if cycles.is_multiple_of(20) {
             let profile = radial_density_profile(&state, 24);
             let r_num = shock_position(&profile);
             let r_ana = sedov::sedov_shock_radius(cfg.e0, cfg.rho0, state.t);
@@ -49,7 +52,8 @@ fn main() {
     let mass1 = state.total_mass();
     let energy1 = state.total_energy();
     println!();
-    println!("conservation: mass drift {:+.2e}, energy drift {:+.2e}",
+    println!(
+        "conservation: mass drift {:+.2e}, energy drift {:+.2e}",
         (mass1 - mass0) / mass0,
         (energy1 - energy0) / energy0
     );
@@ -72,5 +76,8 @@ fn main() {
         shock_position(&profile),
         sedov::sedov_shock_radius(cfg.e0, cfg.rho0, state.t)
     );
-    println!("{} kernel launches issued over {cycles} cycles", exec.registry.total_launches());
+    println!(
+        "{} kernel launches issued over {cycles} cycles",
+        exec.registry.total_launches()
+    );
 }

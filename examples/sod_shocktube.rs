@@ -53,7 +53,7 @@ fn main() {
         let f = first[i];
         let s = second[i];
         let bar = |v: f64| ((v / 1.1) * 40.0) as usize;
-        let mut row = vec![' '; 44];
+        let mut row = [' '; 44];
         row[bar(exact).min(43)] = 'e';
         row[bar(f).min(43)] = '1';
         row[bar(s).min(43)] = '2';

@@ -5,6 +5,7 @@
 //!           [--cycles N] [--full] [--node rzhasgpu|fixed|sierra]
 //!           [--gpu-direct] [--diffusion KAPPA] [--multipolicy N]
 //!           [--no-balance] [--trace] [--csv]
+//!           [--trace-json PATH] [--metrics-json PATH]
 //! ```
 //!
 //! Examples:
@@ -22,7 +23,8 @@ fn usage() -> ! {
         "usage: heterosim [--mode default|mps|hetero|cpuonly] [--grid X,Y,Z]\n\
          \x20                [--cycles N] [--full] [--node rzhasgpu|fixed|sierra]\n\
          \x20                [--gpu-direct] [--diffusion KAPPA] [--multipolicy N]\n\
-         \x20                [--fraction F] [--problem sedov|sod|perturbed] [--trace] [--csv]"
+         \x20                [--fraction F] [--problem sedov|sod|perturbed] [--trace] [--csv]\n\
+         \x20                [--trace-json PATH] [--metrics-json PATH]"
     );
     std::process::exit(2)
 }
@@ -50,6 +52,8 @@ fn main() {
     let mut fraction: Option<f64> = None;
     let mut trace = false;
     let mut csv = false;
+    let mut trace_json: Option<String> = None;
+    let mut metrics_json: Option<String> = None;
     let mut problem_choice = heterosim::core::runner::Problem::default();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -87,13 +91,13 @@ fn main() {
             "--fraction" => fraction = Some(value().parse().unwrap_or_else(|_| usage())),
             "--trace" => trace = true,
             "--csv" => csv = true,
+            "--trace-json" => trace_json = Some(value()),
+            "--metrics-json" => metrics_json = Some(value()),
             "--problem" => {
                 problem_choice = match value().as_str() {
                     "sedov" => heterosim::core::runner::Problem::default(),
                     "sod" => heterosim::core::runner::Problem::Sod(Default::default()),
-                    "perturbed" => {
-                        heterosim::core::runner::Problem::Perturbed(Default::default())
-                    }
+                    "perturbed" => heterosim::core::runner::Problem::Perturbed(Default::default()),
                     _ => usage(),
                 }
             }
@@ -118,6 +122,7 @@ fn main() {
         diffusion,
         multipolicy_threshold: multipolicy,
         trace,
+        telemetry: trace_json.is_some() || metrics_json.is_some(),
         problem: problem_choice,
     };
 
@@ -128,6 +133,23 @@ fn main() {
             std::process::exit(1);
         }
     };
+
+    if let Some(summary) = &result.telemetry {
+        if let Some(path) = &trace_json {
+            if let Err(e) = std::fs::write(path, summary.to_chrome_json()) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote Chrome trace to {path} (load in ui.perfetto.dev)");
+        }
+        if let Some(path) = &metrics_json {
+            if let Err(e) = std::fs::write(path, summary.to_metrics_json()) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote metrics to {path}");
+        }
+    }
 
     if csv {
         println!("{}", RunResult::csv_header());
@@ -143,7 +165,10 @@ fn main() {
     println!("node:            {}", cfg.node.name);
     println!("cycles:          {}", result.cycles);
     println!("ranks:           {}", result.ranks.len());
-    println!("runtime:         {:.6} simulated seconds", result.runtime.as_secs_f64());
+    println!(
+        "runtime:         {:.6} simulated seconds",
+        result.runtime.as_secs_f64()
+    );
     if result.cpu_fraction > 0.0 {
         println!(
             "CPU share:       {:.2}% (balancer: {:?})",

@@ -113,7 +113,10 @@ fn fig17_ordering_mps_hetero_default() {
     let h = runtime(grid, ExecMode::hetero());
     assert!(m < d, "MPS best at small x: {m:.4} vs default {d:.4}");
     assert!(h < d, "Hetero beats Default at small x: {h:.4} vs {d:.4}");
-    assert!(m <= h * 1.02, "MPS at least matches Hetero: {m:.4} vs {h:.4}");
+    assert!(
+        m <= h * 1.02,
+        "MPS at least matches Hetero: {m:.4} vs {h:.4}"
+    );
 }
 
 /// Figure 18 (y = 480, z = 160): the Heterogeneous mode's best case —

@@ -66,7 +66,15 @@ fn multiphysics_multirank_matches_solo_bitwise() {
         let diff = DiffusionConfig { kappa: KAPPA };
         for _ in 0..CYCLES {
             let stats = step(&mut st, &mut exec, &mut clock, &mut coupler, 0.3, 1.0).unwrap();
-            diffuse_step(&mut st, &mut exec, &mut clock, &mut coupler, &diff, stats.dt).unwrap();
+            diffuse_step(
+                &mut st,
+                &mut exec,
+                &mut clock,
+                &mut coupler,
+                &diff,
+                stats.dt,
+            )
+            .unwrap();
         }
         let mut out = Vec::new();
         for k in 0..sub.extent(2) {

@@ -86,7 +86,10 @@ fn invariants_hold_over_a_long_run() {
         }
         last_dt = stats.dt;
     }
-    assert!(((st.total_mass() - mass0) / mass0).abs() < 1e-9, "mass drift");
+    assert!(
+        ((st.total_mass() - mass0) / mass0).abs() < 1e-9,
+        "mass drift"
+    );
     assert!(((st.total_energy() - e0) / e0).abs() < 1e-9, "energy drift");
 }
 

@@ -1,0 +1,181 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `sample_size`, `bench_function`, `Bencher::iter`,
+//! and the `criterion_group!`/`criterion_main!` macros — as a plain
+//! wall-clock harness that prints mean/min per iteration. No warmup
+//! modelling, no statistics beyond mean/min; good enough to run every
+//! bench target offline and eyeball regressions.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    pub fn new() -> Self {
+        Criterion { sample_size: 10 }
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size.max(1),
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size.max(1);
+        run_bench("", &id.into(), sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&self.name, &id.into(), self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F>(group: &str, id: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples,
+        total_ns: 0,
+        min_ns: u128::MAX,
+        iters: 0,
+    };
+    f(&mut b);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if b.iters > 0 {
+        let mean = b.total_ns / b.iters as u128;
+        eprintln!(
+            "bench {label:<40} mean {:>12} ns/iter  min {:>12} ns/iter  ({} iters)",
+            mean, b.min_ns, b.iters
+        );
+    } else {
+        eprintln!("bench {label:<40} (no iterations)");
+    }
+}
+
+/// Passed to the closure given to `bench_function`.
+pub struct Bencher {
+    samples: usize,
+    total_ns: u128,
+    min_ns: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed().as_nanos();
+            self.total_ns += dt;
+            self.min_ns = self.min_ns.min(dt);
+            self.iters += 1;
+        }
+    }
+
+    /// Timed body with untimed per-iteration setup (the input is
+    /// rebuilt outside the measured window each sample).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut f: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(f(input));
+            let dt = t0.elapsed().as_nanos();
+            self.total_ns += dt;
+            self.min_ns = self.min_ns.min(dt);
+            self.iters += 1;
+        }
+    }
+}
+
+/// Batching hint; the shim times one invocation per batch regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Defines a function that runs the listed bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Defines `main` to run the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_requested_samples() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut count = 0;
+        group.bench_function("id", |b| b.iter(|| count += 1));
+        group.finish();
+        assert_eq!(count, 3);
+    }
+}

@@ -1,0 +1,123 @@
+//! Offline stand-in for `parking_lot`, backed by `std::sync`.
+//!
+//! Only the surface the workspace uses is provided: [`Mutex`] whose
+//! `lock` returns the guard directly (no poison `Result`), and
+//! [`Condvar`] whose `wait` takes `&mut MutexGuard`. Poisoned locks are
+//! recovered rather than propagated — a panicking rank thread already
+//! aborts the run at the `World::run` join.
+
+use std::ops::{Deref, DerefMut};
+use std::sync as ss;
+
+/// Mutex with parking_lot's panic-free `lock()` signature.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(ss::Mutex<T>);
+
+/// Guard returned by [`Mutex::lock`].
+///
+/// Holds the inner std guard in an `Option` so [`Condvar::wait`] can
+/// temporarily take ownership (std's wait consumes the guard).
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized>(Option<ss::MutexGuard<'a, T>>);
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex(ss::Mutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(ss::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(Some(
+            self.0.lock().unwrap_or_else(ss::PoisonError::into_inner),
+        ))
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(ss::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.0
+            .as_ref()
+            .expect("guard present outside Condvar::wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0
+            .as_mut()
+            .expect("guard present outside Condvar::wait")
+    }
+}
+
+/// Condition variable with parking_lot's `wait(&mut guard)` signature.
+#[derive(Debug, Default)]
+pub struct Condvar(ss::Condvar);
+
+impl Condvar {
+    pub fn new() -> Self {
+        Condvar(ss::Condvar::new())
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard present before wait");
+        guard.0 = Some(
+            self.0
+                .wait(inner)
+                .unwrap_or_else(ss::PoisonError::into_inner),
+        );
+    }
+
+    pub fn notify_one(&self) -> bool {
+        self.0.notify_one();
+        true
+    }
+
+    pub fn notify_all(&self) -> usize {
+        self.0.notify_all();
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (lock, cvar) = &*pair2;
+            let mut started = lock.lock();
+            while !*started {
+                cvar.wait(&mut started);
+            }
+        });
+        {
+            let (lock, cvar) = &*pair;
+            *lock.lock() = true;
+            cvar.notify_all();
+        }
+        t.join().unwrap();
+    }
+}

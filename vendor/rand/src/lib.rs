@@ -1,0 +1,142 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! Provides `rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `Rng::gen_range` over the integer/float range types the workspace
+//! samples. The generator is SplitMix64, NOT the real `StdRng`
+//! (ChaCha12): streams differ from upstream `rand`, but the contract
+//! the workspace relies on — equal seeds give equal, well-distributed
+//! streams — holds.
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64-backed RNG with the `StdRng` name.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Construction from seeds (subset of rand's trait).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}
+
+/// Types `Rng::gen_range` can sample from.
+pub trait SampleRange {
+    type Output;
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> Self::Output;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = ((next() as u128) % span) as i128;
+                (self.start as i128 + r) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, next: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let r = ((next() as u128) % span) as i128;
+                (lo as i128 + r) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i32, i64, u32, u64, usize, u8, u16);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let unit = (next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Subset of rand's `Rng` trait.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        let mut f = || self.next_u64();
+        range.sample(&mut f)
+    }
+
+    /// A uniform f64 in [0, 1).
+    fn gen_f64(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        self.gen_range(0.0..1.0)
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+}
+
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let i = rng.gen_range(1..=4);
+            assert!((1..=4).contains(&i));
+            let f = rng.gen_range(-0.5..0.5);
+            assert!((-0.5..0.5).contains(&f));
+            let u = rng.gen_range(0usize..10);
+            assert!(u < 10);
+        }
+    }
+
+    #[test]
+    fn floats_cover_the_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<f64> = (0..1000).map(|_| rng.gen_range(0.0..1.0)).collect();
+        assert!(xs.iter().any(|&x| x < 0.1));
+        assert!(xs.iter().any(|&x| x > 0.9));
+    }
+}
