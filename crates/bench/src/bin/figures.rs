@@ -2,7 +2,13 @@
 //! series into `target/figures/` and print ASCII charts.
 //!
 //! Usage: `cargo run -p hsim-bench --bin figures [--release] [fig12 ...]
-//!         [--trace-json PATH] [--metrics-json PATH]`
+//!         [--jobs N] [--trace-json PATH] [--metrics-json PATH]`
+//!
+//! `--jobs N` bounds how many sweep simulations run concurrently
+//! (default: the host's available parallelism). Every job count
+//! produces byte-identical CSV/markdown output — the simulations are
+//! deterministic virtual-time runs and results are assembled in a
+//! fixed order.
 //!
 //! The telemetry flags instrument one Fig-18 Heterogeneous reference
 //! run (x=300, y=480, z=160) and write its Chrome trace / metrics
@@ -11,7 +17,7 @@
 use std::fs;
 use std::path::Path;
 
-use hsim_bench::{ascii_chart, paper_modes, run_figure};
+use hsim_bench::{ascii_chart, paper_modes, run_figure_jobs};
 use hsim_core::figures;
 use hsim_core::{run_balanced, ExecMode, RunConfig};
 
@@ -49,6 +55,13 @@ fn main() {
     };
     let trace_json = take_flag("--trace-json");
     let metrics_json = take_flag("--metrics-json");
+    let jobs = match take_flag("--jobs") {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("--jobs needs a positive integer, got {v:?}");
+            std::process::exit(2);
+        }),
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    };
     if trace_json.is_some() || metrics_json.is_some() {
         reference_run(trace_json.as_deref(), metrics_json.as_deref());
         if args.is_empty() {
@@ -62,14 +75,18 @@ fn main() {
         if !args.is_empty() && !args.iter().any(|a| a == spec.id) {
             continue;
         }
-        eprintln!("running {} ({})...", spec.id, spec.caption);
-        let data = run_figure(&spec, &modes);
+        eprintln!("running {} ({}, {jobs} job(s))...", spec.id, spec.caption);
+        let data = run_figure_jobs(&spec, &modes, jobs);
         let csv_path = out_dir.join(format!("{}.csv", spec.id));
         fs::write(&csv_path, data.to_csv()).expect("write csv");
         let md_path = out_dir.join(format!("{}.md", spec.id));
         fs::write(&md_path, data.to_markdown()).expect("write markdown");
         println!("\n=== {} — {} ===", spec.id, spec.caption);
         println!("{}", ascii_chart(&data.chart_series(), 72, 20));
+        let footer = data.skip_footer();
+        if !footer.is_empty() {
+            print!("{footer}");
+        }
         println!("(series written to {})", csv_path.display());
     }
 }

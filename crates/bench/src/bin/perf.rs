@@ -1,0 +1,254 @@
+//! Wall-clock performance harness for the host-side parallel layers.
+//!
+//! Usage: `cargo run --release -p hsim-bench --bin perf
+//!         [--quick] [--jobs N] [--out PATH]`
+//!
+//! Everything else in this repo measures *virtual* time — the cost
+//! model's simulated seconds, which are deterministic and identical
+//! on every machine. This harness is the one place that measures
+//! *host* wall-clock instead: how fast the simulator itself runs when
+//! the figure sweeps fan out over a job pool and when parallel
+//! regions go through the persistent [`WorkPool`] workers. Virtual
+//! clocks are never touched; the serial and parallel sweeps are
+//! asserted byte-identical before any number is reported.
+//!
+//! Results are written as deterministic-schema JSON (default
+//! `BENCH_figures.json`): sweep serial/parallel seconds and speedup,
+//! pool region-dispatch latency against a spawn-per-region baseline,
+//! reduction throughput, and the `host_*` telemetry counters the
+//! measured code recorded along the way. `host_parallelism` is
+//! recorded so single-core results are read as such.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use hsim_bench::{paper_modes, run_figure_jobs, FigureData};
+use hsim_core::figures::{self, FigureSpec};
+use hsim_raja::WorkPool;
+use hsim_telemetry::{Collector, Counter};
+
+/// One sweep's serial-vs-parallel wall-clock comparison.
+struct SweepResult {
+    id: String,
+    tasks: usize,
+    serial_s: f64,
+    parallel_s: f64,
+    skipped: usize,
+}
+
+/// A small custom sweep so `--quick` finishes in seconds anywhere.
+fn quick_spec() -> FigureSpec {
+    FigureSpec {
+        id: "quick",
+        caption: "trimmed sweep for the perf harness",
+        sweep: figures::SweepAxis::X,
+        values: vec![64, 96, 128, 160],
+        fixed: (48, 32),
+    }
+}
+
+fn measure_sweep(spec: &FigureSpec, jobs: usize) -> SweepResult {
+    let modes = paper_modes();
+    let t0 = Instant::now();
+    let serial = run_figure_jobs(spec, &modes, 1);
+    let serial_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let parallel = run_figure_jobs(spec, &modes, jobs);
+    let parallel_s = t1.elapsed().as_secs_f64();
+    assert_identical(&serial, &parallel, spec.id);
+    SweepResult {
+        id: spec.id.to_string(),
+        tasks: modes.len() * spec.values.len(),
+        serial_s,
+        parallel_s,
+        skipped: serial.skipped.len(),
+    }
+}
+
+/// The whole point of deterministic fan-out: `--jobs N` must never
+/// change a single byte of any figure artifact.
+fn assert_identical(serial: &FigureData, parallel: &FigureData, id: &str) {
+    assert_eq!(
+        serial.to_csv(),
+        parallel.to_csv(),
+        "{id}: parallel sweep changed the CSV output"
+    );
+    assert_eq!(
+        serial.to_markdown(),
+        parallel.to_markdown(),
+        "{id}: parallel sweep changed the markdown output"
+    );
+}
+
+/// Wall-clock nanoseconds per no-op parallel region on the persistent
+/// pool: the handoff cost the lifetime-erased job slot pays instead
+/// of spawning.
+fn bench_pool_region_ns(pool: &WorkPool, regions: usize) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..regions {
+        pool.for_chunks(0, 64, 64, |_, _| {});
+    }
+    t0.elapsed().as_nanos() as f64 / regions as f64
+}
+
+/// The baseline the pool replaces: spawn scoped threads per region,
+/// as `for_chunks` did before workers became persistent.
+fn bench_spawn_region_ns(threads: usize, regions: usize) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..regions {
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| std::hint::black_box(64));
+            }
+        });
+    }
+    t0.elapsed().as_nanos() as f64 / regions as f64
+}
+
+/// Reduction throughput in millions of elements per wall-clock second.
+fn bench_sum_melems(pool: &WorkPool, elems: usize, reps: usize) -> f64 {
+    let t0 = Instant::now();
+    let mut acc = 0.0;
+    for _ in 0..reps {
+        acc += pool.sum(0, elems, 1024, |i| i as f64 * 1e-9);
+    }
+    std::hint::black_box(acc);
+    (elems * reps) as f64 / t0.elapsed().as_secs_f64() / 1e6
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut take_flag = |flag: &str| -> Option<String> {
+        let i = args.iter().position(|a| a == flag)?;
+        if i + 1 >= args.len() {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Some(v)
+    };
+    let out_path = take_flag("--out").unwrap_or_else(|| "BENCH_figures.json".into());
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let jobs: usize = match take_flag("--jobs") {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("--jobs needs a positive integer, got {v:?}");
+            std::process::exit(2);
+        }),
+        None => host_parallelism,
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+    args.retain(|a| a != "--quick");
+    if let Some(stray) = args.first() {
+        eprintln!("unknown argument: {stray}");
+        eprintln!("usage: perf [--quick] [--jobs N] [--out PATH]");
+        std::process::exit(2);
+    }
+
+    // Collect the host-time counters the measured code records; spans
+    // stay off so the collector itself costs nothing measurable.
+    hsim_telemetry::install(Collector::new(0).without_spans());
+
+    // Sweep fan-out: quick mode runs a trimmed spec, the full harness
+    // adds the paper's Fig. 14 strong-scaling style sweep.
+    let mut sweep_specs = vec![quick_spec()];
+    if !quick {
+        sweep_specs.extend(
+            figures::all_figures()
+                .into_iter()
+                .filter(|s| s.id == "fig14"),
+        );
+    }
+    let mut sweeps = Vec::new();
+    for spec in &sweep_specs {
+        eprintln!(
+            "sweep {}: {} tasks, serial then --jobs {jobs}...",
+            spec.id,
+            paper_modes().len() * spec.values.len()
+        );
+        sweeps.push(measure_sweep(spec, jobs));
+    }
+
+    // Pool microbenches on the calling thread (the coordinator role
+    // the runner plays), sized down in quick mode.
+    let (regions, elems, reps) = if quick {
+        (200, 1 << 20, 4)
+    } else {
+        (2000, 1 << 23, 8)
+    };
+    let pool = WorkPool::new(jobs.saturating_sub(1));
+    eprintln!(
+        "pool microbench: {regions} regions, {} threads...",
+        pool.parallelism()
+    );
+    let region_ns_persistent = bench_pool_region_ns(&pool, regions);
+    let region_ns_spawn = bench_spawn_region_ns(pool.parallelism(), regions);
+    let sum_melems_per_s = bench_sum_melems(&pool, elems, reps);
+
+    let metrics = hsim_telemetry::uninstall()
+        .expect("collector installed above")
+        .metrics;
+    let counter = |c| metrics.counter(c);
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema_version\": 1,");
+    let _ = writeln!(json, "  \"host_parallelism\": {host_parallelism},");
+    let _ = writeln!(json, "  \"jobs\": {jobs},");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"sweeps\": [");
+    for (i, s) in sweeps.iter().enumerate() {
+        let comma = if i + 1 < sweeps.len() { "," } else { "" };
+        let speedup = s.serial_s / s.parallel_s.max(1e-12);
+        let _ = writeln!(
+            json,
+            "    {{\"id\": \"{}\", \"tasks\": {}, \"skipped\": {}, \"serial_s\": {:.6}, \
+             \"parallel_s\": {:.6}, \"speedup\": {:.3}, \"identical_output\": true}}{comma}",
+            s.id, s.tasks, s.skipped, s.serial_s, s.parallel_s, speedup
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"pool\": {{");
+    let _ = writeln!(json, "    \"workers\": {},", pool.parallelism());
+    let _ = writeln!(json, "    \"regions_timed\": {regions},");
+    let _ = writeln!(
+        json,
+        "    \"region_ns_persistent\": {region_ns_persistent:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"region_ns_scoped_spawn\": {region_ns_spawn:.1},"
+    );
+    let _ = writeln!(json, "    \"sum_melems_per_s\": {sum_melems_per_s:.2}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"telemetry\": {{");
+    let _ = writeln!(
+        json,
+        "    \"host_sweep_points\": {},",
+        counter(Counter::HostSweepPoints)
+    );
+    let _ = writeln!(
+        json,
+        "    \"host_sweep_nanos\": {},",
+        counter(Counter::HostSweepNanos)
+    );
+    let _ = writeln!(
+        json,
+        "    \"host_pool_regions\": {},",
+        counter(Counter::HostPoolRegions)
+    );
+    let _ = writeln!(
+        json,
+        "    \"host_pool_nanos\": {}",
+        counter(Counter::HostPoolNanos)
+    );
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out_path}");
+    print!("{json}");
+}

@@ -5,4 +5,4 @@ pub mod plot;
 pub mod sweep;
 
 pub use plot::ascii_chart;
-pub use sweep::{paper_modes, run_figure, FigureData, Series};
+pub use sweep::{paper_modes, run_figure, run_figure_jobs, FigureData, Series, SkippedPoint};

@@ -1,4 +1,21 @@
 //! Figure sweep execution: run every mode over a figure's points.
+//!
+//! Sweeps fan out over a small host-side job pool: every
+//! `(mode, point)` pair is an independent simulation, so
+//! [`run_figure_jobs`] claims pairs from an atomic cursor and runs
+//! them on `jobs` OS threads. Results land in per-task slots and are
+//! assembled in the fixed mode-major, point-minor order, so the CSV,
+//! markdown, and chart output are byte-identical for any job count
+//! (the simulations themselves are deterministic virtual-time runs —
+//! wall-clock parallelism cannot leak into them).
+//!
+//! Points the runner rejects (e.g. a carve axis too small for the CPU
+//! ranks) are recorded as [`SkippedPoint`]s on the [`FigureData`]
+//! instead of being printed to stderr, so figure footers can report
+//! them and tests can assert on them.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use hsim_core::figures::FigureSpec;
 use hsim_core::{run_balanced, ExecMode, RunConfig};
@@ -12,12 +29,23 @@ pub struct Series {
     pub points: Vec<(u64, usize, f64, f64)>,
 }
 
+/// A sweep point the runner refused, kept for footers and tests.
+#[derive(Debug, Clone)]
+pub struct SkippedPoint {
+    pub mode: String,
+    pub grid: (usize, usize, usize),
+    pub swept_dim: usize,
+    pub reason: String,
+}
+
 /// All series of one figure.
 #[derive(Debug, Clone)]
 pub struct FigureData {
     pub id: &'static str,
     pub caption: &'static str,
     pub series: Vec<Series>,
+    /// Infeasible points, in the same deterministic sweep order.
+    pub skipped: Vec<SkippedPoint>,
 }
 
 /// The three modes every evaluation figure compares.
@@ -25,31 +53,99 @@ pub fn paper_modes() -> Vec<ExecMode> {
     vec![ExecMode::Default, ExecMode::mps4(), ExecMode::hetero()]
 }
 
+/// What one `(mode, point)` task produced.
+enum Outcome {
+    Point((u64, usize, f64, f64)),
+    Skip(String),
+}
+
 /// Run one figure's sweep for `modes` (cost-only fidelity, RZHasGPU).
 /// Heterogeneous points run through the load balancer, exactly as the
-/// paper adjusted the split per problem size.
+/// paper adjusted the split per problem size. Serial (`jobs = 1`)
+/// compatibility wrapper around [`run_figure_jobs`].
 pub fn run_figure(spec: &FigureSpec, modes: &[ExecMode]) -> FigureData {
-    let mut series = Vec::with_capacity(modes.len());
-    for mode in modes {
-        let mut points = Vec::with_capacity(spec.values.len());
-        for (p, &v) in spec.points().iter().zip(&spec.values) {
-            let cfg = RunConfig::sweep(p.grid(), *mode);
-            let (result, _lb) = match run_balanced(&cfg) {
-                Ok(r) => r,
-                Err(e) => {
-                    // Infeasible points (e.g. a carve axis too small
-                    // for the CPU ranks) are skipped, like runs that
-                    // would not fit the machine.
-                    eprintln!("{}: {mode:?} at {:?}: {e}", spec.id, p.grid());
-                    continue;
-                }
-            };
-            points.push((
+    run_figure_jobs(spec, modes, 1)
+}
+
+/// Run one figure's sweep with up to `jobs` simulations in flight.
+///
+/// `jobs` is clamped to at least 1; the calling thread always acts as
+/// one of the workers, so `jobs = 1` spawns nothing and degenerates to
+/// the serial loop. Output is byte-identical for every `jobs` value.
+pub fn run_figure_jobs(spec: &FigureSpec, modes: &[ExecMode], jobs: usize) -> FigureData {
+    let pts: Vec<((usize, usize, usize), usize)> = spec
+        .points()
+        .iter()
+        .zip(&spec.values)
+        .map(|(p, &v)| (p.grid(), v))
+        .collect();
+    let n_tasks = modes.len() * pts.len();
+    let slots: Vec<Mutex<Option<Outcome>>> = (0..n_tasks).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let host_t0 = hsim_telemetry::is_enabled().then(std::time::Instant::now);
+
+    // Each worker claims flat task indices `mode_idx * pts + pt_idx`
+    // until the cursor runs dry. Slots are written exactly once.
+    let worker = || loop {
+        let t = cursor.fetch_add(1, Ordering::Relaxed);
+        if t >= n_tasks {
+            break;
+        }
+        let mode = modes[t / pts.len()];
+        let (grid, v) = pts[t % pts.len()];
+        let cfg = RunConfig::sweep(grid, mode);
+        let outcome = match run_balanced(&cfg) {
+            Ok((result, _lb)) => Outcome::Point((
                 result.zones,
                 v,
                 result.runtime.as_secs_f64(),
                 result.cpu_fraction,
-            ));
+            )),
+            Err(e) => Outcome::Skip(e.to_string()),
+        };
+        *slots[t].lock().unwrap() = Some(outcome);
+    };
+    let extra = jobs.max(1).min(n_tasks.max(1)) - 1;
+    if extra == 0 {
+        worker();
+    } else {
+        std::thread::scope(|s| {
+            for _ in 0..extra {
+                s.spawn(worker);
+            }
+            worker();
+        });
+    }
+
+    if let Some(t0) = host_t0 {
+        hsim_telemetry::count(hsim_telemetry::Counter::HostSweepPoints, n_tasks as u64);
+        hsim_telemetry::count(
+            hsim_telemetry::Counter::HostSweepNanos,
+            t0.elapsed().as_nanos() as u64,
+        );
+    }
+
+    // Deterministic assembly: fixed mode-major, point-minor order,
+    // independent of which worker ran which task.
+    let mut series = Vec::with_capacity(modes.len());
+    let mut skipped = Vec::new();
+    for (mi, mode) in modes.iter().enumerate() {
+        let mut points = Vec::with_capacity(pts.len());
+        for (pi, &(grid, v)) in pts.iter().enumerate() {
+            let outcome = slots[mi * pts.len() + pi]
+                .lock()
+                .unwrap()
+                .take()
+                .expect("every sweep task runs exactly once");
+            match outcome {
+                Outcome::Point(p) => points.push(p),
+                Outcome::Skip(reason) => skipped.push(SkippedPoint {
+                    mode: mode.label(),
+                    grid,
+                    swept_dim: v,
+                    reason,
+                }),
+            }
         }
         series.push(Series {
             mode: *mode,
@@ -61,12 +157,14 @@ pub fn run_figure(spec: &FigureSpec, modes: &[ExecMode]) -> FigureData {
         id: spec.id,
         caption: spec.caption,
         series,
+        skipped,
     }
 }
 
 impl FigureData {
     /// A markdown table of the figure's series with Default-relative
-    /// ratios (the EXPERIMENTS.md presentation).
+    /// ratios (the EXPERIMENTS.md presentation). Skipped points, if
+    /// any, are listed in a footer below the table.
     pub fn to_markdown(&self) -> String {
         let mut out = format!("## {} — {}\n\n", self.id, self.caption);
         out.push_str("| zones | dim | Default | MPS | Hetero | Het/Def | MPS/Def | CPU share |\n");
@@ -102,6 +200,22 @@ impl FigureData {
                 cell(hh),
                 ratio(hh),
                 ratio(mm)
+            ));
+        }
+        out.push_str(&self.skip_footer());
+        out
+    }
+
+    /// Footer lines describing skipped points, empty when none were.
+    pub fn skip_footer(&self) -> String {
+        if self.skipped.is_empty() {
+            return String::new();
+        }
+        let mut out = format!("\n_{} infeasible point(s) skipped:_\n", self.skipped.len());
+        for s in &self.skipped {
+            out.push_str(&format!(
+                "- {} at {}×{}×{} (dim {}): {}\n",
+                s.mode, s.grid.0, s.grid.1, s.grid.2, s.swept_dim, s.reason
             ));
         }
         out
@@ -157,12 +271,13 @@ mod tests {
         for s in &data.series {
             assert_eq!(s.points.len(), 2, "{}", s.label);
         }
+        assert!(data.skipped.is_empty());
         let csv = data.to_csv();
         assert!(csv.lines().count() >= 7);
         assert_eq!(data.chart_series().len(), 3);
         let md = data.to_markdown();
         assert!(md.contains("| zones |"));
-        // One row per sweep point plus header lines.
+        // One row per sweep point plus header lines; no skip footer.
         assert_eq!(md.lines().count(), 4 + 2); // title, blank, header, separator + 2 rows
         assert!(md.contains("%"), "CPU share column present");
     }

@@ -21,7 +21,7 @@ use hsim_mesh::decomp::hierarchical::hierarchical_decomp_yz;
 use hsim_mesh::decomp::weighted::{weighted_hetero_decomp, WeightedConfig};
 use hsim_mesh::{Decomposition, GlobalGrid, HaloPlan, OwnerKind};
 use hsim_mpi::World;
-use hsim_raja::{Executor, Fidelity, GpuClient, SharedDevice, Target};
+use hsim_raja::{Executor, Fidelity, GpuClient, SharedDevice, Target, WorkPool};
 use hsim_telemetry::{Category, Collector, Counter, Gauge, Summary, TimeStat};
 use hsim_time::clock::ChargeKind;
 use hsim_time::{RankClock, SimDuration, SimTime};
@@ -89,6 +89,14 @@ pub struct RunConfig {
     pub telemetry: bool,
     /// The physics problem to initialize (default: Sedov).
     pub problem: Problem,
+    /// Host threads per parallel region for CPU ranks. With the
+    /// default of 1, CPU ranks execute (and are costed) sequentially
+    /// exactly as the paper's study; > 1 builds **one** shared
+    /// [`WorkPool`] for the whole run and hands it to every CPU rank's
+    /// executor, so thread-safe kernels and reductions run on
+    /// persistent workers and virtual time is charged by the OpenMP
+    /// cost model at this width.
+    pub host_threads: usize,
 }
 
 impl RunConfig {
@@ -107,6 +115,7 @@ impl RunConfig {
             trace: false,
             telemetry: false,
             problem: Problem::default(),
+            host_threads: 1,
         }
     }
 
@@ -213,6 +222,15 @@ pub fn run_with_fraction(cfg: &RunConfig, cpu_fraction: f64) -> Result<RunResult
     }
     let slots = Mutex::new(slots);
 
+    // One host work pool for the whole run (never per region, never
+    // per rank): CPU ranks share its persistent workers for parallel
+    // kernels and reductions. None = the paper's sequential CPU ranks.
+    let host_pool: Option<Arc<WorkPool>> = if cfg.host_threads > 1 {
+        Some(Arc::new(WorkPool::new(cfg.host_threads - 1)))
+    } else {
+        None
+    };
+
     // Node-level host-bandwidth model (the Figure 12 kink): aggregate
     // host traffic beyond the active cores' capacity costs extra,
     // distributed over ranks in proportion to their zones.
@@ -231,6 +249,7 @@ pub fn run_with_fraction(cfg: &RunConfig, cpu_fraction: f64) -> Result<RunResult
     let roles_ref = &roles;
     let slots_ref = &slots;
     let penalty_ref = &penalty_per_cycle;
+    let pool_ref = &host_pool;
     let cfg_ref = cfg;
 
     // One collector per rank thread serves both consumers: the full
@@ -269,7 +288,12 @@ pub fn run_with_fraction(cfg: &RunConfig, cpu_fraction: f64) -> Result<RunResult
                 ));
                 Target::Gpu(client.clone())
             } else {
-                Target::CpuSeq
+                match pool_ref {
+                    Some(pool) => Target::CpuParallel {
+                        pool: Arc::clone(pool),
+                    },
+                    None => Target::CpuSeq,
+                }
             };
 
             let mut exec = Executor::new(target, cfg_ref.node.cpu.clone(), cfg_ref.fidelity)
@@ -592,6 +616,33 @@ mod tests {
         let r = run(&cfg).unwrap();
         assert_eq!(r.ranks.len(), 16);
         assert!(r.runtime > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn shared_host_pool_run_is_green_and_charged_parallel() {
+        // Full-fidelity hetero run with one shared pool across all
+        // CPU ranks: physics completes, and the OpenMP cost model
+        // makes CPU compute cheaper than the sequential run.
+        let mut cfg = sweep_cfg((32, 48, 32), ExecMode::hetero());
+        cfg.fidelity = Fidelity::Full;
+        cfg.cycles = 2;
+        let serial = run(&cfg).unwrap();
+        cfg.host_threads = 4;
+        let pooled = run(&cfg).unwrap();
+        assert_eq!(pooled.ranks.len(), serial.ranks.len());
+        let cpu_compute = |r: &RunResult| {
+            r.ranks
+                .iter()
+                .filter(|x| !x.role.is_gpu_driver())
+                .map(|x| x.compute)
+                .fold(SimDuration::ZERO, SimDuration::max)
+        };
+        assert!(
+            cpu_compute(&pooled) < cpu_compute(&serial),
+            "pooled CPU ranks must be charged parallel time: {} vs {}",
+            cpu_compute(&pooled),
+            cpu_compute(&serial)
+        );
     }
 
     #[test]

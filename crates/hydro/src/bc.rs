@@ -38,7 +38,10 @@ pub fn apply(
                 let e = state.ext();
                 let face_elems = sub.ghost * e[(axis + 1) % 3] * e[(axis + 2) % 3];
                 let inner = e[0].min(u32::MAX as usize) as u32;
-                exec.forall(clock, &kernels::BOUNDARY, face_elems, inner, |_| {})?;
+                // Thread-safe no-op body: the boundary kernel's cost
+                // accrues here, and on a CpuParallel target it runs
+                // through the shared work pool.
+                exec.forall_par(clock, &kernels::BOUNDARY, face_elems, inner, |_| {})?;
                 if exec.fidelity == Fidelity::Full {
                     state.u[var].reflect_into_ghost(axis, side, sign);
                 }

@@ -9,14 +9,23 @@
 //! promises — while the *virtual cost* lands on the CPU core or the
 //! GPU device according to the target.
 
+use std::sync::Arc;
+
 use hsim_gpu::{GpuError, KernelDesc, KernelShape};
 use hsim_time::clock::ChargeKind;
 use hsim_time::{RankClock, SimTime};
 
 use crate::cpu::CpuModel;
 use crate::multipolicy::{MultiPolicy, PolicyChoice};
+use crate::pool::WorkPool;
 use crate::registry::KernelRegistry;
 use crate::simgpu::GpuClient;
+
+/// Fixed chunk size for pool-executed kernels and reductions. A pure
+/// constant (not a function of worker count) so reduction results are
+/// bit-identical on any pool geometry: partials are combined in chunk
+/// order regardless of which worker produced them.
+const PAR_CHUNK: usize = 1024;
 
 /// Whether kernel bodies actually execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,14 +42,27 @@ pub enum Target {
     /// Sequential on the rank's own core (the paper's CPU-only MPI
     /// processes).
     CpuSeq,
-    /// OpenMP-like across `threads` cores (used by the CpuOnly mode
-    /// where one rank may own several cores).
-    CpuParallel { threads: usize },
+    /// OpenMP-like across the pool's cores (used where one rank may
+    /// own several cores). The pool is shared — typically one per run,
+    /// handed to every CPU rank's executor — so parallel regions reuse
+    /// the same persistent workers instead of constructing per-region
+    /// resources.
+    CpuParallel { pool: Arc<WorkPool> },
     /// Offloaded to a (shared) simulated GPU.
     Gpu(GpuClient),
 }
 
 impl Target {
+    /// An OpenMP-like target over `threads` total cores, backed by a
+    /// freshly spawned pool (the caller participates, so `threads - 1`
+    /// workers are spawned). To share one pool across executors, build
+    /// the `Arc<WorkPool>` yourself and clone it into each target.
+    pub fn cpu_parallel(threads: usize) -> Self {
+        Target::CpuParallel {
+            pool: Arc::new(WorkPool::new(threads.saturating_sub(1))),
+        }
+    }
+
     /// Short label for reports.
     pub fn label(&self) -> &'static str {
         match self {
@@ -89,6 +111,12 @@ impl Executor {
     /// `inner_extent` is the unit-stride extent the iteration space
     /// presents to the device (for 1D loops it is `n` itself, clamped
     /// to u32).
+    ///
+    /// The `FnMut` body always executes serially on the host thread —
+    /// it may mutate captured state freely (the single-source
+    /// contract). Bodies that are `Fn + Send + Sync` can use
+    /// [`Executor::forall_par`] instead, which executes on the shared
+    /// work pool when the target is [`Target::CpuParallel`].
     pub fn forall<F>(
         &mut self,
         clock: &mut RankClock,
@@ -105,6 +133,42 @@ impl Executor {
         if self.fidelity == Fidelity::Full {
             for i in 0..n {
                 body(i);
+            }
+        }
+        self.registry.record_launch(desc.name, n as u64);
+        Ok(())
+    }
+
+    /// Execute a 1D kernel over `[0, n)` with a thread-safe body.
+    ///
+    /// Identical virtual cost to [`Executor::forall`]; the difference
+    /// is execution: under [`Fidelity::Full`] with a
+    /// [`Target::CpuParallel`] target the body runs on the persistent
+    /// work pool (chunked dynamic scheduling), not serially on the
+    /// host thread. Disjoint-index writes therefore need interior
+    /// mutability (atomics or cell-based views), exactly as on a real
+    /// OpenMP backend.
+    pub fn forall_par<F>(
+        &mut self,
+        clock: &mut RankClock,
+        desc: &KernelDesc,
+        n: usize,
+        inner_extent: u32,
+        body: F,
+    ) -> Result<(), GpuError>
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        let shape = KernelShape::new(n as u64, inner_extent);
+        self.charge_launch(clock, desc, shape)?;
+        if self.fidelity == Fidelity::Full {
+            match &self.target {
+                Target::CpuParallel { pool } => pool.for_each(0, n, PAR_CHUNK, body),
+                _ => {
+                    for i in 0..n {
+                        body(i);
+                    }
+                }
             }
         }
         self.registry.record_launch(desc.name, n as u64);
@@ -140,26 +204,41 @@ impl Executor {
 
     /// 3D min-reduction (the CFL timestep). In [`Fidelity::CostOnly`]
     /// the body is skipped and `default` is returned.
+    ///
+    /// Under [`Target::CpuParallel`] the reduction executes on the
+    /// work pool with chunk-ordered partials, so the result is
+    /// bit-identical to any other pool geometry (and to the serial
+    /// visit order, which the linear index decomposition preserves).
     pub fn forall3_min<F>(
         &mut self,
         clock: &mut RankClock,
         desc: &KernelDesc,
         ext: [usize; 3],
         default: f64,
-        mut body: F,
+        body: F,
     ) -> Result<f64, GpuError>
     where
-        F: FnMut(usize, usize, usize) -> f64,
+        F: Fn(usize, usize, usize) -> f64 + Send + Sync,
     {
         let elems = (ext[0] * ext[1] * ext[2]) as u64;
         let shape = KernelShape::new(elems, ext[0].min(u32::MAX as usize) as u32);
         self.charge_launch(clock, desc, shape)?;
         let mut acc = f64::INFINITY;
         if self.fidelity == Fidelity::Full {
-            for k in 0..ext[2] {
-                for j in 0..ext[1] {
-                    for i in 0..ext[0] {
-                        acc = acc.min(body(i, j, k));
+            match &self.target {
+                Target::CpuParallel { pool } => {
+                    let (nx, ny) = (ext[0], ext[1]);
+                    acc = pool.min(0, ext[0] * ext[1] * ext[2], PAR_CHUNK, |idx| {
+                        body(idx % nx, (idx / nx) % ny, idx / (nx * ny))
+                    });
+                }
+                _ => {
+                    for k in 0..ext[2] {
+                        for j in 0..ext[1] {
+                            for i in 0..ext[0] {
+                                acc = acc.min(body(i, j, k));
+                            }
+                        }
                     }
                 }
             }
@@ -175,26 +254,42 @@ impl Executor {
     }
 
     /// 3D sum-reduction (diagnostics). Skipped body returns `default`.
+    ///
+    /// Chunk-ordered on the pool under [`Target::CpuParallel`], like
+    /// [`Executor::forall3_min`]: bit-identical across pool
+    /// geometries. The *grouping* differs from the serial single
+    /// accumulator, so sums may differ from [`Target::CpuSeq`] in the
+    /// last ulps (min is associative, so it matches exactly).
     pub fn forall3_sum<F>(
         &mut self,
         clock: &mut RankClock,
         desc: &KernelDesc,
         ext: [usize; 3],
         default: f64,
-        mut body: F,
+        body: F,
     ) -> Result<f64, GpuError>
     where
-        F: FnMut(usize, usize, usize) -> f64,
+        F: Fn(usize, usize, usize) -> f64 + Send + Sync,
     {
         let elems = (ext[0] * ext[1] * ext[2]) as u64;
         let shape = KernelShape::new(elems, ext[0].min(u32::MAX as usize) as u32);
         self.charge_launch(clock, desc, shape)?;
         let mut acc = 0.0;
         if self.fidelity == Fidelity::Full {
-            for k in 0..ext[2] {
-                for j in 0..ext[1] {
-                    for i in 0..ext[0] {
-                        acc += body(i, j, k);
+            match &self.target {
+                Target::CpuParallel { pool } => {
+                    let (nx, ny) = (ext[0], ext[1]);
+                    acc = pool.sum(0, ext[0] * ext[1] * ext[2], PAR_CHUNK, |idx| {
+                        body(idx % nx, (idx / nx) % ny, idx / (nx * ny))
+                    });
+                }
+                _ => {
+                    for k in 0..ext[2] {
+                        for j in 0..ext[1] {
+                            for i in 0..ext[0] {
+                                acc += body(i, j, k);
+                            }
+                        }
                     }
                 }
             }
@@ -233,8 +328,10 @@ impl Executor {
                     clock.now(),
                 );
             }
-            Target::CpuParallel { threads } => {
-                let dur = self.cpu.kernel_time_parallel(desc, shape.elems, *threads);
+            Target::CpuParallel { pool } => {
+                let dur = self
+                    .cpu
+                    .kernel_time_parallel(desc, shape.elems, pool.parallelism());
                 clock.charge(ChargeKind::Compute, dur);
                 hsim_telemetry::kernel_launch(desc.name, shape.elems, 0, dur, false, 1.0);
                 hsim_telemetry::rank_span(
@@ -332,7 +429,7 @@ mod tests {
             Fidelity::CostOnly,
         );
         let mut par = Executor::new(
-            Target::CpuParallel { threads: 8 },
+            Target::cpu_parallel(8),
             CpuModel::haswell_fixed(),
             Fidelity::CostOnly,
         );
@@ -483,7 +580,69 @@ mod tests {
     #[test]
     fn target_labels() {
         assert_eq!(Target::CpuSeq.label(), "cpu-seq");
-        assert_eq!(Target::CpuParallel { threads: 4 }.label(), "cpu-omp");
+        assert_eq!(Target::cpu_parallel(4).label(), "cpu-omp");
         assert!(!Target::CpuSeq.is_gpu());
+    }
+
+    #[test]
+    fn forall_par_executes_on_the_pool_under_cpu_parallel() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let mut exec = Executor::new(
+            Target::cpu_parallel(4),
+            CpuModel::haswell_fixed(),
+            Fidelity::Full,
+        );
+        let mut clock = RankClock::new(0);
+        let cells: Vec<AtomicU64> = (0..10_000).map(|_| AtomicU64::new(0)).collect();
+        exec.forall_par(&mut clock, &desc(), cells.len(), 100, |i| {
+            cells[i].fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        assert!(cells.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        assert!(clock.bucket(ChargeKind::Compute) > hsim_time::SimDuration::ZERO);
+    }
+
+    #[test]
+    fn parallel_reductions_are_pool_geometry_invariant() {
+        // Several chunks' worth of elements: min must match the serial
+        // target bit-for-bit (associative), sums must be bit-identical
+        // across every pool geometry (chunk partials combined in chunk
+        // order) and ulp-close to serial.
+        let ext = [40, 20, 9];
+        let body = |i: usize, j: usize, k: usize| ((i * 31 + j * 7 + k) as f64 * 0.01).sin();
+        let mut serial = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::Full);
+        let mut clock = RankClock::new(0);
+        let m0 = serial
+            .forall3_min(&mut clock, &desc(), ext, 9.9, body)
+            .unwrap();
+        let s0 = serial
+            .forall3_sum(&mut clock, &desc(), ext, 0.0, body)
+            .unwrap();
+        let mut par_reference: Option<(f64, f64)> = None;
+        for threads in [2usize, 4, 8] {
+            let mut exec = Executor::new(
+                Target::cpu_parallel(threads),
+                CpuModel::haswell_fixed(),
+                Fidelity::Full,
+            );
+            let m = exec
+                .forall3_min(&mut clock, &desc(), ext, 9.9, body)
+                .unwrap();
+            let s = exec
+                .forall3_sum(&mut clock, &desc(), ext, 0.0, body)
+                .unwrap();
+            assert_eq!(m.to_bits(), m0.to_bits(), "min @ {threads} threads");
+            assert!(
+                (s - s0).abs() <= 1e-9 * s0.abs().max(1.0),
+                "sum @ {threads}"
+            );
+            match par_reference {
+                None => par_reference = Some((m, s)),
+                Some((mr, sr)) => {
+                    assert_eq!(m.to_bits(), mr.to_bits());
+                    assert_eq!(s.to_bits(), sr.to_bits(), "sum geometry-invariant");
+                }
+            }
+        }
     }
 }

@@ -23,6 +23,11 @@
 //! * [`pool::WorkPool`] — a work-sharing thread pool (chunked dynamic
 //!   scheduling over an atomic cursor) used for genuinely parallel
 //!   host execution of `Sync` bodies, mirroring the OpenMP backend.
+//!   Every region — including borrowed-closure regions — runs on the
+//!   *persistent* workers through a lifetime-erased job slot with an
+//!   acquire/release completion handoff; no region spawns threads.
+//!   Pools are shared (one per run) and reductions are chunk-ordered,
+//!   so results are bit-identical on any pool geometry.
 //! * [`simgpu::SharedDevice`] — the CUDA-backend contact point: rank
 //!   threads submit kernels and meet at a device sync, where the
 //!   rate-sharing timeline resolves overlap (this is where MPS clients

@@ -6,21 +6,64 @@
 //! way the project's concurrency guide prescribes: acquire/release
 //! pairing on the job slot, an atomic cursor for the iteration space,
 //! and a condition variable for idle parking.
+//!
+//! Every parallel region — including regions whose bodies borrow from
+//! the caller's stack — runs on the *persistent* workers. Borrowed
+//! closures are handed across via a lifetime-erased job slot: the
+//! coordinator publishes a raw pointer to the body, and the
+//! acquire/release handoff on [`Job::remaining`] guarantees every
+//! worker has exited the body before `for_chunks` returns, so the
+//! borrow is live for exactly as long as any thread can touch it.
+//! No region ever spawns a thread.
+//!
+//! Panics inside a body poison the region: the remaining iteration
+//! space is drained, the first payload is captured, and the
+//! coordinator re-raises it on the calling thread once every worker
+//! has left the region. Nested regions (a body submitting another
+//! region to any pool) deadlock by construction on a single job slot
+//! and are rejected with a panic instead.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::any::Any;
+use std::cell::{Cell, UnsafeCell};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
+thread_local! {
+    /// Set while this thread is executing a parallel-region body (as a
+    /// worker or as the coordinating caller). Used to reject nested
+    /// regions, which would deadlock on the single job slot.
+    static IN_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Lifetime-erased borrowed closure: `call(data, b, e)` invokes the
+/// original `Fn(usize, usize)` for `[b, e)`.
+///
+/// Safety: the pointee must outlive every call. [`WorkPool::for_chunks`]
+/// upholds this by blocking until all workers have left the job before
+/// the borrowed body goes out of scope.
+struct RawBody {
+    data: *const (),
+    call: unsafe fn(*const (), usize, usize),
+}
+
+unsafe impl Send for RawBody {}
+unsafe impl Sync for RawBody {}
+
 /// The unit of work handed to workers for one parallel region.
 struct Job {
-    /// Type-erased body: `body(begin, end)` processes `[begin, end)`.
-    body: Box<dyn Fn(usize, usize) + Send + Sync>,
+    body: RawBody,
     cursor: AtomicUsize,
     end: usize,
     chunk: usize,
     /// Workers still inside this job (for completion detection).
     remaining: AtomicUsize,
+    /// A body panicked somewhere in the region.
+    poisoned: AtomicBool,
+    /// First panic payload, re-raised by the coordinator.
+    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
 struct Shared {
@@ -41,6 +84,10 @@ pub struct WorkPool {
     shared: Arc<Shared>,
     workers: Vec<std::thread::JoinHandle<()>>,
     threads: usize,
+    /// Serializes whole regions: the pool has one job slot, so
+    /// concurrent submitters (e.g. rank threads sharing one run-wide
+    /// pool) take turns rather than corrupting the slot.
+    region_lock: Mutex<()>,
 }
 
 impl WorkPool {
@@ -62,6 +109,7 @@ impl WorkPool {
             shared,
             workers,
             threads,
+            region_lock: Mutex::new(()),
         }
     }
 
@@ -84,7 +132,10 @@ impl WorkPool {
         });
     }
 
-    /// Chunked variant: `body(b, e)` processes `[b, e)`.
+    /// Chunked variant: `body(b, e)` processes `[b, e)`. Runs on the
+    /// persistent workers with the calling thread participating; the
+    /// borrowed body is published through the lifetime-erased job slot
+    /// and reclaimed before return (see module docs).
     pub fn for_chunks<F>(&self, begin: usize, end: usize, chunk: usize, body: F)
     where
         F: Fn(usize, usize) + Send + Sync,
@@ -92,66 +143,40 @@ impl WorkPool {
         if begin >= end {
             return;
         }
-        let chunk = chunk.max(1);
-        // Borrowed bodies cannot be handed to the persistent workers
-        // (they require 'static), so regions with borrowed captures
-        // run on scoped threads; `for_each_static` uses the persistent
-        // workers for 'static bodies.
-        let cursor = AtomicUsize::new(begin);
-        std::thread::scope(|scope| {
-            let body = &body;
-            let cursor = &cursor;
-            let n_workers = self.threads;
-            let mut handles = Vec::with_capacity(n_workers);
-            for _ in 0..n_workers {
-                handles.push(scope.spawn(move || loop {
-                    let b = cursor.fetch_add(chunk, Ordering::Relaxed);
-                    if b >= end {
-                        break;
-                    }
-                    body(b, (b + chunk).min(end));
-                }));
-            }
-            // The calling thread works too.
-            loop {
-                let b = cursor.fetch_add(chunk, Ordering::Relaxed);
-                if b >= end {
-                    break;
-                }
-                body(b, (b + chunk).min(end));
-            }
-        });
-    }
-
-    /// Parallel region for `'static` bodies, executed on the
-    /// *persistent* workers (no per-region thread spawn).
-    pub fn for_each_static<F>(&self, begin: usize, end: usize, chunk: usize, body: F)
-    where
-        F: Fn(usize) + Send + Sync + 'static,
-    {
-        if begin >= end {
-            return;
+        if IN_REGION.with(|c| c.get()) {
+            panic!("nested WorkPool parallel regions are not supported (the pool has one job slot; restructure the outer region to do the inner work inline)");
         }
         let chunk = chunk.max(1);
+        let host_t0 = hsim_telemetry::is_enabled().then(std::time::Instant::now);
+
+        unsafe fn call_thunk<F: Fn(usize, usize)>(data: *const (), b: usize, e: usize) {
+            (*data.cast::<F>())(b, e)
+        }
         let job = Arc::new(Job {
-            body: Box::new(move |b, e| {
-                for i in b..e {
-                    body(i);
-                }
-            }),
+            body: RawBody {
+                data: (&body as *const F).cast(),
+                call: call_thunk::<F>,
+            },
             cursor: AtomicUsize::new(begin),
             end,
             chunk,
             remaining: AtomicUsize::new(self.threads),
+            poisoned: AtomicBool::new(false),
+            panic_payload: Mutex::new(None),
         });
+
+        // One region at a time: concurrent submitters queue here.
+        let region = self.region_lock.lock();
         {
             let mut st = self.shared.state.lock();
             *st = State::Running(Arc::clone(&job));
             self.shared.work_ready.notify_all();
         }
-        // The caller participates as well.
+        // The calling thread works too.
         run_job(&job);
-        // Wait for the workers to drain the job.
+        // Wait for the workers to drain the job. The Acquire pairs
+        // with each worker's Release decrement, making every body
+        // effect (and reduction-slot write) visible to the caller.
         let mut st = self.shared.state.lock();
         while job.remaining.load(Ordering::Acquire) != 0 {
             self.shared.work_done.wait(&mut st);
@@ -160,11 +185,39 @@ impl WorkPool {
         // Wake workers parked on the job-swap wait so they return to
         // the ready queue.
         self.shared.work_done.notify_all();
+        drop(st);
+        drop(region);
+
+        if let Some(t0) = host_t0 {
+            hsim_telemetry::count(hsim_telemetry::Counter::HostPoolRegions, 1);
+            hsim_telemetry::count(
+                hsim_telemetry::Counter::HostPoolNanos,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
+        if job.poisoned.load(Ordering::Acquire) {
+            let payload = job.panic_payload.lock().take();
+            match payload {
+                Some(p) => panic::resume_unwind(p),
+                None => panic!("WorkPool parallel region body panicked"),
+            }
+        }
+    }
+
+    /// Parallel region for `'static` bodies. Since the lifetime-erased
+    /// job slot handles borrowed bodies too, this is now a plain alias
+    /// for [`WorkPool::for_each`], kept for API continuity.
+    pub fn for_each_static<F>(&self, begin: usize, end: usize, chunk: usize, body: F)
+    where
+        F: Fn(usize) + Send + Sync + 'static,
+    {
+        self.for_each(begin, end, chunk, body);
     }
 
     /// Parallel sum reduction: `Σ body(i)` over `[begin, end)` with a
     /// deterministic per-chunk partial order (chunk partials summed in
-    /// chunk order).
+    /// chunk order), so the result is independent of worker count and
+    /// scheduling.
     pub fn sum<F>(&self, begin: usize, end: usize, chunk: usize, body: F) -> f64
     where
         F: Fn(usize) -> f64 + Send + Sync,
@@ -173,21 +226,21 @@ impl WorkPool {
             return 0.0;
         }
         let chunk = chunk.max(1);
-        let n_chunks = (end - begin).div_ceil(chunk);
-        let partials: Vec<Mutex<f64>> = (0..n_chunks).map(|_| Mutex::new(0.0)).collect();
-        let partials_ref = &partials;
+        let slots = ChunkSlots::new((end - begin).div_ceil(chunk), 0.0);
+        let slots_ref = &slots;
         self.for_chunks(begin, end, chunk, move |b, e| {
             let mut acc = 0.0;
             for i in b..e {
                 acc += body(i);
             }
-            let idx = (b - begin) / chunk;
-            *partials_ref[idx].lock() = acc;
+            // Each chunk owns exactly one slot index.
+            unsafe { slots_ref.set((b - begin) / chunk, acc) };
         });
-        partials.iter().map(|m| *m.lock()).sum()
+        slots.into_values().into_iter().sum()
     }
 
-    /// Parallel min reduction over `body(i)`.
+    /// Parallel min reduction over `body(i)`, chunk-ordered like
+    /// [`WorkPool::sum`].
     pub fn min<F>(&self, begin: usize, end: usize, chunk: usize, body: F) -> f64
     where
         F: Fn(usize) -> f64 + Send + Sync,
@@ -196,21 +249,52 @@ impl WorkPool {
             return f64::INFINITY;
         }
         let chunk = chunk.max(1);
-        let n_chunks = (end - begin).div_ceil(chunk);
-        let partials: Vec<Mutex<f64>> = (0..n_chunks).map(|_| Mutex::new(f64::INFINITY)).collect();
-        let partials_ref = &partials;
+        let slots = ChunkSlots::new((end - begin).div_ceil(chunk), f64::INFINITY);
+        let slots_ref = &slots;
         self.for_chunks(begin, end, chunk, move |b, e| {
             let mut acc = f64::INFINITY;
             for i in b..e {
                 acc = acc.min(body(i));
             }
-            let idx = (b - begin) / chunk;
-            *partials_ref[idx].lock() = acc;
+            unsafe { slots_ref.set((b - begin) / chunk, acc) };
         });
-        partials
-            .iter()
-            .map(|m| *m.lock())
+        slots
+            .into_values()
+            .into_iter()
             .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Per-chunk reduction slots. Each slot is written by exactly one
+/// chunk (the atomic cursor hands out disjoint chunks, and slot index
+/// is a pure function of the chunk's start), so plain stores suffice —
+/// the old per-slot `Mutex` was pure overhead. Visibility to the
+/// reading coordinator comes from the region's completion handoff.
+struct ChunkSlots {
+    slots: Box<[UnsafeCell<f64>]>,
+}
+
+unsafe impl Sync for ChunkSlots {}
+
+impl ChunkSlots {
+    fn new(n: usize, init: f64) -> Self {
+        ChunkSlots {
+            slots: (0..n).map(|_| UnsafeCell::new(init)).collect(),
+        }
+    }
+
+    /// Safety: each index must be written from at most one chunk, and
+    /// reads must happen only after the region completes.
+    unsafe fn set(&self, i: usize, v: f64) {
+        *self.slots[i].get() = v;
+    }
+
+    fn into_values(self) -> Vec<f64> {
+        self.slots
+            .into_vec()
+            .into_iter()
+            .map(|c| c.into_inner())
+            .collect()
     }
 }
 
@@ -227,14 +311,33 @@ impl Drop for WorkPool {
     }
 }
 
+/// Pull chunks until the cursor passes the end, with the thread-local
+/// region flag set around body execution. A panicking body poisons the
+/// job: the cursor is slammed to the end so every thread stops picking
+/// up new chunks, and the first payload is kept for the coordinator.
 fn run_job(job: &Job) {
+    IN_REGION.with(|c| c.set(true));
     loop {
         let b = job.cursor.fetch_add(job.chunk, Ordering::Relaxed);
         if b >= job.end {
             break;
         }
-        (job.body)(b, (b + job.chunk).min(job.end));
+        let e = (b + job.chunk).min(job.end);
+        let r = panic::catch_unwind(AssertUnwindSafe(|| unsafe {
+            (job.body.call)(job.body.data, b, e)
+        }));
+        if let Err(payload) = r {
+            job.cursor.store(job.end, Ordering::Relaxed);
+            let mut slot = job.panic_payload.lock();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+            drop(slot);
+            job.poisoned.store(true, Ordering::Release);
+            break;
+        }
     }
+    IN_REGION.with(|c| c.set(false));
 }
 
 fn worker_loop(shared: &Shared) {
@@ -250,7 +353,7 @@ fn worker_loop(shared: &Shared) {
             }
         };
         run_job(&job);
-        // Release pairs with the Acquire in `for_each_static`'s wait.
+        // Release pairs with the Acquire in `for_chunks`'s wait.
         if job.remaining.fetch_sub(1, Ordering::Release) == 1 {
             let _guard = shared.state.lock();
             shared.work_done.notify_all();
@@ -302,6 +405,20 @@ mod tests {
     }
 
     #[test]
+    fn sum_is_worker_count_invariant() {
+        // Chunk-ordered partials: the same chunk size must give the
+        // bit-identical result on any pool geometry.
+        let body = |i: usize| ((i as f64) * 0.1).sin();
+        let expect = WorkPool::new(0).sum(0, 5000, 37, body);
+        for workers in [1, 2, 5] {
+            let pool = WorkPool::new(workers);
+            for _ in 0..3 {
+                assert_eq!(pool.sum(0, 5000, 37, body).to_bits(), expect.to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn min_matches_serial() {
         let pool = WorkPool::new(4);
         let m = pool.min(0, 1000, 32, |i| ((i as f64) - 500.0).abs());
@@ -321,6 +438,40 @@ mod tests {
             });
         }
         assert_eq!(hits.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn borrowed_bodies_run_on_persistent_workers() {
+        // The tentpole property: a region whose body borrows stack
+        // data runs without spawning threads. Observable as: worker
+        // thread ids stay within the fixed pool set across regions.
+        let pool = WorkPool::new(3);
+        let mut data = vec![0u64; 512];
+        let cells: Vec<AtomicU64> = (0..512).map(|_| AtomicU64::new(0)).collect();
+        pool.for_each(0, 512, 16, |i| {
+            cells[i].store(i as u64 + 1, Ordering::Relaxed);
+        });
+        for (i, c) in cells.iter().enumerate() {
+            data[i] = c.load(Ordering::Relaxed);
+            assert_eq!(data[i], i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn many_tiny_regions_stress() {
+        // The hot-kernel-path shape: thousands of small regions in a
+        // row through the same persistent workers.
+        let pool = WorkPool::new(3);
+        let total = AtomicU64::new(0);
+        for r in 0..2000 {
+            let base = r as u64;
+            pool.for_each(0, 10, 3, |i| {
+                total.fetch_add(base + i as u64, Ordering::Relaxed);
+            });
+        }
+        // Σ_r (10·r + 45) for r in 0..2000.
+        let expect: u64 = (0..2000u64).map(|r| 10 * r + 45).sum();
+        assert_eq!(total.load(Ordering::Relaxed), expect);
     }
 
     #[test]
@@ -356,5 +507,73 @@ mod tests {
     fn pool_drops_cleanly_while_idle() {
         let pool = WorkPool::new(4);
         drop(pool);
+    }
+
+    #[test]
+    fn body_panic_propagates_to_the_caller() {
+        let pool = WorkPool::new(3);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.for_each(0, 100, 1, |i| {
+                if i == 41 {
+                    panic!("deliberate test panic at 41");
+                }
+            });
+        }));
+        let payload = r.expect_err("region must panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("deliberate test panic"), "{msg}");
+        // The pool survives a poisoned region and runs the next one.
+        let count = AtomicU64::new(0);
+        pool.for_each(0, 50, 4, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn nested_regions_are_rejected() {
+        let pool = WorkPool::new(2);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.for_each(0, 8, 1, |_| {
+                pool.for_each(0, 4, 1, |_| {});
+            });
+        }));
+        let payload = r.expect_err("nested region must be rejected");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("nested WorkPool parallel regions"), "{msg}");
+        // Still usable afterwards.
+        assert_eq!(pool.sum(0, 10, 2, |i| i as f64), 45.0);
+    }
+
+    #[test]
+    fn concurrent_submitters_serialize_on_the_region_lock() {
+        // Several threads share one pool (the runner's per-run pool):
+        // regions must queue, not corrupt each other.
+        let pool = Arc::new(WorkPool::new(2));
+        let total = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        let local = pool.sum(0, 100, 7, |i| i as f64);
+                        assert_eq!(local, 4950.0);
+                        total.fetch_add(local as u64, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 50 * 4950);
     }
 }

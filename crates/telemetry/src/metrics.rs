@@ -41,10 +41,23 @@ pub enum Counter {
     Cycles,
     /// Rebalance decisions taken by the runner.
     Rebalances,
+    /// Parallel regions executed on the persistent host work pool.
+    ///
+    /// This and the other `Host*` counters measure **wall-clock host
+    /// time**, not simulated time: they let the perf harness account
+    /// for real execution cost without ever touching a rank's virtual
+    /// clock.
+    HostPoolRegions,
+    /// Wall-clock nanoseconds spent inside host pool regions.
+    HostPoolNanos,
+    /// Sweep points executed by the parallel sweep engine.
+    HostSweepPoints,
+    /// Wall-clock nanoseconds spent running sweep points.
+    HostSweepNanos,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 18] = [
         Counter::KernelLaunches,
         Counter::GpuKernelLaunches,
         Counter::CpuKernelLaunches,
@@ -59,6 +72,10 @@ impl Counter {
         Counter::DeviceSyncs,
         Counter::Cycles,
         Counter::Rebalances,
+        Counter::HostPoolRegions,
+        Counter::HostPoolNanos,
+        Counter::HostSweepPoints,
+        Counter::HostSweepNanos,
     ];
 
     pub fn label(self) -> &'static str {
@@ -77,6 +94,10 @@ impl Counter {
             Counter::DeviceSyncs => "device_syncs",
             Counter::Cycles => "cycles",
             Counter::Rebalances => "rebalances",
+            Counter::HostPoolRegions => "host_pool_regions",
+            Counter::HostPoolNanos => "host_pool_nanos",
+            Counter::HostSweepPoints => "host_sweep_points",
+            Counter::HostSweepNanos => "host_sweep_nanos",
         }
     }
 }

@@ -4,7 +4,7 @@
 //! heterosim [--mode default|mps|hetero|cpuonly] [--grid X,Y,Z]
 //!           [--cycles N] [--full] [--node rzhasgpu|fixed|sierra]
 //!           [--gpu-direct] [--diffusion KAPPA] [--multipolicy N]
-//!           [--no-balance] [--trace] [--csv]
+//!           [--no-balance] [--trace] [--csv] [--host-threads N]
 //!           [--trace-json PATH] [--metrics-json PATH]
 //! ```
 //!
@@ -24,7 +24,7 @@ fn usage() -> ! {
          \x20                [--cycles N] [--full] [--node rzhasgpu|fixed|sierra]\n\
          \x20                [--gpu-direct] [--diffusion KAPPA] [--multipolicy N]\n\
          \x20                [--fraction F] [--problem sedov|sod|perturbed] [--trace] [--csv]\n\
-         \x20                [--trace-json PATH] [--metrics-json PATH]"
+         \x20                [--host-threads N] [--trace-json PATH] [--metrics-json PATH]"
     );
     std::process::exit(2)
 }
@@ -55,6 +55,7 @@ fn main() {
     let mut trace_json: Option<String> = None;
     let mut metrics_json: Option<String> = None;
     let mut problem_choice = heterosim::core::runner::Problem::default();
+    let mut host_threads = 1usize;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -91,6 +92,7 @@ fn main() {
             "--fraction" => fraction = Some(value().parse().unwrap_or_else(|_| usage())),
             "--trace" => trace = true,
             "--csv" => csv = true,
+            "--host-threads" => host_threads = value().parse().unwrap_or_else(|_| usage()),
             "--trace-json" => trace_json = Some(value()),
             "--metrics-json" => metrics_json = Some(value()),
             "--problem" => {
@@ -124,6 +126,7 @@ fn main() {
         trace,
         telemetry: trace_json.is_some() || metrics_json.is_some(),
         problem: problem_choice,
+        host_threads,
     };
 
     let (result, lb) = match run_balanced(&cfg) {
