@@ -21,6 +21,7 @@ fn cfg_with(node: NodeConfig) -> RunConfig {
         trace: false,
         telemetry: false,
         problem: Default::default(),
+        faults: None,
         host_threads: 1,
     }
 }

@@ -21,6 +21,7 @@ fn cfg(node: NodeConfig, mode: ExecMode) -> RunConfig {
         trace: false,
         telemetry: false,
         problem: Default::default(),
+        faults: None,
         host_threads: 1,
     }
 }

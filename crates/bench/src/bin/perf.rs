@@ -3,6 +3,16 @@
 //! Usage: `cargo run --release -p hsim-bench --bin perf
 //!         [--quick] [--jobs N] [--out PATH]`
 //!
+//! The `ci-gate` subcommand turns the harness into a regression gate:
+//! `perf ci-gate [--fresh PATH] [--baseline PATH]` compares a freshly
+//! written results file against the checked-in `ci/perf-baseline.json`
+//! and exits nonzero when the persistent pool regresses past 2× the
+//! baseline dispatch latency, loses to the spawn-per-region baseline,
+//! a sweep's parallel output diverged from serial, or (on hosts that
+//! actually have cores to fan out over) a sweep speedup falls below
+//! 0.9. Single-core runners can only bound the fan-out *overhead*, so
+//! there the speedup floor relaxes to 0.5.
+//!
 //! Everything else in this repo measures *virtual* time — the cost
 //! model's simulated seconds, which are deterministic and identical
 //! on every machine. This harness is the one place that measures
@@ -116,8 +126,145 @@ fn bench_sum_melems(pool: &WorkPool, elems: usize, reps: usize) -> f64 {
     (elems * reps) as f64 / t0.elapsed().as_secs_f64() / 1e6
 }
 
+/// Extract the first `"key": <number>` after `from` in our own
+/// fixed-schema JSON. No general parser: the harness wrote the file.
+fn json_num(text: &str, key: &str, from: usize) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text[from..].find(&needle)? + from + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The byte offset of sweep `id`'s line in a results file, if present.
+fn sweep_pos(text: &str, id: &str) -> Option<usize> {
+    text.find(&format!("\"id\": \"{id}\""))
+}
+
+/// Apply the gate rules to a fresh results file against a baseline.
+/// Returns the violations (empty = pass) and the log lines explaining
+/// every check that ran.
+fn gate_violations(fresh: &str, baseline: &str) -> (Vec<String>, Vec<String>) {
+    let mut bad = Vec::new();
+    let mut log = Vec::new();
+    fn need(bad: &mut Vec<String>, what: &str, v: Option<f64>) -> f64 {
+        v.unwrap_or_else(|| {
+            bad.push(format!("missing {what}"));
+            f64::NAN
+        })
+    }
+
+    let fresh_persistent = need(
+        &mut bad,
+        "fresh pool.region_ns_persistent",
+        json_num(fresh, "region_ns_persistent", 0),
+    );
+    let fresh_spawn = need(
+        &mut bad,
+        "fresh pool.region_ns_scoped_spawn",
+        json_num(fresh, "region_ns_scoped_spawn", 0),
+    );
+    let base_persistent = need(
+        &mut bad,
+        "baseline pool.region_ns_persistent",
+        json_num(baseline, "region_ns_persistent", 0),
+    );
+    let host_parallelism = need(
+        &mut bad,
+        "fresh host_parallelism",
+        json_num(fresh, "host_parallelism", 0),
+    );
+
+    if fresh_persistent > 2.0 * base_persistent {
+        bad.push(format!(
+            "pool region dispatch regressed: {fresh_persistent:.1} ns > 2x baseline {base_persistent:.1} ns"
+        ));
+    } else {
+        log.push(format!(
+            "pool dispatch {fresh_persistent:.1} ns <= 2x baseline {base_persistent:.1} ns"
+        ));
+    }
+    if fresh_persistent >= fresh_spawn {
+        bad.push(format!(
+            "persistent pool lost to spawn-per-region: {fresh_persistent:.1} ns >= {fresh_spawn:.1} ns"
+        ));
+    } else {
+        log.push(format!(
+            "persistent pool beats scoped spawn: {fresh_persistent:.1} ns < {fresh_spawn:.1} ns"
+        ));
+    }
+
+    // A 1-core runner cannot speed anything up; it can only pay
+    // overhead. Require real speedup only where cores exist.
+    let floor = if host_parallelism > 1.0 { 0.9 } else { 0.5 };
+    for id in ["quick", "fig14"] {
+        let Some(pos) = sweep_pos(fresh, id) else {
+            log.push(format!("sweep {id} not in fresh results (skipped)"));
+            continue;
+        };
+        let speedup = need(
+            &mut bad,
+            &format!("sweep {id} speedup"),
+            json_num(fresh, "speedup", pos),
+        );
+        if speedup < floor {
+            bad.push(format!(
+                "sweep {id} speedup {speedup:.3} < floor {floor} (host_parallelism {host_parallelism})"
+            ));
+        } else {
+            log.push(format!("sweep {id} speedup {speedup:.3} >= floor {floor}"));
+        }
+        if !fresh[pos..fresh[pos..].find('\n').map_or(fresh.len(), |e| pos + e)]
+            .contains("\"identical_output\": true")
+        {
+            bad.push(format!("sweep {id} parallel output diverged from serial"));
+        } else {
+            log.push(format!("sweep {id} parallel output identical to serial"));
+        }
+    }
+    (bad, log)
+}
+
+fn ci_gate(mut args: Vec<String>) -> ! {
+    let mut take_flag = |flag: &str| -> Option<String> {
+        let i = args.iter().position(|a| a == flag)?;
+        if i + 1 >= args.len() {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Some(v)
+    };
+    let fresh_path = take_flag("--fresh").unwrap_or_else(|| "BENCH_figures.json".into());
+    let base_path = take_flag("--baseline").unwrap_or_else(|| "ci/perf-baseline.json".into());
+    let read = |p: &str| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("ci-gate: cannot read {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let (bad, log) = gate_violations(&read(&fresh_path), &read(&base_path));
+    for line in &log {
+        eprintln!("ci-gate: ok: {line}");
+    }
+    if bad.is_empty() {
+        eprintln!("ci-gate: PASS ({fresh_path} vs {base_path})");
+        std::process::exit(0);
+    }
+    for v in &bad {
+        eprintln!("ci-gate: FAIL: {v}");
+    }
+    std::process::exit(1);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("ci-gate") {
+        ci_gate(args.split_off(1));
+    }
     let mut take_flag = |flag: &str| -> Option<String> {
         let i = args.iter().position(|a| a == flag)?;
         if i + 1 >= args.len() {
@@ -142,6 +289,7 @@ fn main() {
     if let Some(stray) = args.first() {
         eprintln!("unknown argument: {stray}");
         eprintln!("usage: perf [--quick] [--jobs N] [--out PATH]");
+        eprintln!("       perf ci-gate [--fresh PATH] [--baseline PATH]");
         std::process::exit(2);
     }
 
@@ -251,4 +399,76 @@ fn main() {
     });
     eprintln!("wrote {out_path}");
     print!("{json}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn results(
+        parallelism: u32,
+        speedup: f64,
+        identical: bool,
+        persistent: f64,
+        spawn: f64,
+    ) -> String {
+        format!(
+            "{{\n  \"host_parallelism\": {parallelism},\n  \"sweeps\": [\n    \
+             {{\"id\": \"quick\", \"tasks\": 12, \"speedup\": {speedup:.3}, \"identical_output\": {identical}}}\n  ],\n  \
+             \"pool\": {{\n    \"region_ns_persistent\": {persistent:.1},\n    \
+             \"region_ns_scoped_spawn\": {spawn:.1}\n  }}\n}}\n"
+        )
+    }
+
+    #[test]
+    fn gate_passes_a_healthy_run() {
+        let base = results(4, 3.1, true, 10_000.0, 200_000.0);
+        let fresh = results(4, 2.9, true, 12_000.0, 190_000.0);
+        let (bad, log) = gate_violations(&fresh, &base);
+        assert!(bad.is_empty(), "{bad:?}");
+        assert!(log.iter().any(|l| l.contains("quick")));
+    }
+
+    #[test]
+    fn gate_fails_on_pool_regression_and_lost_baseline_race() {
+        let base = results(4, 3.1, true, 10_000.0, 200_000.0);
+        // 3x slower dispatch AND slower than spawning threads.
+        let fresh = results(4, 3.0, true, 30_000.0, 25_000.0);
+        let (bad, _) = gate_violations(&fresh, &base);
+        assert_eq!(bad.len(), 2, "{bad:?}");
+        assert!(bad[0].contains("2x baseline"));
+        assert!(bad[1].contains("spawn-per-region"));
+    }
+
+    #[test]
+    fn gate_enforces_speedup_only_where_cores_exist() {
+        let base = results(4, 3.1, true, 10_000.0, 200_000.0);
+        // 0.7x "speedup" is a violation on 4 cores...
+        let (bad, _) = gate_violations(&results(4, 0.7, true, 10_000.0, 200_000.0), &base);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("speedup"));
+        // ...but acceptable overhead on a single-core runner.
+        let (bad, log) = gate_violations(&results(1, 0.7, true, 10_000.0, 200_000.0), &base);
+        assert!(bad.is_empty(), "{bad:?}");
+        assert!(log.iter().any(|l| l.contains("floor 0.5")));
+    }
+
+    #[test]
+    fn gate_fails_on_diverged_output_and_missing_keys() {
+        let base = results(4, 3.1, true, 10_000.0, 200_000.0);
+        let (bad, _) = gate_violations(&results(4, 3.0, false, 10_000.0, 200_000.0), &base);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("diverged"));
+        let (bad, _) = gate_violations("{}", &base);
+        assert!(bad.iter().any(|b| b.contains("missing")), "{bad:?}");
+    }
+
+    #[test]
+    fn sweeps_absent_from_a_quick_run_are_skipped_not_failed() {
+        // Quick runs carry no fig14 sweep; the gate must not invent one.
+        let base = results(4, 3.1, true, 10_000.0, 200_000.0);
+        let (bad, log) = gate_violations(&results(4, 2.9, true, 10_000.0, 200_000.0), &base);
+        assert!(bad.is_empty(), "{bad:?}");
+        assert!(log.iter().any(|l| l.contains("fig14 not in fresh results")));
+    }
 }

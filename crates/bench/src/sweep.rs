@@ -84,13 +84,33 @@ pub fn run_figure_jobs(spec: &FigureSpec, modes: &[ExecMode], jobs: usize) -> Fi
     let cursor = AtomicUsize::new(0);
     let host_t0 = hsim_telemetry::is_enabled().then(std::time::Instant::now);
 
-    // Each worker claims flat task indices `mode_idx * pts + pt_idx`
-    // until the cursor runs dry. Slots are written exactly once.
+    // Longest-processing-time claim order: hand out the most
+    // expensive simulations first so a big point claimed late cannot
+    // serialize the tail of the sweep (sweeps run small → large, so
+    // flat order used to put the largest grids last and capped fig14
+    // speedup well below the job count). Cost ∝ zones, with a
+    // heterogeneous surcharge for the balancer's repeated runs.
+    // Only the *claim* order changes: slots and assembly stay in the
+    // fixed mode-major order, so output is still byte-identical.
+    let mut order: Vec<usize> = (0..n_tasks).collect();
+    order.sort_by_key(|&t| {
+        let (grid, _) = pts[t % pts.len()];
+        let weight = match modes[t / pts.len()] {
+            ExecMode::Heterogeneous { .. } => 4,
+            _ => 1,
+        };
+        std::cmp::Reverse((grid.0 * grid.1 * grid.2) as u64 * weight)
+    });
+    let order = &order;
+
+    // Each worker claims tasks in LPT order until the cursor runs
+    // dry. Slots are written exactly once.
     let worker = || loop {
-        let t = cursor.fetch_add(1, Ordering::Relaxed);
-        if t >= n_tasks {
+        let c = cursor.fetch_add(1, Ordering::Relaxed);
+        if c >= n_tasks {
             break;
         }
+        let t = order[c];
         let mode = modes[t / pts.len()];
         let (grid, v) = pts[t % pts.len()];
         let cfg = RunConfig::sweep(grid, mode);
@@ -280,5 +300,20 @@ mod tests {
         // One row per sweep point plus header lines; no skip footer.
         assert_eq!(md.lines().count(), 4 + 2); // title, blank, header, separator + 2 rows
         assert!(md.contains("%"), "CPU share column present");
+    }
+
+    #[test]
+    fn lpt_claim_order_keeps_output_byte_identical() {
+        let spec = FigureSpec {
+            id: "test",
+            caption: "test sweep",
+            sweep: figures::SweepAxis::X,
+            values: vec![64, 96, 128],
+            fixed: (48, 32),
+        };
+        let serial = run_figure_jobs(&spec, &paper_modes(), 1);
+        let parallel = run_figure_jobs(&spec, &paper_modes(), 4);
+        assert_eq!(serial.to_csv(), parallel.to_csv());
+        assert_eq!(serial.to_markdown(), parallel.to_markdown());
     }
 }

@@ -157,6 +157,24 @@ impl Coupler for MpiCoupler<'_> {
         // Bring the communicator clock up to the rank's causal time.
         self.comm.clock_mut().merge(clock.now());
 
+        // Injected link delay (hsim-faults): the slow link charges its
+        // virtual latency before any staging leg; data is unaffected.
+        if let Some(hit) = hsim_faults::check(hsim_faults::Site::XferDelay) {
+            hsim_telemetry::count(hsim_telemetry::Counter::FaultsInjected, 1);
+            let t0 = self.comm.now();
+            self.comm.clock_mut().charge(
+                ChargeKind::Comm,
+                hsim_time::SimDuration::from_nanos(hit.param),
+            );
+            hsim_telemetry::count(hsim_telemetry::Counter::FaultsRecovered, 1);
+            hsim_telemetry::rank_span(
+                hsim_telemetry::Category::Transfer,
+                "fault_xfer_delay",
+                t0,
+                self.comm.now(),
+            );
+        }
+
         // Outgoing transfer legs. Without GPU-direct every byte of a
         // GPU-resident mesh stages D2H; with it, faces bound for other
         // GPU ranks go peer-to-peer in a single DMA charged on the
@@ -228,6 +246,41 @@ impl Coupler for MpiCoupler<'_> {
                 hsim_telemetry::Category::Transfer,
                 "halo_stage_in",
                 t_stage,
+                self.comm.now(),
+            );
+        }
+
+        // Injected corruption (hsim-faults): the received faces fail
+        // their checksum and the whole exchange is re-sent with
+        // exponential backoff. The wire data is re-read from the
+        // still-correct source fields, so physics is untouched; only
+        // virtual time is lost. Corruption is inherently transient
+        // here — a `perm` marking caps at the full retry budget.
+        if let Some(hit) = hsim_faults::check(hsim_faults::Site::XferCorrupt) {
+            hsim_telemetry::count(hsim_telemetry::Counter::FaultsInjected, 1);
+            let t0 = self.comm.now();
+            let retries = match hit.severity {
+                hsim_faults::Severity::Permanent => hsim_faults::MAX_RETRIES,
+                hsim_faults::Severity::Transient { count } => count.min(hsim_faults::MAX_RETRIES),
+            };
+            let resend = match &self.gpu_spec {
+                Some(spec) if staged_out > 0 => {
+                    xfer::retry_leg_time(spec, staged_out, self.gpu_direct)
+                }
+                _ => hsim_time::SimDuration::ZERO,
+            };
+            for attempt in 0..retries {
+                self.comm.clock_mut().charge(ChargeKind::Memory, resend);
+                self.comm
+                    .clock_mut()
+                    .charge(ChargeKind::Wait, hsim_faults::backoff_delay(attempt));
+                hsim_telemetry::count(hsim_telemetry::Counter::FaultRetries, 1);
+            }
+            hsim_telemetry::count(hsim_telemetry::Counter::FaultsRecovered, 1);
+            hsim_telemetry::rank_span(
+                hsim_telemetry::Category::Transfer,
+                "fault_xfer_retry",
+                t0,
                 self.comm.now(),
             );
         }
@@ -316,6 +369,56 @@ mod tests {
         });
         // 16x16 face × 5 fields × 8 B ≈ 10 KB each way + latency.
         assert!(times.iter().all(|&t| t > 1_000), "{times:?}");
+    }
+
+    /// Injected transfer faults charge virtual time on the faulted
+    /// rank only, recover without touching physics, and replay
+    /// byte-identically for the same plan.
+    #[test]
+    fn injected_transfer_faults_charge_virtual_time_deterministically() {
+        use std::sync::Arc;
+        let grid = GlobalGrid::new(16, 16, 16);
+        let decomp = block_decomp(grid, 2, 1);
+        let plan = HaloPlan::build(&decomp);
+        let (decomp, plan) = (&decomp, &plan);
+        let run = |spec: &str| {
+            let fp = Arc::new(hsim_faults::FaultPlan::parse(spec).unwrap());
+            World::run(2, CommCost::on_node(), |comm| {
+                let rank = comm.rank();
+                hsim_faults::install(rank, fp.clone());
+                hsim_faults::set_cycle(0);
+                let sub = decomp.domains[rank];
+                let mut state = HydroState::new(grid, sub, Fidelity::CostOnly);
+                let mut clock = RankClock::new(rank);
+                let mut coupler = MpiCoupler {
+                    comm,
+                    plan,
+                    decomp,
+                    gpu_spec: None,
+                    gpu_direct: false,
+                };
+                coupler.exchange(&mut state, &mut clock);
+                hsim_faults::uninstall();
+                clock.now().as_nanos()
+            })
+        };
+        let base = run("");
+        let delayed = run("xfer.delay@rank0.cycle0:ns=200000");
+        assert!(
+            delayed[0] >= base[0] + 200_000,
+            "delay not charged: {} vs {}",
+            delayed[0],
+            base[0]
+        );
+        // Same plan twice: byte-identical virtual times.
+        assert_eq!(delayed, run("xfer.delay@rank0.cycle0:ns=200000"));
+        let corrupted = run("xfer.corrupt@rank0.cycle0");
+        assert!(
+            corrupted[0] >= base[0] + hsim_faults::BACKOFF_BASE_NS,
+            "retry backoff not charged: {} vs {}",
+            corrupted[0],
+            base[0]
+        );
     }
 
     #[test]

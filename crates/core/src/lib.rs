@@ -24,7 +24,10 @@
 //!   §5.3's future work).
 //! * [`runner`] — the cooperative runner: decompose per mode, bind,
 //!   spawn ranks, run hydro cycles, apply the host-bandwidth model,
-//!   report per-rank time breakdowns.
+//!   report per-rank time breakdowns. With a [`faults`] plan it also
+//!   retries transient device/transfer failures and folds a lost CPU
+//!   rank's slab back into its parent GPU block (graceful
+//!   degradation toward the Default mode).
 //! * [`figures`] — sweep configurations for every evaluation figure
 //!   (12–18).
 //! * [`calib`] — every tunable constant of the cost model, documented.
@@ -39,6 +42,10 @@ pub mod mode;
 pub mod node;
 pub mod report;
 pub mod runner;
+
+/// Fault-injection plans and sites (re-exported so callers can build
+/// [`runner::RunConfig::faults`] without a direct dependency).
+pub use hsim_faults as faults;
 
 pub use balance::LoadBalancer;
 pub use binding::{build_bindings, RankRole};

@@ -45,6 +45,11 @@ pub struct RunResult {
     /// Full telemetry (metrics, kernel profiles, structured spans)
     /// when [`crate::RunConfig::telemetry`] was set.
     pub telemetry: Option<hsim_telemetry::Summary>,
+    /// Total mass Σ ρ·V over the final state (full fidelity only;
+    /// None in cost-only runs, whose zone values carry no physics).
+    /// Conservation makes this the end-to-end correctness observable,
+    /// including across a fault-recovery restart.
+    pub mass: Option<f64>,
 }
 
 impl RunResult {
@@ -213,6 +218,7 @@ mod tests {
             device_busy: vec![SimDuration::from_micros(18)],
             trace: None,
             telemetry: None,
+            mass: None,
         }
     }
 

@@ -18,7 +18,7 @@ use hsim_hydro::workload::{self, PerturbedConfig};
 use hsim_hydro::{sod, step, HydroState};
 use hsim_mesh::decomp::block::{block_decomp, block_decomp_yz};
 use hsim_mesh::decomp::hierarchical::hierarchical_decomp_yz;
-use hsim_mesh::decomp::weighted::{weighted_hetero_decomp, WeightedConfig};
+use hsim_mesh::decomp::weighted::{fold_lost_rank, weighted_hetero_decomp, WeightedConfig};
 use hsim_mesh::{Decomposition, GlobalGrid, HaloPlan, OwnerKind};
 use hsim_mpi::World;
 use hsim_raja::{Executor, Fidelity, GpuClient, SharedDevice, Target, WorkPool};
@@ -27,7 +27,7 @@ use hsim_time::clock::ChargeKind;
 use hsim_time::{RankClock, SimDuration, SimTime};
 
 use crate::balance::LoadBalancer;
-use crate::binding::{build_bindings, validate_bindings};
+use crate::binding::{build_bindings, validate_bindings, RankRole};
 use crate::calib;
 use crate::coupler::MpiCoupler;
 use crate::memscheme;
@@ -89,6 +89,15 @@ pub struct RunConfig {
     pub telemetry: bool,
     /// The physics problem to initialize (default: Sedov).
     pub problem: Problem,
+    /// Deterministic seeded fault plan (None = fault-free). Transient
+    /// faults recover in virtual time (bounded retry with exponential
+    /// backoff charged to the sim clocks); a permanent CPU-rank loss
+    /// degrades gracefully: the run checkpoints at the loss cycle,
+    /// folds the lost slab back into a box-mergeable neighbor
+    /// (preferring its parent GPU block, so Heterogeneous degrades
+    /// toward Default), and finishes on the smaller world. Permanent
+    /// device-side faults are typed errors, never panics.
+    pub faults: Option<hsim_faults::FaultPlan>,
     /// Host threads per parallel region for CPU ranks. With the
     /// default of 1, CPU ranks execute (and are costed) sequentially
     /// exactly as the paper's study; > 1 builds **one** shared
@@ -115,6 +124,7 @@ impl RunConfig {
             trace: false,
             telemetry: false,
             problem: Problem::default(),
+            faults: None,
             host_threads: 1,
         }
     }
@@ -176,13 +186,35 @@ pub fn run(cfg: &RunConfig) -> Result<RunResult, String> {
 /// Execute one run with an explicit heterogeneous CPU fraction
 /// (ignored by the other modes).
 pub fn run_with_fraction(cfg: &RunConfig, cpu_fraction: f64) -> Result<RunResult, String> {
-    let grid = cfg.global_grid();
-    let node = &cfg.node;
+    let fault_plan = Arc::new(cfg.faults.clone().unwrap_or_default());
+    let mut losses: Vec<(usize, u64)> = fault_plan
+        .rank_losses()
+        .into_iter()
+        .filter(|&(_, cycle)| cycle < cfg.cycles)
+        .collect();
+    losses.sort_unstable();
+    if losses.len() > 1 {
+        return Err(
+            "fault plan injects more than one permanent rank loss; graceful degradation \
+             folds back a single lost rank per run"
+                .to_string(),
+        );
+    }
+    match losses.first().copied() {
+        None => run_intact(cfg, cpu_fraction, &fault_plan),
+        Some((lost, at_cycle)) => run_degraded(cfg, cpu_fraction, &fault_plan, lost, at_cycle),
+    }
+}
+
+/// Build and cross-check the decomposition and rank bindings.
+fn build_world(
+    cfg: &RunConfig,
+    cpu_fraction: f64,
+) -> Result<(Decomposition, Vec<RankRole>), String> {
     let decomp = build_decomposition(cfg, cpu_fraction)?;
     decomp.validate()?;
-    let plan = HaloPlan::build(&decomp);
-    let roles = build_bindings(&cfg.mode, node);
-    validate_bindings(&roles, node)?;
+    let roles = build_bindings(&cfg.mode, &cfg.node);
+    validate_bindings(&roles, &cfg.node)?;
     if roles.len() != decomp.len() {
         return Err(format!(
             "binding count {} != decomposition count {}",
@@ -190,6 +222,313 @@ pub fn run_with_fraction(cfg: &RunConfig, cpu_fraction: f64) -> Result<RunResult
             decomp.len()
         ));
     }
+    Ok((decomp, roles))
+}
+
+/// Main-thread MPS client setup faults: a permanent rejection is a
+/// typed error before any rank spawns; a transient one charges its
+/// retry backoff to the rejected rank's setup clock (the MPS server
+/// accepts the reconnect once the glitch clears).
+fn mps_connect_charges(
+    cfg: &RunConfig,
+    plan: &hsim_faults::FaultPlan,
+    n_ranks: usize,
+) -> Result<(Vec<SimDuration>, u64, u64), String> {
+    let mut extra = vec![SimDuration::ZERO; n_ranks];
+    let (mut injected, mut retries) = (0u64, 0u64);
+    if !matches!(cfg.mode, ExecMode::Mps { .. }) {
+        return Ok((extra, injected, retries));
+    }
+    for ev in plan.of_site(hsim_faults::Site::MpsConnect) {
+        if ev.rank >= n_ranks {
+            continue;
+        }
+        match ev.severity {
+            hsim_faults::Severity::Permanent => {
+                return Err(format!(
+                    "injected MPS rejection: the server permanently refused rank {}'s client",
+                    ev.rank
+                ));
+            }
+            hsim_faults::Severity::Transient { count } => {
+                if count > hsim_faults::MAX_RETRIES {
+                    return Err(format!(
+                        "rank {}: injected MPS rejection exceeded the retry budget",
+                        ev.rank
+                    ));
+                }
+                injected += 1;
+                for attempt in 0..count {
+                    extra[ev.rank] += hsim_faults::backoff_delay(attempt);
+                    retries += 1;
+                }
+            }
+        }
+    }
+    Ok((extra, injected, retries))
+}
+
+fn slowest_total(reports: &[RankReport]) -> SimDuration {
+    reports
+        .iter()
+        .map(|r| r.total)
+        .fold(SimDuration::ZERO, SimDuration::max)
+}
+
+/// Assemble the [`RunResult`] shared by the intact and degraded paths.
+fn finish_result(
+    cfg: &RunConfig,
+    decomp: &Decomposition,
+    reports: Vec<RankReport>,
+    device_busy: Vec<SimDuration>,
+    summary: Option<Summary>,
+    runtime: SimDuration,
+    mass: Option<f64>,
+) -> Result<RunResult, String> {
+    let trace = match (&summary, cfg.trace) {
+        (Some(s), true) => Some(s.legacy_trace_where(|sp| sp.name == "cycle" || sp.name == "wait")),
+        _ => None,
+    };
+    Ok(RunResult {
+        mode_key: cfg.mode.key(),
+        mode_label: cfg.mode.label(),
+        grid: cfg.grid,
+        zones: cfg.global_grid().zones(),
+        runtime,
+        cpu_fraction: decomp.cpu_zone_fraction(),
+        cycles: cfg.cycles,
+        ranks: reports,
+        device_busy,
+        trace,
+        telemetry: if cfg.telemetry { summary } else { None },
+        mass,
+    })
+}
+
+/// The fault-free (or transient-fault-only) path: one segment over
+/// the full cycle range.
+fn run_intact(
+    cfg: &RunConfig,
+    cpu_fraction: f64,
+    fault_plan: &Arc<hsim_faults::FaultPlan>,
+) -> Result<RunResult, String> {
+    let (decomp, roles) = build_world(cfg, cpu_fraction)?;
+    let (setup_extra, mps_injected, mps_retries) =
+        mps_connect_charges(cfg, fault_plan, decomp.len())?;
+    let collect = cfg.telemetry || cfg.trace;
+    let orig_ids: Vec<usize> = (0..decomp.len()).collect();
+    let seg = run_segment(
+        cfg,
+        fault_plan,
+        Segment {
+            decomp: &decomp,
+            roles: &roles,
+            orig_ids: &orig_ids,
+            first_cycle: 0,
+            last_cycle: cfg.cycles,
+            restore: None,
+            take_checkpoint: false,
+            setup_extra: &setup_extra,
+        },
+    )?;
+    let runtime = slowest_total(&seg.reports);
+    let summary = if collect {
+        let mut s = Summary::from_collectors(seg.collectors);
+        s.metrics
+            .gauge_set(Gauge::CpuFraction, decomp.cpu_zone_fraction());
+        s.metrics.count(Counter::FaultsInjected, mps_injected);
+        s.metrics.count(Counter::FaultRetries, mps_retries);
+        s.metrics.count(Counter::FaultsRecovered, mps_injected);
+        Some(s)
+    } else {
+        None
+    };
+    let mass = seg.masses.as_ref().map(|m| m.iter().sum());
+    finish_result(
+        cfg,
+        &decomp,
+        seg.reports,
+        seg.device_busy,
+        summary,
+        runtime,
+        mass,
+    )
+}
+
+/// The graceful-degradation path: run to the loss cycle, checkpoint
+/// the conserved fields through the host, fold the lost CPU rank's
+/// slab back into a box-mergeable neighbor (preferring its parent GPU
+/// block, so Heterogeneous degrades toward Default), and finish the
+/// remaining cycles on the smaller world. A lost GPU driver is fatal:
+/// its device block has nowhere to fold back to.
+fn run_degraded(
+    cfg: &RunConfig,
+    cpu_fraction: f64,
+    fault_plan: &Arc<hsim_faults::FaultPlan>,
+    lost: usize,
+    at_cycle: u64,
+) -> Result<RunResult, String> {
+    let (decomp, roles) = build_world(cfg, cpu_fraction)?;
+    if lost >= decomp.len() {
+        return Err(format!(
+            "injected rank loss {lost} out of range ({} ranks)",
+            decomp.len()
+        ));
+    }
+    if decomp.owners[lost].is_gpu() {
+        return Err(format!(
+            "injected loss of rank {lost} is fatal: it drives a GPU and its device \
+             block cannot be folded back onto the remaining ranks"
+        ));
+    }
+    let collect = cfg.telemetry || cfg.trace;
+    let (setup_extra, mps_injected, mps_retries) =
+        mps_connect_charges(cfg, fault_plan, decomp.len())?;
+    let orig_ids: Vec<usize> = (0..decomp.len()).collect();
+    let seg1 = run_segment(
+        cfg,
+        fault_plan,
+        Segment {
+            decomp: &decomp,
+            roles: &roles,
+            orig_ids: &orig_ids,
+            first_cycle: 0,
+            last_cycle: at_cycle,
+            restore: None,
+            take_checkpoint: true,
+            setup_extra: &setup_extra,
+        },
+    )?;
+    let checkpoint = seg1.checkpoint.expect("segment 1 checkpoints");
+
+    // Weighted re-split over the survivors.
+    let degraded = fold_lost_rank(&decomp, lost)?;
+    let roles2: Vec<RankRole> = roles
+        .iter()
+        .enumerate()
+        .filter(|&(r, _)| r != lost)
+        .map(|(_, role)| *role)
+        .collect();
+    let orig_ids2: Vec<usize> = (0..decomp.len()).filter(|&r| r != lost).collect();
+    let zeros = vec![SimDuration::ZERO; degraded.len()];
+    let seg2 = run_segment(
+        cfg,
+        fault_plan,
+        Segment {
+            decomp: &degraded,
+            roles: &roles2,
+            orig_ids: &orig_ids2,
+            first_cycle: at_cycle,
+            last_cycle: cfg.cycles,
+            restore: Some(&checkpoint),
+            take_checkpoint: false,
+            setup_extra: &zeros,
+        },
+    )?;
+
+    // Merge: the run's wall-clock is segment 1 plus segment 2 (the
+    // recovery is a collective that resynchronizes every survivor at
+    // the loss boundary); per-rank buckets sum through the orig-id
+    // map, and the lost rank's partial segment-1 work is dropped with
+    // it.
+    let runtime = slowest_total(&seg1.reports) + slowest_total(&seg2.reports);
+    let mut reports = Vec::with_capacity(seg2.reports.len());
+    for (new_rank, s2) in seg2.reports.into_iter().enumerate() {
+        let s1 = &seg1.reports[orig_ids2[new_rank]];
+        reports.push(RankReport {
+            rank: new_rank,
+            role: s2.role,
+            zones: s2.zones,
+            setup: s1.setup + s2.setup,
+            total: s1.total + s2.total,
+            compute: s1.compute + s2.compute,
+            launch: s1.launch + s2.launch,
+            memory: s1.memory + s2.memory,
+            comm: s1.comm + s2.comm,
+            control: s1.control + s2.control,
+            wait: s1.wait + s2.wait,
+            launches: s1.launches + s2.launches,
+            bytes_sent: s1.bytes_sent + s2.bytes_sent,
+        });
+    }
+    let device_busy: Vec<SimDuration> = seg1
+        .device_busy
+        .iter()
+        .zip(&seg2.device_busy)
+        .map(|(a, b)| *a + *b)
+        .collect();
+    let summary = if collect {
+        let mut collectors = seg1.collectors;
+        collectors.extend(seg2.collectors);
+        let mut s = Summary::from_collectors(collectors);
+        // Telemetry reports the *rebalanced foldback* decomposition:
+        // the CPU-fraction gauge reflects the post-loss world.
+        s.metrics
+            .gauge_set(Gauge::CpuFraction, degraded.cpu_zone_fraction());
+        s.metrics.count(Counter::FaultsInjected, 1 + mps_injected);
+        s.metrics.count(Counter::FaultRankLosses, 1);
+        s.metrics.count(Counter::FaultRetries, mps_retries);
+        s.metrics.count(Counter::FaultsRecovered, mps_injected);
+        Some(s)
+    } else {
+        None
+    };
+    // The final state lives on segment 2's survivors.
+    let mass = seg2.masses.as_ref().map(|m| m.iter().sum());
+    finish_result(cfg, &degraded, reports, device_busy, summary, runtime, mass)
+}
+
+/// One contiguous span of cycles over a fixed decomposition: the
+/// whole run in the fault-free case, the spans before/after the loss
+/// in the degraded case.
+struct Segment<'a> {
+    decomp: &'a Decomposition,
+    roles: &'a [RankRole],
+    /// Pre-loss rank ids, keying fault-plan lookups and report merges.
+    orig_ids: &'a [usize],
+    /// Global cycle numbers `[first, last)`.
+    first_cycle: u64,
+    last_cycle: u64,
+    restore: Option<&'a Checkpoint>,
+    take_checkpoint: bool,
+    /// Extra per-rank setup charge (MPS connect retry backoff).
+    setup_extra: &'a [SimDuration],
+}
+
+struct SegmentOut {
+    reports: Vec<RankReport>,
+    collectors: Vec<Collector>,
+    device_busy: Vec<SimDuration>,
+    checkpoint: Option<Checkpoint>,
+    /// Total owned mass per rank, in rank order (full fidelity only).
+    masses: Option<Vec<f64>>,
+}
+
+/// A host-staged snapshot of the conserved fields at a segment
+/// boundary (the recovery path's checkpoint/restart; communication
+/// goes through the host, consistent with the paper's §5.3 staging).
+struct Checkpoint {
+    /// One global x-major array per conserved variable; empty in
+    /// cost-only fidelity, where zone values carry no state.
+    vars: Vec<Vec<f64>>,
+    t: f64,
+    cycle: u64,
+}
+
+/// Run one segment and collect per-rank reports, telemetry, device
+/// busy time, and (when requested) the boundary checkpoint. Rank
+/// failures surface as typed errors — never panics or hangs (a dead
+/// rank's mailboxes disconnect its peers).
+fn run_segment(
+    cfg: &RunConfig,
+    fault_plan: &Arc<hsim_faults::FaultPlan>,
+    seg: Segment<'_>,
+) -> Result<SegmentOut, String> {
+    let grid = cfg.global_grid();
+    let node = &cfg.node;
+    let decomp = seg.decomp;
+    let roles = seg.roles;
+    let plan = HaloPlan::build(decomp);
     let n_ranks = roles.len();
 
     // Devices and clients per mode.
@@ -251,15 +590,28 @@ pub fn run_with_fraction(cfg: &RunConfig, cpu_fraction: f64) -> Result<RunResult
     let penalty_ref = &penalty_per_cycle;
     let pool_ref = &host_pool;
     let cfg_ref = cfg;
+    let seg_ref = &seg;
+    let fault_plan_ref = fault_plan;
 
     // One collector per rank thread serves both consumers: the full
     // telemetry summary and the legacy per-cycle Gantt trace (now a
     // projection of the same span store).
     let collect = cfg.telemetry || cfg.trace;
 
-    let outputs: Vec<(RankReport, Option<Collector>)> =
-        World::run(n_ranks, node.comm.clone(), |comm| {
+    type RankOut = (
+        RankReport,
+        Option<Collector>,
+        Option<Vec<Vec<f64>>>,
+        f64,
+        u64,
+        f64,
+    );
+    let outputs: Vec<Result<RankOut, String>> = World::run_fallible(
+        n_ranks,
+        node.comm.clone(),
+        |comm| {
             let rank = comm.rank();
+            let orig = seg_ref.orig_ids[rank];
             let sub = decomp_ref.domains[rank];
             let role = roles_ref[rank];
             let client = slots_ref.lock()[rank].take();
@@ -267,6 +619,10 @@ pub fn run_with_fraction(cfg: &RunConfig, cpu_fraction: f64) -> Result<RunResult
             if collect {
                 hsim_telemetry::install(Collector::new(rank));
             }
+            // Arm the injector under this rank's *original* id, so the
+            // plan keeps naming the same rank across the foldback.
+            hsim_faults::install(orig, Arc::clone(fault_plan_ref));
+            hsim_faults::set_cycle(seg_ref.first_cycle);
 
             // Figure 8 memory scheme: GPU ranks put mesh data in unified
             // memory (paying the initial fault-in) and temporaries in a
@@ -275,9 +631,40 @@ pub fn run_with_fraction(cfg: &RunConfig, cpu_fraction: f64) -> Result<RunResult
             let target = if let Some((client, shared)) = &client {
                 let mesh = memscheme::mesh_bytes(sub.zones());
                 let t_um = clock.now();
+                // Injected device OOM: a transient allocation failure
+                // backs off and retries (the pool has drained by
+                // then); a permanent one is a typed error.
+                if let Some(hit) = hsim_faults::check(hsim_faults::Site::GpuOom) {
+                    hsim_telemetry::count(Counter::FaultsInjected, 1);
+                    match hit.severity {
+                        hsim_faults::Severity::Permanent => {
+                            return Err(format!(
+                                "rank {orig}: injected device OOM: mesh allocation permanently refused"
+                            ));
+                        }
+                        hsim_faults::Severity::Transient { count } => {
+                            if count > hsim_faults::MAX_RETRIES {
+                                return Err(format!(
+                                    "rank {orig}: injected device OOM exceeded the retry budget"
+                                ));
+                            }
+                            for attempt in 0..count {
+                                clock.charge(ChargeKind::Wait, hsim_faults::backoff_delay(attempt));
+                                hsim_telemetry::count(Counter::FaultRetries, 1);
+                            }
+                            hsim_telemetry::count(Counter::FaultsRecovered, 1);
+                            hsim_telemetry::rank_span(
+                                Category::Runtime,
+                                "fault_oom_retry",
+                                t_um,
+                                clock.now(),
+                            );
+                        }
+                    }
+                }
                 let (_region, cost) = shared
                     .um_alloc_and_touch(mesh)
-                    .expect("mesh fits device memory");
+                    .map_err(|e| format!("rank {orig}: {e}"))?;
                 clock.charge(ChargeKind::Memory, cost);
                 hsim_telemetry::count(Counter::UmMigrations, 1);
                 hsim_telemetry::count(Counter::UmBytesMigrated, mesh);
@@ -302,12 +689,40 @@ pub fn run_with_fraction(cfg: &RunConfig, cpu_fraction: f64) -> Result<RunResult
                 ));
             let mut state = HydroState::new(grid, sub, cfg_ref.fidelity);
             cfg_ref.problem.init(&mut state);
+            // Degraded restart: unpack this rank's owned box from the
+            // host-staged checkpoint (ghosts refill on the first
+            // exchange; scratch fields are recomputed every cycle).
+            if let Some(ck) = seg_ref.restore {
+                state.t = ck.t;
+                state.cycle = ck.cycle;
+                if cfg_ref.fidelity == Fidelity::Full {
+                    for (var, global) in ck.vars.iter().enumerate() {
+                        for k in 0..sub.extent(2) {
+                            for j in 0..sub.extent(1) {
+                                for i in 0..sub.extent(0) {
+                                    let g = (sub.lo[0] + i)
+                                        + grid.nx * ((sub.lo[1] + j) + grid.ny * (sub.lo[2] + k));
+                                    state.u[var].set(i, j, k, global[g]);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Main-thread MPS connect retries land on the rejected
+            // rank's setup clock.
+            if seg_ref.setup_extra[rank] > SimDuration::ZERO {
+                let t_f = clock.now();
+                clock.charge(ChargeKind::Wait, seg_ref.setup_extra[rank]);
+                hsim_telemetry::rank_span(Category::Runtime, "fault_mps_retry", t_f, clock.now());
+            }
 
             // Setup complete: synchronize and zero the runtime baseline.
             // The figures report cycle-loop time (setup — UM fault-in,
             // allocation — amortizes to noise over a real run's length).
             comm.clock_mut().merge(clock.now());
-            comm.barrier().expect("setup barrier");
+            comm.barrier().map_err(|e| format!("rank {orig}: {e}"))?;
             clock.merge(comm.now());
             let t0 = clock.now();
             hsim_telemetry::rank_span(Category::Runtime, "setup", SimTime::ZERO, t0);
@@ -320,7 +735,8 @@ pub fn run_with_fraction(cfg: &RunConfig, cpu_fraction: f64) -> Result<RunResult
                 gpu_direct: cfg_ref.gpu_direct,
             };
 
-            for _ in 0..cfg_ref.cycles {
+            for cycle in seg_ref.first_cycle..seg_ref.last_cycle {
+                hsim_faults::set_cycle(cycle);
                 let cycle_start = clock.now();
                 let wait_before = clock.bucket(ChargeKind::Wait);
                 // Pooled temporaries are grabbed per cycle and released at
@@ -338,7 +754,7 @@ pub fn run_with_fraction(cfg: &RunConfig, cpu_fraction: f64) -> Result<RunResult
                     calib::CFL,
                     calib::COST_ONLY_DT,
                 )
-                .expect("hydro cycle");
+                .map_err(|e| format!("rank {orig}: {e}"))?;
                 if let Some(diff) = &cfg_ref.diffusion {
                     diffuse_step(
                         &mut state,
@@ -348,7 +764,7 @@ pub fn run_with_fraction(cfg: &RunConfig, cpu_fraction: f64) -> Result<RunResult
                         diff,
                         stats.dt,
                     )
-                    .expect("diffusion package");
+                    .map_err(|e| format!("rank {orig}: {e}"))?;
                 }
                 // Serial host control code between kernels.
                 clock.charge(
@@ -377,6 +793,31 @@ pub fn run_with_fraction(cfg: &RunConfig, cpu_fraction: f64) -> Result<RunResult
                 }
             }
 
+            // Boundary checkpoint for the degraded-restart path:
+            // owned zone values per conserved variable, staged through
+            // the host (data only matters in full fidelity).
+            let dump = if seg_ref.take_checkpoint && cfg_ref.fidelity == Fidelity::Full {
+                Some(
+                    state
+                        .u
+                        .iter()
+                        .map(|f| {
+                            let mut v = Vec::with_capacity(sub.zones() as usize);
+                            for k in 0..sub.extent(2) {
+                                for j in 0..sub.extent(1) {
+                                    for i in 0..sub.extent(0) {
+                                        v.push(f.get(i, j, k));
+                                    }
+                                }
+                            }
+                            v
+                        })
+                        .collect::<Vec<_>>(),
+                )
+            } else {
+                None
+            };
+
             // Fold the communicator's clock into the rank clock and report.
             let comm_clock = coupler.comm.clock().clone();
             clock.merge(comm_clock.now());
@@ -396,48 +837,96 @@ pub fn run_with_fraction(cfg: &RunConfig, cpu_fraction: f64) -> Result<RunResult
                 launches: exec.registry.total_launches(),
                 bytes_sent,
             };
-            (report, hsim_telemetry::uninstall())
-        });
+            hsim_faults::uninstall();
+            let mass = if cfg_ref.fidelity == Fidelity::Full {
+                state.total_mass()
+            } else {
+                0.0
+            };
+            Ok((
+                report,
+                hsim_telemetry::uninstall(),
+                dump,
+                state.t,
+                state.cycle,
+                mass,
+            ))
+        },
+    );
 
     let mut reports = Vec::with_capacity(outputs.len());
     let mut collectors = Vec::new();
-    for (report, collector) in outputs {
-        collectors.extend(collector);
-        reports.push(report);
+    let mut dumps = Vec::with_capacity(outputs.len());
+    let mut errors: Vec<String> = Vec::new();
+    let mut t_end = 0.0;
+    let mut cycle_end = seg.last_cycle;
+    let mut masses = Vec::with_capacity(n_ranks);
+    for res in outputs {
+        match res {
+            Ok((report, collector, dump, t, cyc, mass)) => {
+                collectors.extend(collector);
+                dumps.push(dump);
+                masses.push(mass);
+                // Identical on every rank: dt is an exact collective.
+                t_end = t;
+                cycle_end = cyc;
+                reports.push(report);
+            }
+            Err(e) => errors.push(e),
+        }
+    }
+    if !errors.is_empty() {
+        // Prefer the root cause (the injected fault's typed message)
+        // over collateral peer-disconnect failures.
+        let root = errors
+            .iter()
+            .find(|e| e.contains("injected"))
+            .or_else(|| {
+                errors
+                    .iter()
+                    .find(|e| !e.to_lowercase().contains("disconnected"))
+            })
+            .unwrap_or(&errors[0])
+            .clone();
+        return Err(root);
     }
 
-    // Merge the rank collectors once; the legacy Gantt trace is a
-    // filtered projection of the same span store.
-    let summary = if collect {
-        let mut s = Summary::from_collectors(collectors);
-        s.metrics
-            .gauge_set(Gauge::CpuFraction, decomp.cpu_zone_fraction());
-        Some(s)
-    } else {
-        None
-    };
-    let trace = match (&summary, cfg.trace) {
-        (Some(s), true) => Some(s.legacy_trace_where(|sp| sp.name == "cycle" || sp.name == "wait")),
-        _ => None,
-    };
+    let checkpoint = seg.take_checkpoint.then(|| {
+        let mut vars: Vec<Vec<f64>> = if cfg.fidelity == Fidelity::Full {
+            vec![vec![0.0; grid.zones() as usize]; hsim_hydro::NCONS]
+        } else {
+            Vec::new()
+        };
+        for (rank, dump) in dumps.iter().enumerate() {
+            if let Some(dump) = dump {
+                let sub = decomp.domains[rank];
+                for (var, vals) in dump.iter().enumerate() {
+                    let mut it = vals.iter();
+                    for k in 0..sub.extent(2) {
+                        for j in 0..sub.extent(1) {
+                            for i in 0..sub.extent(0) {
+                                let g = (sub.lo[0] + i)
+                                    + grid.nx * ((sub.lo[1] + j) + grid.ny * (sub.lo[2] + k));
+                                vars[var][g] = *it.next().expect("dump sized to the owned box");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Checkpoint {
+            vars,
+            t: t_end,
+            cycle: cycle_end,
+        }
+    });
 
-    let runtime = reports
-        .iter()
-        .map(|r| r.total)
-        .fold(SimDuration::ZERO, SimDuration::max);
-    let device_busy = devices.iter().map(|d| d.busy()).collect();
-    Ok(RunResult {
-        mode_key: cfg.mode.key(),
-        mode_label: cfg.mode.label(),
-        grid: cfg.grid,
-        zones: grid.zones(),
-        runtime,
-        cpu_fraction: decomp.cpu_zone_fraction(),
-        cycles: cfg.cycles,
-        ranks: reports,
-        device_busy,
-        trace,
-        telemetry: if cfg.telemetry { summary } else { None },
+    Ok(SegmentOut {
+        reports,
+        collectors,
+        device_busy: devices.iter().map(|d| d.busy()).collect(),
+        checkpoint,
+        masses: (cfg.fidelity == Fidelity::Full).then_some(masses),
     })
 }
 
@@ -739,5 +1228,120 @@ mod tests {
             direct.runtime,
             base.runtime
         );
+    }
+
+    /// A small full-fidelity Heterogeneous Sedov run with a fault plan.
+    fn fault_cfg(spec: &str) -> RunConfig {
+        let mut cfg = sweep_cfg((32, 48, 32), ExecMode::hetero());
+        cfg.fidelity = Fidelity::Full;
+        cfg.cycles = 4;
+        cfg.faults = Some(hsim_faults::FaultPlan::parse(spec).expect(spec));
+        cfg
+    }
+
+    #[test]
+    fn rank_loss_folds_back_and_conserves_mass() {
+        let mut intact_cfg = fault_cfg("rank.loss@rank4.cycle2");
+        intact_cfg.faults = None;
+        let intact = run(&intact_cfg).unwrap();
+        let degraded = run(&fault_cfg("rank.loss@rank4.cycle2")).unwrap();
+        assert_eq!(intact.ranks.len(), 16);
+        assert_eq!(degraded.ranks.len(), 15, "lost rank folded away");
+        assert!(
+            degraded.cpu_fraction < intact.cpu_fraction,
+            "foldback hands the slab back to the GPU: {} vs {}",
+            degraded.cpu_fraction,
+            intact.cpu_fraction
+        );
+        // Physics does not depend on the decomposition, so the
+        // checkpoint/restart run conserves mass up to the changed
+        // summation order of the per-rank reductions.
+        let (mi, md) = (intact.mass.unwrap(), degraded.mass.unwrap());
+        assert!(
+            ((mi - md) / mi).abs() < 1e-12,
+            "mass drift across recovery: {mi} vs {md}"
+        );
+        // The survivors pick up the lost rank's zones.
+        let zones: u64 = degraded.ranks.iter().map(|r| r.zones).sum();
+        assert_eq!(zones, degraded.zones);
+        assert!(degraded.runtime > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn degraded_recovery_trace_is_deterministic_and_reports_the_loss() {
+        let mut cfg = fault_cfg("xfer.delay@rank5.cycle1:ns=200000;rank.loss@rank4.cycle2");
+        cfg.telemetry = true;
+        let a = run(&cfg).unwrap();
+        let b = run(&cfg).unwrap();
+        let (sa, sb) = (a.telemetry.unwrap(), b.telemetry.unwrap());
+        assert_eq!(
+            sa.to_metrics_json(),
+            sb.to_metrics_json(),
+            "same seed and plan must replay the same recovery"
+        );
+        assert_eq!(sa.metrics.counter(Counter::FaultRankLosses), 1);
+        assert_eq!(sa.metrics.counter(Counter::FaultsInjected), 2);
+        assert!(sa.metrics.counter(Counter::FaultsRecovered) >= 1);
+        // The gauge reflects the *rebalanced* post-loss decomposition.
+        let mut intact = fault_cfg("rank.loss@rank4.cycle2");
+        intact.faults = None;
+        intact.telemetry = true;
+        let si = run(&intact).unwrap().telemetry.unwrap();
+        assert!(
+            sa.metrics.gauge(Gauge::CpuFraction) < si.metrics.gauge(Gauge::CpuFraction),
+            "telemetry must report the foldback decomposition"
+        );
+    }
+
+    #[test]
+    fn losing_a_gpu_driver_is_a_typed_error() {
+        let err = run(&fault_cfg("rank.loss@rank0.cycle1")).unwrap_err();
+        assert!(err.contains("GPU"), "{err}");
+    }
+
+    #[test]
+    fn more_than_one_rank_loss_is_rejected_up_front() {
+        let err = run(&fault_cfg("rank.loss@rank4.cycle1;rank.loss@rank5.cycle2")).unwrap_err();
+        assert!(err.contains("more than one"), "{err}");
+    }
+
+    #[test]
+    fn transient_faults_recover_without_touching_physics() {
+        let mut base_cfg = fault_cfg("rank.loss@rank4.cycle2");
+        base_cfg.faults = None;
+        let base = run(&base_cfg).unwrap();
+        for spec in [
+            "gpu.oom@rank0.cycle0:count=2",
+            "gpu.launch@rank1.cycle1",
+            "xfer.corrupt@rank4.cycle1",
+            "pool.panic@rank5.cycle2",
+        ] {
+            let mut cfg = fault_cfg(spec);
+            cfg.telemetry = true;
+            // The pool-panic site only exists inside a parallel region.
+            if spec.starts_with("pool.panic") {
+                cfg.host_threads = 4;
+            }
+            let faulted = run(&cfg).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(faulted.ranks.len(), base.ranks.len(), "{spec}");
+            assert_eq!(
+                faulted.mass, base.mass,
+                "{spec}: recovery must not perturb the solution"
+            );
+            let s = faulted.telemetry.unwrap();
+            assert_eq!(s.metrics.counter(Counter::FaultsInjected), 1, "{spec}");
+            assert_eq!(s.metrics.counter(Counter::FaultsRecovered), 1, "{spec}");
+            assert!(s.metrics.counter(Counter::FaultRetries) >= 1, "{spec}");
+        }
+    }
+
+    #[test]
+    fn permanent_mps_rejection_is_a_typed_error() {
+        let mut cfg = sweep_cfg((16, 16, 16), ExecMode::mps4());
+        cfg.fidelity = Fidelity::Full;
+        cfg.cycles = 2;
+        cfg.faults = Some(hsim_faults::FaultPlan::parse("mps.connect@rank1.cycle0:perm").unwrap());
+        let err = run(&cfg).unwrap_err();
+        assert!(err.contains("MPS"), "{err}");
     }
 }

@@ -18,6 +18,7 @@ fn telemetry_cfg() -> RunConfig {
         trace: false,
         telemetry: true,
         problem: runner::Problem::default(),
+        faults: None,
         host_threads: 1,
     }
 }

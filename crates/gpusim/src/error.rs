@@ -21,6 +21,8 @@ pub enum GpuError {
     PoolDiscipline,
     /// The MPS server rejected a client (e.g. over its client limit).
     MpsRejected { reason: &'static str },
+    /// A kernel launch failed and the retry budget was exhausted.
+    LaunchFailed { reason: &'static str },
     /// Touching device-resident memory from a host-only process — the
     /// performance hazard the paper had to engineer around (§5.2).
     HostTouchedDeviceMemory,
@@ -43,6 +45,7 @@ impl fmt::Display for GpuError {
             GpuError::InvalidFree { offset } => write!(f, "invalid free at offset {offset}"),
             GpuError::PoolDiscipline => write!(f, "pool free violates LIFO discipline"),
             GpuError::MpsRejected { reason } => write!(f, "MPS rejected client: {reason}"),
+            GpuError::LaunchFailed { reason } => write!(f, "kernel launch failed: {reason}"),
             GpuError::HostTouchedDeviceMemory => {
                 write!(f, "host-only process touched device-resident memory")
             }
@@ -67,6 +70,11 @@ mod tests {
         assert!(GpuError::ContextBusy { device: 2 }
             .to_string()
             .contains("MPS"));
+        assert!(GpuError::LaunchFailed {
+            reason: "injected fault"
+        }
+        .to_string()
+        .contains("injected fault"));
     }
 
     #[test]

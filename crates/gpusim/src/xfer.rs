@@ -58,6 +58,14 @@ pub fn halo_leg_time(spec: &DeviceSpec, bytes: u64, gpu_direct: bool) -> SimDura
     }
 }
 
+/// Cost of redoing a corrupted halo transfer: the payload is detected
+/// bad after arrival, so recovery re-stages the same leg and pays one
+/// extra protocol round-trip (two link latencies) for the
+/// negative-acknowledge/resend handshake.
+pub fn retry_leg_time(spec: &DeviceSpec, bytes: u64, gpu_direct: bool) -> SimDuration {
+    halo_leg_time(spec, bytes, gpu_direct) + spec.pcie_latency + spec.pcie_latency
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,6 +109,15 @@ mod tests {
         let s = k80();
         assert_eq!(halo_leg_time(&s, 1 << 20, true), SimDuration::ZERO);
         assert!(halo_leg_time(&s, 1 << 20, false) > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn retry_costs_more_than_the_original_leg() {
+        let s = k80();
+        let bytes = 1 << 20;
+        assert!(retry_leg_time(&s, bytes, false) > halo_leg_time(&s, bytes, false));
+        // GPU-direct still pays the handshake round-trip.
+        assert!(retry_leg_time(&s, bytes, true) > SimDuration::ZERO);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::grid::GlobalGrid;
 
 pub use block::{block_decomp, block_decomp_yz, factor3};
 pub use hierarchical::{hierarchical_decomp, hierarchical_decomp_yz};
-pub use weighted::{weighted_hetero_decomp, WeightedConfig};
+pub use weighted::{fold_lost_rank, weighted_hetero_decomp, WeightedConfig};
 
 /// Which processor computes a domain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

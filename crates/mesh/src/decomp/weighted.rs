@@ -125,6 +125,59 @@ pub fn weighted_hetero_decomp(
     })
 }
 
+/// Graceful degradation after a permanent CPU-rank loss: fold the lost
+/// rank's slab back into a box-mergeable neighbor, preferring the
+/// parent GPU block (so a Heterogeneous run degrades toward the
+/// Default decomposition) and falling back to a CPU sibling slab when
+/// the lost slab does not touch its GPU remainder.
+///
+/// Returns the degraded decomposition with one fewer rank; rank
+/// indices above `lost` shift down by one. Losing a GPU-driving rank
+/// is not foldable (its block has no same-class absorber) and returns
+/// a typed error.
+pub fn fold_lost_rank(decomp: &Decomposition, lost: usize) -> Result<Decomposition, String> {
+    if lost >= decomp.len() {
+        return Err(format!(
+            "lost rank {lost} out of range (decomposition has {} ranks)",
+            decomp.len()
+        ));
+    }
+    if decomp.owners[lost].is_gpu() {
+        return Err(format!(
+            "rank {lost} drives a GPU; a lost device block cannot be folded back"
+        ));
+    }
+    let lost_dom = decomp.domains[lost];
+    let mut candidates = Vec::new();
+    for (r, d) in decomp.domains.iter().enumerate() {
+        if r == lost {
+            continue;
+        }
+        if let Some(merged) = d.merged_box(&lost_dom) {
+            candidates.push((r, merged));
+        }
+    }
+    let (absorber, merged) = candidates
+        .iter()
+        .find(|(r, _)| decomp.owners[*r].is_gpu())
+        .or_else(|| candidates.first())
+        .copied()
+        .ok_or_else(|| format!("rank {lost}: no box-mergeable neighbor can absorb its zones"))?;
+    let mut domains = decomp.domains.clone();
+    let mut owners = decomp.owners.clone();
+    domains[absorber] = merged;
+    domains.remove(lost);
+    owners.remove(lost);
+    let out = Decomposition {
+        grid: decomp.grid,
+        domains,
+        owners,
+        scheme: "weighted-foldback",
+    };
+    out.validate()?;
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +284,126 @@ mod tests {
         let d = weighted_hetero_decomp(grid, &cfg).unwrap();
         assert_eq!(d.len(), 4);
         assert!(d.cpu_ranks().is_empty());
+        d.validate().unwrap();
+    }
+
+    /// All pairwise face-neighbor links of a decomposition, as sorted
+    /// index pairs.
+    fn neighbor_links(d: &Decomposition) -> Vec<(usize, usize)> {
+        let mut links = Vec::new();
+        for i in 0..d.len() {
+            for j in (i + 1)..d.len() {
+                if d.domains[i].is_face_neighbor(&d.domains[j]) {
+                    links.push((i, j));
+                }
+            }
+        }
+        links
+    }
+
+    #[test]
+    fn foldback_into_parent_gpu_conserves_zones_and_validates() {
+        let grid = GlobalGrid::new(320, 480, 160);
+        let d = weighted_hetero_decomp(grid, &WeightedConfig::rzhasgpu(0.05)).unwrap();
+        // The first CPU slab of GPU block 0 (rank 4) touches its GPU
+        // remainder: foldback must prefer the GPU absorber.
+        let lost = 4;
+        let folded = fold_lost_rank(&d, lost).unwrap();
+        folded.validate().unwrap();
+        assert_eq!(folded.len(), d.len() - 1);
+        assert_eq!(folded.scheme, "weighted-foldback");
+        let total_before: u64 = d.domains.iter().map(|s| s.zones()).sum();
+        let total_after: u64 = folded.domains.iter().map(|s| s.zones()).sum();
+        assert_eq!(total_before, total_after, "zones conserved");
+        // GPU 0's block grew by exactly the lost slab.
+        assert_eq!(
+            folded.domains[0].zones(),
+            d.domains[0].zones() + d.domains[lost].zones()
+        );
+        assert!(folded.owners[0].is_gpu());
+        // Degrading toward Default: the CPU share shrank.
+        assert!(folded.cpu_zone_fraction() < d.cpu_zone_fraction());
+    }
+
+    #[test]
+    fn foldback_of_a_middle_slab_uses_a_cpu_sibling() {
+        let grid = GlobalGrid::new(320, 480, 160);
+        let d = weighted_hetero_decomp(grid, &WeightedConfig::rzhasgpu(0.05)).unwrap();
+        // Rank 5 is the middle slab of GPU block 0: its box-mergeable
+        // neighbors are CPU siblings (ranks 4 and 6) only.
+        let lost = 5;
+        assert!(d.domains[lost].merged_box(&d.domains[0]).is_none());
+        let folded = fold_lost_rank(&d, lost).unwrap();
+        folded.validate().unwrap();
+        assert_eq!(folded.len(), d.len() - 1);
+        // Same CPU share as before: the zones moved between siblings.
+        assert!((folded.cpu_zone_fraction() - d.cpu_zone_fraction()).abs() < 1e-12);
+        // Sibling rank 4 absorbed the slab.
+        assert_eq!(
+            folded.domains[4].zones(),
+            d.domains[4].zones() + d.domains[lost].zones()
+        );
+    }
+
+    #[test]
+    fn foldback_preserves_neighbor_connectivity() {
+        let grid = GlobalGrid::new(320, 480, 160);
+        let d = weighted_hetero_decomp(grid, &WeightedConfig::rzhasgpu(0.05)).unwrap();
+        let lost = 4;
+        let absorber = 0; // parent GPU block
+        let old_links = neighbor_links(&d);
+        let folded = fold_lost_rank(&d, lost).unwrap();
+        let new_links = neighbor_links(&folded);
+        // Index map: old rank -> new rank (absorber keeps its slot).
+        let map = |r: usize| if r > lost { r - 1 } else { r };
+        // Every old link not involving the lost rank survives; links to
+        // the lost rank are re-routed to the absorber.
+        for &(i, j) in &old_links {
+            let (a, b) = if i == lost {
+                (map(absorber), map(j))
+            } else if j == lost {
+                (map(i), map(absorber))
+            } else {
+                (map(i), map(j))
+            };
+            if a == b {
+                continue; // the absorber's own link to the lost slab
+            }
+            let link = (a.min(b), a.max(b));
+            assert!(
+                new_links.contains(&link),
+                "old link ({i},{j}) lost after foldback (mapped {link:?})"
+            );
+        }
+        // No remaining rank was orphaned.
+        for r in 0..folded.len() {
+            assert!(
+                new_links.iter().any(|&(a, b)| a == r || b == r),
+                "rank {r} has no neighbors after foldback"
+            );
+        }
+    }
+
+    #[test]
+    fn foldback_rejects_gpu_ranks_and_bad_indices() {
+        let grid = GlobalGrid::new(320, 480, 160);
+        let d = weighted_hetero_decomp(grid, &WeightedConfig::rzhasgpu(0.05)).unwrap();
+        assert!(fold_lost_rank(&d, 0).is_err(), "GPU rank is not foldable");
+        assert!(fold_lost_rank(&d, 99).is_err(), "out of range");
+    }
+
+    #[test]
+    fn repeated_foldback_degrades_to_default_shape() {
+        // Losing every CPU rank one by one folds the whole slab stack
+        // back into the GPU blocks: 16 ranks -> 4 ranks, all GPU.
+        let grid = GlobalGrid::new(320, 480, 160);
+        let mut d = weighted_hetero_decomp(grid, &WeightedConfig::rzhasgpu(0.05)).unwrap();
+        while let Some(&lost) = d.cpu_ranks().first() {
+            d = fold_lost_rank(&d, lost).unwrap();
+        }
+        assert_eq!(d.len(), 4);
+        assert!(d.cpu_ranks().is_empty());
+        assert_eq!(d.cpu_zone_fraction(), 0.0);
         d.validate().unwrap();
     }
 

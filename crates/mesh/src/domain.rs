@@ -125,6 +125,30 @@ impl Subdomain {
         out
     }
 
+    /// If `self` and `other` tile a single box exactly — adjacent
+    /// along one axis with identical extents on the other two — return
+    /// that box (the inverse of [`Subdomain::carve_high`] /
+    /// [`Subdomain::split_along`]). Used by the rank-loss foldback to
+    /// absorb a lost slab into a neighbor without fragmenting the
+    /// decomposition.
+    pub fn merged_box(&self, other: &Subdomain) -> Option<Subdomain> {
+        for axis in 0..3 {
+            let transverse_equal = (0..3)
+                .filter(|&a| a != axis)
+                .all(|a| self.lo[a] == other.lo[a] && self.hi[a] == other.hi[a]);
+            if !transverse_equal {
+                continue;
+            }
+            if self.hi[axis] == other.lo[axis] {
+                return Some(Subdomain::new(self.lo, other.hi, self.ghost));
+            }
+            if other.hi[axis] == self.lo[axis] {
+                return Some(Subdomain::new(other.lo, self.hi, self.ghost));
+            }
+        }
+        None
+    }
+
     /// Carve a slab of `thickness` zones off the high end of `axis`,
     /// returning `(remainder, slab)`. `thickness` must leave a
     /// non-empty remainder.
@@ -225,6 +249,24 @@ mod tests {
     fn oversplitting_panics() {
         let d = dom([0, 0, 0], [2, 4, 4]);
         let _ = d.split_along(0, 3);
+    }
+
+    #[test]
+    fn merged_box_inverts_carve_and_split() {
+        let d = dom([0, 0, 0], [4, 10, 4]);
+        let (rem, slab) = d.carve_high(1, 3);
+        assert_eq!(rem.merged_box(&slab), Some(d));
+        assert_eq!(slab.merged_box(&rem), Some(d));
+        let parts = slab.split_along(1, 3);
+        assert_eq!(
+            parts[0].merged_box(&parts[1]).unwrap().zones(),
+            parts[0].zones() + parts[1].zones()
+        );
+        // Non-adjacent pieces don't merge; neither do boxes with
+        // mismatched transverse extents.
+        assert_eq!(parts[0].merged_box(&parts[2]), None);
+        let offset = dom([1, 0, 0], [4, 3, 4]);
+        assert_eq!(offset.merged_box(&dom([0, 3, 0], [4, 6, 4])), None);
     }
 
     #[test]

@@ -59,6 +59,35 @@ impl World {
         })
     }
 
+    /// Like [`World::run`] but fault-tolerant: each rank body returns
+    /// `Result`, and a *panic* in one rank (or a collateral panic in a
+    /// peer blocked on the dead rank's mailbox, which observes
+    /// [`crate::MpiError::Disconnected`] once the senders drop) is
+    /// caught and converted into `Err` instead of tearing down the
+    /// whole world at join time. No rank can hang: a dead peer's
+    /// channel endpoints drop, so every blocking receive returns
+    /// `Disconnected` rather than waiting forever.
+    pub fn run_fallible<R, F>(size: usize, cost: CommCost, f: F) -> Vec<Result<R, String>>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> Result<R, String> + Sync,
+    {
+        Self::run(size, cost, |comm| {
+            let rank = comm.rank();
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm))) {
+                Ok(r) => r,
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "rank thread panicked".to_string());
+                    Err(format!("rank {rank}: {msg}"))
+                }
+            }
+        })
+    }
+
     /// Like [`World::run`] but also returns each rank's final virtual
     /// time breakdown `(result, now_ns, comm_ns, wait_ns)`.
     pub fn run_timed<R, F>(size: usize, cost: CommCost, f: F) -> Vec<(R, u64, u64, u64)>
@@ -447,6 +476,34 @@ mod tests {
         for (rank, (got, left)) in out.iter().enumerate() {
             assert_eq!(*got, *left, "rank {rank} received its left neighbor's id");
         }
+    }
+
+    #[test]
+    fn run_fallible_turns_a_dead_rank_into_typed_errors_not_a_hang() {
+        // Rank 1 dies before sending anything. Rank 0 blocks on its
+        // message: the dropped senders surface as a Disconnected
+        // error (here re-raised by unwrap and caught by run_fallible)
+        // instead of a deadlock or a process abort.
+        let out = World::run_fallible(2, CommCost::free(), |comm| {
+            if comm.rank() == 1 {
+                return Err("injected rank loss".to_string());
+            }
+            let v: f64 = comm.recv(1, 1).unwrap();
+            Ok(v)
+        });
+        assert_eq!(out[1], Err("injected rank loss".to_string()));
+        let msg = out[0].as_ref().unwrap_err();
+        assert!(msg.contains("rank 0"), "{msg}");
+        assert!(msg.to_lowercase().contains("disconnected"), "{msg}");
+    }
+
+    #[test]
+    fn run_fallible_passes_through_clean_results() {
+        let out = World::run_fallible(3, CommCost::on_node(), |comm| {
+            comm.barrier().map_err(|e| e.to_string())?;
+            Ok(comm.rank() * 10)
+        });
+        assert_eq!(out, vec![Ok(0), Ok(10), Ok(20)]);
     }
 
     #[test]

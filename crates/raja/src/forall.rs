@@ -332,6 +332,9 @@ impl Executor {
                 let dur = self
                     .cpu
                     .kernel_time_parallel(desc, shape.elems, pool.parallelism());
+                if let Some(hit) = hsim_faults::check(hsim_faults::Site::PoolPanic) {
+                    absorb_pool_panic(clock, pool, dur, hit, t0)?;
+                }
                 clock.charge(ChargeKind::Compute, dur);
                 hsim_telemetry::kernel_launch(desc.name, shape.elems, 0, dur, false, 1.0);
                 hsim_telemetry::rank_span(
@@ -355,6 +358,9 @@ impl Executor {
                         clock.now(),
                     );
                 } else {
+                    if let Some(hit) = hsim_faults::check(hsim_faults::Site::GpuLaunch) {
+                        absorb_launch_fault(clock, hit, t0)?;
+                    }
                     let overhead = client.launch(desc, shape, clock.now())?;
                     clock.charge(ChargeKind::Launch, overhead);
                     hsim_telemetry::time_stat(hsim_telemetry::TimeStat::LaunchTime, overhead);
@@ -378,6 +384,83 @@ impl Executor {
             clock.wait_until(end);
         }
         clock.now()
+    }
+}
+
+/// Recover from an injected GPU launch failure: each failed attempt
+/// waits out an exponential virtual-time backoff before the executor
+/// re-submits; a permanent fault (or a transient one past the retry
+/// budget) escalates to [`GpuError::LaunchFailed`].
+fn absorb_launch_fault(
+    clock: &mut RankClock,
+    hit: hsim_faults::FaultHit,
+    t0: SimTime,
+) -> Result<(), GpuError> {
+    hsim_telemetry::count(hsim_telemetry::Counter::FaultsInjected, 1);
+    match hit.severity {
+        hsim_faults::Severity::Permanent => Err(GpuError::LaunchFailed {
+            reason: "injected permanent launch fault",
+        }),
+        hsim_faults::Severity::Transient { count } => {
+            if count > hsim_faults::MAX_RETRIES {
+                return Err(GpuError::LaunchFailed {
+                    reason: "launch retry budget exhausted",
+                });
+            }
+            for attempt in 0..count {
+                clock.charge(ChargeKind::Wait, hsim_faults::backoff_delay(attempt));
+                hsim_telemetry::count(hsim_telemetry::Counter::FaultRetries, 1);
+            }
+            hsim_telemetry::count(hsim_telemetry::Counter::FaultsRecovered, 1);
+            hsim_telemetry::rank_span(
+                hsim_telemetry::Category::Launch,
+                "fault_launch_retry",
+                t0,
+                clock.now(),
+            );
+            Ok(())
+        }
+    }
+}
+
+/// Recover from an injected worker panic in a parallel region: the
+/// pool's poison path is exercised for real ([`WorkPool::
+/// inject_worker_panic`]), then each wasted attempt is paid for in
+/// virtual time (the poisoned region's compute plus backoff) before
+/// the real region runs.
+fn absorb_pool_panic(
+    clock: &mut RankClock,
+    pool: &WorkPool,
+    region_cost: hsim_time::SimDuration,
+    hit: hsim_faults::FaultHit,
+    t0: SimTime,
+) -> Result<(), GpuError> {
+    hsim_telemetry::count(hsim_telemetry::Counter::FaultsInjected, 1);
+    match hit.severity {
+        hsim_faults::Severity::Permanent => Err(GpuError::LaunchFailed {
+            reason: "injected permanent worker panic",
+        }),
+        hsim_faults::Severity::Transient { count } => {
+            if count > hsim_faults::MAX_RETRIES {
+                return Err(GpuError::LaunchFailed {
+                    reason: "worker panic retry budget exhausted",
+                });
+            }
+            pool.inject_worker_panic();
+            for attempt in 0..count {
+                clock.charge(ChargeKind::Compute, region_cost);
+                clock.charge(ChargeKind::Wait, hsim_faults::backoff_delay(attempt));
+                hsim_telemetry::count(hsim_telemetry::Counter::FaultRetries, 1);
+            }
+            hsim_telemetry::count(hsim_telemetry::Counter::FaultsRecovered, 1);
+            hsim_telemetry::rank_span(
+                hsim_telemetry::Category::Runtime,
+                "fault_pool_retry",
+                t0,
+                clock.now(),
+            );
+            Ok(())
+        }
     }
 }
 
@@ -575,6 +658,76 @@ mod tests {
             multi < naive / 2,
             "MultiPolicy {multi}ns should beat naive offload {naive}ns for tiny kernels"
         );
+    }
+
+    #[test]
+    fn injected_launch_fault_retries_then_recovers_or_escalates() {
+        let run = |spec: &str| -> (Result<(), GpuError>, hsim_time::SimDuration) {
+            let device = Device::new(0, DeviceSpec::tesla_k80());
+            let (_dev, client) = SharedDevice::new_exclusive(device, 0).unwrap();
+            let mut exec = Executor::new(
+                Target::Gpu(client),
+                CpuModel::haswell_e5_2667v3(),
+                Fidelity::CostOnly,
+            );
+            let mut clock = RankClock::new(0);
+            hsim_faults::install(0, Arc::new(hsim_faults::FaultPlan::parse(spec).unwrap()));
+            let r = exec.forall(&mut clock, &desc(), 1000, 10, |_| {});
+            hsim_faults::uninstall();
+            if r.is_ok() {
+                exec.sync(&mut clock);
+            }
+            (r, clock.bucket(ChargeKind::Wait))
+        };
+        // Transient: recovered, with the backoff charged as wait time.
+        let (r, wait) = run("gpu.launch@rank0.cycle0");
+        r.unwrap();
+        assert!(wait >= hsim_faults::backoff_delay(0));
+        // Determinism: the same plan charges the same virtual time.
+        let (_, wait2) = run("gpu.launch@rank0.cycle0");
+        assert_eq!(wait, wait2);
+        // Permanent: a typed error, not a panic.
+        let (r, _) = run("gpu.launch@rank0.cycle0:perm");
+        assert!(matches!(r, Err(GpuError::LaunchFailed { .. })));
+        // Transient beyond the retry budget escalates too.
+        let (r, _) = run("gpu.launch@rank0.cycle0:count=99");
+        assert!(matches!(r, Err(GpuError::LaunchFailed { .. })));
+    }
+
+    #[test]
+    fn injected_pool_panic_recovers_and_charges_the_wasted_region() {
+        let mut exec = Executor::new(
+            Target::cpu_parallel(4),
+            CpuModel::haswell_fixed(),
+            Fidelity::Full,
+        );
+        let mut clock = RankClock::new(0);
+        let baseline = {
+            let mut c = RankClock::new(0);
+            exec.forall_par(&mut c, &desc(), 10_000, 100, |_| {})
+                .unwrap();
+            c.bucket(ChargeKind::Compute)
+        };
+        hsim_faults::install(
+            0,
+            Arc::new(hsim_faults::FaultPlan::parse("pool.panic@rank0.cycle0").unwrap()),
+        );
+        let cells: Vec<std::sync::atomic::AtomicU64> = (0..10_000)
+            .map(|_| std::sync::atomic::AtomicU64::new(0))
+            .collect();
+        exec.forall_par(&mut clock, &desc(), cells.len(), 100, |i| {
+            cells[i].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        })
+        .unwrap();
+        hsim_faults::uninstall();
+        // The real body still ran exactly once per index …
+        assert!(cells
+            .iter()
+            .all(|c| c.load(std::sync::atomic::Ordering::Relaxed) == 1));
+        // … and the poisoned attempt was paid for: double compute plus
+        // a backoff wait.
+        assert_eq!(clock.bucket(ChargeKind::Compute), baseline + baseline);
+        assert!(clock.bucket(ChargeKind::Wait) >= hsim_faults::backoff_delay(0));
     }
 
     #[test]

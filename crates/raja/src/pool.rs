@@ -140,14 +140,35 @@ impl WorkPool {
     where
         F: Fn(usize, usize) + Send + Sync,
     {
+        if let Some(payload) = self.try_for_chunks(begin, end, chunk, body, true) {
+            panic::resume_unwind(payload);
+        }
+    }
+
+    /// [`WorkPool::for_chunks`] that hands a poisoned region's panic
+    /// payload back instead of re-raising it, so chaos callers can
+    /// absorb a planned worker panic. `count_host` gates the wall-clock
+    /// `Host*` telemetry (chaos regions skip it to keep metrics output
+    /// deterministic).
+    fn try_for_chunks<F>(
+        &self,
+        begin: usize,
+        end: usize,
+        chunk: usize,
+        body: F,
+        count_host: bool,
+    ) -> Option<Box<dyn Any + Send>>
+    where
+        F: Fn(usize, usize) + Send + Sync,
+    {
         if begin >= end {
-            return;
+            return None;
         }
         if IN_REGION.with(|c| c.get()) {
             panic!("nested WorkPool parallel regions are not supported (the pool has one job slot; restructure the outer region to do the inner work inline)");
         }
         let chunk = chunk.max(1);
-        let host_t0 = hsim_telemetry::is_enabled().then(std::time::Instant::now);
+        let host_t0 = (count_host && hsim_telemetry::is_enabled()).then(std::time::Instant::now);
 
         unsafe fn call_thunk<F: Fn(usize, usize)>(data: *const (), b: usize, e: usize) {
             (*data.cast::<F>())(b, e)
@@ -197,10 +218,32 @@ impl WorkPool {
         }
         if job.poisoned.load(Ordering::Acquire) {
             let payload = job.panic_payload.lock().take();
-            match payload {
-                Some(p) => panic::resume_unwind(p),
-                None => panic!("WorkPool parallel region body panicked"),
-            }
+            return Some(payload.unwrap_or_else(|| {
+                Box::new("WorkPool parallel region body panicked".to_string())
+            }));
+        }
+        None
+    }
+
+    /// Chaos hook for the `pool.panic` fault site: run a real parallel
+    /// region whose body panics with the
+    /// [`hsim_faults::InjectedWorkerPanic`] marker, exercising the
+    /// poison/drain/re-raise machinery end to end, then absorb the
+    /// marker so the caller can retry its region. Any non-marker panic
+    /// propagates unchanged. Returns `true` when the marker made the
+    /// round trip through the poison path.
+    pub fn inject_worker_panic(&self) -> bool {
+        let payload = self.try_for_chunks(
+            0,
+            self.parallelism(),
+            1,
+            |_b, _e| panic::panic_any(hsim_faults::InjectedWorkerPanic),
+            false,
+        );
+        match payload {
+            Some(p) if p.is::<hsim_faults::InjectedWorkerPanic>() => true,
+            Some(p) => panic::resume_unwind(p),
+            None => false,
         }
     }
 
@@ -533,6 +576,21 @@ mod tests {
             count.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn injected_worker_panic_is_absorbed_and_pool_survives() {
+        let pool = WorkPool::new(3);
+        assert!(pool.inject_worker_panic(), "marker must round-trip");
+        // The pool is immediately usable for real regions afterwards.
+        let count = AtomicU64::new(0);
+        pool.for_each(0, 64, 4, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 64);
+        // And the chaos path works repeatedly.
+        assert!(pool.inject_worker_panic());
+        assert_eq!(pool.sum(0, 10, 2, |i| i as f64), 45.0);
     }
 
     #[test]

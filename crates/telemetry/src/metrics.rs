@@ -54,10 +54,18 @@ pub enum Counter {
     HostSweepPoints,
     /// Wall-clock nanoseconds spent running sweep points.
     HostSweepNanos,
+    /// Planned faults that actually fired at an instrumented site.
+    FaultsInjected,
+    /// Retry attempts taken while recovering from transient faults.
+    FaultRetries,
+    /// Transient faults that recovery fully absorbed.
+    FaultsRecovered,
+    /// Permanent rank losses absorbed by decomposition foldback.
+    FaultRankLosses,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 22] = [
         Counter::KernelLaunches,
         Counter::GpuKernelLaunches,
         Counter::CpuKernelLaunches,
@@ -76,6 +84,10 @@ impl Counter {
         Counter::HostPoolNanos,
         Counter::HostSweepPoints,
         Counter::HostSweepNanos,
+        Counter::FaultsInjected,
+        Counter::FaultRetries,
+        Counter::FaultsRecovered,
+        Counter::FaultRankLosses,
     ];
 
     pub fn label(self) -> &'static str {
@@ -98,6 +110,10 @@ impl Counter {
             Counter::HostPoolNanos => "host_pool_nanos",
             Counter::HostSweepPoints => "host_sweep_points",
             Counter::HostSweepNanos => "host_sweep_nanos",
+            Counter::FaultsInjected => "fault_injected",
+            Counter::FaultRetries => "fault_retries",
+            Counter::FaultsRecovered => "fault_recovered",
+            Counter::FaultRankLosses => "fault_rank_losses",
         }
     }
 }

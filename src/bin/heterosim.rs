@@ -4,9 +4,16 @@
 //! heterosim [--mode default|mps|hetero|cpuonly] [--grid X,Y,Z]
 //!           [--cycles N] [--full] [--node rzhasgpu|fixed|sierra]
 //!           [--gpu-direct] [--diffusion KAPPA] [--multipolicy N]
-//!           [--no-balance] [--trace] [--csv] [--host-threads N]
-//!           [--trace-json PATH] [--metrics-json PATH]
+//!           [--fraction F] [--no-balance] [--faults SPEC]
+//!           [--problem sedov|sod|perturbed] [--trace] [--csv]
+//!           [--host-threads N] [--trace-json PATH] [--metrics-json PATH]
 //! ```
+//!
+//! `--faults` takes a fault plan such as
+//! `xfer.delay@rank1.cycle2:ns=200000;rank.loss@rank5.cycle4` (see the
+//! README's Resilience section). `--no-balance` skips the §6.2 load
+//! balancer and runs the mode's static split once — required for
+//! byte-identical chaos reruns, since the balancer re-measures.
 //!
 //! Examples:
 //! ```sh
@@ -23,7 +30,8 @@ fn usage() -> ! {
         "usage: heterosim [--mode default|mps|hetero|cpuonly] [--grid X,Y,Z]\n\
          \x20                [--cycles N] [--full] [--node rzhasgpu|fixed|sierra]\n\
          \x20                [--gpu-direct] [--diffusion KAPPA] [--multipolicy N]\n\
-         \x20                [--fraction F] [--problem sedov|sod|perturbed] [--trace] [--csv]\n\
+         \x20                [--fraction F] [--no-balance] [--faults SPEC]\n\
+         \x20                [--problem sedov|sod|perturbed] [--trace] [--csv]\n\
          \x20                [--host-threads N] [--trace-json PATH] [--metrics-json PATH]"
     );
     std::process::exit(2)
@@ -56,6 +64,8 @@ fn main() {
     let mut metrics_json: Option<String> = None;
     let mut problem_choice = heterosim::core::runner::Problem::default();
     let mut host_threads = 1usize;
+    let mut no_balance = false;
+    let mut faults: Option<heterosim::core::faults::FaultPlan> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -92,6 +102,15 @@ fn main() {
             "--fraction" => fraction = Some(value().parse().unwrap_or_else(|_| usage())),
             "--trace" => trace = true,
             "--csv" => csv = true,
+            "--no-balance" => no_balance = true,
+            "--faults" => {
+                faults = Some(
+                    heterosim::core::faults::FaultPlan::parse(&value()).unwrap_or_else(|e| {
+                        eprintln!("bad --faults spec: {e}");
+                        usage()
+                    }),
+                )
+            }
             "--host-threads" => host_threads = value().parse().unwrap_or_else(|_| usage()),
             "--trace-json" => trace_json = Some(value()),
             "--metrics-json" => metrics_json = Some(value()),
@@ -126,14 +145,29 @@ fn main() {
         trace,
         telemetry: trace_json.is_some() || metrics_json.is_some(),
         problem: problem_choice,
+        faults,
         host_threads,
     };
 
-    let (result, lb) = match run_balanced(&cfg) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("run failed: {e}");
-            std::process::exit(1);
+    // The balancer re-measures between iterations; a fault plan is
+    // keyed to specific ranks and cycles, so chaos runs use the
+    // static split (as does --no-balance).
+    let run_once = no_balance || cfg.faults.is_some();
+    let (result, lb_history) = if run_once {
+        match runner::run(&cfg) {
+            Ok(r) => (r, Vec::new()),
+            Err(e) => {
+                eprintln!("run failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        match run_balanced(&cfg) {
+            Ok((r, lb)) => (r, lb.history),
+            Err(e) => {
+                eprintln!("run failed: {e}");
+                std::process::exit(1);
+            }
         }
     };
 
@@ -176,7 +210,7 @@ fn main() {
         println!(
             "CPU share:       {:.2}% (balancer: {:?})",
             result.cpu_fraction * 100.0,
-            lb.history
+            lb_history
                 .iter()
                 .map(|f| (f * 1e4).round() / 1e4)
                 .collect::<Vec<_>>()
@@ -190,6 +224,7 @@ fn main() {
             let other_cfg = RunConfig {
                 mode: other,
                 trace: false,
+                faults: None,
                 ..cfg.clone()
             };
             if let Ok(r) = runner::run(&other_cfg) {
