@@ -19,19 +19,28 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: pure pass-through to the `System` allocator — layout and
+// pointer contracts are forwarded unchanged; the counter is a relaxed
+// atomic with no allocation of its own.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
+        // SAFETY: same contract as the caller's — `layout` is passed
+        // through to the system allocator untouched.
+        unsafe { System.alloc(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: `ptr`/`layout`/`new_size` are forwarded verbatim from
+        // the caller, which owns the allocation.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: forwarded verbatim; `ptr` was produced by this same
+        // pass-through allocator.
+        unsafe { System.dealloc(ptr, layout) }
     }
 }
 

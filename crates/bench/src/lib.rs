@@ -1,6 +1,8 @@
 //! Benchmark-harness support: figure sweep execution and terminal
 //! plotting shared by the `figures` binary and the Criterion benches.
 
+#![forbid(unsafe_code)]
+
 pub mod plot;
 pub mod sweep;
 

@@ -8,7 +8,7 @@
 //! the D2H/H2D staging legs from the halo path.
 
 use hsim_gpu::{xfer, DeviceSpec};
-use hsim_hydro::{Coupler, HydroState, NCONS};
+use hsim_hydro::{CoupleError, Coupler, HydroState, NCONS};
 use hsim_mesh::{Decomposition, Exchange, HaloPlan};
 use hsim_mpi::{Comm, Payload};
 use hsim_raja::Fidelity;
@@ -143,7 +143,11 @@ impl MpiCoupler<'_> {
 }
 
 impl Coupler for MpiCoupler<'_> {
-    fn exchange(&mut self, state: &mut HydroState, clock: &mut RankClock) {
+    fn exchange(
+        &mut self,
+        state: &mut HydroState,
+        clock: &mut RankClock,
+    ) -> Result<(), CoupleError> {
         let rank = self.comm.rank();
         let ghost = self.decomp.domains[rank].ghost;
         let exchanges: Vec<(usize, Exchange)> = self
@@ -152,7 +156,7 @@ impl Coupler for MpiCoupler<'_> {
             .map(|(i, e)| (i, e.clone()))
             .collect();
         if exchanges.is_empty() {
-            return;
+            return Ok(());
         }
         // Bring the communicator clock up to the rank's causal time.
         self.comm.clock_mut().merge(clock.now());
@@ -211,9 +215,10 @@ impl Coupler for MpiCoupler<'_> {
                     data,
                     wire_bytes: ex.bytes(ghost),
                 };
-                self.comm
-                    .send(peer, tag, msg)
-                    .expect("halo send to a live peer");
+                self.comm.send(peer, tag, msg).map_err(|e| CoupleError {
+                    op: "halo_send",
+                    detail: format!("rank {rank} -> {peer}: {e}"),
+                })?;
             }
         }
 
@@ -225,7 +230,10 @@ impl Coupler for MpiCoupler<'_> {
             for var in 0..NCONS {
                 // The peer's direction bit is the complement of ours.
                 let tag = (*idx as u32) * 16 + var as u32 * 2 + u32::from(ex.a == peer);
-                let msg: FaceMsg = self.comm.recv(peer, tag).expect("halo recv");
+                let msg: FaceMsg = self.comm.recv(peer, tag).map_err(|e| CoupleError {
+                    op: "halo_recv",
+                    detail: format!("rank {rank} <- {peer}: {e}"),
+                })?;
                 in_bytes += msg.wire_bytes;
                 if state.fidelity == Fidelity::Full {
                     let (llo, lhi) = self.to_local(rank, r_lo, r_hi);
@@ -287,16 +295,17 @@ impl Coupler for MpiCoupler<'_> {
 
         // Propagate the communicator's advanced time back.
         clock.merge(self.comm.now());
+        Ok(())
     }
 
-    fn allreduce_min(&mut self, x: f64, clock: &mut RankClock) -> f64 {
+    fn allreduce_min(&mut self, x: f64, clock: &mut RankClock) -> Result<f64, CoupleError> {
         self.comm.clock_mut().merge(clock.now());
-        let r = self
-            .comm
-            .allreduce_min(x)
-            .expect("allreduce among live ranks");
+        let r = self.comm.allreduce_min(x).map_err(|e| CoupleError {
+            op: "allreduce_min",
+            detail: e.to_string(),
+        })?;
         clock.merge(self.comm.now());
-        r
+        Ok(r)
     }
 }
 
@@ -334,7 +343,9 @@ mod tests {
                 gpu_spec: None,
                 gpu_direct: false,
             };
-            coupler.exchange(&mut state, &mut clock);
+            coupler
+                .exchange(&mut state, &mut clock)
+                .expect("exchange on a live world");
             // Rank 0 owns x ∈ [0,4): its high-x ghosts (allocated x =
             // 5) must now hold rank 1's values; mirrored for rank 1.
             let expect = ((1 - rank) * 1000) as f64;
@@ -364,7 +375,9 @@ mod tests {
                 gpu_spec: None,
                 gpu_direct: false,
             };
-            coupler.exchange(&mut state, &mut clock);
+            coupler
+                .exchange(&mut state, &mut clock)
+                .expect("exchange on a live world");
             clock.now().as_nanos()
         });
         // 16x16 face × 5 fields × 8 B ≈ 10 KB each way + latency.
@@ -397,7 +410,9 @@ mod tests {
                     gpu_spec: None,
                     gpu_direct: false,
                 };
-                coupler.exchange(&mut state, &mut clock);
+                coupler
+                    .exchange(&mut state, &mut clock)
+                    .expect("exchange on a live world");
                 hsim_faults::uninstall();
                 clock.now().as_nanos()
             })
@@ -441,7 +456,9 @@ mod tests {
                     gpu_spec: Some(DeviceSpec::tesla_k80()),
                     gpu_direct,
                 };
-                coupler.exchange(&mut state, &mut clock);
+                coupler
+                    .exchange(&mut state, &mut clock)
+                    .expect("exchange on a live world");
                 coupler.comm.clock().bucket(ChargeKind::Memory).as_nanos()
             });
             assert!(charges.iter().all(|&c| c > 0), "{charges:?}");
@@ -473,7 +490,9 @@ mod tests {
                 gpu_spec: None,
                 gpu_direct: false,
             };
-            let m = coupler.allreduce_min(1.0 + rank as f64, &mut clock);
+            let m = coupler
+                .allreduce_min(1.0 + rank as f64, &mut clock)
+                .expect("allreduce on a live world");
             (m, clock.now().as_nanos())
         });
         for (m, t) in &out {

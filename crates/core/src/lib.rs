@@ -32,6 +32,8 @@
 //!   (12–18).
 //! * [`calib`] — every tunable constant of the cost model, documented.
 
+#![forbid(unsafe_code)]
+
 pub mod balance;
 pub mod binding;
 pub mod calib;

@@ -399,7 +399,9 @@ fn run_degraded(
             setup_extra: &setup_extra,
         },
     )?;
-    let checkpoint = seg1.checkpoint.expect("segment 1 checkpoints");
+    let checkpoint = seg1
+        .checkpoint
+        .ok_or("degraded restart: segment 1 produced no checkpoint")?;
 
     // Weighted re-split over the survivors.
     let degraded = fold_lost_rank(&decomp, lost)?;
@@ -891,7 +893,7 @@ fn run_segment(
         return Err(root);
     }
 
-    let checkpoint = seg.take_checkpoint.then(|| {
+    let checkpoint = if seg.take_checkpoint {
         let mut vars: Vec<Vec<f64>> = if cfg.fidelity == Fidelity::Full {
             vec![vec![0.0; grid.zones() as usize]; hsim_hydro::NCONS]
         } else {
@@ -907,19 +909,25 @@ fn run_segment(
                             for i in 0..sub.extent(0) {
                                 let g = (sub.lo[0] + i)
                                     + grid.nx * ((sub.lo[1] + j) + grid.ny * (sub.lo[2] + k));
-                                vars[var][g] = *it.next().expect("dump sized to the owned box");
+                                vars[var][g] = *it.next().ok_or_else(|| {
+                                    format!(
+                                        "rank {rank} checkpoint dump smaller than its owned box"
+                                    )
+                                })?;
                             }
                         }
                     }
                 }
             }
         }
-        Checkpoint {
+        Some(Checkpoint {
             vars,
             t: t_end,
             cycle: cycle_end,
-        }
-    });
+        })
+    } else {
+        None
+    };
 
     Ok(SegmentOut {
         reports,

@@ -41,6 +41,8 @@
 //! injector is installed every check is a branch-and-return: fault-free
 //! runs pay nothing and change no behavior.
 
+#![forbid(unsafe_code)]
+
 use std::cell::RefCell;
 use std::sync::Arc;
 

@@ -29,6 +29,8 @@
 //!   **pool** for temporaries.
 //! * [`xfer`] — PCIe staging-cost model for host↔device copies.
 
+#![forbid(unsafe_code)]
+
 pub mod context;
 pub mod device;
 pub mod error;

@@ -33,25 +33,90 @@ use crate::state::{HydroState, NCONS, RHO};
 /// Figure 11 caption's "80 kernels").
 pub const LAUNCHES_PER_CYCLE_APPROX: u64 = 85;
 
+/// Typed error from a [`Coupler`] operation: a halo exchange or a
+/// global reduction that could not complete (dead peer, disconnected
+/// channel, transport refusal). Carries the failing operation so the
+/// runner can report which leg of the cycle died without panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoupleError {
+    /// The coupler operation that failed (`"halo_send"`, `"halo_recv"`,
+    /// `"allreduce_min"`).
+    pub op: &'static str,
+    /// Transport-level detail (the underlying error's display).
+    pub detail: String,
+}
+
+impl std::fmt::Display for CoupleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "coupler {} failed: {}", self.op, self.detail)
+    }
+}
+
+impl std::error::Error for CoupleError {}
+
+/// Error from one hydro cycle: the portability/device layer or the
+/// rank coupler. Both are recoverable by the fallible runner — neither
+/// is ever surfaced as a panic.
+#[derive(Debug)]
+pub enum CycleError {
+    /// Kernel dispatch / device-simulator failure.
+    Gpu(GpuError),
+    /// Halo-exchange or reduction failure.
+    Couple(CoupleError),
+}
+
+impl From<GpuError> for CycleError {
+    fn from(e: GpuError) -> Self {
+        CycleError::Gpu(e)
+    }
+}
+
+impl From<CoupleError> for CycleError {
+    fn from(e: CoupleError) -> Self {
+        CycleError::Couple(e)
+    }
+}
+
+impl std::fmt::Display for CycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CycleError::Gpu(e) => write!(f, "{e}"),
+            CycleError::Couple(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CycleError {}
+
 /// How a rank coordinates with its peers. The cooperative runner backs
 /// this with simulated MPI; single-domain runs use [`SoloCoupler`].
 pub trait Coupler {
     /// Exchange ghost layers of the conserved fields with neighbors
     /// (functional copy + virtual communication charge).
-    fn exchange(&mut self, state: &mut HydroState, clock: &mut RankClock);
+    fn exchange(
+        &mut self,
+        state: &mut HydroState,
+        clock: &mut RankClock,
+    ) -> Result<(), CoupleError>;
 
     /// Global minimum (the timestep reduction).
-    fn allreduce_min(&mut self, x: f64, clock: &mut RankClock) -> f64;
+    fn allreduce_min(&mut self, x: f64, clock: &mut RankClock) -> Result<f64, CoupleError>;
 }
 
 /// Coupler for a single-domain run: no neighbors, identity reduction.
 pub struct SoloCoupler;
 
 impl Coupler for SoloCoupler {
-    fn exchange(&mut self, _state: &mut HydroState, _clock: &mut RankClock) {}
+    fn exchange(
+        &mut self,
+        _state: &mut HydroState,
+        _clock: &mut RankClock,
+    ) -> Result<(), CoupleError> {
+        Ok(())
+    }
 
-    fn allreduce_min(&mut self, x: f64, _clock: &mut RankClock) -> f64 {
-        x
+    fn allreduce_min(&mut self, x: f64, _clock: &mut RankClock) -> Result<f64, CoupleError> {
+        Ok(x)
     }
 }
 
@@ -122,7 +187,7 @@ pub fn step<C: Coupler>(
     coupler: &mut C,
     cfl: f64,
     fallback_dt: f64,
-) -> Result<CycleStats, GpuError> {
+) -> Result<CycleStats, CycleError> {
     step_with(
         st,
         exec,
@@ -145,7 +210,7 @@ pub fn step_with<C: Coupler>(
     cfl: f64,
     fallback_dt: f64,
     recon: Reconstruction,
-) -> Result<CycleStats, GpuError> {
+) -> Result<CycleStats, CycleError> {
     let launches_before = exec.registry.total_launches();
     let cycle_start = clock.now();
     let do_sweep = |st: &mut HydroState,
@@ -174,24 +239,24 @@ pub fn step_with<C: Coupler>(
     phase("save", clock, |clock| save_state(st, exec, clock))?;
 
     // Stage 1 inputs: ghosts of u^n.
-    phase("halo", clock, |clock| -> Result<(), GpuError> {
+    phase("halo", clock, |clock| -> Result<(), CycleError> {
         bc::apply(st, exec, clock)?;
-        coupler.exchange(st, clock);
+        coupler.exchange(st, clock)?;
         Ok(())
     })?;
     phase("eos", clock, |clock| primitives(st, exec, clock))?;
 
     // Timestep: local CFL bound, device sync, global min.
-    let dt = phase("cfl", clock, |clock| -> Result<f64, GpuError> {
+    let dt = phase("cfl", clock, |clock| -> Result<f64, CycleError> {
         let local_dt = cfl_dt(st, exec, clock, cfl, fallback_dt)?;
         exec.sync(clock);
         Ok(coupler
-            .allreduce_min(local_dt, clock)
+            .allreduce_min(local_dt, clock)?
             .min(fallback_dt.max(1e-30)))
     })?;
 
     // Stage 1: u0 ← u^n − dt·L(u^n) = u*.
-    phase("flux", clock, |clock| -> Result<(), GpuError> {
+    phase("flux", clock, |clock| -> Result<(), CycleError> {
         do_sweep(st, exec, clock, dt)?;
         std::mem::swap(&mut st.u, &mut st.u0);
         exec.sync(clock);
@@ -200,13 +265,13 @@ pub fn step_with<C: Coupler>(
 
     // Stage 2: u0 ← ½u^n + ½u*, then u0 −= ½dt·L(u*).
     phase("combine", clock, |clock| combine(st, exec, clock))?;
-    phase("halo", clock, |clock| -> Result<(), GpuError> {
+    phase("halo", clock, |clock| -> Result<(), CycleError> {
         bc::apply(st, exec, clock)?;
-        coupler.exchange(st, clock);
+        coupler.exchange(st, clock)?;
         Ok(())
     })?;
     phase("eos", clock, |clock| primitives(st, exec, clock))?;
-    phase("flux", clock, |clock| -> Result<(), GpuError> {
+    phase("flux", clock, |clock| -> Result<(), CycleError> {
         do_sweep(st, exec, clock, 0.5 * dt)?;
         std::mem::swap(&mut st.u, &mut st.u0);
         exec.sync(clock);
@@ -236,7 +301,7 @@ pub fn run<C: Coupler>(
     cfl: f64,
     fallback_dt: f64,
     n: u64,
-) -> Result<CycleStats, GpuError> {
+) -> Result<CycleStats, CycleError> {
     let mut last = CycleStats {
         dt: 0.0,
         t: st.t,

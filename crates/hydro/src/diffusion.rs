@@ -19,7 +19,7 @@ use hsim_gpu::GpuError;
 use hsim_raja::{Executor, Fidelity};
 use hsim_time::RankClock;
 
-use crate::cycle::Coupler;
+use crate::cycle::{Coupler, CycleError};
 use crate::eos::indexer;
 use crate::kernels;
 use crate::state::{HydroState, EN, MX, MY, MZ, RHO, RHO_FLOOR};
@@ -146,7 +146,7 @@ pub fn diffuse_step<C: Coupler>(
     coupler: &mut C,
     cfg: &DiffusionConfig,
     dt_total: f64,
-) -> Result<u32, GpuError> {
+) -> Result<u32, CycleError> {
     if cfg.kappa <= 0.0 || dt_total <= 0.0 {
         return Ok(0);
     }
@@ -162,7 +162,7 @@ pub fn diffuse_step<C: Coupler>(
     let dt = dt_total / n as f64;
     for _ in 0..n {
         crate::bc::apply(st, exec, clock)?;
-        coupler.exchange(st, clock);
+        coupler.exchange(st, clock)?;
         substep(st, exec, clock, cfg.kappa, dt)?;
     }
     exec.sync(clock);

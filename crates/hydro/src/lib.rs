@@ -24,6 +24,8 @@
 //! and are skipped under `CostOnly` (large sweeps) — virtual time is
 //! identical because kernel cost depends only on sizes and shapes.
 
+#![forbid(unsafe_code)]
+
 pub mod bc;
 pub mod cycle;
 pub mod diffusion;
@@ -36,7 +38,7 @@ pub mod sod;
 pub mod state;
 pub mod workload;
 
-pub use cycle::{step, step_with, Coupler, CycleStats, SoloCoupler};
+pub use cycle::{step, step_with, CoupleError, Coupler, CycleError, CycleStats, SoloCoupler};
 pub use diffusion::{diffuse_step, diffusion_dt, DiffusionConfig};
 pub use muscl::{sweep_muscl, Reconstruction};
 pub use sedov::{sedov_shock_radius, SedovConfig};

@@ -27,6 +27,8 @@
 //! assert!(totals.iter().all(|&t| t == 6.0));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod comm;
 pub mod cost;
 pub mod error;

@@ -20,28 +20,27 @@ impl World {
         F: Fn(&mut Comm) -> R + Sync,
     {
         assert!(size > 0, "world needs at least one rank");
-        // Channel matrix: chan[src][dst].
+        // Channel matrix: chan[src][dst]. Receivers are built
+        // destination-major so each rank's endpoint owns its column
+        // outright — no placeholder slots to unwrap later.
         let mut txs: Vec<Vec<_>> = Vec::with_capacity(size);
-        let mut rxs: Vec<Vec<Option<_>>> = (0..size).map(|_| Vec::with_capacity(size)).collect();
+        let mut rx_cols: Vec<Vec<_>> = (0..size).map(|_| Vec::with_capacity(size)).collect();
         for _src in 0..size {
             let mut row = Vec::with_capacity(size);
-            for rx_row in rxs.iter_mut() {
+            for rx_col in rx_cols.iter_mut() {
                 let (tx, rx) = unbounded::<Packet>();
                 row.push(tx);
-                rx_row.push(Some(rx));
+                rx_col.push(rx);
             }
             txs.push(row);
         }
 
         // Build each rank's endpoint: senders[dst] = tx[me][dst],
-        // receivers[src] = rx side of chan[src][me].
+        // receivers[src] = rx side of chan[src][me] (column `me`,
+        // pushed in ascending src order above).
         let mut comms: Vec<Comm> = Vec::with_capacity(size);
-        for (rank, rx_row) in rxs.iter_mut().enumerate() {
+        for (rank, receivers) in rx_cols.into_iter().enumerate() {
             let senders: Vec<_> = (0..size).map(|dst| txs[rank][dst].clone()).collect();
-            let receivers: Vec<_> = rx_row
-                .iter_mut()
-                .map(|r| r.take().expect("receiver taken once"))
-                .collect();
             comms.push(Comm::new(rank, size, cost.clone(), senders, receivers));
         }
         drop(txs);
@@ -54,7 +53,10 @@ impl World {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("rank thread panicked"))
+                // Re-raise a rank's panic payload verbatim on the
+                // caller (the documented `run` contract) instead of
+                // wrapping it in a fresh expect/panic.
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
                 .collect()
         })
     }

@@ -36,6 +36,8 @@
 //!   Figure 7: ARES-level execution-policy intents mapped to an
 //!   architecture-appropriate backend at runtime.
 //! * [`registry`] — per-kernel launch statistics.
+//! * [`sched_model`] — exhaustive schedule model-checking of the
+//!   pool's handoff protocol (a mini-loom over a small-step model).
 
 pub mod cpu;
 pub mod dispatch;
@@ -44,6 +46,7 @@ pub mod indexset;
 pub mod multipolicy;
 pub mod pool;
 pub mod registry;
+pub mod sched_model;
 pub mod simgpu;
 
 pub use cpu::CpuModel;

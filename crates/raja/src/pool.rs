@@ -41,15 +41,22 @@ thread_local! {
 /// Lifetime-erased borrowed closure: `call(data, b, e)` invokes the
 /// original `Fn(usize, usize)` for `[b, e)`.
 ///
-/// Safety: the pointee must outlive every call. [`WorkPool::for_chunks`]
+/// SAFETY: the pointee must outlive every call. [`WorkPool::for_chunks`]
 /// upholds this by blocking until all workers have left the job before
 /// the borrowed body goes out of scope.
 struct RawBody {
     data: *const (),
+    /// SAFETY: callers must pass a `data` pointer to the live closure
+    /// this thunk was instantiated for.
     call: unsafe fn(*const (), usize, usize),
 }
 
+// SAFETY: `RawBody` is only a pointer-and-thunk pair; the pointee is a
+// `Fn(usize, usize) + Send + Sync` closure (enforced by the only
+// constructor site in `try_for_chunks`), so sharing and sending the
+// pointer across worker threads is sound.
 unsafe impl Send for RawBody {}
+// SAFETY: see the `Send` impl above — the pointee is `Sync`.
 unsafe impl Sync for RawBody {}
 
 /// The unit of work handed to workers for one parallel region.
@@ -170,8 +177,12 @@ impl WorkPool {
         let chunk = chunk.max(1);
         let host_t0 = (count_host && hsim_telemetry::is_enabled()).then(std::time::Instant::now);
 
+        /// SAFETY: `data` must point to a live `F`.
         unsafe fn call_thunk<F: Fn(usize, usize)>(data: *const (), b: usize, e: usize) {
-            (*data.cast::<F>())(b, e)
+            // SAFETY: the caller contract guarantees `data` points to a
+            // live `F`; the region handoff keeps the borrow alive until
+            // every worker has exited the body.
+            unsafe { (*data.cast::<F>())(b, e) }
         }
         let job = Arc::new(Job {
             body: RawBody {
@@ -276,7 +287,9 @@ impl WorkPool {
             for i in b..e {
                 acc += body(i);
             }
-            // Each chunk owns exactly one slot index.
+            // SAFETY: each chunk owns exactly one slot index (the
+            // atomic cursor hands out disjoint chunks), and the slots
+            // are only read after the region completes.
             unsafe { slots_ref.set((b - begin) / chunk, acc) };
         });
         slots.into_values().into_iter().sum()
@@ -299,6 +312,8 @@ impl WorkPool {
             for i in b..e {
                 acc = acc.min(body(i));
             }
+            // SAFETY: as in `sum` — one writer per slot, read only
+            // after the region's completion handoff.
             unsafe { slots_ref.set((b - begin) / chunk, acc) };
         });
         slots
@@ -317,6 +332,9 @@ struct ChunkSlots {
     slots: Box<[UnsafeCell<f64>]>,
 }
 
+// SAFETY: each `UnsafeCell` slot is written by at most one thread (the
+// chunk that owns it) and read only after the region's acquire/release
+// completion handoff, so shared references never race.
 unsafe impl Sync for ChunkSlots {}
 
 impl ChunkSlots {
@@ -326,10 +344,12 @@ impl ChunkSlots {
         }
     }
 
-    /// Safety: each index must be written from at most one chunk, and
+    /// SAFETY: each index must be written from at most one chunk, and
     /// reads must happen only after the region completes.
     unsafe fn set(&self, i: usize, v: f64) {
-        *self.slots[i].get() = v;
+        // SAFETY: exclusive access per the function contract — no other
+        // thread writes slot `i`, and no reads overlap the region.
+        unsafe { *self.slots[i].get() = v };
     }
 
     fn into_values(self) -> Vec<f64> {
@@ -366,6 +386,9 @@ fn run_job(job: &Job) {
             break;
         }
         let e = (b + job.chunk).min(job.end);
+        // SAFETY: `job.body.data` points to the coordinator's borrowed
+        // closure, which stays alive until `remaining` drains to zero —
+        // and this thread has not decremented yet.
         let r = panic::catch_unwind(AssertUnwindSafe(|| unsafe {
             (job.body.call)(job.body.data, b, e)
         }));

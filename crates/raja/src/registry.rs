@@ -4,7 +4,7 @@
 //! hydrodynamics calculation with 80 kernels") and to feed the load
 //! balancer's measured view of where time goes.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hsim_time::{SimDuration, Welford};
 
@@ -20,7 +20,7 @@ pub struct KernelStats {
 /// Registry of all kernels a rank has launched.
 #[derive(Debug, Default)]
 pub struct KernelRegistry {
-    stats: HashMap<&'static str, KernelStats>,
+    stats: BTreeMap<&'static str, KernelStats>,
 }
 
 impl KernelRegistry {
@@ -57,7 +57,9 @@ impl KernelRegistry {
         self.stats.values().map(|s| s.launches).sum()
     }
 
-    /// Stats sorted by launch count (descending), then name.
+    /// Stats sorted by launch count (descending), then name. The
+    /// backing `BTreeMap` already iterates in name order, so the sort
+    /// is a stable reorder with a deterministic tie-break built in.
     pub fn report(&self) -> Vec<KernelStats> {
         let mut v: Vec<KernelStats> = self.stats.values().cloned().collect();
         v.sort_by(|a, b| b.launches.cmp(&a.launches).then(a.name.cmp(b.name)));

@@ -20,6 +20,8 @@
 //! * [`rng`] — a SplitMix64 generator for deterministic workload
 //!   perturbations without external dependencies.
 
+#![forbid(unsafe_code)]
+
 pub mod clock;
 pub mod rng;
 pub mod stats;

@@ -1,6 +1,6 @@
 //! Per-kernel profiler keyed by the `hsim-raja` kernel-registry names.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hsim_time::{SimDuration, Welford};
 
@@ -70,7 +70,7 @@ impl KernelProfile {
 /// The profiler: one [`KernelProfile`] per kernel name.
 #[derive(Debug, Clone, Default)]
 pub struct KernelProfiles {
-    map: HashMap<&'static str, KernelProfile>,
+    map: BTreeMap<&'static str, KernelProfile>,
 }
 
 impl KernelProfiles {
@@ -134,11 +134,10 @@ impl KernelProfiles {
         }
     }
 
-    /// Profiles sorted by name — the deterministic export order.
+    /// Profiles sorted by name — the deterministic export order
+    /// (free: the backing map is a `BTreeMap` keyed by name).
     pub fn sorted(&self) -> Vec<&KernelProfile> {
-        let mut v: Vec<&KernelProfile> = self.map.values().collect();
-        v.sort_by_key(|p| p.name);
-        v
+        self.map.values().collect()
     }
 
     /// Deterministic JSON array fragment.

@@ -1,0 +1,52 @@
+//! `hsim-tidy` — run the workspace invariant linter.
+//!
+//! Usage:
+//!   cargo run -p hsim-tidy              # scan the workspace root
+//!   cargo run -p hsim-tidy -- <path>    # scan an arbitrary tree
+//!   cargo run -p hsim-tidy -- --list    # print the lint registry
+//!
+//! Exit status is non-zero when any violation is found, so CI can use
+//! it as a blocking gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--list") {
+        for (name, desc) in hsim_tidy::lints::LINTS {
+            println!("{name:18} {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match args.first() {
+        Some(p) => PathBuf::from(p),
+        // The binary lives at crates/tidy; the workspace root is two up.
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    };
+    let root = root.canonicalize().unwrap_or(root);
+
+    let report = match hsim_tidy::check_dir(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tidy: cannot scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for v in &report.violations {
+        println!("{v}");
+    }
+    eprintln!(
+        "tidy: {} files scanned, {} violation(s)",
+        report.files_scanned,
+        report.violations.len()
+    );
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,5 @@
+// tidy-allow: wall-clock
+// tidy-allow: no-such-lint -- misspelled lint name
+// tidy-allow: stray-thread -- nothing on this line needs it
+
+pub fn noop() {}

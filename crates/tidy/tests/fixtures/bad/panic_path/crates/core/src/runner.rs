@@ -1,0 +1,7 @@
+pub fn restart(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn fail() {
+    panic!("boom");
+}

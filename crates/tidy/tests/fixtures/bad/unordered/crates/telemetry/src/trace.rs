@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+pub fn emit(rows: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in rows {
+        out.push_str(&format!("{k},{v}\n"));
+    }
+    out
+}

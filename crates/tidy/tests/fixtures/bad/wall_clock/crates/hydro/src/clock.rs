@@ -1,0 +1,5 @@
+use std::time::Instant;
+
+pub fn now_ms() -> u128 {
+    Instant::now().elapsed().as_millis()
+}

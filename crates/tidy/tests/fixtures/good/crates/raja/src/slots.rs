@@ -1,0 +1,13 @@
+use std::cell::UnsafeCell;
+
+pub struct Slot(UnsafeCell<u64>);
+
+// SAFETY: the pool's claim protocol guarantees a single writer per slot.
+unsafe impl Sync for Slot {}
+
+impl Slot {
+    pub fn set(&self, v: u64) {
+        // SAFETY: the caller holds the unique claim on this slot.
+        unsafe { *self.0.get() = v };
+    }
+}

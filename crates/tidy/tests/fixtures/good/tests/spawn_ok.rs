@@ -1,0 +1,7 @@
+use std::thread;
+
+#[test]
+fn spawn_in_test_targets_is_exempt() {
+    let h = thread::spawn(|| 2 + 2);
+    assert_eq!(h.join().unwrap(), 4);
+}
