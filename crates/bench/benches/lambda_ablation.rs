@@ -23,6 +23,7 @@ fn cfg_with(node: NodeConfig) -> RunConfig {
         problem: Default::default(),
         faults: None,
         host_threads: 1,
+        tile: None,
     }
 }
 

@@ -23,6 +23,7 @@ fn cfg(node: NodeConfig, mode: ExecMode) -> RunConfig {
         problem: Default::default(),
         faults: None,
         host_threads: 1,
+        tile: None,
     }
 }
 

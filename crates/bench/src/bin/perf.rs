@@ -13,6 +13,15 @@
 //! 0.9. Single-core runners can only bound the fan-out *overhead*, so
 //! there the speedup floor relaxes to 0.5.
 //!
+//! Schema v2 adds a `kernels` block: fused cache-blocked hydro sweeps
+//! vs the legacy per-pass kernels, in million zones per wall-clock
+//! second, for each tile candidate plus a whole-plane "tile" that
+//! ablates the cache blocking. The gate enforces machine-independent
+//! *ratio* floors (fused must beat legacy at every cache-blocked tile,
+//! and the best blocked tile must clear [`BEST_KERNEL_RATIO_FLOOR`]),
+//! requires fused output to be bitwise-identical to legacy, and
+//! rejects results files whose `schema_version` it does not recognize.
+//!
 //! Everything else in this repo measures *virtual* time — the cost
 //! model's simulated seconds, which are deterministic and identical
 //! on every machine. This harness is the one place that measures
@@ -33,9 +42,27 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use hsim_bench::{paper_modes, run_figure_jobs, FigureData};
+use hsim_core::calib::TILE_CANDIDATES;
 use hsim_core::figures::{self, FigureSpec};
-use hsim_raja::WorkPool;
+use hsim_hydro::{eos, flux, fused, HydroState};
+use hsim_raja::{CpuModel, Executor, Fidelity, Target, WorkPool};
 use hsim_telemetry::{Collector, Counter};
+use hsim_time::RankClock;
+
+/// The results-file schema this binary writes and the only one the
+/// gate accepts. Bump when the JSON layout changes and regenerate
+/// `ci/perf-baseline.json`.
+const SCHEMA_VERSION: u32 = 2;
+
+/// Gate floor on the *best* cache-blocked tile's fused:legacy
+/// throughput ratio. Fusing primitive recovery, wavespeeds, fluxes and
+/// updates into one tile-local traversal removes whole-array passes,
+/// so the win is machine-independent; 1.3× is the tentpole's target.
+const BEST_KERNEL_RATIO_FLOOR: f64 = 1.3;
+
+/// Gate floor on every individual cache-blocked tile: fused must at
+/// least match the legacy per-pass kernels it replaces.
+const KERNEL_RATIO_FLOOR: f64 = 1.0;
 
 /// One sweep's serial-vs-parallel wall-clock comparison.
 struct SweepResult {
@@ -44,6 +71,13 @@ struct SweepResult {
     serial_s: f64,
     parallel_s: f64,
     skipped: usize,
+}
+
+/// One tile shape's fused-vs-legacy kernel throughput comparison.
+struct KernelResult {
+    tile: String,
+    blocked: bool,
+    fused_mzps: f64,
 }
 
 /// A small custom sweep so `--quick` finishes in seconds anywhere.
@@ -88,6 +122,121 @@ fn assert_identical(serial: &FigureData, parallel: &FigureData, id: &str) {
         parallel.to_markdown(),
         "{id}: parallel sweep changed the markdown output"
     );
+}
+
+/// Timestep for the kernel bench: small enough that repeated sweeps
+/// on the hot-spot state stay far from the CFL bound.
+const KERNEL_DT: f64 = 1e-5;
+
+/// The kernel bench for one `--quick`/full configuration: legacy
+/// per-pass throughput once (it has no tile knob), fused throughput
+/// per tile shape.
+struct KernelBench {
+    grid_n: usize,
+    reps: usize,
+    legacy_mzps: f64,
+    tiles: Vec<KernelResult>,
+}
+
+/// A deterministic full-fidelity state with a hot central zone, so the
+/// benched sweeps move real (non-zero) fluxes through the cache.
+fn kernel_state(n: usize) -> HydroState {
+    let grid = hsim_mesh::GlobalGrid::new(n, n, n);
+    let sub = hsim_mesh::Subdomain::new([0, 0, 0], [n, n, n], 1);
+    let mut st = HydroState::new(grid, sub, Fidelity::Full);
+    st.init_ambient(1.0, 0.4);
+    let c = n / 2 + 1; // allocated index of a central owned zone
+    st.u.set(hsim_hydro::state::EN, c, c, c, 50.0);
+    st
+}
+
+/// Time `reps` fused (primitive recovery + first-order sweep)
+/// iterations on a fresh state; returns throughput in million zones
+/// per wall-clock second plus the final state for the identity check.
+fn run_fused_kernels(n: usize, tile: [usize; 2], reps: usize) -> (f64, HydroState) {
+    let mut st = kernel_state(n);
+    st.tile = tile;
+    let mut exec = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::Full);
+    let mut clock = RankClock::new(0);
+    // One warm-up rep keeps first-touch and allocator effects out of
+    // the timed region; the legacy run mirrors it, so the end states
+    // stay comparable bit for bit.
+    fused::primitives(&mut st, &mut exec, &mut clock).expect("fused primitives");
+    fused::sweep(&mut st, &mut exec, &mut clock, KERNEL_DT).expect("fused sweep");
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        fused::primitives(&mut st, &mut exec, &mut clock).expect("fused primitives");
+        fused::sweep(&mut st, &mut exec, &mut clock, KERNEL_DT).expect("fused sweep");
+    }
+    let mzps = (n * n * n * reps) as f64 / t0.elapsed().as_secs_f64() / 1e6;
+    (mzps, st)
+}
+
+/// Same workload through the legacy per-pass kernels (one whole-array
+/// traversal per logical kernel), the reference the fused path fuses.
+fn run_legacy_kernels(n: usize, reps: usize) -> (f64, HydroState) {
+    let mut st = kernel_state(n);
+    let mut exec = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::Full);
+    let mut clock = RankClock::new(0);
+    eos::primitives(&mut st, &mut exec, &mut clock).expect("legacy primitives");
+    flux::sweep(&mut st, &mut exec, &mut clock, KERNEL_DT).expect("legacy sweep");
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        eos::primitives(&mut st, &mut exec, &mut clock).expect("legacy primitives");
+        flux::sweep(&mut st, &mut exec, &mut clock, KERNEL_DT).expect("legacy sweep");
+    }
+    let mzps = (n * n * n * reps) as f64 / t0.elapsed().as_secs_f64() / 1e6;
+    (mzps, st)
+}
+
+/// The fused path exists to move throughput, never bytes: every tile
+/// shape must reproduce the legacy per-pass kernels bit for bit.
+fn assert_kernels_identical(fused: &HydroState, legacy: &HydroState, label: &str) {
+    let same = |a: &[f64], b: &[f64]| a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits());
+    assert!(
+        same(fused.u.slab(), legacy.u.slab()),
+        "kernel tile {label}: fused conserved state diverged from legacy"
+    );
+    assert!(
+        same(fused.prim.slab(), legacy.prim.slab()),
+        "kernel tile {label}: fused primitives diverged from legacy"
+    );
+}
+
+/// Fused-vs-legacy throughput for every tile candidate plus a
+/// whole-plane tile that keeps the fusion but ablates the blocking.
+fn bench_kernels(quick: bool) -> KernelBench {
+    let (n, reps) = if quick { (40, 2) } else { (56, 3) };
+    eprintln!("kernel bench: legacy per-pass, {reps} reps on {n}^3...");
+    let (legacy_mzps, legacy_st) = run_legacy_kernels(n, reps);
+    let whole = [n + 2, n + 2];
+    let mut tiles = Vec::new();
+    for tile in TILE_CANDIDATES
+        .iter()
+        .copied()
+        .chain(std::iter::once(whole))
+    {
+        let blocked = tile != whole;
+        let label = if blocked {
+            format!("{}x{}", tile[0], tile[1])
+        } else {
+            "whole".to_string()
+        };
+        eprintln!("kernel bench: fused tile {label}, {reps} reps on {n}^3...");
+        let (fused_mzps, fused_st) = run_fused_kernels(n, tile, reps);
+        assert_kernels_identical(&fused_st, &legacy_st, &label);
+        tiles.push(KernelResult {
+            tile: label,
+            blocked,
+            fused_mzps,
+        });
+    }
+    KernelBench {
+        grid_n: n,
+        reps,
+        legacy_mzps,
+        tiles,
+    }
 }
 
 /// Wall-clock nanoseconds per no-op parallel region on the persistent
@@ -143,12 +292,135 @@ fn sweep_pos(text: &str, id: &str) -> Option<usize> {
     text.find(&format!("\"id\": \"{id}\""))
 }
 
+/// The `(tile label, byte offset)` of every kernel entry in a results
+/// file, in file order. Entries live only in the `kernels` block, so
+/// the scan starts there.
+fn kernel_entries(text: &str) -> Vec<(String, usize)> {
+    let Some(kpos) = text.find("\"kernels\"") else {
+        return Vec::new();
+    };
+    let needle = "\"tile\": \"";
+    let mut out = Vec::new();
+    let mut at = kpos;
+    while let Some(rel) = text[at..].find(needle) {
+        let start = at + rel + needle.len();
+        let Some(len) = text[start..].find('"') else {
+            break;
+        };
+        out.push((text[start..start + len].to_string(), start));
+        at = start + len;
+    }
+    out
+}
+
+/// The line of text containing byte offset `pos`.
+fn line_at(text: &str, pos: usize) -> &str {
+    let start = text[..pos].rfind('\n').map_or(0, |i| i + 1);
+    let end = text[pos..].find('\n').map_or(text.len(), |i| pos + i);
+    &text[start..end]
+}
+
+/// Schema gate: both files must carry the `schema_version` this
+/// binary understands. Anything else — older, newer, or absent — is
+/// rejected outright, because the remaining checks would silently
+/// mis-parse an unknown layout.
+fn schema_violations(fresh: &str, baseline: &str) -> Vec<String> {
+    let mut bad = Vec::new();
+    for (role, text) in [("fresh", fresh), ("baseline", baseline)] {
+        match json_num(text, "schema_version", 0) {
+            Some(v) if v == f64::from(SCHEMA_VERSION) => {}
+            Some(v) => bad.push(format!(
+                "{role} schema_version: expected {SCHEMA_VERSION}, found {v} (unrecognized; regenerate the file with this perf binary)"
+            )),
+            None => bad.push(format!(
+                "{role} schema_version: expected {SCHEMA_VERSION}, found none (unrecognized; regenerate the file with this perf binary)"
+            )),
+        }
+    }
+    bad
+}
+
+/// Kernel-throughput floors. All floors are fused:legacy *ratios*, so
+/// they hold on any hardware: the fused path must not lose to the
+/// per-pass kernels it replaced at any cache-blocked tile, and the
+/// best blocked tile must clear [`BEST_KERNEL_RATIO_FLOOR`]. The
+/// baseline's ratio for the same tile is quoted in every message so a
+/// failure reads as a diff.
+fn kernel_violations(fresh: &str, baseline: &str, bad: &mut Vec<String>, log: &mut Vec<String>) {
+    let entries = kernel_entries(fresh);
+    if entries.is_empty() {
+        bad.push("missing kernels block in fresh results".to_string());
+        return;
+    }
+    let base_ratio = |label: &str| -> String {
+        baseline
+            .find(&format!("\"tile\": \"{label}\""))
+            .and_then(|pos| json_num(baseline, "ratio", pos))
+            .map_or_else(|| "n/a".to_string(), |r| format!("{r:.3}"))
+    };
+    let mut best: Option<(String, f64)> = None;
+    for (label, pos) in &entries {
+        let line = line_at(fresh, *pos);
+        let Some(ratio) = json_num(line, "ratio", 0) else {
+            bad.push(format!("missing kernels[{label}] ratio"));
+            continue;
+        };
+        if !line.contains("\"identical_output\": true") {
+            bad.push(format!(
+                "kernels[{label}] identical_output: expected true, measured false (fused output diverged from legacy)"
+            ));
+        }
+        let blocked = line.contains("\"blocked\": true");
+        if !blocked {
+            log.push(format!(
+                "kernels[{label}] (blocking ablation) fused:legacy ratio {ratio:.3}, not gated"
+            ));
+            continue;
+        }
+        if ratio < KERNEL_RATIO_FLOOR {
+            bad.push(format!(
+                "kernels[{label}] fused:legacy ratio: floor {KERNEL_RATIO_FLOOR:.2}, baseline {}, measured {ratio:.3}",
+                base_ratio(label)
+            ));
+        } else {
+            log.push(format!(
+                "kernels[{label}] fused:legacy ratio {ratio:.3} >= floor {KERNEL_RATIO_FLOOR:.2} (baseline {})",
+                base_ratio(label)
+            ));
+        }
+        let improves = match &best {
+            Some((_, b)) => ratio > *b,
+            None => true,
+        };
+        if improves {
+            best = Some((label.clone(), ratio));
+        }
+    }
+    if let Some((label, ratio)) = best {
+        if ratio < BEST_KERNEL_RATIO_FLOOR {
+            bad.push(format!(
+                "kernels best blocked tile ({label}) fused:legacy ratio: floor {BEST_KERNEL_RATIO_FLOOR:.2}, baseline {}, measured {ratio:.3}",
+                base_ratio(&label)
+            ));
+        } else {
+            log.push(format!(
+                "kernels best blocked tile ({label}) ratio {ratio:.3} >= floor {BEST_KERNEL_RATIO_FLOOR:.2}"
+            ));
+        }
+    }
+}
+
 /// Apply the gate rules to a fresh results file against a baseline.
 /// Returns the violations (empty = pass) and the log lines explaining
 /// every check that ran.
 fn gate_violations(fresh: &str, baseline: &str) -> (Vec<String>, Vec<String>) {
-    let mut bad = Vec::new();
+    let mut bad = schema_violations(fresh, baseline);
+    if !bad.is_empty() {
+        // An unrecognized layout makes every other check meaningless.
+        return (bad, Vec::new());
+    }
     let mut log = Vec::new();
+    kernel_violations(fresh, baseline, &mut bad, &mut log);
     fn need(bad: &mut Vec<String>, what: &str, v: Option<f64>) -> f64 {
         v.unwrap_or_else(|| {
             bad.push(format!("missing {what}"));
@@ -317,6 +589,9 @@ fn main() {
         sweeps.push(measure_sweep(spec, jobs));
     }
 
+    // Fused-vs-legacy hydro kernel throughput, per tile shape.
+    let kernels = bench_kernels(quick);
+
     // Pool microbenches on the calling thread (the coordinator role
     // the runner plays), sized down in quick mode.
     let (regions, elems, reps) = if quick {
@@ -340,7 +615,7 @@ fn main() {
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema_version\": 1,");
+    let _ = writeln!(json, "  \"schema_version\": {SCHEMA_VERSION},");
     let _ = writeln!(json, "  \"host_parallelism\": {host_parallelism},");
     let _ = writeln!(json, "  \"jobs\": {jobs},");
     let _ = writeln!(json, "  \"quick\": {quick},");
@@ -356,6 +631,29 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"kernels\": {{");
+    let _ = writeln!(json, "    \"grid_n\": {},", kernels.grid_n);
+    let _ = writeln!(json, "    \"reps\": {},", kernels.reps);
+    let _ = writeln!(
+        json,
+        "    \"legacy_mzones_per_s\": {:.3},",
+        kernels.legacy_mzps
+    );
+    let _ = writeln!(json, "    \"tiles\": [");
+    for (i, k) in kernels.tiles.iter().enumerate() {
+        let comma = if i + 1 < kernels.tiles.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{\"tile\": \"{}\", \"blocked\": {}, \"fused_mzones_per_s\": {:.3}, \
+             \"ratio\": {:.3}, \"identical_output\": true}}{comma}",
+            k.tile,
+            k.blocked,
+            k.fused_mzps,
+            k.fused_mzps / kernels.legacy_mzps.max(1e-12)
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"pool\": {{");
     let _ = writeln!(json, "    \"workers\": {},", pool.parallelism());
     let _ = writeln!(json, "    \"regions_timed\": {regions},");
@@ -405,6 +703,54 @@ fn main() {
 mod tests {
     use super::*;
 
+    /// `(tile, blocked, ratio, identical_output)` rows for a fixture's
+    /// kernels block.
+    type KernelRow = (&'static str, bool, f64, bool);
+
+    const HEALTHY_KERNELS: &[KernelRow] = &[
+        ("4x4", true, 1.35, true),
+        ("8x8", true, 1.62, true),
+        ("16x16", true, 1.51, true),
+        ("whole", false, 1.08, true),
+    ];
+
+    fn kernels_block(rows: &[KernelRow]) -> String {
+        let mut out = String::from(
+            "  \"kernels\": {\n    \"grid_n\": 56,\n    \"reps\": 3,\n    \
+             \"legacy_mzones_per_s\": 10.000,\n    \"tiles\": [\n",
+        );
+        for (i, (tile, blocked, ratio, identical)) in rows.iter().enumerate() {
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "      {{\"tile\": \"{tile}\", \"blocked\": {blocked}, \
+                 \"fused_mzones_per_s\": {:.3}, \"ratio\": {ratio:.3}, \
+                 \"identical_output\": {identical}}}{comma}",
+                ratio * 10.0
+            );
+        }
+        out.push_str("    ]\n  },\n");
+        out
+    }
+
+    fn results_with(
+        schema: &str,
+        parallelism: u32,
+        speedup: f64,
+        identical: bool,
+        persistent: f64,
+        spawn: f64,
+        kernels: &[KernelRow],
+    ) -> String {
+        format!(
+            "{{\n{schema}  \"host_parallelism\": {parallelism},\n  \"sweeps\": [\n    \
+             {{\"id\": \"quick\", \"tasks\": 12, \"speedup\": {speedup:.3}, \"identical_output\": {identical}}}\n  ],\n\
+             {}  \"pool\": {{\n    \"region_ns_persistent\": {persistent:.1},\n    \
+             \"region_ns_scoped_spawn\": {spawn:.1}\n  }}\n}}\n",
+            kernels_block(kernels)
+        )
+    }
+
     fn results(
         parallelism: u32,
         speedup: f64,
@@ -412,11 +758,14 @@ mod tests {
         persistent: f64,
         spawn: f64,
     ) -> String {
-        format!(
-            "{{\n  \"host_parallelism\": {parallelism},\n  \"sweeps\": [\n    \
-             {{\"id\": \"quick\", \"tasks\": 12, \"speedup\": {speedup:.3}, \"identical_output\": {identical}}}\n  ],\n  \
-             \"pool\": {{\n    \"region_ns_persistent\": {persistent:.1},\n    \
-             \"region_ns_scoped_spawn\": {spawn:.1}\n  }}\n}}\n"
+        results_with(
+            "  \"schema_version\": 2,\n",
+            parallelism,
+            speedup,
+            identical,
+            persistent,
+            spawn,
+            HEALTHY_KERNELS,
         )
     }
 
@@ -459,8 +808,132 @@ mod tests {
         let (bad, _) = gate_violations(&results(4, 3.0, false, 10_000.0, 200_000.0), &base);
         assert_eq!(bad.len(), 1, "{bad:?}");
         assert!(bad[0].contains("diverged"));
-        let (bad, _) = gate_violations("{}", &base);
+        let schema_only = "{\n  \"schema_version\": 2\n}\n";
+        let (bad, _) = gate_violations(schema_only, &base);
         assert!(bad.iter().any(|b| b.contains("missing")), "{bad:?}");
+    }
+
+    #[test]
+    fn gate_rejects_unrecognized_schema_versions() {
+        let base = results(4, 3.1, true, 10_000.0, 200_000.0);
+        // Older, newer, and absent schema versions are all rejected
+        // before any metric check runs (the log stays empty).
+        for schema in [
+            "  \"schema_version\": 1,\n",
+            "  \"schema_version\": 3,\n",
+            "",
+        ] {
+            let fresh = results_with(schema, 4, 2.9, true, 12_000.0, 190_000.0, HEALTHY_KERNELS);
+            let (bad, log) = gate_violations(&fresh, &base);
+            assert_eq!(bad.len(), 1, "{schema:?}: {bad:?}");
+            assert!(bad[0].contains("schema_version"), "{bad:?}");
+            assert!(bad[0].contains("unrecognized"), "{bad:?}");
+            assert!(log.is_empty(), "{log:?}");
+        }
+        // A stale baseline is rejected the same way.
+        let v1_base = results_with(
+            "  \"schema_version\": 1,\n",
+            4,
+            3.1,
+            true,
+            10_000.0,
+            200_000.0,
+            HEALTHY_KERNELS,
+        );
+        let (bad, _) = gate_violations(&results(4, 2.9, true, 12_000.0, 190_000.0), &v1_base);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("baseline schema_version"), "{bad:?}");
+    }
+
+    #[test]
+    fn gate_enforces_per_tile_kernel_floor_with_diff_style_message() {
+        let base = results(4, 3.1, true, 10_000.0, 200_000.0);
+        // One blocked tile slips under 1.0: fused lost to legacy there.
+        let fresh = results_with(
+            "  \"schema_version\": 2,\n",
+            4,
+            2.9,
+            true,
+            12_000.0,
+            190_000.0,
+            &[
+                ("4x4", true, 0.93, true),
+                ("8x8", true, 1.62, true),
+                ("16x16", true, 1.51, true),
+                ("whole", false, 1.08, true),
+            ],
+        );
+        let (bad, _) = gate_violations(&fresh, &base);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        // Diff-style: the message names the metric, the floor, the
+        // baseline's value for the same tile, and what was measured.
+        assert!(bad[0].contains("kernels[4x4]"), "{bad:?}");
+        assert!(bad[0].contains("floor 1.00"), "{bad:?}");
+        assert!(bad[0].contains("baseline 1.350"), "{bad:?}");
+        assert!(bad[0].contains("measured 0.930"), "{bad:?}");
+    }
+
+    #[test]
+    fn gate_enforces_best_tile_floor_and_ignores_the_ablation() {
+        let base = results(4, 3.1, true, 10_000.0, 200_000.0);
+        // Every blocked tile beats legacy but none reaches 1.3x; the
+        // unblocked whole-plane ablation at 2.0 must not rescue it.
+        let fresh = results_with(
+            "  \"schema_version\": 2,\n",
+            4,
+            2.9,
+            true,
+            12_000.0,
+            190_000.0,
+            &[
+                ("4x4", true, 1.05, true),
+                ("8x8", true, 1.12, true),
+                ("16x16", true, 1.08, true),
+                ("whole", false, 2.00, true),
+            ],
+        );
+        let (bad, _) = gate_violations(&fresh, &base);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("best blocked tile (8x8)"), "{bad:?}");
+        assert!(bad[0].contains("floor 1.30"), "{bad:?}");
+        assert!(bad[0].contains("measured 1.120"), "{bad:?}");
+    }
+
+    #[test]
+    fn gate_fails_when_fused_kernels_diverge_or_go_missing() {
+        let base = results(4, 3.1, true, 10_000.0, 200_000.0);
+        let fresh = results_with(
+            "  \"schema_version\": 2,\n",
+            4,
+            2.9,
+            true,
+            12_000.0,
+            190_000.0,
+            &[
+                ("4x4", true, 1.35, true),
+                ("8x8", true, 1.62, false),
+                ("16x16", true, 1.51, true),
+                ("whole", false, 1.08, true),
+            ],
+        );
+        let (bad, _) = gate_violations(&fresh, &base);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("kernels[8x8] identical_output"), "{bad:?}");
+        // No kernels block at all is its own violation.
+        let fresh = results_with(
+            "  \"schema_version\": 2,\n",
+            4,
+            2.9,
+            true,
+            12_000.0,
+            190_000.0,
+            &[],
+        );
+        let (bad, _) = gate_violations(&fresh, &base);
+        assert!(
+            bad.iter().any(|b| b.contains("missing kernels block")),
+            "{bad:?}"
+        );
     }
 
     #[test]

@@ -56,6 +56,60 @@ pub const BALANCE_GAIN: f64 = 0.7;
 /// paper's observed 1–2% CPU share against a ~4% FLOPS share.
 pub const PHASE_DERATE: f64 = 0.55;
 
+/// Tile shapes tried by the [`auto_tile`] probe, smallest first.
+pub const TILE_CANDIDATES: [[usize; 2]; 3] = [[4, 4], [8, 8], [16, 16]];
+
+/// Zones per edge of the auto-tune probe grid: big enough that the
+/// fused sweep's working set exceeds L2 (so tile shape matters), small
+/// enough that the one-shot probe costs a few milliseconds.
+pub const TILE_PROBE_N: usize = 32;
+
+/// One-shot y–z tile auto-tune for the fused cache-blocked kernels:
+/// time a fused first-order sweep on a small full-fidelity grid for
+/// each of [`TILE_CANDIDATES`] and return the fastest. Cached for the
+/// process lifetime — every run in a sweep shares one probe.
+///
+/// This is deliberately a *wall-clock* measurement, not virtual time:
+/// the virtual cost model charges per logical kernel and cannot see
+/// cache effects, which are exactly what the tile knob moves. Results
+/// are bitwise-independent of the choice, so the probe can never
+/// change physics or figures — only throughput.
+pub fn auto_tile() -> [usize; 2] {
+    static TILE: std::sync::OnceLock<[usize; 2]> = std::sync::OnceLock::new();
+    *TILE.get_or_init(probe_tile)
+}
+
+fn probe_tile() -> [usize; 2] {
+    use hsim_raja::{CpuModel, Executor, Fidelity, Target};
+    let n = TILE_PROBE_N;
+    let grid = hsim_mesh::GlobalGrid::new(n, n, n);
+    let sub = hsim_mesh::Subdomain::new([0, 0, 0], [n, n, n], 1);
+    let mut st = hsim_hydro::HydroState::new(grid, sub, Fidelity::Full);
+    st.init_ambient(1.0, 0.4);
+    let mut exec = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::Full);
+    let mut clock = hsim_time::RankClock::new(0);
+    hsim_hydro::fused::primitives(&mut st, &mut exec, &mut clock).expect("probe primitives");
+    let mut best = TILE_CANDIDATES[0];
+    let mut best_ns = u128::MAX;
+    for tile in TILE_CANDIDATES {
+        st.tile = tile;
+        // Warm-up rep so first-touch and allocator effects don't bias
+        // the first candidate.
+        hsim_hydro::fused::sweep(&mut st, &mut exec, &mut clock, 1e-6).expect("probe sweep");
+        // tidy-allow: wall-clock -- the tile probe measures real cache behavior by design
+        let t0 = std::time::Instant::now();
+        for _ in 0..2 {
+            hsim_hydro::fused::sweep(&mut st, &mut exec, &mut clock, 1e-6).expect("probe sweep");
+        }
+        let ns = t0.elapsed().as_nanos();
+        if ns < best_ns {
+            best_ns = ns;
+            best = tile;
+        }
+    }
+    best
+}
+
 /// Load-balancer iteration cap for `run_balanced`.
 pub const BALANCE_MAX_ITERS: usize = 6;
 
@@ -79,6 +133,13 @@ mod tests {
     fn sixteen_rank_modes_never_kink_in_the_sweeps() {
         // Largest sweep in the paper ≈ 5e7 zones.
         assert!(16.0 * HOST_ZONES_PER_CORE > 5.5e7);
+    }
+
+    #[test]
+    fn auto_tile_returns_a_candidate_and_is_stable() {
+        let t = auto_tile();
+        assert!(TILE_CANDIDATES.contains(&t), "probe picked {t:?}");
+        assert_eq!(t, auto_tile(), "probe result is cached");
     }
 
     #[test]

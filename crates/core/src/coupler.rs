@@ -207,7 +207,7 @@ impl Coupler for MpiCoupler<'_> {
                 let tag = (*idx as u32) * 16 + var as u32 * 2 + u32::from(ex.a == rank);
                 let data = if state.fidelity == Fidelity::Full {
                     let (llo, lhi) = self.to_local(rank, s_lo, s_hi);
-                    state.u[var].pack_box(llo, lhi)
+                    state.u.pack_box(var, llo, lhi)
                 } else {
                     Vec::new()
                 };
@@ -237,7 +237,7 @@ impl Coupler for MpiCoupler<'_> {
                 in_bytes += msg.wire_bytes;
                 if state.fidelity == Fidelity::Full {
                     let (llo, lhi) = self.to_local(rank, r_lo, r_hi);
-                    state.u[var].unpack_box(llo, lhi, &msg.data);
+                    state.u.unpack_box(var, llo, lhi, &msg.data);
                 }
             }
         }
@@ -333,7 +333,7 @@ mod tests {
             let mut state = HydroState::new(grid, sub, Fidelity::Full);
             // Tag every owned zone of every field with rank*1000 + var.
             for var in 0..NCONS {
-                state.u[var].fill_owned((rank * 1000 + var) as f64);
+                state.u.fill_owned(var, (rank * 1000 + var) as f64);
             }
             let mut clock = RankClock::new(rank);
             let mut coupler = MpiCoupler {
@@ -349,10 +349,10 @@ mod tests {
             // Rank 0 owns x ∈ [0,4): its high-x ghosts (allocated x =
             // 5) must now hold rank 1's values; mirrored for rank 1.
             let expect = ((1 - rank) * 1000) as f64;
-            let f = &state.u[0];
+            let f = &state.u;
             let gx = if rank == 0 { 5 } else { 0 };
             let idx = f.idx(gx, 2, 2);
-            (f.data()[idx] - expect).abs() < 1e-12
+            (f.var(0)[idx] - expect).abs() < 1e-12
         });
         assert!(ok.iter().all(|&b| b), "{ok:?}");
     }
@@ -552,7 +552,7 @@ mod tests {
                     for i in 0..sub.extent(0) {
                         out.push((
                             [i + sub.lo[0], j + sub.lo[1], k + sub.lo[2]],
-                            st.u[0].get(i, j, k),
+                            st.u.get(0, i, j, k),
                         ));
                     }
                 }
@@ -562,7 +562,7 @@ mod tests {
         let mut checked = 0;
         for piece in pieces {
             for ([i, j, k], rho) in piece {
-                let reference = solo_rho.u[0].get(i, j, k);
+                let reference = solo_rho.u.get(0, i, j, k);
                 assert_eq!(
                     rho.to_bits(),
                     reference.to_bits(),

@@ -106,6 +106,11 @@ pub struct RunConfig {
     /// persistent workers and virtual time is charged by the OpenMP
     /// cost model at this width.
     pub host_threads: usize,
+    /// y–z tile shape for the fused cache-blocked hydro kernels
+    /// (`None` = pick via the one-shot [`calib::auto_tile`] probe).
+    /// Results are bitwise-independent of the tile shape; this only
+    /// moves wall-clock throughput.
+    pub tile: Option<[usize; 2]>,
 }
 
 impl RunConfig {
@@ -126,6 +131,7 @@ impl RunConfig {
             problem: Problem::default(),
             faults: None,
             host_threads: 1,
+            tile: None,
         }
     }
 
@@ -690,6 +696,7 @@ fn run_segment(
                     cfg_ref.multipolicy_threshold,
                 ));
             let mut state = HydroState::new(grid, sub, cfg_ref.fidelity);
+            state.tile = cfg_ref.tile.unwrap_or_else(calib::auto_tile);
             cfg_ref.problem.init(&mut state);
             // Degraded restart: unpack this rank's owned box from the
             // host-staged checkpoint (ghosts refill on the first
@@ -704,7 +711,7 @@ fn run_segment(
                                 for i in 0..sub.extent(0) {
                                     let g = (sub.lo[0] + i)
                                         + grid.nx * ((sub.lo[1] + j) + grid.ny * (sub.lo[2] + k));
-                                    state.u[var].set(i, j, k, global[g]);
+                                    state.u.set(var, i, j, k, global[g]);
                                 }
                             }
                         }
@@ -800,15 +807,13 @@ fn run_segment(
             // the host (data only matters in full fidelity).
             let dump = if seg_ref.take_checkpoint && cfg_ref.fidelity == Fidelity::Full {
                 Some(
-                    state
-                        .u
-                        .iter()
-                        .map(|f| {
+                    (0..hsim_hydro::NCONS)
+                        .map(|var| {
                             let mut v = Vec::with_capacity(sub.zones() as usize);
                             for k in 0..sub.extent(2) {
                                 for j in 0..sub.extent(1) {
                                     for i in 0..sub.extent(0) {
-                                        v.push(f.get(i, j, k));
+                                        v.push(state.u.get(var, i, j, k));
                                     }
                                 }
                             }

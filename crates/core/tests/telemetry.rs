@@ -20,6 +20,7 @@ fn telemetry_cfg() -> RunConfig {
         problem: runner::Problem::default(),
         faults: None,
         host_threads: 1,
+        tile: None,
     }
 }
 

@@ -43,7 +43,7 @@ pub fn apply(
                 // through the shared work pool.
                 exec.forall_par(clock, &kernels::BOUNDARY, face_elems, inner, |_| {})?;
                 if exec.fidelity == Fidelity::Full {
-                    state.u[var].reflect_into_ghost(axis, side, sign);
+                    state.u.reflect_into_ghost(var, axis, side, sign);
                 }
             }
         }
@@ -69,16 +69,16 @@ mod tests {
     #[test]
     fn ghosts_mirror_density_and_flip_normal_momentum() {
         let (mut state, mut exec, mut clock) = setup();
-        state.u[RHO].fill_owned(2.0);
-        state.u[MX].fill_owned(0.7);
-        state.u[MY].fill_owned(0.5);
-        state.u[EN].fill_owned(1.0 / (GAMMA - 1.0));
+        state.u.fill_owned(RHO, 2.0);
+        state.u.fill_owned(MX, 0.7);
+        state.u.fill_owned(MY, 0.5);
+        state.u.fill_owned(EN, 1.0 / (GAMMA - 1.0));
         apply(&mut state, &mut exec, &mut clock).unwrap();
         // Low-x ghost of a central (j,k): allocated (0, j+1, k+1).
-        let idx = state.u[RHO].idx(0, 2, 2);
-        assert_eq!(state.u[RHO].data()[idx], 2.0);
-        assert_eq!(state.u[MX].data()[idx], -0.7, "normal momentum flips");
-        assert_eq!(state.u[MY].data()[idx], 0.5, "transverse momentum copies");
+        let idx = state.u.idx(0, 2, 2);
+        assert_eq!(state.u.var(RHO)[idx], 2.0);
+        assert_eq!(state.u.var(MX)[idx], -0.7, "normal momentum flips");
+        assert_eq!(state.u.var(MY)[idx], 0.5, "transverse momentum copies");
     }
 
     #[test]

@@ -22,7 +22,7 @@ use hsim_time::RankClock;
 use crate::cycle::{Coupler, CycleError};
 use crate::eos::indexer;
 use crate::kernels;
-use crate::state::{HydroState, EN, MX, MY, MZ, RHO, RHO_FLOOR};
+use crate::state::{HydroState, EN, MX, MY, MZ, PR, RHO, RHO_FLOOR};
 
 /// Diffusion package parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,15 +56,15 @@ fn internal_energy(
     clock: &mut RankClock,
 ) -> Result<(), GpuError> {
     let ext = st.ext_all();
-    let dims = st.u[RHO].dims();
+    let dims = st.u.dims();
     let at = indexer(dims);
-    let (u, p_f) = (&st.u, &mut st.p);
-    let rho = u[RHO].data();
-    let mx = u[MX].data();
-    let my = u[MY].data();
-    let mz = u[MZ].data();
-    let en = u[EN].data();
-    let eint = p_f.data_mut();
+    let (u, prim) = (&st.u, &mut st.prim);
+    let rho = u.var(RHO);
+    let mx = u.var(MX);
+    let my = u.var(MY);
+    let mz = u.var(MZ);
+    let en = u.var(EN);
+    let eint = prim.var_mut(PR);
     let at = &at;
     exec.forall3(clock, &kernels::DIFF_EINT, ext, |i, j, k| {
         let idx = at(i, j, k);
@@ -85,15 +85,15 @@ fn substep(
     internal_energy(st, exec, clock)?;
     let h = st.dx();
     let g = st.sub.ghost;
-    let dims = st.u[RHO].dims();
+    let dims = st.u.dims();
     let at = indexer(dims);
     for axis in 0..3 {
         let fd = st.face_dims(axis);
         let fat = indexer(fd);
         // Face flux: F = −κ (e_R − e_L)/h.
         {
-            let (p_f, fx) = (&st.p, &mut st.flux);
-            let eint = p_f.data();
+            let (prim, fx) = (&st.prim, &mut st.flux);
+            let eint = prim.var(PR);
             let fx = &mut fx[..];
             let at = &at;
             let fat = &fat;
@@ -119,7 +119,7 @@ fn substep(
         {
             let ext = st.ext();
             let (u, fx) = (&mut st.u, &st.flux);
-            let en = u[EN].data_mut();
+            let en = u.var_mut(EN);
             let fx = &fx[..];
             let at = &at;
             let fat = &fat;
@@ -197,7 +197,7 @@ mod tests {
         for k in 0..n {
             for j in 0..n {
                 for i in 0..n {
-                    let de = st.u[EN].get(i, j, k) - background;
+                    let de = st.u.get(EN, i, j, k) - background;
                     let x = (i as f64 + 0.5) * h - cx;
                     m0 += de;
                     m2 += de * x * x;
@@ -231,7 +231,7 @@ mod tests {
         )
         .unwrap();
         assert!(((st.total_energy() - e0) / e0).abs() < 1e-12);
-        let v = st.u[EN].get(3, 3, 3);
+        let v = st.u.get(EN, 3, 3, 3);
         assert!((v - 0.4 / (GAMMA - 1.0)).abs() < 1e-12);
     }
 
@@ -240,9 +240,9 @@ mod tests {
         let (mut st, mut exec, mut clock) = setup(16);
         let background = 0.4 / (GAMMA - 1.0);
         // A hot zone at the center.
-        st.u[EN].set(8, 8, 8, background + 10.0);
+        st.u.set(EN, 8, 8, 8, background + 10.0);
         let e0 = st.total_energy();
-        let peak0 = st.u[EN].get(8, 8, 8);
+        let peak0 = st.u.get(EN, 8, 8, 8);
         let mut solo = SoloCoupler;
         let steps = diffuse_step(
             &mut st,
@@ -254,10 +254,10 @@ mod tests {
         )
         .unwrap();
         assert!(steps >= 1);
-        let peak1 = st.u[EN].get(8, 8, 8);
+        let peak1 = st.u.get(EN, 8, 8, 8);
         assert!(peak1 < peak0, "peak must decay: {peak0} → {peak1}");
         // Neighbors warmed up.
-        assert!(st.u[EN].get(7, 8, 8) > background + 1e-6);
+        assert!(st.u.get(EN, 7, 8, 8) > background + 1e-6);
         // Total energy conserved (zero-flux walls).
         assert!(((st.total_energy() - e0) / e0).abs() < 1e-10);
     }
@@ -268,7 +268,7 @@ mod tests {
         // moment grows as σ²(t) = σ²(0) + 2κt per axis.
         let (mut st, mut exec, mut clock) = setup(24);
         let background = 0.4 / (GAMMA - 1.0);
-        st.u[EN].set(12, 12, 12, background + 50.0);
+        st.u.set(EN, 12, 12, 12, background + 50.0);
         let kappa = 1.5e-3;
         let mut solo = SoloCoupler;
         let s0 = second_moment_x(&st, background);

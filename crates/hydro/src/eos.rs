@@ -3,13 +3,18 @@
 //! Primitives are computed over the *allocated* region (owned +
 //! ghosts) so the flux kernels can evaluate both sides of boundary
 //! faces after a halo exchange / boundary fill.
+//!
+//! This is the legacy per-pass path (one kernel per primitive),
+//! retained as the reference implementation for tests and the perf
+//! harness; the production cycle uses the fused tiled equivalent in
+//! [`crate::fused`], which is bitwise-identical.
 
 use hsim_gpu::GpuError;
 use hsim_raja::Executor;
 use hsim_time::RankClock;
 
 use crate::kernels;
-use crate::state::{HydroState, EN, GAMMA, MX, MY, MZ, P_FLOOR, RHO, RHO_FLOOR};
+use crate::state::{HydroState, CS, EN, GAMMA, MX, MY, MZ, P_FLOOR, RHO, RHO_FLOOR, VX, VY, VZ};
 
 /// Linear indexer for a dims-shaped array.
 #[inline]
@@ -25,20 +30,17 @@ pub fn primitives(
     clock: &mut RankClock,
 ) -> Result<(), GpuError> {
     let ext = state.ext_all();
-    let dims = state.u[RHO].dims();
+    let dims = state.u.dims();
     let at = indexer(dims);
 
     // Velocity: v_a = m_a / ρ (with a floor on ρ).
     {
-        let (u, vel) = (&state.u, &mut state.vel);
-        let rho = u[RHO].data();
-        let mx = u[MX].data();
-        let my = u[MY].data();
-        let mz = u[MZ].data();
-        let [vx_f, vy_f, vz_f] = vel;
-        let vx = vx_f.data_mut();
-        let vy = vy_f.data_mut();
-        let vz = vz_f.data_mut();
+        let (u, prim) = (&state.u, &mut state.prim);
+        let rho = u.var(RHO);
+        let mx = u.var(MX);
+        let my = u.var(MY);
+        let mz = u.var(MZ);
+        let [vx, vy, vz, _p, _cs] = prim.vars_mut();
         let at = &at;
         exec.forall3(clock, &kernels::VELOCITY, ext, |i, j, k| {
             let idx = at(i, j, k);
@@ -51,13 +53,11 @@ pub fn primitives(
 
     // Pressure: p = (γ−1)(E − ½ρ|v|²), floored.
     {
-        let (u, vel, p_f) = (&state.u, &state.vel, &mut state.p);
-        let rho = u[RHO].data();
-        let en = u[EN].data();
-        let vx = vel[0].data();
-        let vy = vel[1].data();
-        let vz = vel[2].data();
-        let p = p_f.data_mut();
+        let (u, prim) = (&state.u, &mut state.prim);
+        let rho = u.var(RHO);
+        let en = u.var(EN);
+        let [vx, vy, vz, p, _cs] = prim.vars_mut();
+        let (vx, vy, vz) = (&*vx, &*vy, &*vz);
         let at = &at;
         exec.forall3(clock, &kernels::PRESSURE, ext, |i, j, k| {
             let idx = at(i, j, k);
@@ -69,10 +69,10 @@ pub fn primitives(
 
     // Sound speed: c = sqrt(γ p / ρ).
     {
-        let (u, p_f, cs_f) = (&state.u, &state.p, &mut state.cs);
-        let rho = u[RHO].data();
-        let p = p_f.data();
-        let cs = cs_f.data_mut();
+        let (u, prim) = (&state.u, &mut state.prim);
+        let rho = u.var(RHO);
+        let [_vx, _vy, _vz, p, cs] = prim.vars_mut();
+        let p = &*p;
         let at = &at;
         exec.forall3(clock, &kernels::SOUND_SPEED, ext, |i, j, k| {
             let idx = at(i, j, k);
@@ -93,14 +93,14 @@ pub fn cfl_dt(
 ) -> Result<f64, GpuError> {
     let ext = state.ext();
     let g = state.sub.ghost;
-    let dims = state.u[RHO].dims();
+    let dims = state.u.dims();
     let at = indexer(dims);
     let h = state.dx();
-    let (vel, cs_f) = (&state.vel, &state.cs);
-    let vx = vel[0].data();
-    let vy = vel[1].data();
-    let vz = vel[2].data();
-    let cs = cs_f.data();
+    let prim = &state.prim;
+    let vx = prim.var(VX);
+    let vy = prim.var(VY);
+    let vz = prim.var(VZ);
+    let cs = prim.var(CS);
     let at = &at;
     let bound = exec.forall3_min(clock, &kernels::CFL, ext, default / cfl, |i, j, k| {
         let idx = at(i + g, j + g, k + g);
@@ -113,6 +113,7 @@ pub fn cfl_dt(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::state::PR;
     use hsim_mesh::{GlobalGrid, Subdomain};
     use hsim_raja::{CpuModel, Fidelity, Target};
 
@@ -130,10 +131,10 @@ mod tests {
         let (mut state, mut exec, mut clock) = setup();
         primitives(&mut state, &mut exec, &mut clock).unwrap();
         // p = 0.4, ρ = 1 ⇒ cs = sqrt(1.4·0.4) ≈ 0.7483.
-        let idx = state.p.idx(4, 4, 4);
-        assert!((state.p.data()[idx] - 0.4).abs() < 1e-12);
-        assert!((state.cs.data()[idx] - (1.4f64 * 0.4).sqrt()).abs() < 1e-12);
-        assert_eq!(state.vel[0].data()[idx], 0.0);
+        let idx = state.prim.idx(4, 4, 4);
+        assert!((state.prim.var(PR)[idx] - 0.4).abs() < 1e-12);
+        assert!((state.prim.var(CS)[idx] - (1.4f64 * 0.4).sqrt()).abs() < 1e-12);
+        assert_eq!(state.prim.var(VX)[idx], 0.0);
     }
 
     #[test]
@@ -141,25 +142,25 @@ mod tests {
         let (mut state, mut exec, mut clock) = setup();
         // Give everything ρ=2, v=(1,0,0), p=0.8:
         // m_x = 2, E = p/(γ-1) + ½ρv² = 2 + 1 = 3.
-        state.u[RHO].fill(2.0);
-        state.u[MX].fill(2.0);
-        state.u[EN].fill(0.8 / (GAMMA - 1.0) + 1.0);
+        state.u.fill(RHO, 2.0);
+        state.u.fill(MX, 2.0);
+        state.u.fill(EN, 0.8 / (GAMMA - 1.0) + 1.0);
         primitives(&mut state, &mut exec, &mut clock).unwrap();
-        let idx = state.p.idx(4, 4, 4);
-        assert!((state.vel[0].data()[idx] - 1.0).abs() < 1e-12);
-        assert!((state.p.data()[idx] - 0.8).abs() < 1e-12);
+        let idx = state.prim.idx(4, 4, 4);
+        assert!((state.prim.var(VX)[idx] - 1.0).abs() < 1e-12);
+        assert!((state.prim.var(PR)[idx] - 0.8).abs() < 1e-12);
     }
 
     #[test]
     fn pressure_floor_prevents_negativity() {
         let (mut state, mut exec, mut clock) = setup();
         // Kinetic energy exceeds total energy: raw p would be negative.
-        state.u[RHO].fill(1.0);
-        state.u[MX].fill(10.0);
-        state.u[EN].fill(1.0);
+        state.u.fill(RHO, 1.0);
+        state.u.fill(MX, 10.0);
+        state.u.fill(EN, 1.0);
         primitives(&mut state, &mut exec, &mut clock).unwrap();
-        let idx = state.p.idx(2, 2, 2);
-        assert_eq!(state.p.data()[idx], P_FLOOR);
+        let idx = state.prim.idx(2, 2, 2);
+        assert_eq!(state.prim.var(PR)[idx], P_FLOOR);
     }
 
     #[test]

@@ -9,6 +9,11 @@
 //! Updates are applied to a *target* field set distinct from the one
 //! fluxes read, so the three axis sweeps all see the pre-update state
 //! (an unsplit update).
+//!
+//! This is the legacy per-pass path, retained as the reference
+//! implementation for tests and the perf harness; the production
+//! cycle runs the fused cache-blocked equivalent in [`crate::fused`],
+//! which is bitwise-identical.
 
 use hsim_gpu::GpuError;
 use hsim_raja::Executor;
@@ -16,7 +21,7 @@ use hsim_time::RankClock;
 
 use crate::eos::indexer;
 use crate::kernels;
-use crate::state::{HydroState, EN, MX, RHO};
+use crate::state::{HydroState, CS, EN, MX, PR, RHO, VX};
 
 /// Compute per-face max wavespeeds along `axis` into `state.wavespeed`.
 pub fn wavespeeds(
@@ -26,13 +31,13 @@ pub fn wavespeeds(
     axis: usize,
 ) -> Result<(), GpuError> {
     let fd = state.face_dims(axis);
-    let dims = state.u[RHO].dims();
+    let dims = state.u.dims();
     let at = indexer(dims);
     let fat = indexer(fd);
     let g = state.sub.ghost;
-    let (vel, cs_f, ws) = (&state.vel, &state.cs, &mut state.wavespeed);
-    let va = vel[axis].data();
-    let cs = cs_f.data();
+    let (prim, ws) = (&state.prim, &mut state.wavespeed);
+    let va = prim.var(VX + axis);
+    let cs = prim.var(CS);
     let ws = &mut ws[..];
     // Allocated coordinates of the L zone for face (i,j,k): along the
     // flux axis, face f sits between allocated zones f+g-1 and f+g;
@@ -62,7 +67,7 @@ pub fn wavespeeds(
 /// Physical flux of conserved variable `var` along `axis`, given the
 /// local conserved value and primitives.
 #[inline]
-fn phys_flux(var: usize, axis: usize, q: f64, va: f64, p: f64) -> f64 {
+pub(crate) fn phys_flux(var: usize, axis: usize, q: f64, va: f64, p: f64) -> f64 {
     // F(ρ) = ρ·v_a; F(m_b) = m_b·v_a + δ_{ab}·p; F(E) = (E + p)·v_a.
     match var {
         RHO => q * va,
@@ -83,20 +88,14 @@ pub fn face_flux(
     var: usize,
 ) -> Result<(), GpuError> {
     let fd = state.face_dims(axis);
-    let dims = state.u[RHO].dims();
+    let dims = state.u.dims();
     let at = indexer(dims);
     let fat = indexer(fd);
     let g = state.sub.ghost;
-    let (u, vel, p_f, ws, fx) = (
-        &state.u,
-        &state.vel,
-        &state.p,
-        &state.wavespeed,
-        &mut state.flux,
-    );
-    let q = u[var].data();
-    let va = vel[axis].data();
-    let p = p_f.data();
+    let (u, prim, ws, fx) = (&state.u, &state.prim, &state.wavespeed, &mut state.flux);
+    let q = u.var(var);
+    let va = prim.var(VX + axis);
+    let p = prim.var(PR);
     let ws = &ws[..];
     let fx = &mut fx[..];
     let shift = move |i: usize, j: usize, k: usize, along: usize| -> [usize; 3] {
@@ -134,13 +133,13 @@ pub fn apply_update(
 ) -> Result<(), GpuError> {
     let ext = state.ext();
     let fd = state.face_dims(axis);
-    let dims = state.u[RHO].dims();
+    let dims = state.u.dims();
     let at = indexer(dims);
     let fat = indexer(fd);
     let g = state.sub.ghost;
     let scale = dt / state.dx();
     let (u0, fx) = (&mut state.u0, &state.flux);
-    let tgt = u0[var].data_mut();
+    let tgt = u0.var_mut(var);
     let fx = &fx[..];
     exec.forall3(clock, &kernels::UPDATE, ext, |i, j, k| {
         let mut lo = [i, j, k];
@@ -190,14 +189,13 @@ mod tests {
     /// Fill ghosts of every conserved field by copying the nearest
     /// owned plane (zero-gradient, good enough for uniform tests).
     fn fill_ghosts_uniform(state: &mut HydroState, rho: f64, m: [f64; 3], en: f64) {
-        state.u[RHO].fill(rho);
-        state.u[MX].fill(m[0]);
-        state.u[MY].fill(m[1]);
-        state.u[MZ].fill(m[2]);
-        state.u[EN].fill(en);
-        for v in 0..NCONS {
-            state.u0[v] = state.u[v].clone();
-        }
+        state.u.fill(RHO, rho);
+        state.u.fill(MX, m[0]);
+        state.u.fill(MY, m[1]);
+        state.u.fill(MZ, m[2]);
+        state.u.fill(EN, en);
+        let u = state.u.clone();
+        state.u0.copy_from(&u);
     }
 
     #[test]
@@ -216,7 +214,7 @@ mod tests {
             for k in 0..6 {
                 for j in 0..6 {
                     for i in 0..6 {
-                        let got = state.u0[v].get(i, j, k);
+                        let got = state.u0.get(v, i, j, k);
                         assert!(
                             (got - expect).abs() < 1e-13,
                             "var {v} at ({i},{j},{k}): {got} vs {expect}"
@@ -235,24 +233,25 @@ mod tests {
         for k in 0..8 {
             for j in 0..8 {
                 for i in 0..4 {
-                    state.u[EN].set(i, j, k, 10.0 / (GAMMA - 1.0));
+                    state.u.set(EN, i, j, k, 10.0 / (GAMMA - 1.0));
                 }
             }
         }
         // Mirror into ghosts crudely (uniform in y/z, reflect x).
-        state.u[EN].reflect_into_ghost(0, hsim_mesh::Side::Low, 1.0);
-        state.u[EN].reflect_into_ghost(0, hsim_mesh::Side::High, 1.0);
-        for v in 0..NCONS {
-            state.u0[v] = state.u[v].clone();
-        }
+        state.u.reflect_into_ghost(EN, 0, hsim_mesh::Side::Low, 1.0);
+        state
+            .u
+            .reflect_into_ghost(EN, 0, hsim_mesh::Side::High, 1.0);
+        let u = state.u.clone();
+        state.u0.copy_from(&u);
         primitives(&mut state, &mut exec, &mut clock).unwrap();
         sweep(&mut state, &mut exec, &mut clock, 0.001).unwrap();
         // Momentum at the interface should point in +x (toward low p).
-        let m_interface = state.u0[MX].get(4, 4, 4);
+        let m_interface = state.u0.get(MX, 4, 4, 4);
         assert!(m_interface > 0.0, "m_x at interface: {m_interface}");
         // Far from the interface nothing moved yet… (first-order
         // scheme: only zones adjacent to the jump change).
-        let m_far = state.u0[MX].get(1, 4, 4);
+        let m_far = state.u0.get(MX, 1, 4, 4);
         assert!(m_far.abs() < 1e-12, "far momentum {m_far}");
     }
 
@@ -262,9 +261,9 @@ mod tests {
         let en = 1.0 / (GAMMA - 1.0);
         fill_ghosts_uniform(&mut state, 2.0, [0.0; 3], en);
         primitives(&mut state, &mut exec, &mut clock).unwrap();
-        let before = state.u0[RHO].sum_owned();
+        let before = state.u0.sum_owned(RHO);
         sweep(&mut state, &mut exec, &mut clock, 0.01).unwrap();
-        let after = state.u0[RHO].sum_owned();
+        let after = state.u0.sum_owned(RHO);
         assert!((before - after).abs() < 1e-12);
     }
 

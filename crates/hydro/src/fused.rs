@@ -1,0 +1,762 @@
+//! Fused cache-blocked hydro kernels — the production CPU path.
+//!
+//! The legacy modules ([`crate::eos`], [`crate::flux`],
+//! [`crate::muscl`], and the per-variable save/combine loops) launch
+//! one fine-grained kernel per (pass, variable, axis), so every pass
+//! streams the whole grid through cache again. This module fuses each
+//! multi-kernel stage into a single pass over y–z **tiles**: a tile's
+//! x-rows of every variable are loaded once, all passes for that tile
+//! run while the rows are cache-resident, and the tile writes its
+//! outputs through [`DisjointRowsMut`] row guards.
+//!
+//! Two invariants make the fusion invisible to everything downstream:
+//!
+//! 1. **Charge parity.** Each fused stage first replays the *exact*
+//!    legacy launch sequence through [`Executor::charge3`] — same
+//!    kernel descriptors, shapes, and order — so virtual time, launch
+//!    counts, telemetry spans, and therefore every figure and trace
+//!    byte are identical to the per-pass path. [`Executor::run_tiles`]
+//!    itself charges nothing.
+//! 2. **Bitwise identity.** Per zone, the fused arithmetic performs
+//!    the same f64 operations in the same order as the legacy kernels
+//!    (helpers below mirror the legacy loop bodies expression for
+//!    expression), zones are independent within a pass, and per-zone
+//!    accumulation keeps the legacy axis-then-variable order. Faces on
+//!    tile seams are recomputed by both neighboring tiles — pure
+//!    functions of unmodified inputs, so both compute the same bits.
+//!    Tile shape and worker count therefore never change results; the
+//!    property tests in `tests/` check this exhaustively.
+//!
+//! Row helpers live at module scope (not inside tile bodies): the
+//! `tile-bounds` tidy lint forbids per-element indexing inside
+//! `run_tiles` bodies, so bodies only carve ranges and call helpers.
+
+use hsim_gpu::GpuError;
+use hsim_raja::{DisjointRowsMut, Executor, Fidelity, TileSet2};
+use hsim_time::RankClock;
+
+use crate::flux::phys_flux;
+use crate::kernels;
+use crate::muscl::{minmod, phys_flux_axis};
+use crate::state::{HydroState, CS, EN, GAMMA, MX, MY, MZ, NCONS, PR, P_FLOOR, RHO, RHO_FLOOR, VX};
+
+/// One variable's allocated x-row of a var-major slab at allocated
+/// transverse coordinates `(j, k)`.
+#[inline]
+fn row_of(slab: &[f64], dims: [usize; 3], v: usize, j: usize, k: usize) -> &[f64] {
+    let start = (v * dims[1] * dims[2] + k * dims[1] + j) * dims[0];
+    &slab[start..start + dims[0]]
+}
+
+/// The owned-i interior of [`row_of`] (ghost ends trimmed).
+#[inline]
+fn owned_row(slab: &[f64], dims: [usize; 3], g: usize, v: usize, j: usize, k: usize) -> &[f64] {
+    let row = row_of(slab, dims, v, j, k);
+    &row[g..row.len() - g]
+}
+
+/// Global row index of variable `v`'s x-row at allocated `(j, k)` in a
+/// [`DisjointRowsMut`] over the slab with `row_len = dims[0]`.
+#[inline]
+fn row_index(dims: [usize; 3], v: usize, j: usize, k: usize) -> usize {
+    v * dims[1] * dims[2] + k * dims[1] + j
+}
+
+// ---------------------------------------------------------------------
+// Primitive recovery (legacy: eos::primitives, 3 kernels).
+// ---------------------------------------------------------------------
+
+/// One row of the fused primitive recovery. Mirrors the legacy
+/// VELOCITY → PRESSURE → SOUND_SPEED chain per element: the stored
+/// intermediate values the legacy kernels re-read are recomputed here
+/// from identical expressions, so the outputs agree bitwise.
+#[allow(clippy::too_many_arguments)]
+fn prim_row(
+    rho: &[f64],
+    mx: &[f64],
+    my: &[f64],
+    mz: &[f64],
+    en: &[f64],
+    vx: &mut [f64],
+    vy: &mut [f64],
+    vz: &mut [f64],
+    p: &mut [f64],
+    cs: &mut [f64],
+) {
+    for i in 0..rho.len() {
+        let r = rho[i].max(RHO_FLOOR);
+        let ux = mx[i] / r;
+        let uy = my[i] / r;
+        let uz = mz[i] / r;
+        vx[i] = ux;
+        vy[i] = uy;
+        vz[i] = uz;
+        let ke = 0.5 * r * (ux * ux + uy * uy + uz * uz);
+        let pv = ((GAMMA - 1.0) * (en[i] - ke)).max(P_FLOOR);
+        p[i] = pv;
+        cs[i] = (GAMMA * pv / r).sqrt();
+    }
+}
+
+/// Fused primitive recovery: charges the legacy VELOCITY, PRESSURE,
+/// SOUND_SPEED launches, then fills all five primitive variables in
+/// one tiled pass over the allocated y–z plane.
+pub fn primitives(
+    state: &mut HydroState,
+    exec: &mut Executor,
+    clock: &mut RankClock,
+) -> Result<(), GpuError> {
+    let ext = state.ext_all();
+    exec.charge3(clock, &kernels::VELOCITY, ext)?;
+    exec.charge3(clock, &kernels::PRESSURE, ext)?;
+    exec.charge3(clock, &kernels::SOUND_SPEED, ext)?;
+    if exec.fidelity != Fidelity::Full {
+        return Ok(());
+    }
+    let dims = state.u.dims();
+    let tiles = TileSet2::new(dims[1], dims[2], state.tile);
+    let (u, prim) = (&state.u, &mut state.prim);
+    let u_slab = u.slab();
+    let rows = DisjointRowsMut::new(prim.slab_mut(), dims[0]);
+    exec.run_tiles(&tiles, |tile| {
+        for k in tile.k0..tile.k1 {
+            for j in tile.j0..tile.j1 {
+                let rho = row_of(u_slab, dims, RHO, j, k);
+                let mx = row_of(u_slab, dims, MX, j, k);
+                let my = row_of(u_slab, dims, MY, j, k);
+                let mz = row_of(u_slab, dims, MZ, j, k);
+                let en = row_of(u_slab, dims, EN, j, k);
+                let mut vx = rows.claim(row_index(dims, VX, j, k));
+                let mut vy = rows.claim(row_index(dims, VX + 1, j, k));
+                let mut vz = rows.claim(row_index(dims, VX + 2, j, k));
+                let mut p = rows.claim(row_index(dims, PR, j, k));
+                let mut cs = rows.claim(row_index(dims, CS, j, k));
+                prim_row(
+                    rho,
+                    mx,
+                    my,
+                    mz,
+                    en,
+                    &mut vx[..],
+                    &mut vy[..],
+                    &mut vz[..],
+                    &mut p[..],
+                    &mut cs[..],
+                );
+            }
+        }
+    });
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Save / combine (legacy: cycle-private per-variable loops, 5 kernels).
+// ---------------------------------------------------------------------
+
+/// Fused RK snapshot `u0 ← u`: charges the five legacy SAVE_STATE
+/// launches, then copies the whole slab once.
+pub fn save_state(
+    st: &mut HydroState,
+    exec: &mut Executor,
+    clock: &mut RankClock,
+) -> Result<(), GpuError> {
+    let ext = st.ext_all();
+    for _ in 0..NCONS {
+        exec.charge3(clock, &kernels::SAVE_STATE, ext)?;
+    }
+    if exec.fidelity == Fidelity::Full {
+        let (u, u0) = (&st.u, &mut st.u0);
+        u0.copy_from(u);
+    }
+    Ok(())
+}
+
+/// Fused Heun combine `u0 ← ½u0 + ½u`: charges the five legacy
+/// COMBINE launches, then runs the element-wise average once over the
+/// whole slab (same per-element expression as the legacy kernel).
+pub fn combine(
+    st: &mut HydroState,
+    exec: &mut Executor,
+    clock: &mut RankClock,
+) -> Result<(), GpuError> {
+    let ext = st.ext_all();
+    for _ in 0..NCONS {
+        exec.charge3(clock, &kernels::COMBINE, ext)?;
+    }
+    if exec.fidelity == Fidelity::Full {
+        let (u, u0) = (&st.u, &mut st.u0);
+        for (dst, src) in u0.slab_mut().iter_mut().zip(u.slab()) {
+            *dst = 0.5 * *dst + 0.5 * *src;
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// First-order sweep (legacy: flux::sweep, 33 kernels).
+// ---------------------------------------------------------------------
+
+/// Per-face max wavespeed along x for one row: face `i` sits between
+/// allocated zones `i+g−1` and `i+g` of the same row.
+fn x_wavespeed_row(va: &[f64], cs: &[f64], g: usize, ws: &mut [f64]) {
+    for (i, w) in ws.iter_mut().enumerate() {
+        let il = g - 1 + i;
+        let ir = g + i;
+        let sl = va[il].abs() + cs[il];
+        let sr = va[ir].abs() + cs[ir];
+        *w = sl.max(sr);
+    }
+}
+
+/// Rusanov flux along x for one row of one conserved variable.
+fn x_flux_row(var: usize, q: &[f64], va: &[f64], p: &[f64], ws: &[f64], g: usize, fx: &mut [f64]) {
+    for i in 0..fx.len() {
+        let il = g - 1 + i;
+        let ir = g + i;
+        let fl = phys_flux(var, 0, q[il], va[il], p[il]);
+        let fr = phys_flux(var, 0, q[ir], va[ir], p[ir]);
+        fx[i] = 0.5 * (fl + fr) - 0.5 * ws[i] * (q[ir] - q[il]);
+    }
+}
+
+/// Per-face max wavespeed along a transverse axis for one i-row pair
+/// (`_l`/`_r` are the owned-i rows on either side of the face).
+fn t_wavespeed_row(va_l: &[f64], va_r: &[f64], cs_l: &[f64], cs_r: &[f64], ws: &mut [f64]) {
+    for i in 0..ws.len() {
+        let sl = va_l[i].abs() + cs_l[i];
+        let sr = va_r[i].abs() + cs_r[i];
+        ws[i] = sl.max(sr);
+    }
+}
+
+/// Rusanov flux along a transverse axis for one i-row of one variable.
+#[allow(clippy::too_many_arguments)]
+fn t_flux_row(
+    var: usize,
+    axis: usize,
+    q_l: &[f64],
+    q_r: &[f64],
+    va_l: &[f64],
+    va_r: &[f64],
+    p_l: &[f64],
+    p_r: &[f64],
+    ws: &[f64],
+    fx: &mut [f64],
+) {
+    for i in 0..fx.len() {
+        let fl = phys_flux(var, axis, q_l[i], va_l[i], p_l[i]);
+        let fr = phys_flux(var, axis, q_r[i], va_r[i], p_r[i]);
+        fx[i] = 0.5 * (fl + fr) - 0.5 * ws[i] * (q_r[i] - q_l[i]);
+    }
+}
+
+/// Flux-difference update of one owned row: `tgt[g+i] -= scale·(f_hi −
+/// f_lo)` — the legacy UPDATE body verbatim.
+fn update_row(tgt: &mut [f64], g: usize, scale: f64, f_lo: &[f64], f_hi: &[f64]) {
+    for i in 0..f_lo.len() {
+        tgt[g + i] -= scale * (f_hi[i] - f_lo[i]);
+    }
+}
+
+/// Fused first-order sweep: charges the legacy 33-launch sequence
+/// (per axis: WAVESPEED, then per variable FLUX + UPDATE), then runs
+/// all three axis updates for each y–z tile in one cache-resident
+/// pass, writing the target slab `u0` through row guards.
+pub fn sweep(
+    state: &mut HydroState,
+    exec: &mut Executor,
+    clock: &mut RankClock,
+    dt: f64,
+) -> Result<(), GpuError> {
+    for axis in 0..3 {
+        exec.charge3(clock, &kernels::WAVESPEED, state.face_dims(axis))?;
+        for _var in 0..NCONS {
+            exec.charge3(clock, &kernels::FLUX, state.face_dims(axis))?;
+            exec.charge3(clock, &kernels::UPDATE, state.ext())?;
+        }
+    }
+    if exec.fidelity != Fidelity::Full {
+        return Ok(());
+    }
+    let ext = state.ext();
+    let dims = state.u.dims();
+    let g = state.sub.ghost;
+    let n0 = ext[0];
+    let scale = dt / state.dx();
+    let tiles = TileSet2::new(ext[1], ext[2], state.tile);
+    let (u, prim, u0) = (&state.u, &state.prim, &mut state.u0);
+    let u_slab = u.slab();
+    let prim_slab = prim.slab();
+    let rows = DisjointRowsMut::new(u0.slab_mut(), dims[0]);
+    exec.run_tiles(&tiles, |tile| {
+        // x sweep: faces lie along the row, one pass per (j, k).
+        let mut ws = vec![0.0; n0 + 1];
+        let mut fx = vec![0.0; n0 + 1];
+        for k in tile.k0..tile.k1 {
+            for j in tile.j0..tile.j1 {
+                let (aj, ak) = (j + g, k + g);
+                let va = row_of(prim_slab, dims, VX, aj, ak);
+                let cs = row_of(prim_slab, dims, CS, aj, ak);
+                let p = row_of(prim_slab, dims, PR, aj, ak);
+                x_wavespeed_row(va, cs, g, &mut ws);
+                for var in 0..NCONS {
+                    let q = row_of(u_slab, dims, var, aj, ak);
+                    x_flux_row(var, q, va, p, &ws, g, &mut fx);
+                    let mut tgt = rows.claim(row_index(dims, var, aj, ak));
+                    update_row(&mut tgt[..], g, scale, &fx[..n0], &fx[1..]);
+                }
+            }
+        }
+        // Transverse sweeps: walk faces along the transverse axis with
+        // a prev/cur flux-row pair, so each face is computed once per
+        // tile and each zone updates as soon as both its faces exist.
+        let mut ws = vec![0.0; n0];
+        let mut prev: Vec<Vec<f64>> = (0..NCONS).map(|_| vec![0.0; n0]).collect();
+        let mut cur: Vec<Vec<f64>> = (0..NCONS).map(|_| vec![0.0; n0]).collect();
+        // y sweep (axis 1): face jf sits between allocated rows
+        // jf+g−1 and jf+g.
+        for k in tile.k0..tile.k1 {
+            let ak = k + g;
+            for jf in tile.j0..=tile.j1 {
+                let (jl, jr) = (jf + g - 1, jf + g);
+                let va_l = owned_row(prim_slab, dims, g, VX + 1, jl, ak);
+                let va_r = owned_row(prim_slab, dims, g, VX + 1, jr, ak);
+                let cs_l = owned_row(prim_slab, dims, g, CS, jl, ak);
+                let cs_r = owned_row(prim_slab, dims, g, CS, jr, ak);
+                let p_l = owned_row(prim_slab, dims, g, PR, jl, ak);
+                let p_r = owned_row(prim_slab, dims, g, PR, jr, ak);
+                t_wavespeed_row(va_l, va_r, cs_l, cs_r, &mut ws);
+                for (var, fxr) in cur.iter_mut().enumerate() {
+                    let q_l = owned_row(u_slab, dims, g, var, jl, ak);
+                    let q_r = owned_row(u_slab, dims, g, var, jr, ak);
+                    t_flux_row(var, 1, q_l, q_r, va_l, va_r, p_l, p_r, &ws, fxr);
+                }
+                if jf > tile.j0 {
+                    let aj = jf - 1 + g;
+                    for (var, (f_lo, f_hi)) in prev.iter().zip(cur.iter()).enumerate() {
+                        let mut tgt = rows.claim(row_index(dims, var, aj, ak));
+                        update_row(&mut tgt[..], g, scale, f_lo, f_hi);
+                    }
+                }
+                std::mem::swap(&mut prev, &mut cur);
+            }
+        }
+        // z sweep (axis 2): j outer, kf inner, so prev/cur walk faces
+        // of constant j.
+        for j in tile.j0..tile.j1 {
+            let aj = j + g;
+            for kf in tile.k0..=tile.k1 {
+                let (kl, kr) = (kf + g - 1, kf + g);
+                let va_l = owned_row(prim_slab, dims, g, VX + 2, aj, kl);
+                let va_r = owned_row(prim_slab, dims, g, VX + 2, aj, kr);
+                let cs_l = owned_row(prim_slab, dims, g, CS, aj, kl);
+                let cs_r = owned_row(prim_slab, dims, g, CS, aj, kr);
+                let p_l = owned_row(prim_slab, dims, g, PR, aj, kl);
+                let p_r = owned_row(prim_slab, dims, g, PR, aj, kr);
+                t_wavespeed_row(va_l, va_r, cs_l, cs_r, &mut ws);
+                for (var, fxr) in cur.iter_mut().enumerate() {
+                    let q_l = owned_row(u_slab, dims, g, var, aj, kl);
+                    let q_r = owned_row(u_slab, dims, g, var, aj, kr);
+                    t_flux_row(var, 2, q_l, q_r, va_l, va_r, p_l, p_r, &ws, fxr);
+                }
+                if kf > tile.k0 {
+                    let ak = kf - 1 + g;
+                    for (var, (f_lo, f_hi)) in prev.iter().zip(cur.iter()).enumerate() {
+                        let mut tgt = rows.claim(row_index(dims, var, aj, ak));
+                        update_row(&mut tgt[..], g, scale, f_lo, f_hi);
+                    }
+                }
+                std::mem::swap(&mut prev, &mut cur);
+            }
+        }
+    });
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// MUSCL sweep (legacy: muscl::sweep_muscl, 17 kernels per axis).
+// ---------------------------------------------------------------------
+
+/// Minmod-limited face reconstruction along x for one row of one
+/// variable: face `f` is between zones `f+g−1` and `f+g`.
+fn x_recon_row(q: &[f64], g: usize, ql: &mut [f64], qr: &mut [f64]) {
+    for f in 0..ql.len() {
+        let q_lm = q[f + g - 2];
+        let q_l = q[f + g - 1];
+        let q_r = q[f + g];
+        let q_rp = q[f + g + 1];
+        let slope_l = minmod(q_l - q_lm, q_r - q_l);
+        let slope_r = minmod(q_r - q_l, q_rp - q_r);
+        ql[f] = q_l + 0.5 * slope_l;
+        qr[f] = q_r - 0.5 * slope_r;
+    }
+}
+
+/// Minmod-limited reconstruction across a transverse face from the
+/// four bracketing i-rows.
+fn t_recon_row(
+    q_lm: &[f64],
+    q_l: &[f64],
+    q_r: &[f64],
+    q_rp: &[f64],
+    ql: &mut [f64],
+    qr: &mut [f64],
+) {
+    for i in 0..ql.len() {
+        let slope_l = minmod(q_l[i] - q_lm[i], q_r[i] - q_l[i]);
+        let slope_r = minmod(q_r[i] - q_l[i], q_rp[i] - q_r[i]);
+        ql[i] = q_l[i] + 0.5 * slope_l;
+        qr[i] = q_r[i] - 0.5 * slope_r;
+    }
+}
+
+/// Primitives of one reconstructed face state — the legacy FACE_PRIMS
+/// closure verbatim.
+fn face_prim(axis: usize, rho: f64, mx: f64, my: f64, mz: f64, en: f64) -> (f64, f64, f64) {
+    let r = rho.max(RHO_FLOOR);
+    let v = [mx / r, my / r, mz / r];
+    let ke = 0.5 * r * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]);
+    let p = ((GAMMA - 1.0) * (en - ke)).max(P_FLOOR);
+    let cs = (GAMMA * p / r).sqrt();
+    (v[axis], p, cs)
+}
+
+/// Face primitives + max wavespeed for one row of faces from the
+/// reconstructed left/right conserved states.
+#[allow(clippy::too_many_arguments)]
+fn face_prims_rows(
+    axis: usize,
+    ql: &[Vec<f64>],
+    qr: &[Vec<f64>],
+    val: &mut [f64],
+    var_: &mut [f64],
+    pl: &mut [f64],
+    pr: &mut [f64],
+    smax: &mut [f64],
+) {
+    for f in 0..val.len() {
+        let (vl, p_l, cl) = face_prim(axis, ql[RHO][f], ql[MX][f], ql[MY][f], ql[MZ][f], ql[EN][f]);
+        let (vr, p_r, cr) = face_prim(axis, qr[RHO][f], qr[MX][f], qr[MY][f], qr[MZ][f], qr[EN][f]);
+        val[f] = vl;
+        var_[f] = vr;
+        pl[f] = p_l;
+        pr[f] = p_r;
+        smax[f] = (vl.abs() + cl).max(vr.abs() + cr);
+    }
+}
+
+/// Rusanov flux of one variable from reconstructed face states.
+#[allow(clippy::too_many_arguments)]
+fn face_flux_row(
+    var: usize,
+    axis: usize,
+    ql: &[f64],
+    qr: &[f64],
+    val: &[f64],
+    var_: &[f64],
+    pl: &[f64],
+    pr: &[f64],
+    smax: &[f64],
+    fx: &mut [f64],
+) {
+    for f in 0..fx.len() {
+        let fl = phys_flux_axis(var, axis, ql[f], val[f], pl[f]);
+        let fr = phys_flux_axis(var, axis, qr[f], var_[f], pr[f]);
+        fx[f] = 0.5 * (fl + fr) - 0.5 * smax[f] * (qr[f] - ql[f]);
+    }
+}
+
+/// Fused second-order MUSCL sweep: charges the legacy per-axis
+/// sequence (5 MUSCL_RECON, FACE_PRIMS, then per variable FLUX +
+/// UPDATE), then runs all three axes tile by tile. Requires
+/// `state.sub.ghost >= 2`, like the legacy path.
+pub fn sweep_muscl(
+    state: &mut HydroState,
+    exec: &mut Executor,
+    clock: &mut RankClock,
+    dt: f64,
+) -> Result<(), GpuError> {
+    assert!(
+        state.sub.ghost >= 2,
+        "MUSCL needs two ghost layers (got {})",
+        state.sub.ghost
+    );
+    for axis in 0..3 {
+        let fd = state.face_dims(axis);
+        for _var in 0..NCONS {
+            exec.charge3(clock, &kernels::MUSCL_RECON, fd)?;
+        }
+        exec.charge3(clock, &kernels::FACE_PRIMS, fd)?;
+        for _var in 0..NCONS {
+            exec.charge3(clock, &kernels::FLUX, fd)?;
+            exec.charge3(clock, &kernels::UPDATE, state.ext())?;
+        }
+    }
+    if exec.fidelity != Fidelity::Full {
+        return Ok(());
+    }
+    let ext = state.ext();
+    let dims = state.u.dims();
+    let g = state.sub.ghost;
+    let n0 = ext[0];
+    let scale = dt / state.dx();
+    let tiles = TileSet2::new(ext[1], ext[2], state.tile);
+    let (u, u0) = (&state.u, &mut state.u0);
+    let u_slab = u.slab();
+    let rows = DisjointRowsMut::new(u0.slab_mut(), dims[0]);
+    exec.run_tiles(&tiles, |tile| {
+        // x sweep.
+        let nf = n0 + 1;
+        let mut ql: Vec<Vec<f64>> = (0..NCONS).map(|_| vec![0.0; nf]).collect();
+        let mut qr: Vec<Vec<f64>> = (0..NCONS).map(|_| vec![0.0; nf]).collect();
+        let mut val = vec![0.0; nf];
+        let mut var_ = vec![0.0; nf];
+        let mut pl = vec![0.0; nf];
+        let mut pr = vec![0.0; nf];
+        let mut smax = vec![0.0; nf];
+        let mut fx = vec![0.0; nf];
+        for k in tile.k0..tile.k1 {
+            for j in tile.j0..tile.j1 {
+                let (aj, ak) = (j + g, k + g);
+                for (var, (qlr, qrr)) in ql.iter_mut().zip(qr.iter_mut()).enumerate() {
+                    let q = row_of(u_slab, dims, var, aj, ak);
+                    x_recon_row(q, g, qlr, qrr);
+                }
+                face_prims_rows(
+                    0, &ql, &qr, &mut val, &mut var_, &mut pl, &mut pr, &mut smax,
+                );
+                for (var, (qlr, qrr)) in ql.iter().zip(qr.iter()).enumerate() {
+                    face_flux_row(var, 0, qlr, qrr, &val, &var_, &pl, &pr, &smax, &mut fx);
+                    let mut tgt = rows.claim(row_index(dims, var, aj, ak));
+                    update_row(&mut tgt[..], g, scale, &fx[..n0], &fx[1..]);
+                }
+            }
+        }
+        // Transverse sweeps share prev/cur flux rows like the
+        // first-order path; reconstruction reads the four bracketing
+        // rows of each face.
+        let mut ql: Vec<Vec<f64>> = (0..NCONS).map(|_| vec![0.0; n0]).collect();
+        let mut qr: Vec<Vec<f64>> = (0..NCONS).map(|_| vec![0.0; n0]).collect();
+        let mut val = vec![0.0; n0];
+        let mut var_ = vec![0.0; n0];
+        let mut pl = vec![0.0; n0];
+        let mut pr = vec![0.0; n0];
+        let mut smax = vec![0.0; n0];
+        let mut prev: Vec<Vec<f64>> = (0..NCONS).map(|_| vec![0.0; n0]).collect();
+        let mut cur: Vec<Vec<f64>> = (0..NCONS).map(|_| vec![0.0; n0]).collect();
+        // y sweep.
+        for k in tile.k0..tile.k1 {
+            let ak = k + g;
+            for jf in tile.j0..=tile.j1 {
+                for (var, (qlr, qrr)) in ql.iter_mut().zip(qr.iter_mut()).enumerate() {
+                    let q_lm = owned_row(u_slab, dims, g, var, jf + g - 2, ak);
+                    let q_l = owned_row(u_slab, dims, g, var, jf + g - 1, ak);
+                    let q_r = owned_row(u_slab, dims, g, var, jf + g, ak);
+                    let q_rp = owned_row(u_slab, dims, g, var, jf + g + 1, ak);
+                    t_recon_row(q_lm, q_l, q_r, q_rp, qlr, qrr);
+                }
+                face_prims_rows(
+                    1, &ql, &qr, &mut val, &mut var_, &mut pl, &mut pr, &mut smax,
+                );
+                for (var, (fxr, (qlr, qrr))) in
+                    cur.iter_mut().zip(ql.iter().zip(qr.iter())).enumerate()
+                {
+                    face_flux_row(var, 1, qlr, qrr, &val, &var_, &pl, &pr, &smax, fxr);
+                }
+                if jf > tile.j0 {
+                    let aj = jf - 1 + g;
+                    for (var, (f_lo, f_hi)) in prev.iter().zip(cur.iter()).enumerate() {
+                        let mut tgt = rows.claim(row_index(dims, var, aj, ak));
+                        update_row(&mut tgt[..], g, scale, f_lo, f_hi);
+                    }
+                }
+                std::mem::swap(&mut prev, &mut cur);
+            }
+        }
+        // z sweep.
+        for j in tile.j0..tile.j1 {
+            let aj = j + g;
+            for kf in tile.k0..=tile.k1 {
+                for (var, (qlr, qrr)) in ql.iter_mut().zip(qr.iter_mut()).enumerate() {
+                    let q_lm = owned_row(u_slab, dims, g, var, aj, kf + g - 2);
+                    let q_l = owned_row(u_slab, dims, g, var, aj, kf + g - 1);
+                    let q_r = owned_row(u_slab, dims, g, var, aj, kf + g);
+                    let q_rp = owned_row(u_slab, dims, g, var, aj, kf + g + 1);
+                    t_recon_row(q_lm, q_l, q_r, q_rp, qlr, qrr);
+                }
+                face_prims_rows(
+                    2, &ql, &qr, &mut val, &mut var_, &mut pl, &mut pr, &mut smax,
+                );
+                for (var, (fxr, (qlr, qrr))) in
+                    cur.iter_mut().zip(ql.iter().zip(qr.iter())).enumerate()
+                {
+                    face_flux_row(var, 2, qlr, qrr, &val, &var_, &pl, &pr, &smax, fxr);
+                }
+                if kf > tile.k0 {
+                    let ak = kf - 1 + g;
+                    for (var, (f_lo, f_hi)) in prev.iter().zip(cur.iter()).enumerate() {
+                        let mut tgt = rows.claim(row_index(dims, var, aj, ak));
+                        update_row(&mut tgt[..], g, scale, f_lo, f_hi);
+                    }
+                }
+                std::mem::swap(&mut prev, &mut cur);
+            }
+        }
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{self, PerturbedConfig};
+    use hsim_mesh::{GlobalGrid, Subdomain};
+    use hsim_raja::{CpuModel, Target};
+
+    fn perturbed(n: usize, ghost: usize) -> HydroState {
+        let grid = GlobalGrid::new(n, n, n);
+        let sub = Subdomain::new([0, 0, 0], [n, n, n], ghost);
+        let mut st = HydroState::new(grid, sub, Fidelity::Full);
+        workload::init(&mut st, &PerturbedConfig::default());
+        for var in 0..NCONS {
+            for axis in 0..3 {
+                st.u.reflect_into_ghost(var, axis, hsim_mesh::Side::Low, 1.0);
+                st.u.reflect_into_ghost(var, axis, hsim_mesh::Side::High, 1.0);
+            }
+        }
+        let u = st.u.clone();
+        st.u0.copy_from(&u);
+        st
+    }
+
+    fn exec_seq() -> (Executor, RankClock) {
+        (
+            Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::Full),
+            RankClock::new(0),
+        )
+    }
+
+    fn assert_slabs_identical(a: &[f64], b: &[f64], what: &str) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what}: slab element {i} differs: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_primitives_match_legacy_bitwise() {
+        let mut legacy = perturbed(10, 1);
+        let mut fused = perturbed(10, 1);
+        let (mut e1, mut c1) = exec_seq();
+        let (mut e2, mut c2) = exec_seq();
+        crate::eos::primitives(&mut legacy, &mut e1, &mut c1).unwrap();
+        primitives(&mut fused, &mut e2, &mut c2).unwrap();
+        assert_slabs_identical(legacy.prim.slab(), fused.prim.slab(), "primitives");
+        assert_eq!(c1.now(), c2.now(), "charge parity");
+        assert_eq!(e1.registry.total_launches(), e2.registry.total_launches());
+    }
+
+    #[test]
+    fn fused_sweep_matches_legacy_bitwise() {
+        let mut legacy = perturbed(10, 1);
+        let mut fused = perturbed(10, 1);
+        let (mut e1, mut c1) = exec_seq();
+        let (mut e2, mut c2) = exec_seq();
+        crate::eos::primitives(&mut legacy, &mut e1, &mut c1).unwrap();
+        crate::flux::sweep(&mut legacy, &mut e1, &mut c1, 0.004).unwrap();
+        primitives(&mut fused, &mut e2, &mut c2).unwrap();
+        sweep(&mut fused, &mut e2, &mut c2, 0.004).unwrap();
+        assert_slabs_identical(legacy.u0.slab(), fused.u0.slab(), "sweep u0");
+        assert_eq!(c1.now(), c2.now(), "charge parity");
+        assert_eq!(e1.registry.total_launches(), e2.registry.total_launches());
+    }
+
+    #[test]
+    fn fused_sweep_is_tile_shape_invariant_and_parallel_safe() {
+        let (mut e1, mut c1) = exec_seq();
+        let mut reference = perturbed(11, 1);
+        primitives(&mut reference, &mut e1, &mut c1).unwrap();
+        sweep(&mut reference, &mut e1, &mut c1, 0.002).unwrap();
+        for (tile, threads) in [([1, 1], 1), ([3, 2], 3), ([16, 16], 4), ([5, 11], 2)] {
+            let mut st = perturbed(11, 1);
+            st.tile = tile;
+            let mut exec = Executor::new(
+                Target::cpu_parallel(threads),
+                CpuModel::haswell_fixed(),
+                Fidelity::Full,
+            );
+            let mut clock = RankClock::new(0);
+            primitives(&mut st, &mut exec, &mut clock).unwrap();
+            sweep(&mut st, &mut exec, &mut clock, 0.002).unwrap();
+            assert_slabs_identical(
+                reference.u0.slab(),
+                st.u0.slab(),
+                &format!("tile {tile:?} threads {threads}"),
+            );
+        }
+    }
+
+    #[test]
+    fn fused_muscl_matches_legacy_bitwise() {
+        let mut legacy = perturbed(9, 2);
+        let mut fused = perturbed(9, 2);
+        let (mut e1, mut c1) = exec_seq();
+        let (mut e2, mut c2) = exec_seq();
+        crate::eos::primitives(&mut legacy, &mut e1, &mut c1).unwrap();
+        crate::muscl::sweep_muscl(&mut legacy, &mut e1, &mut c1, 0.003).unwrap();
+        primitives(&mut fused, &mut e2, &mut c2).unwrap();
+        sweep_muscl(&mut fused, &mut e2, &mut c2, 0.003).unwrap();
+        assert_slabs_identical(legacy.u0.slab(), fused.u0.slab(), "muscl u0");
+        assert_eq!(c1.now(), c2.now(), "charge parity");
+        assert_eq!(e1.registry.total_launches(), e2.registry.total_launches());
+    }
+
+    #[test]
+    fn fused_save_and_combine_match_legacy_semantics() {
+        let mut st = perturbed(8, 1);
+        let (mut exec, mut clock) = exec_seq();
+        st.u0.fill(RHO, 3.25);
+        save_state(&mut st, &mut exec, &mut clock).unwrap();
+        assert_slabs_identical(st.u.slab(), st.u0.slab(), "save");
+        // combine of identical slabs is a fixed point: ½a + ½a = a.
+        let before = st.u0.slab().to_vec();
+        combine(&mut st, &mut exec, &mut clock).unwrap();
+        assert_slabs_identical(&before, st.u0.slab(), "combine fixed point");
+        // 5 SAVE_STATE + 5 COMBINE launches.
+        assert_eq!(exec.registry.total_launches(), 10);
+    }
+
+    #[test]
+    fn fused_sweep_charges_33_launches() {
+        let mut st = perturbed(6, 1);
+        let (mut exec, mut clock) = exec_seq();
+        primitives(&mut st, &mut exec, &mut clock).unwrap();
+        exec.registry.clear();
+        sweep(&mut st, &mut exec, &mut clock, 0.01).unwrap();
+        assert_eq!(exec.registry.total_launches(), 33);
+    }
+
+    #[test]
+    fn cost_only_fused_path_charges_without_allocating() {
+        let grid = GlobalGrid::new(48, 48, 48);
+        let sub = Subdomain::new([0, 0, 0], [48, 48, 48], 1);
+        let mut st = HydroState::new(grid, sub, Fidelity::CostOnly);
+        let mut exec = Executor::new(
+            Target::CpuSeq,
+            CpuModel::haswell_fixed(),
+            Fidelity::CostOnly,
+        );
+        let mut clock = RankClock::new(0);
+        primitives(&mut st, &mut exec, &mut clock).unwrap();
+        sweep(&mut st, &mut exec, &mut clock, 0.01).unwrap();
+        save_state(&mut st, &mut exec, &mut clock).unwrap();
+        combine(&mut st, &mut exec, &mut clock).unwrap();
+        assert!(clock.now().as_nanos() > 0);
+        assert_eq!(exec.registry.total_launches(), 3 + 33 + 5 + 5);
+        assert!(st.u.var(RHO).len() < 64, "no full-size allocation");
+    }
+}

@@ -31,6 +31,7 @@ pub mod cycle;
 pub mod diffusion;
 pub mod eos;
 pub mod flux;
+pub mod fused;
 pub mod kernels;
 pub mod muscl;
 pub mod sedov;

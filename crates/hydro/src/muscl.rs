@@ -32,7 +32,7 @@ pub enum Reconstruction {
 }
 
 #[inline]
-fn minmod(a: f64, b: f64) -> f64 {
+pub(crate) fn minmod(a: f64, b: f64) -> f64 {
     if a * b <= 0.0 {
         0.0
     } else if a.abs() < b.abs() {
@@ -82,7 +82,7 @@ pub fn sweep_muscl(
         "MUSCL needs two ghost layers (got {})",
         st.sub.ghost
     );
-    let dims = st.u[RHO].dims();
+    let dims = st.u.dims();
     let at = indexer(dims);
     let g = st.sub.ghost;
     let full = exec.fidelity == Fidelity::Full;
@@ -95,7 +95,7 @@ pub fn sweep_muscl(
 
         // Reconstruction kernels: one per conserved variable.
         for var in 0..NCONS {
-            let q = st.u[var].data();
+            let q = st.u.var(var);
             let (ql, qr) = (&mut fs.ql[var][..], &mut fs.qr[var][..]);
             let at = &at;
             let fat = &fat;
@@ -183,7 +183,7 @@ pub fn sweep_muscl(
 /// Physical flux of conserved variable `var` along `axis` given the
 /// face-reconstructed value and primitives.
 #[inline]
-fn phys_flux_axis(var: usize, axis: usize, q: f64, va: f64, p: f64) -> f64 {
+pub(crate) fn phys_flux_axis(var: usize, axis: usize, q: f64, va: f64, p: f64) -> f64 {
     match var {
         RHO => q * va,
         EN => (q + p) * va,
@@ -243,11 +243,10 @@ mod tests {
         let sub = Subdomain::new([0, 0, 0], [6, 6, 6], 2);
         let mut st = HydroState::new(grid, sub, Fidelity::Full);
         let en = 0.5 / (GAMMA - 1.0);
-        st.u[RHO].fill(1.0);
-        st.u[EN].fill(en);
-        for v in 0..NCONS {
-            st.u0[v] = st.u[v].clone();
-        }
+        st.u.fill(RHO, 1.0);
+        st.u.fill(EN, en);
+        let u = st.u.clone();
+        st.u0.copy_from(&u);
         let mut exec = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::Full);
         let mut clock = RankClock::new(0);
         crate::eos::primitives(&mut st, &mut exec, &mut clock).unwrap();
@@ -255,8 +254,8 @@ mod tests {
         for k in 0..6 {
             for j in 0..6 {
                 for i in 0..6 {
-                    assert!((st.u0[RHO].get(i, j, k) - 1.0).abs() < 1e-13);
-                    assert!((st.u0[EN].get(i, j, k) - en).abs() < 1e-13);
+                    assert!((st.u0.get(RHO, i, j, k) - 1.0).abs() < 1e-13);
+                    assert!((st.u0.get(EN, i, j, k) - en).abs() < 1e-13);
                 }
             }
         }

@@ -94,8 +94,8 @@ pub fn init(state: &mut HydroState, cfg: &SedovConfig) {
         });
         if inside {
             let (li, lj, lk) = (i - sub.lo[0], j - sub.lo[1], k - sub.lo[2]);
-            let base = state.u[EN].get(li, lj, lk);
-            state.u[EN].set(li, lj, lk, base + e_density);
+            let base = state.u.get(EN, li, lj, lk);
+            state.u.set(EN, li, lj, lk, base + e_density);
         }
     }
 }
@@ -111,7 +111,7 @@ pub fn radial_density_profile(state: &HydroState, nbins: usize) -> Vec<(f64, f64
     let mut sum = vec![0.0; nbins];
     let mut count = vec![0u64; nbins];
     let sub = state.sub;
-    let rho = &state.u[RHO];
+    let rho = &state.u;
     for k in 0..sub.extent(2) {
         for j in 0..sub.extent(1) {
             for i in 0..sub.extent(0) {
@@ -120,7 +120,7 @@ pub fn radial_density_profile(state: &HydroState, nbins: usize) -> Vec<(f64, f64
                     .sqrt();
                 let bin = ((r / r_max) * nbins as f64) as usize;
                 let bin = bin.min(nbins - 1);
-                sum[bin] += rho.get(i, j, k);
+                sum[bin] += rho.get(RHO, i, j, k);
                 count[bin] += 1;
             }
         }
@@ -239,6 +239,6 @@ mod tests {
         let sub = Subdomain::new([0, 0, 0], [64, 64, 64], 1);
         let mut st = HydroState::new(grid, sub, Fidelity::CostOnly);
         init(&mut st, &SedovConfig::default());
-        assert!(st.u[EN].data().len() < 64);
+        assert!(st.u.var(EN).len() < 64);
     }
 }

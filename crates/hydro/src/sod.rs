@@ -63,20 +63,24 @@ pub fn init(state: &mut HydroState, cfg: &SodConfig) {
             for i in 0..sub.extent(0) {
                 let (x, _, _) = grid.zone_center(i + sub.lo[0], j + sub.lo[1], k + sub.lo[2]);
                 let s = if x < x_diaphragm { cfg.left } else { cfg.right };
-                state.u[RHO].set(i, j, k, s.rho);
-                state.u[MX].set(i, j, k, s.rho * s.u);
-                state.u[MY].set(i, j, k, 0.0);
-                state.u[MZ].set(i, j, k, 0.0);
+                state.u.set(RHO, i, j, k, s.rho);
+                state.u.set(MX, i, j, k, s.rho * s.u);
+                state.u.set(MY, i, j, k, 0.0);
+                state.u.set(MZ, i, j, k, 0.0);
                 let e = s.p / (GAMMA - 1.0) + 0.5 * s.rho * s.u * s.u;
-                state.u[EN].set(i, j, k, e);
+                state.u.set(EN, i, j, k, e);
             }
         }
     }
     // Ghosts: copy the nearest owned state (transmissive-ish start).
     for var in 0..crate::state::NCONS {
         for axis in 0..3 {
-            state.u[var].reflect_into_ghost(axis, hsim_mesh::Side::Low, 1.0);
-            state.u[var].reflect_into_ghost(axis, hsim_mesh::Side::High, 1.0);
+            state
+                .u
+                .reflect_into_ghost(var, axis, hsim_mesh::Side::Low, 1.0);
+            state
+                .u
+                .reflect_into_ghost(var, axis, hsim_mesh::Side::High, 1.0);
         }
     }
 }
@@ -232,7 +236,7 @@ pub fn axial_density(state: &HydroState) -> Vec<f64> {
         let mut sum = 0.0;
         for k in 0..e[2] {
             for j in 0..e[1] {
-                sum += state.u[RHO].get(i, j, k);
+                sum += state.u.get(RHO, i, j, k);
             }
         }
         *v = sum / (e[1] * e[2]) as f64;

@@ -1,17 +1,27 @@
 //! The hydrodynamic state on one rank's subdomain.
 
-use hsim_mesh::{Centering, Field, GlobalGrid, Subdomain};
+use hsim_mesh::{GlobalGrid, SoaBlock, Subdomain};
 use hsim_raja::Fidelity;
 
 /// Number of conserved variables: ρ, ρu, ρv, ρw, E.
 pub const NCONS: usize = 5;
 
-/// Conserved-variable indices.
+/// Conserved-variable indices into [`HydroState::u`].
 pub const RHO: usize = 0;
 pub const MX: usize = 1;
 pub const MY: usize = 2;
 pub const MZ: usize = 3;
 pub const EN: usize = 4;
+
+/// Number of primitive variables: vx, vy, vz, p, cs.
+pub const NPRIM: usize = 5;
+
+/// Primitive-variable indices into [`HydroState::prim`].
+pub const VX: usize = 0;
+pub const VY: usize = 1;
+pub const VZ: usize = 2;
+pub const PR: usize = 3;
+pub const CS: usize = 4;
 
 /// Ratio of specific heats (ideal gas).
 pub const GAMMA: f64 = 1.4;
@@ -20,8 +30,19 @@ pub const GAMMA: f64 = 1.4;
 pub const RHO_FLOOR: f64 = 1e-10;
 pub const P_FLOOR: f64 = 1e-12;
 
+/// Default y–z tile shape for fused cache-blocked sweeps. Tile size
+/// never changes results (tiles write disjoint rows), only wall-clock
+/// speed, so any default is correct; the runner overrides it from the
+/// config knob or the calibration probe.
+pub const DEFAULT_TILE: [usize; 2] = [8, 8];
+
 /// The per-rank hydro state: conserved fields, primitive scratch, RK
 /// stage copy, and face-flux scratch.
+///
+/// Conserved and primitive storage are structure-of-arrays slabs
+/// ([`SoaBlock`]): all five variables of a zone row are contiguous
+/// per-variable, var-major, so a cache-blocked tile touches every
+/// variable while resident in cache.
 ///
 /// Under [`Fidelity::CostOnly`] the arrays are not allocated (the
 /// bodies never run); the logical extents are retained so kernel
@@ -30,18 +51,18 @@ pub struct HydroState {
     pub grid: GlobalGrid,
     pub sub: Subdomain,
     pub fidelity: Fidelity,
-    /// Conserved variables (ghost width 1).
-    pub u: Vec<Field>,
+    /// Conserved variables ρ, ρu, ρv, ρw, E (ghost width ≥ 1).
+    pub u: SoaBlock,
     /// RK stage-0 snapshot of `u`.
-    pub u0: Vec<Field>,
-    /// Primitive scratch: velocity components, pressure, sound speed.
-    pub vel: [Field; 3],
-    pub p: Field,
-    pub cs: Field,
+    pub u0: SoaBlock,
+    /// Primitive scratch: vx, vy, vz, pressure, sound speed.
+    pub prim: SoaBlock,
     /// Face-centered scratch: wavespeed and one variable's flux,
     /// sized for the largest axis.
     pub wavespeed: Vec<f64>,
     pub flux: Vec<f64>,
+    /// y–z tile shape used by the fused cache-blocked sweep path.
+    pub tile: [usize; 2],
     /// Simulated physical time.
     pub t: f64,
     /// Completed cycles.
@@ -54,7 +75,7 @@ impl HydroState {
         assert!(sub.ghost >= 1, "hydro needs at least one ghost layer");
         let (alloc_sub, alloc_fidelity) = match fidelity {
             Fidelity::Full => (sub, fidelity),
-            // Cost-only states allocate a token 1³ subdomain so Field
+            // Cost-only states allocate a token 1³ subdomain so slab
             // construction stays cheap while extents for cost purposes
             // come from `sub` itself.
             Fidelity::CostOnly => (
@@ -62,12 +83,9 @@ impl HydroState {
                 fidelity,
             ),
         };
-        let mk = || Field::new(&alloc_sub, Centering::Zone);
-        let u: Vec<Field> = (0..NCONS).map(|_| mk()).collect();
-        let u0: Vec<Field> = (0..NCONS).map(|_| mk()).collect();
-        let vel = [mk(), mk(), mk()];
-        let p = mk();
-        let cs = mk();
+        let u = SoaBlock::new(&alloc_sub, NCONS);
+        let u0 = SoaBlock::new(&alloc_sub, NCONS);
+        let prim = SoaBlock::new(&alloc_sub, NPRIM);
         // Face scratch sized for the largest face grid among axes.
         let face_len = match alloc_fidelity {
             Fidelity::Full => (0..3)
@@ -82,11 +100,10 @@ impl HydroState {
             fidelity,
             u,
             u0,
-            vel,
-            p,
-            cs,
+            prim,
             wavespeed: vec![0.0; face_len],
             flux: vec![0.0; face_len],
+            tile: DEFAULT_TILE,
             t: 0.0,
             cycle: 0,
         }
@@ -117,13 +134,13 @@ impl HydroState {
     /// Total owned mass (Σ ρ · V).
     pub fn total_mass(&self) -> f64 {
         let h = self.dx();
-        self.u[RHO].sum_owned() * h * h * h
+        self.u.sum_owned(RHO) * h * h * h
     }
 
     /// Total owned energy (Σ E · V).
     pub fn total_energy(&self) -> f64 {
         let h = self.dx();
-        self.u[EN].sum_owned() * h * h * h
+        self.u.sum_owned(EN) * h * h * h
     }
 
     /// Initialize a uniform ambient gas: density `rho0`, pressure
@@ -132,11 +149,11 @@ impl HydroState {
         if self.fidelity == Fidelity::CostOnly {
             return;
         }
-        self.u[RHO].fill(rho0);
-        self.u[MX].fill(0.0);
-        self.u[MY].fill(0.0);
-        self.u[MZ].fill(0.0);
-        self.u[EN].fill(p0 / (GAMMA - 1.0));
+        self.u.fill(RHO, rho0);
+        self.u.fill(MX, 0.0);
+        self.u.fill(MY, 0.0);
+        self.u.fill(MZ, 0.0);
+        self.u.fill(EN, p0 / (GAMMA - 1.0));
     }
 
     /// Face-grid dimensions along `axis` (owned).
@@ -170,10 +187,14 @@ mod tests {
         let s = small();
         assert_eq!(s.ext(), [8, 8, 8]);
         assert_eq!(s.ext_all(), [10, 10, 10]);
-        assert_eq!(s.u.len(), NCONS);
-        assert_eq!(s.u[RHO].data().len(), 1000);
+        assert_eq!(s.u.nvar(), NCONS);
+        assert_eq!(s.u.var(RHO).len(), 1000);
+        // The conserved slab is one contiguous allocation of all vars.
+        assert_eq!(s.u.slab().len(), NCONS * 1000);
+        assert_eq!(s.prim.nvar(), NPRIM);
         // Face scratch must fit any axis: (8+1)*8*8.
         assert!(s.wavespeed.len() >= 9 * 64);
+        assert_eq!(s.tile, DEFAULT_TILE);
     }
 
     #[test]
@@ -184,7 +205,7 @@ mod tests {
         // Logical extents are the real ones…
         assert_eq!(s.ext(), [320, 480, 160]);
         // …but allocation is token-sized.
-        assert!(s.u[RHO].data().len() < 64);
+        assert!(s.u.var(RHO).len() < 64);
         assert_eq!(s.wavespeed.len(), 1);
     }
 
@@ -193,7 +214,7 @@ mod tests {
         let mut s = small();
         s.init_ambient(1.0, 0.4);
         // E = p/(γ-1) = 0.4/0.4 = 1.0 per zone.
-        assert!((s.u[EN].get(3, 3, 3) - 1.0).abs() < 1e-12);
+        assert!((s.u.get(EN, 3, 3, 3) - 1.0).abs() < 1e-12);
         let h = s.dx();
         let expect_mass = 1.0 * (8.0 * h) * (8.0 * h) * (8.0 * h);
         assert!((s.total_mass() - expect_mass).abs() < 1e-12);

@@ -133,12 +133,12 @@ pub fn init(state: &mut HydroState, cfg: &PerturbedConfig) {
                     vmax * f_v[1].eval(x, y, z),
                     vmax * f_v[2].eval(x, y, z),
                 ];
-                state.u[RHO].set(i, j, k, rho);
-                state.u[MX].set(i, j, k, rho * vel[0]);
-                state.u[MY].set(i, j, k, rho * vel[1]);
-                state.u[MZ].set(i, j, k, rho * vel[2]);
+                state.u.set(RHO, i, j, k, rho);
+                state.u.set(MX, i, j, k, rho * vel[0]);
+                state.u.set(MY, i, j, k, rho * vel[1]);
+                state.u.set(MZ, i, j, k, rho * vel[2]);
                 let ke = 0.5 * rho * (vel[0] * vel[0] + vel[1] * vel[1] + vel[2] * vel[2]);
-                state.u[EN].set(i, j, k, p / (GAMMA - 1.0) + ke);
+                state.u.set(EN, i, j, k, p / (GAMMA - 1.0) + ke);
             }
         }
     }
@@ -164,7 +164,7 @@ mod tests {
         let mut b = state(12);
         init(&mut a, &PerturbedConfig::default());
         init(&mut b, &PerturbedConfig::default());
-        for (x, y) in a.u[RHO].data().iter().zip(b.u[RHO].data()) {
+        for (x, y) in a.u.var(RHO).iter().zip(b.u.var(RHO)) {
             assert_eq!(x.to_bits(), y.to_bits());
         }
     }
@@ -181,14 +181,14 @@ mod tests {
                 ..Default::default()
             },
         );
-        let same = a.u[RHO]
-            .data()
-            .iter()
-            .zip(b.u[RHO].data())
-            .filter(|(x, y)| x == y)
-            .count();
+        let same =
+            a.u.var(RHO)
+                .iter()
+                .zip(b.u.var(RHO))
+                .filter(|(x, y)| x == y)
+                .count();
         // Ghosts are zero in both; owned values must differ broadly.
-        assert!(same < a.u[RHO].data().len() / 2);
+        assert!(same < a.u.var(RHO).len() / 2);
     }
 
     #[test]
@@ -204,8 +204,8 @@ mod tests {
         for k in 0..16 {
             for j in 0..16 {
                 for i in 0..16 {
-                    let rho = st.u[RHO].get(i, j, k);
-                    let en = st.u[EN].get(i, j, k);
+                    let rho = st.u.get(RHO, i, j, k);
+                    let en = st.u.get(EN, i, j, k);
                     assert!(rho > 0.0 && rho.is_finite());
                     assert!(en > 0.0 && en.is_finite());
                 }
@@ -234,8 +234,8 @@ mod tests {
             for j in 0..16 {
                 for i in 0..8 {
                     assert_eq!(
-                        part.u[RHO].get(i, j, k).to_bits(),
-                        whole.u[RHO].get(i + 8, j, k).to_bits()
+                        part.u.get(RHO, i, j, k).to_bits(),
+                        whole.u.get(RHO, i + 8, j, k).to_bits()
                     );
                 }
             }
@@ -268,7 +268,7 @@ mod tests {
             }
             assert!(((st.total_mass() - m0) / m0).abs() < 1e-10, "seed {seed}");
             assert!(((st.total_energy() - e0) / e0).abs() < 1e-10, "seed {seed}");
-            for v in st.u[RHO].data() {
+            for v in st.u.var(RHO) {
                 assert!(v.is_finite());
             }
         }

@@ -5,6 +5,11 @@
 //! portability layer receive the raw slice and strides; the pack/
 //! unpack helpers here implement the functional side of the halo
 //! exchange.
+//!
+//! The geometry itself (dims/strides/pack/unpack/reflect over one
+//! core+ghost box) is implemented once as free functions at the bottom
+//! of this module, shared with the multi-variable
+//! [`SoaBlock`](crate::soa::SoaBlock) slab.
 
 use crate::domain::Subdomain;
 
@@ -67,8 +72,7 @@ impl Field {
 
     /// Total allocated extents (core + 2·ghost).
     pub fn dims(&self) -> [usize; 3] {
-        let g = 2 * self.ghost;
-        [self.core[0] + g, self.core[1] + g, self.core[2] + g]
+        dims_of(self.core, self.ghost)
     }
 
     /// Core (owned) extents.
@@ -78,8 +82,7 @@ impl Field {
 
     /// Strides (x, y, z) of the allocated array, x fastest.
     pub fn strides(&self) -> [usize; 3] {
-        let d = self.dims();
-        [1, d[0], d[0] * d[1]]
+        strides_of(self.core, self.ghost)
     }
 
     /// Linear index of core-relative coordinates (may address ghosts
@@ -127,178 +130,282 @@ impl Field {
 
     /// Fill owned entries only.
     pub fn fill_owned(&mut self, v: f64) {
-        let g = self.ghost;
-        let s = self.strides();
-        for k in 0..self.core[2] {
-            for j in 0..self.core[1] {
-                let row = (k + g) * s[2] + (j + g) * s[1] + g;
-                self.data[row..row + self.core[0]].fill(v);
-            }
-        }
+        fill_owned_in(self.core, self.ghost, &mut self.data, v);
     }
 
     /// Sum of owned entries (conservation checks).
     pub fn sum_owned(&self) -> f64 {
-        let g = self.ghost;
-        let s = self.strides();
-        let mut total = 0.0;
-        for k in 0..self.core[2] {
-            for j in 0..self.core[1] {
-                let row = (k + g) * s[2] + (j + g) * s[1] + g;
-                total += self.data[row..row + self.core[0]].iter().sum::<f64>();
-            }
-        }
-        total
+        sum_owned_in(self.core, self.ghost, &self.data)
     }
 
     /// Number of f64 values in one face strip of `width` layers.
     pub fn face_len(&self, axis: usize, width: usize) -> usize {
-        let mut len = width;
-        for a in 0..3 {
-            if a != axis {
-                len *= self.core[a];
-            }
-        }
-        len
+        face_len_of(self.core, axis, width)
     }
 
     /// Pack the outermost `width` owned layers on `side` of `axis`
     /// into a buffer (k, j, i ascending order).
     pub fn pack_face(&self, axis: usize, side: Side, width: usize) -> Vec<f64> {
-        assert!(width <= self.core[axis], "face wider than the core");
-        let range = |a: usize| -> (usize, usize) {
-            if a == axis {
-                match side {
-                    Side::Low => (0, width),
-                    Side::High => (self.core[a] - width, self.core[a]),
-                }
-            } else {
-                (0, self.core[a])
-            }
-        };
-        let (i0, i1) = range(0);
-        let (j0, j1) = range(1);
-        let (k0, k1) = range(2);
-        let mut out = Vec::with_capacity((i1 - i0) * (j1 - j0) * (k1 - k0));
-        for k in k0..k1 {
-            for j in j0..j1 {
-                let base = self.idx_owned(i0, j, k);
-                out.extend_from_slice(&self.data[base..base + (i1 - i0)]);
-            }
-        }
-        out
+        pack_face_in(self.core, self.ghost, &self.data, axis, side, width)
     }
 
     /// Unpack a neighbor's face buffer into the ghost layers on `side`
     /// of `axis` (the mirror of [`Field::pack_face`] on the peer).
     pub fn unpack_ghost(&mut self, axis: usize, side: Side, width: usize, buf: &[f64]) {
-        assert!(width <= self.ghost, "ghost layer narrower than the message");
-        let g = self.ghost;
-        // Ghost index range in allocated coordinates along `axis`.
-        let range = |a: usize| -> (usize, usize) {
-            if a == axis {
-                match side {
-                    Side::Low => (g - width, g),
-                    Side::High => (g + self.core[a], g + self.core[a] + width),
-                }
-            } else {
-                (g, g + self.core[a])
-            }
-        };
-        let (i0, i1) = range(0);
-        let (j0, j1) = range(1);
-        let (k0, k1) = range(2);
-        assert_eq!(buf.len(), (i1 - i0) * (j1 - j0) * (k1 - k0));
-        let s = self.strides();
-        let mut cursor = 0;
-        for k in k0..k1 {
-            for j in j0..j1 {
-                let base = i0 + j * s[1] + k * s[2];
-                let n = i1 - i0;
-                self.data[base..base + n].copy_from_slice(&buf[cursor..cursor + n]);
-                cursor += n;
-            }
-        }
+        unpack_ghost_in(
+            self.core,
+            self.ghost,
+            &mut self.data,
+            axis,
+            side,
+            width,
+            buf,
+        );
     }
 
     /// Pack an arbitrary box `[lo, hi)` in *allocated* local
     /// coordinates (so ghosts are addressable) into a buffer, k, j, i
     /// ascending.
     pub fn pack_box(&self, lo: [usize; 3], hi: [usize; 3]) -> Vec<f64> {
-        let d = self.dims();
-        assert!(
-            (0..3).all(|a| lo[a] < hi[a] && hi[a] <= d[a]),
-            "box {lo:?}..{hi:?} outside field dims {d:?}"
-        );
-        let s = self.strides();
-        let n = (hi[0] - lo[0]) * (hi[1] - lo[1]) * (hi[2] - lo[2]);
-        let mut out = Vec::with_capacity(n);
-        for k in lo[2]..hi[2] {
-            for j in lo[1]..hi[1] {
-                let base = lo[0] + j * s[1] + k * s[2];
-                out.extend_from_slice(&self.data[base..base + (hi[0] - lo[0])]);
-            }
-        }
-        out
+        pack_box_in(self.core, self.ghost, &self.data, lo, hi)
     }
 
     /// Unpack a buffer (as produced by [`Field::pack_box`]) into the
     /// box `[lo, hi)` in allocated local coordinates.
     pub fn unpack_box(&mut self, lo: [usize; 3], hi: [usize; 3], buf: &[f64]) {
-        let d = self.dims();
-        assert!(
-            (0..3).all(|a| lo[a] < hi[a] && hi[a] <= d[a]),
-            "box {lo:?}..{hi:?} outside field dims {d:?}"
-        );
-        let n = (hi[0] - lo[0]) * (hi[1] - lo[1]) * (hi[2] - lo[2]);
-        assert_eq!(buf.len(), n, "buffer length mismatch");
-        let s = self.strides();
-        let mut cursor = 0;
-        let run = hi[0] - lo[0];
-        for k in lo[2]..hi[2] {
-            for j in lo[1]..hi[1] {
-                let base = lo[0] + j * s[1] + k * s[2];
-                self.data[base..base + run].copy_from_slice(&buf[cursor..cursor + run]);
-                cursor += run;
-            }
-        }
+        unpack_box_in(self.core, self.ghost, &mut self.data, lo, hi, buf);
     }
 
     /// Mirror the owned boundary layer into the ghost layer on a
     /// physical boundary (reflecting BC support).
     pub fn reflect_into_ghost(&mut self, axis: usize, side: Side, sign: f64) {
-        let g = self.ghost;
-        if g == 0 {
-            return;
+        reflect_into_ghost_in(self.core, self.ghost, &mut self.data, axis, side, sign);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared geometry kernels.
+//
+// One variable's geometry is a dense core+ghost box, x fastest. `Field`
+// (one variable per allocation) and `SoaBlock` (all variables packed in
+// one slab) share these implementations, parameterized by
+// (core, ghost, data-slice) so neither container pays for the other.
+// ---------------------------------------------------------------------------
+
+pub(crate) fn dims_of(core: [usize; 3], ghost: usize) -> [usize; 3] {
+    let g = 2 * ghost;
+    [core[0] + g, core[1] + g, core[2] + g]
+}
+
+pub(crate) fn strides_of(core: [usize; 3], ghost: usize) -> [usize; 3] {
+    let d = dims_of(core, ghost);
+    [1, d[0], d[0] * d[1]]
+}
+
+#[inline]
+pub(crate) fn idx_in(core: [usize; 3], ghost: usize, i: usize, j: usize, k: usize) -> usize {
+    let s = strides_of(core, ghost);
+    i + j * s[1] + k * s[2]
+}
+
+#[inline]
+pub(crate) fn idx_owned_in(core: [usize; 3], ghost: usize, i: usize, j: usize, k: usize) -> usize {
+    debug_assert!(i < core[0] && j < core[1] && k < core[2]);
+    idx_in(core, ghost, i + ghost, j + ghost, k + ghost)
+}
+
+pub(crate) fn fill_owned_in(core: [usize; 3], ghost: usize, data: &mut [f64], v: f64) {
+    let s = strides_of(core, ghost);
+    for k in 0..core[2] {
+        for j in 0..core[1] {
+            let row = (k + ghost) * s[2] + (j + ghost) * s[1] + ghost;
+            data[row..row + core[0]].fill(v);
         }
-        let face = self.pack_face(axis, side, g);
-        // Reverse the layer order along `axis` so the nearest owned
-        // layer lands in the nearest ghost layer.
-        let mut mirrored = vec![0.0; face.len()];
-        let layer = self.face_len(axis, 1);
-        debug_assert_eq!(face.len(), layer * g);
-        // pack_face orders k,j,i ascending; along x the layers are
-        // interleaved, so handle the general case index-wise.
-        if axis == 0 {
-            // For axis 0 the "layers" are contiguous runs of length g
-            // within each row; easier to mirror via index arithmetic.
-            let rows = face.len() / g;
-            for r in 0..rows {
-                for w in 0..g {
-                    mirrored[r * g + w] = sign * face[r * g + (g - 1 - w)];
-                }
+    }
+}
+
+pub(crate) fn sum_owned_in(core: [usize; 3], ghost: usize, data: &[f64]) -> f64 {
+    let s = strides_of(core, ghost);
+    let mut total = 0.0;
+    for k in 0..core[2] {
+        for j in 0..core[1] {
+            let row = (k + ghost) * s[2] + (j + ghost) * s[1] + ghost;
+            total += data[row..row + core[0]].iter().sum::<f64>();
+        }
+    }
+    total
+}
+
+pub(crate) fn face_len_of(core: [usize; 3], axis: usize, width: usize) -> usize {
+    let mut len = width;
+    for (a, &extent) in core.iter().enumerate() {
+        if a != axis {
+            len *= extent;
+        }
+    }
+    len
+}
+
+pub(crate) fn pack_face_in(
+    core: [usize; 3],
+    ghost: usize,
+    data: &[f64],
+    axis: usize,
+    side: Side,
+    width: usize,
+) -> Vec<f64> {
+    assert!(width <= core[axis], "face wider than the core");
+    let range = |a: usize| -> (usize, usize) {
+        if a == axis {
+            match side {
+                Side::Low => (0, width),
+                Side::High => (core[a] - width, core[a]),
             }
         } else {
+            (0, core[a])
+        }
+    };
+    let (i0, i1) = range(0);
+    let (j0, j1) = range(1);
+    let (k0, k1) = range(2);
+    let mut out = Vec::with_capacity((i1 - i0) * (j1 - j0) * (k1 - k0));
+    for k in k0..k1 {
+        for j in j0..j1 {
+            let base = idx_owned_in(core, ghost, i0, j, k);
+            out.extend_from_slice(&data[base..base + (i1 - i0)]);
+        }
+    }
+    out
+}
+
+pub(crate) fn unpack_ghost_in(
+    core: [usize; 3],
+    ghost: usize,
+    data: &mut [f64],
+    axis: usize,
+    side: Side,
+    width: usize,
+    buf: &[f64],
+) {
+    assert!(width <= ghost, "ghost layer narrower than the message");
+    let g = ghost;
+    // Ghost index range in allocated coordinates along `axis`.
+    let range = |a: usize| -> (usize, usize) {
+        if a == axis {
+            match side {
+                Side::Low => (g - width, g),
+                Side::High => (g + core[a], g + core[a] + width),
+            }
+        } else {
+            (g, g + core[a])
+        }
+    };
+    let (i0, i1) = range(0);
+    let (j0, j1) = range(1);
+    let (k0, k1) = range(2);
+    assert_eq!(buf.len(), (i1 - i0) * (j1 - j0) * (k1 - k0));
+    let s = strides_of(core, ghost);
+    let mut cursor = 0;
+    for k in k0..k1 {
+        for j in j0..j1 {
+            let base = i0 + j * s[1] + k * s[2];
+            let n = i1 - i0;
+            data[base..base + n].copy_from_slice(&buf[cursor..cursor + n]);
+            cursor += n;
+        }
+    }
+}
+
+pub(crate) fn pack_box_in(
+    core: [usize; 3],
+    ghost: usize,
+    data: &[f64],
+    lo: [usize; 3],
+    hi: [usize; 3],
+) -> Vec<f64> {
+    let d = dims_of(core, ghost);
+    assert!(
+        (0..3).all(|a| lo[a] < hi[a] && hi[a] <= d[a]),
+        "box {lo:?}..{hi:?} outside field dims {d:?}"
+    );
+    let s = strides_of(core, ghost);
+    let n = (hi[0] - lo[0]) * (hi[1] - lo[1]) * (hi[2] - lo[2]);
+    let mut out = Vec::with_capacity(n);
+    for k in lo[2]..hi[2] {
+        for j in lo[1]..hi[1] {
+            let base = lo[0] + j * s[1] + k * s[2];
+            out.extend_from_slice(&data[base..base + (hi[0] - lo[0])]);
+        }
+    }
+    out
+}
+
+pub(crate) fn unpack_box_in(
+    core: [usize; 3],
+    ghost: usize,
+    data: &mut [f64],
+    lo: [usize; 3],
+    hi: [usize; 3],
+    buf: &[f64],
+) {
+    let d = dims_of(core, ghost);
+    assert!(
+        (0..3).all(|a| lo[a] < hi[a] && hi[a] <= d[a]),
+        "box {lo:?}..{hi:?} outside field dims {d:?}"
+    );
+    let n = (hi[0] - lo[0]) * (hi[1] - lo[1]) * (hi[2] - lo[2]);
+    assert_eq!(buf.len(), n, "buffer length mismatch");
+    let s = strides_of(core, ghost);
+    let mut cursor = 0;
+    let run = hi[0] - lo[0];
+    for k in lo[2]..hi[2] {
+        for j in lo[1]..hi[1] {
+            let base = lo[0] + j * s[1] + k * s[2];
+            data[base..base + run].copy_from_slice(&buf[cursor..cursor + run]);
+            cursor += run;
+        }
+    }
+}
+
+pub(crate) fn reflect_into_ghost_in(
+    core: [usize; 3],
+    ghost: usize,
+    data: &mut [f64],
+    axis: usize,
+    side: Side,
+    sign: f64,
+) {
+    let g = ghost;
+    if g == 0 {
+        return;
+    }
+    let face = pack_face_in(core, ghost, data, axis, side, g);
+    // Reverse the layer order along `axis` so the nearest owned
+    // layer lands in the nearest ghost layer.
+    let mut mirrored = vec![0.0; face.len()];
+    let layer = face_len_of(core, axis, 1);
+    debug_assert_eq!(face.len(), layer * g);
+    // pack_face orders k,j,i ascending; along x the layers are
+    // interleaved, so handle the general case index-wise.
+    if axis == 0 {
+        // For axis 0 the "layers" are contiguous runs of length g
+        // within each row; easier to mirror via index arithmetic.
+        let rows = face.len() / g;
+        for r in 0..rows {
             for w in 0..g {
-                let src = &face[w * layer..(w + 1) * layer];
-                let dst = &mut mirrored[(g - 1 - w) * layer..(g - w) * layer];
-                for (d, s) in dst.iter_mut().zip(src) {
-                    *d = sign * s;
-                }
+                mirrored[r * g + w] = sign * face[r * g + (g - 1 - w)];
             }
         }
-        self.unpack_ghost(axis, side, g, &mirrored);
+    } else {
+        for w in 0..g {
+            let src = &face[w * layer..(w + 1) * layer];
+            let dst = &mut mirrored[(g - 1 - w) * layer..(g - w) * layer];
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = sign * s;
+            }
+        }
     }
+    unpack_ghost_in(core, ghost, data, axis, side, g, &mirrored);
 }
 
 #[cfg(test)]

@@ -28,9 +28,11 @@ pub mod field;
 pub mod grid;
 pub mod halo;
 pub mod metrics;
+pub mod soa;
 
 pub use decomp::{Decomposition, OwnerKind};
 pub use domain::Subdomain;
 pub use field::{Centering, Field, Side};
 pub use grid::GlobalGrid;
 pub use halo::{Exchange, HaloPlan};
+pub use soa::SoaBlock;

@@ -16,6 +16,7 @@ use hsim_time::clock::ChargeKind;
 use hsim_time::{RankClock, SimTime};
 
 use crate::cpu::CpuModel;
+use crate::indexset::{Tile2, TileSet2};
 use crate::multipolicy::{MultiPolicy, PolicyChoice};
 use crate::pool::WorkPool;
 use crate::registry::KernelRegistry;
@@ -301,6 +302,58 @@ impl Executor {
             clock.charge(ChargeKind::Memory, client.spec().xfer_time(8));
         }
         Ok(acc)
+    }
+
+    /// Charge the virtual cost and registry record of a 3D launch
+    /// without running a body — byte-for-byte the accounting half of
+    /// [`Executor::forall3`].
+    ///
+    /// Fused cache-blocked kernels use this to replay the *legacy*
+    /// launch sequence (same descriptors, shapes, and order, so
+    /// virtual time, launch counts, telemetry spans, and figure output
+    /// are unchanged) while the arithmetic itself executes once via
+    /// [`Executor::run_tiles`].
+    pub fn charge3(
+        &mut self,
+        clock: &mut RankClock,
+        desc: &KernelDesc,
+        ext: [usize; 3],
+    ) -> Result<(), GpuError> {
+        let elems = (ext[0] * ext[1] * ext[2]) as u64;
+        let shape = KernelShape::new(elems, ext[0].min(u32::MAX as usize) as u32);
+        self.charge_launch(clock, desc, shape)?;
+        self.registry.record_launch(desc.name, elems);
+        Ok(())
+    }
+
+    /// Execute a fused tile body over every tile of `tiles`, charging
+    /// nothing (cost is accounted by the [`Executor::charge3`] calls
+    /// that precede it).
+    ///
+    /// Under [`Fidelity::Full`] with [`Target::CpuParallel`], tiles are
+    /// handed out whole to the persistent pool (chunk size 1), so each
+    /// tile's rows are written by exactly one worker; every other
+    /// target runs tiles serially in handout order on the host thread.
+    /// Tile bodies write disjoint rows, so results are identical for
+    /// any worker count. Under [`Fidelity::CostOnly`] bodies are
+    /// skipped entirely.
+    pub fn run_tiles<F>(&mut self, tiles: &TileSet2, body: F)
+    where
+        F: Fn(Tile2) + Send + Sync,
+    {
+        if self.fidelity != Fidelity::Full {
+            return;
+        }
+        match &self.target {
+            Target::CpuParallel { pool } => {
+                pool.for_each(0, tiles.len(), 1, |t| body(tiles.tile(t)));
+            }
+            _ => {
+                for t in tiles.iter() {
+                    body(t);
+                }
+            }
+        }
     }
 
     /// Charge the virtual cost of one launch according to the target.
@@ -728,6 +781,59 @@ mod tests {
         // a backoff wait.
         assert_eq!(clock.bucket(ChargeKind::Compute), baseline + baseline);
         assert!(clock.bucket(ChargeKind::Wait) >= hsim_faults::backoff_delay(0));
+    }
+
+    #[test]
+    fn charge3_matches_forall3_accounting_exactly() {
+        let ext = [24usize, 16, 8];
+        let mut a = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::Full);
+        let mut ca = RankClock::new(0);
+        a.forall3(&mut ca, &desc(), ext, |_, _, _| {}).unwrap();
+        let mut b = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::Full);
+        let mut cb = RankClock::new(0);
+        b.charge3(&mut cb, &desc(), ext).unwrap();
+        assert_eq!(ca.now(), cb.now());
+        assert_eq!(a.registry.report()[0].elems, b.registry.report()[0].elems);
+        assert_eq!(a.registry.total_launches(), b.registry.total_launches());
+    }
+
+    #[test]
+    fn run_tiles_covers_the_plane_once_and_charges_nothing() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let tiles = crate::indexset::TileSet2::new(13, 7, [4, 4]);
+        for mut exec in [
+            Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::Full),
+            Executor::new(
+                Target::cpu_parallel(4),
+                CpuModel::haswell_fixed(),
+                Fidelity::Full,
+            ),
+        ] {
+            let clock = RankClock::new(0);
+            let cells: Vec<AtomicU64> = (0..13 * 7).map(|_| AtomicU64::new(0)).collect();
+            exec.run_tiles(&tiles, |t| {
+                for k in t.k0..t.k1 {
+                    for j in t.j0..t.j1 {
+                        cells[k * 13 + j].fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+            assert!(cells.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+            // No virtual time moved and no launches were recorded.
+            assert_eq!(clock.now(), SimTime::ZERO);
+            assert_eq!(exec.registry.total_launches(), 0);
+        }
+    }
+
+    #[test]
+    fn run_tiles_skips_bodies_under_cost_only() {
+        let mut exec = Executor::new(
+            Target::CpuSeq,
+            CpuModel::haswell_fixed(),
+            Fidelity::CostOnly,
+        );
+        let tiles = crate::indexset::TileSet2::new(4, 4, [2, 2]);
+        exec.run_tiles(&tiles, |_| panic!("body must not run under CostOnly"));
     }
 
     #[test]

@@ -46,14 +46,16 @@ pub mod indexset;
 pub mod multipolicy;
 pub mod pool;
 pub mod registry;
+pub mod rows;
 pub mod sched_model;
 pub mod simgpu;
 
 pub use cpu::CpuModel;
 pub use dispatch::{select_policy, Arch, AresPolicy, PolicyKind};
 pub use forall::{Executor, Fidelity, Target};
-pub use indexset::{IndexSet, Segment};
+pub use indexset::{IndexSet, Segment, Tile2, TileSet2};
 pub use multipolicy::{MultiPolicy, PolicyChoice};
 pub use pool::WorkPool;
 pub use registry::KernelRegistry;
+pub use rows::{DisjointRowsMut, RowGuard};
 pub use simgpu::{GpuClient, SharedDevice};

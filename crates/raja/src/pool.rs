@@ -11,7 +11,7 @@
 //! the caller's stack — runs on the *persistent* workers. Borrowed
 //! closures are handed across via a lifetime-erased job slot: the
 //! coordinator publishes a raw pointer to the body, and the
-//! acquire/release handoff on [`Job::remaining`] guarantees every
+//! acquire/release handoff on the job's `remaining` counter guarantees every
 //! worker has exited the body before `for_chunks` returns, so the
 //! borrow is live for exactly as long as any thread can touch it.
 //! No region ever spawns a thread.

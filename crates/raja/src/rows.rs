@@ -1,0 +1,185 @@
+//! Disjoint mutable row views over one contiguous slab.
+//!
+//! Fused tile kernels run on the work pool with each tile writing its
+//! own set of x-rows of the output slab. Rust cannot express "many
+//! `&mut` rows of one slice, each owned by a different worker" without
+//! interior mutability, so [`DisjointRowsMut`] provides exactly that:
+//! a shared view over an exclusively borrowed slab that hands out
+//! per-row `&mut [f64]` guards, with an atomic claim flag per row that
+//! turns any aliasing bug into a deterministic panic instead of UB.
+//!
+//! This is the only `unsafe` the tentpole adds, and it is confined to
+//! this module — `hsim-hydro` itself stays `#![forbid(unsafe_code)]`
+//! and consumes rows through the safe guard API.
+
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A shared view of a mutable slab, divided into fixed-length rows
+/// that can each be claimed (exclusively) from any thread.
+pub struct DisjointRowsMut<'a> {
+    ptr: *mut f64,
+    row_len: usize,
+    claimed: Box<[AtomicBool]>,
+    _slab: PhantomData<&'a mut [f64]>,
+}
+
+// SAFETY: the view is constructed from an exclusive `&mut [f64]`
+// borrow held for 'a, so no other alias of the slab exists. Row
+// access goes through `claim`, whose per-row atomic swap guarantees at
+// most one live guard per row; distinct rows are disjoint memory.
+unsafe impl Send for DisjointRowsMut<'_> {}
+// SAFETY: see the `Send` impl — concurrent `claim` calls are
+// serialized per row by the atomic flag, and disjoint rows never
+// overlap.
+unsafe impl Sync for DisjointRowsMut<'_> {}
+
+impl<'a> DisjointRowsMut<'a> {
+    /// Split `slab` into `slab.len() / row_len` claimable rows. The
+    /// slab length must be a whole number of rows.
+    pub fn new(slab: &'a mut [f64], row_len: usize) -> Self {
+        assert!(row_len > 0, "rows must be non-empty");
+        assert_eq!(
+            slab.len() % row_len,
+            0,
+            "slab length {} is not a whole number of {row_len}-element rows",
+            slab.len()
+        );
+        let rows = slab.len() / row_len;
+        DisjointRowsMut {
+            ptr: slab.as_mut_ptr(),
+            row_len,
+            claimed: (0..rows).map(|_| AtomicBool::new(false)).collect(),
+            _slab: PhantomData,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.claimed.len()
+    }
+
+    /// Elements per row.
+    pub fn row_len(&self) -> usize {
+        self.row_len
+    }
+
+    /// Claim exclusive access to row `r` until the guard drops.
+    ///
+    /// Panics if `r` is out of range or the row is already claimed —
+    /// disjoint-tile schedules never claim a row twice concurrently,
+    /// so a panic here means the tiling (not this view) is wrong.
+    pub fn claim(&self, r: usize) -> RowGuard<'_> {
+        let flag = &self.claimed[r];
+        assert!(
+            !flag.swap(true, Ordering::Acquire),
+            "row {r} claimed twice concurrently (overlapping tiles?)"
+        );
+        let start = r * self.row_len;
+        // SAFETY: the slab outlives `self` (PhantomData borrow), `r`
+        // is in range (checked by the indexing above), rows are
+        // disjoint `row_len`-sized windows, and the Acquire swap just
+        // made this thread the row's unique owner until the guard's
+        // Release store in `Drop`.
+        let slice = unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), self.row_len) };
+        RowGuard { slice, flag }
+    }
+}
+
+/// Exclusive access to one row; releases the claim on drop so
+/// sequential phases can re-claim the same rows.
+pub struct RowGuard<'a> {
+    slice: &'a mut [f64],
+    flag: &'a AtomicBool,
+}
+
+impl Deref for RowGuard<'_> {
+    type Target = [f64];
+
+    fn deref(&self) -> &[f64] {
+        self.slice
+    }
+}
+
+impl DerefMut for RowGuard<'_> {
+    fn deref_mut(&mut self) -> &mut [f64] {
+        self.slice
+    }
+}
+
+impl Drop for RowGuard<'_> {
+    fn drop(&mut self) {
+        // Release pairs with the Acquire swap in `claim`: a later
+        // claimant (possibly on another thread) sees every write made
+        // through this guard.
+        self.flag.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::WorkPool;
+
+    #[test]
+    fn rows_partition_the_slab() {
+        let mut slab = vec![0.0f64; 12];
+        let view = DisjointRowsMut::new(&mut slab, 4);
+        assert_eq!(view.rows(), 3);
+        assert_eq!(view.row_len(), 4);
+        for r in 0..3 {
+            let mut row = view.claim(r);
+            row.fill(r as f64 + 1.0);
+        }
+        drop(view);
+        assert_eq!(slab[..4], [1.0; 4]);
+        assert_eq!(slab[4..8], [2.0; 4]);
+        assert_eq!(slab[8..], [3.0; 4]);
+    }
+
+    #[test]
+    fn rows_are_reclaimable_after_release() {
+        let mut slab = vec![0.0f64; 8];
+        let view = DisjointRowsMut::new(&mut slab, 4);
+        {
+            let mut row = view.claim(1);
+            row[0] = 5.0;
+        }
+        let row = view.claim(1);
+        assert_eq!(row[0], 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "claimed twice")]
+    fn double_claim_panics() {
+        let mut slab = vec![0.0f64; 8];
+        let view = DisjointRowsMut::new(&mut slab, 4);
+        let _a = view.claim(0);
+        let _b = view.claim(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number")]
+    fn ragged_slab_is_rejected() {
+        let mut slab = vec![0.0f64; 10];
+        let _ = DisjointRowsMut::new(&mut slab, 4);
+    }
+
+    #[test]
+    fn parallel_disjoint_writes_land_exactly_once() {
+        let pool = WorkPool::new(3);
+        let mut slab = vec![0.0f64; 64 * 16];
+        let view = DisjointRowsMut::new(&mut slab, 16);
+        pool.for_each(0, 64, 1, |r| {
+            let mut row = view.claim(r);
+            for (i, v) in row.iter_mut().enumerate() {
+                *v = (r * 16 + i) as f64;
+            }
+        });
+        drop(view);
+        for (i, v) in slab.iter().enumerate() {
+            assert_eq!(*v, i as f64);
+        }
+    }
+}

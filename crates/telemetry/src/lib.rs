@@ -8,7 +8,7 @@
 //!   virtual-time distributions (Welford + fixed-bucket histogram).
 //!   Handles are enum variants indexing fixed arrays, so recording is
 //!   an array store, never a hash lookup or allocation.
-//! * [`span`] / [`chrome`] — structured span tracing (rank, stream,
+//! * [`mod@span`] / [`chrome`] — structured span tracing (rank, stream,
 //!   kernel, and message spans with categories and key/value
 //!   attributes) exporting Chrome trace-event JSON loadable in
 //!   Perfetto or `chrome://tracing`. The pre-existing ASCII Gantt from

@@ -37,6 +37,10 @@ pub const LINTS: &[(&str, &str)] = &[
         "counter/span names off the fault_*/host_*/snake_case conventions",
     ),
     (
+        "tile-bounds",
+        "indexed `[i]` element access inside run_tiles kernel bodies (require slice re-borrows)",
+    ),
+    (
         "bad-allow",
         "malformed or unknown tidy-allow directive",
     ),
@@ -75,6 +79,11 @@ const EMISSION_FILE_FRAGMENTS: &[&str] = &[
 /// worker-thread factory.
 const THREAD_SPAWN_ALLOWED: &[&str] = &["crates/raja/src/pool.rs"];
 
+/// Where the tile-bounds lint applies: the fused cache-blocked hydro
+/// kernels, whose inner loops must stay free of per-element indexed
+/// access so bounds checks hoist out of the hot x-loops.
+const TILE_KERNEL_PATH: &str = "crates/hydro/src/";
+
 /// Context handed to every pass.
 pub struct FileCtx<'a> {
     /// Workspace-relative path, `/`-separated.
@@ -99,6 +108,7 @@ pub fn run_all(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     safety_comment(ctx, out);
     stray_thread(ctx, out);
     telemetry_naming(ctx, out);
+    tile_bounds(ctx, out);
 }
 
 fn finding(ctx: &FileCtx<'_>, lint: &'static str, line: usize, msg: String) -> Finding {
@@ -354,6 +364,98 @@ fn telemetry_naming(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
             }
         }
     }
+}
+
+/// Lint: no per-element `[i]` indexing inside `run_tiles` kernel
+/// bodies in the fused hydro kernels. Element access there must go
+/// through slice re-borrows (`&row[..]`, `&buf[a..b]`) or iterators,
+/// which keep tile bounds explicit and let bounds checks hoist out of
+/// the hot x-loops; a stray `x[i]` silently re-checks every element.
+fn tile_bounds(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.rel.starts_with(TILE_KERNEL_PATH) {
+        return;
+    }
+    let toks = ctx.toks();
+    let mut i = 0;
+    while i < toks.len() {
+        let call = toks[i].kind == TokKind::Ident
+            && toks[i].text == "run_tiles"
+            && !ctx.is_test[i]
+            && toks.get(i + 1).is_some_and(|t| t.text == "(");
+        if !call {
+            i += 1;
+            continue;
+        }
+        // Walk the run_tiles(...) argument list to its closing paren.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "[" if j > 0 => {
+                    let prev = &toks[j - 1];
+                    // `expr[...]` indexing: the bracket follows a value
+                    // (identifier, `]`, or `)`). Anything else — `&[`,
+                    // `vec![`, attribute brackets — is not an index.
+                    if prev.kind == TokKind::Ident || prev.text == "]" || prev.text == ")" {
+                        let (end, reborrow) = bracket_is_reborrow(toks, j);
+                        if !reborrow {
+                            out.push(finding(
+                                ctx,
+                                "tile-bounds",
+                                toks[j].line,
+                                format!(
+                                    "indexed element access `{}[...]` inside a `run_tiles` kernel \
+                                     body: re-borrow the row as a slice (`&row[..]`, `&buf[a..b]`) \
+                                     or iterate, so tile bounds stay explicit and bounds checks \
+                                     hoist out of the x-loop",
+                                    prev.text
+                                ),
+                            ));
+                        }
+                        j = end;
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}
+
+/// Scan a `[`..`]` pair starting at `open`; returns the index just
+/// past the matching `]` and whether the contents are a range
+/// re-borrow (a `..` at bracket depth 1) rather than a single-element
+/// index.
+fn bracket_is_reborrow(toks: &[Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut reborrow = false;
+    let mut j = open;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "[" | "(" | "{" => depth += 1,
+            "]" | ")" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return (j + 1, reborrow);
+                }
+            }
+            "." if depth == 1 && toks.get(j + 1).is_some_and(|t| t.text == ".") => {
+                reborrow = true;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (j, reborrow)
 }
 
 fn check_span_name(ctx: &FileCtx<'_>, t: &Tok, out: &mut Vec<Finding>) {

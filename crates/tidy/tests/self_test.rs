@@ -94,6 +94,20 @@ fn telemetry_naming_fixture_is_flagged() {
 }
 
 #[test]
+fn tile_bounds_fixture_is_flagged() {
+    // Only the per-element `tgt[i]`/`row[i]` accesses inside the
+    // run_tiles body are findings; the range re-borrow on line 5 and
+    // the indexing outside run_tiles on line 15 are fine.
+    expect(
+        "bad/tile_bounds",
+        &[
+            ("tile-bounds", "crates/hydro/src/fused.rs", 8),
+            ("tile-bounds", "crates/hydro/src/fused.rs", 8),
+        ],
+    );
+}
+
+#[test]
 fn allow_directive_misuse_is_flagged() {
     expect(
         "bad/allows",
@@ -128,7 +142,7 @@ fn good_fixture_is_silent() {
     // And the scan actually visited the files (allows were honored,
     // not the whole tree skipped).
     let report = check_dir(&fixture("good")).expect("fixture scans");
-    assert_eq!(report.files_scanned, 5);
+    assert_eq!(report.files_scanned, 6);
 }
 
 #[test]

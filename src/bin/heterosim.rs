@@ -6,8 +6,13 @@
 //!           [--gpu-direct] [--diffusion KAPPA] [--multipolicy N]
 //!           [--fraction F] [--no-balance] [--faults SPEC]
 //!           [--problem sedov|sod|perturbed] [--trace] [--csv]
-//!           [--host-threads N] [--trace-json PATH] [--metrics-json PATH]
+//!           [--host-threads N] [--tile TY,TZ]
+//!           [--trace-json PATH] [--metrics-json PATH]
 //! ```
+//!
+//! `--tile` pins the y–z tile shape of the fused cache-blocked hydro
+//! kernels (default: one-shot auto-tune probe). Physics and figures
+//! are bitwise-independent of the choice.
 //!
 //! `--faults` takes a fault plan such as
 //! `xfer.delay@rank1.cycle2:ns=200000;rank.loss@rank5.cycle4` (see the
@@ -32,7 +37,8 @@ fn usage() -> ! {
          \x20                [--gpu-direct] [--diffusion KAPPA] [--multipolicy N]\n\
          \x20                [--fraction F] [--no-balance] [--faults SPEC]\n\
          \x20                [--problem sedov|sod|perturbed] [--trace] [--csv]\n\
-         \x20                [--host-threads N] [--trace-json PATH] [--metrics-json PATH]"
+         \x20                [--host-threads N] [--tile TY,TZ]\n\
+         \x20                [--trace-json PATH] [--metrics-json PATH]"
     );
     std::process::exit(2)
 }
@@ -64,6 +70,7 @@ fn main() {
     let mut metrics_json: Option<String> = None;
     let mut problem_choice = heterosim::core::runner::Problem::default();
     let mut host_threads = 1usize;
+    let mut tile: Option<[usize; 2]> = None;
     let mut no_balance = false;
     let mut faults: Option<heterosim::core::faults::FaultPlan> = None;
 
@@ -112,6 +119,17 @@ fn main() {
                 )
             }
             "--host-threads" => host_threads = value().parse().unwrap_or_else(|_| usage()),
+            "--tile" => {
+                let v = value();
+                let parts: Vec<usize> = v
+                    .split(',')
+                    .map(|p| p.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                tile = match parts.as_slice() {
+                    [ty, tz] => Some([*ty, *tz]),
+                    _ => usage(),
+                };
+            }
             "--trace-json" => trace_json = Some(value()),
             "--metrics-json" => metrics_json = Some(value()),
             "--problem" => {
@@ -147,6 +165,7 @@ fn main() {
         problem: problem_choice,
         faults,
         host_threads,
+        tile,
     };
 
     // The balancer re-measures between iterations; a fault plan is

@@ -32,7 +32,7 @@ fn solo_density() -> Vec<f64> {
     for k in 0..N {
         for j in 0..N {
             for i in 0..N {
-                out[(k * N + j) * N + i] = st.u[0].get(i, j, k);
+                out[(k * N + j) * N + i] = st.u.get(0, i, j, k);
             }
         }
     }
@@ -74,7 +74,7 @@ fn mode_density(mode: ExecMode) -> Vec<f64> {
                 for i in 0..sub.extent(0) {
                     out.push((
                         (i + sub.lo[0], j + sub.lo[1], k + sub.lo[2]),
-                        st.u[0].get(i, j, k),
+                        st.u.get(0, i, j, k),
                     ));
                 }
             }

@@ -33,7 +33,7 @@ fn solo_energy_field() -> Vec<f64> {
     for k in 0..N {
         for j in 0..N {
             for i in 0..N {
-                out[(k * N + j) * N + i] = st.u[4].get(i, j, k);
+                out[(k * N + j) * N + i] = st.u.get(4, i, j, k);
             }
         }
     }
@@ -82,7 +82,7 @@ fn multiphysics_multirank_matches_solo_bitwise() {
                 for i in 0..sub.extent(0) {
                     out.push((
                         (i + sub.lo[0], j + sub.lo[1], k + sub.lo[2]),
-                        st.u[4].get(i, j, k),
+                        st.u.get(4, i, j, k),
                     ));
                 }
             }

@@ -101,8 +101,8 @@ fn blast_is_octant_symmetric() {
     for k in 0..n {
         for j in 0..n {
             for i in 0..n / 2 {
-                let a = st.u[0].get(i, j, k);
-                let bx = st.u[0].get(n - 1 - i, j, k);
+                let a = st.u.get(0, i, j, k);
+                let bx = st.u.get(0, n - 1 - i, j, k);
                 assert!((a - bx).abs() < 1e-9, "x-mirror at ({i},{j},{k})");
             }
         }
@@ -110,8 +110,8 @@ fn blast_is_octant_symmetric() {
     for k in 0..n {
         for i in 0..n {
             for j in 0..n / 2 {
-                let a = st.u[0].get(i, j, k);
-                let by = st.u[0].get(i, n - 1 - j, k);
+                let a = st.u.get(0, i, j, k);
+                let by = st.u.get(0, i, n - 1 - j, k);
                 assert!((a - by).abs() < 1e-9, "y-mirror at ({i},{j},{k})");
             }
         }
