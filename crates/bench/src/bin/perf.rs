@@ -4,8 +4,9 @@
 //!         [--quick] [--jobs N] [--out PATH]`
 //!
 //! The `ci-gate` subcommand turns the harness into a regression gate:
-//! `perf ci-gate [--fresh PATH] [--baseline PATH]` compares a freshly
-//! written results file against the checked-in `ci/perf-baseline.json`
+//! `perf ci-gate [--fresh PATH] [--baseline PATH] [--section all|serve]`
+//! compares a freshly written results file against the checked-in
+//! `ci/perf-baseline.json`
 //! and exits nonzero when the persistent pool regresses past 2× the
 //! baseline dispatch latency, loses to the spawn-per-region baseline,
 //! a sweep's parallel output diverged from serial, or (on hosts that
@@ -21,6 +22,16 @@
 //! and the best blocked tile must clear [`BEST_KERNEL_RATIO_FLOOR`]),
 //! requires fused output to be bitwise-identical to legacy, and
 //! rejects results files whose `schema_version` it does not recognize.
+//!
+//! Schema v3 adds a `serve` block fed by the synthetic many-client
+//! load driver ([`hsim_bench::serveload`]): cache hit rate, request
+//! latency quantiles, and the overflow probe's typed-rejection count
+//! against a live `hsim-serve` server. The `serve-slo` subcommand
+//! (`perf serve-slo [--out PATH]`) runs only that driver and writes a
+//! serve-only results file; `ci-gate --section serve` gates it on the
+//! SLO floors (hit rate >= [`SERVE_HIT_RATE_FLOOR`], p50/p99 latency
+//! ceilings, and at least one typed queue-overflow rejection) without
+//! demanding the sweep/kernel/pool blocks a full run carries.
 //!
 //! Everything else in this repo measures *virtual* time — the cost
 //! model's simulated seconds, which are deterministic and identical
@@ -42,7 +53,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use hsim_bench::{paper_modes, run_figure_jobs, FigureData};
-use hsim_core::calib::TILE_CANDIDATES;
+use hsim_core::calib::{self, TILE_CANDIDATES};
 use hsim_core::figures::{self, FigureSpec};
 use hsim_hydro::{eos, flux, fused, HydroState};
 use hsim_raja::{CpuModel, Executor, Fidelity, Target, WorkPool};
@@ -52,7 +63,7 @@ use hsim_time::RankClock;
 /// The results-file schema this binary writes and the only one the
 /// gate accepts. Bump when the JSON layout changes and regenerate
 /// `ci/perf-baseline.json`.
-const SCHEMA_VERSION: u32 = 2;
+const SCHEMA_VERSION: u32 = 3;
 
 /// Gate floor on the *best* cache-blocked tile's fused:legacy
 /// throughput ratio. Fusing primitive recovery, wavespeeds, fluxes and
@@ -63,6 +74,21 @@ const BEST_KERNEL_RATIO_FLOOR: f64 = 1.3;
 /// Gate floor on every individual cache-blocked tile: fused must at
 /// least match the legacy per-pass kernels it replaces.
 const KERNEL_RATIO_FLOOR: f64 = 1.0;
+
+/// Gate floor on the serve cache hit rate. The load driver requests
+/// each distinct config many times, so a healthy cache lands far
+/// above this; falling below it means the content-hash cache or the
+/// single-flight join broke.
+const SERVE_HIT_RATE_FLOOR: f64 = 0.5;
+
+/// Ceiling on the serve p50 request latency. The median request is a
+/// cache hit (hash + map lookup), so even slow CI hosts sit orders of
+/// magnitude under this.
+const SERVE_P50_CEILING_MS: f64 = 50.0;
+
+/// Ceiling on the serve p99 request latency: generous enough to cover
+/// a full cold run of the load driver's workload on a slow host.
+const SERVE_P99_CEILING_MS: f64 = 10_000.0;
 
 /// One sweep's serial-vs-parallel wall-clock comparison.
 struct SweepResult {
@@ -410,16 +436,112 @@ fn kernel_violations(fresh: &str, baseline: &str, bad: &mut Vec<String>, log: &m
     }
 }
 
+/// Serve SLO floors. Hit rate and the typed-rejection probe are
+/// machine-independent (the load driver's request mix is fixed); the
+/// latency ceilings are deliberately loose so only a pathological
+/// regression — a lost cache, a hung queue — trips them. The
+/// baseline's value is quoted in every message so a failure reads as
+/// a diff.
+fn serve_violations(fresh: &str, baseline: &str, bad: &mut Vec<String>, log: &mut Vec<String>) {
+    let Some(spos) = fresh.find("\"serve\"") else {
+        bad.push("missing serve block in fresh results".to_string());
+        return;
+    };
+    let base = |key: &str| -> String {
+        baseline
+            .find("\"serve\"")
+            .and_then(|p| json_num(baseline, key, p))
+            .map_or_else(|| "n/a".to_string(), |v| format!("{v:.3}"))
+    };
+    let need = |what: &str, bad: &mut Vec<String>| -> f64 {
+        json_num(fresh, what, spos).unwrap_or_else(|| {
+            bad.push(format!("missing serve {what}"));
+            f64::NAN
+        })
+    };
+    let hit_rate = need("hit_rate", bad);
+    let p50 = need("p50_ms", bad);
+    let p99 = need("p99_ms", bad);
+    let rejected = need("rejected", bad);
+
+    if hit_rate < SERVE_HIT_RATE_FLOOR {
+        bad.push(format!(
+            "serve hit_rate: floor {SERVE_HIT_RATE_FLOOR:.2}, baseline {}, measured {hit_rate:.3}",
+            base("hit_rate")
+        ));
+    } else {
+        log.push(format!(
+            "serve hit_rate {hit_rate:.3} >= floor {SERVE_HIT_RATE_FLOOR:.2} (baseline {})",
+            base("hit_rate")
+        ));
+    }
+    for (label, ceiling, v) in [
+        ("p50_ms", SERVE_P50_CEILING_MS, p50),
+        ("p99_ms", SERVE_P99_CEILING_MS, p99),
+    ] {
+        if v > ceiling {
+            bad.push(format!(
+                "serve {label}: ceiling {ceiling:.1} ms, baseline {}, measured {v:.1}",
+                base(label)
+            ));
+        } else {
+            log.push(format!(
+                "serve {label} {v:.1} ms <= ceiling {ceiling:.1} ms (baseline {})",
+                base(label)
+            ));
+        }
+    }
+    if rejected >= 1.0 {
+        log.push(format!("serve overflow probe rejected {rejected} requests"));
+    } else {
+        // NaN (missing key) lands here too: no evidence of a rejection.
+        bad.push(format!(
+            "serve rejected: expected >= 1 overflow rejection from the probe, baseline {}, measured {rejected}",
+            base("rejected")
+        ));
+    }
+    if !fresh[spos..].contains("\"rejections_typed\": true") {
+        bad.push(
+            "serve rejections_typed: expected true, measured false \
+             (an overflow surfaced as something other than the typed QueueFull)"
+                .to_string(),
+        );
+    } else {
+        log.push("serve overflow rejections all carried the typed QueueFull".to_string());
+    }
+}
+
+/// Which blocks of the results file the gate demands. A full `perf`
+/// run carries every block; a `serve-slo` run carries only the serve
+/// block, so gating it as `All` would fail on the missing sweeps.
+#[derive(Clone, Copy, PartialEq)]
+enum GateSection {
+    All,
+    Serve,
+}
+
 /// Apply the gate rules to a fresh results file against a baseline.
 /// Returns the violations (empty = pass) and the log lines explaining
 /// every check that ran.
 fn gate_violations(fresh: &str, baseline: &str) -> (Vec<String>, Vec<String>) {
+    gate_violations_in(fresh, baseline, GateSection::All)
+}
+
+fn gate_violations_in(
+    fresh: &str,
+    baseline: &str,
+    section: GateSection,
+) -> (Vec<String>, Vec<String>) {
     let mut bad = schema_violations(fresh, baseline);
     if !bad.is_empty() {
         // An unrecognized layout makes every other check meaningless.
         return (bad, Vec::new());
     }
     let mut log = Vec::new();
+    serve_violations(fresh, baseline, &mut bad, &mut log);
+    if section == GateSection::Serve {
+        return (bad, log);
+    }
     kernel_violations(fresh, baseline, &mut bad, &mut log);
     fn need(bad: &mut Vec<String>, what: &str, v: Option<f64>) -> f64 {
         v.unwrap_or_else(|| {
@@ -512,13 +634,26 @@ fn ci_gate(mut args: Vec<String>) -> ! {
     };
     let fresh_path = take_flag("--fresh").unwrap_or_else(|| "BENCH_figures.json".into());
     let base_path = take_flag("--baseline").unwrap_or_else(|| "ci/perf-baseline.json".into());
+    let section = match take_flag("--section").as_deref() {
+        None | Some("all") => GateSection::All,
+        Some("serve") => GateSection::Serve,
+        Some(other) => {
+            eprintln!("--section must be \"all\" or \"serve\", got {other:?}");
+            std::process::exit(2);
+        }
+    };
     let read = |p: &str| {
         std::fs::read_to_string(p).unwrap_or_else(|e| {
             eprintln!("ci-gate: cannot read {p}: {e}");
             std::process::exit(2);
         })
     };
-    let (bad, log) = gate_violations(&read(&fresh_path), &read(&base_path));
+    let (bad, log) = match section {
+        GateSection::All => gate_violations(&read(&fresh_path), &read(&base_path)),
+        GateSection::Serve => {
+            gate_violations_in(&read(&fresh_path), &read(&base_path), GateSection::Serve)
+        }
+    };
     for line in &log {
         eprintln!("ci-gate: ok: {line}");
     }
@@ -532,10 +667,77 @@ fn ci_gate(mut args: Vec<String>) -> ! {
     std::process::exit(1);
 }
 
+/// Render the `serve` results block (no trailing comma/newline, so
+/// callers can place it anywhere in their object).
+fn serve_json(r: &hsim_bench::ServeLoadReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "  \"serve\": {{");
+    let _ = writeln!(s, "    \"clients\": {},", r.clients);
+    let _ = writeln!(s, "    \"requests\": {},", r.requests);
+    let _ = writeln!(s, "    \"distinct_configs\": {},", r.distinct_configs);
+    let _ = writeln!(s, "    \"hits\": {},", r.hits);
+    let _ = writeln!(s, "    \"misses\": {},", r.misses);
+    let _ = writeln!(s, "    \"admitted\": {},", r.admitted);
+    let _ = writeln!(s, "    \"rejected\": {},", r.rejected);
+    let _ = writeln!(s, "    \"deadline_drops\": {},", r.deadline_drops);
+    let _ = writeln!(s, "    \"hit_rate\": {:.3},", r.hit_rate);
+    let _ = writeln!(s, "    \"p50_ms\": {:.3},", r.p50_ms);
+    let _ = writeln!(s, "    \"p99_ms\": {:.3},", r.p99_ms);
+    let _ = writeln!(s, "    \"rejections_typed\": {}", r.rejections_typed);
+    let _ = write!(s, "  }}");
+    s
+}
+
+/// `perf serve-slo [--out PATH]`: run only the serve load driver and
+/// write a serve-only results file for `ci-gate --section serve`.
+fn serve_slo(mut args: Vec<String>) -> ! {
+    let mut take_flag = |flag: &str| -> Option<String> {
+        let i = args.iter().position(|a| a == flag)?;
+        if i + 1 >= args.len() {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Some(v)
+    };
+    let out_path = take_flag("--out").unwrap_or_else(|| "BENCH_serve.json".into());
+    if let Some(stray) = args.first() {
+        eprintln!("unknown argument: {stray}");
+        eprintln!("usage: perf serve-slo [--out PATH]");
+        std::process::exit(2);
+    }
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "serve load: {} clients x {} requests over {} configs, then overflow probe...",
+        hsim_bench::serveload::CLIENTS,
+        hsim_bench::serveload::PER_CLIENT,
+        hsim_bench::serveload::DISTINCT_CONFIGS,
+    );
+    let report = hsim_bench::run_load(calib::auto_tile());
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema_version\": {SCHEMA_VERSION},");
+    let _ = writeln!(json, "  \"host_parallelism\": {host_parallelism},");
+    json.push_str(&serve_json(&report));
+    json.push('\n');
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out_path}");
+    print!("{json}");
+    std::process::exit(0);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("ci-gate") {
         ci_gate(args.split_off(1));
+    }
+    if args.first().map(String::as_str) == Some("serve-slo") {
+        serve_slo(args.split_off(1));
     }
     let mut take_flag = |flag: &str| -> Option<String> {
         let i = args.iter().position(|a| a == flag)?;
@@ -561,7 +763,8 @@ fn main() {
     if let Some(stray) = args.first() {
         eprintln!("unknown argument: {stray}");
         eprintln!("usage: perf [--quick] [--jobs N] [--out PATH]");
-        eprintln!("       perf ci-gate [--fresh PATH] [--baseline PATH]");
+        eprintln!("       perf serve-slo [--out PATH]");
+        eprintln!("       perf ci-gate [--fresh PATH] [--baseline PATH] [--section all|serve]");
         std::process::exit(2);
     }
 
@@ -607,6 +810,17 @@ fn main() {
     let region_ns_persistent = bench_pool_region_ns(&pool, regions);
     let region_ns_spawn = bench_spawn_region_ns(pool.parallelism(), regions);
     let sum_melems_per_s = bench_sum_melems(&pool, elems, reps);
+
+    // The serve load driver: many clients, few configs, one shared
+    // server + a queue-overflow probe. The sweeps above already ran
+    // the tile probe, so the server is seeded with the cached tile.
+    eprintln!(
+        "serve load: {} clients x {} requests over {} configs, then overflow probe...",
+        hsim_bench::serveload::CLIENTS,
+        hsim_bench::serveload::PER_CLIENT,
+        hsim_bench::serveload::DISTINCT_CONFIGS,
+    );
+    let serve_report = hsim_bench::run_load(calib::auto_tile());
 
     let metrics = hsim_telemetry::uninstall()
         .expect("collector installed above")
@@ -667,6 +881,8 @@ fn main() {
     );
     let _ = writeln!(json, "    \"sum_melems_per_s\": {sum_melems_per_s:.2}");
     let _ = writeln!(json, "  }},");
+    json.push_str(&serve_json(&serve_report));
+    let _ = writeln!(json, ",");
     let _ = writeln!(json, "  \"telemetry\": {{");
     let _ = writeln!(
         json,
@@ -733,6 +949,22 @@ mod tests {
         out
     }
 
+    /// A fixture `serve` block (no surrounding commas/newlines).
+    fn serve_block(hit_rate: f64, p50: f64, p99: f64, rejected: u64, typed: bool) -> String {
+        format!(
+            "  \"serve\": {{\n    \"clients\": 4,\n    \"requests\": 48,\n    \
+             \"distinct_configs\": 6,\n    \"hits\": 42,\n    \"misses\": 6,\n    \
+             \"admitted\": 48,\n    \"rejected\": {rejected},\n    \"deadline_drops\": 0,\n    \
+             \"hit_rate\": {hit_rate:.3},\n    \"p50_ms\": {p50:.3},\n    \"p99_ms\": {p99:.3},\n    \
+             \"rejections_typed\": {typed}\n  }}"
+        )
+    }
+
+    fn healthy_serve() -> String {
+        serve_block(0.875, 0.4, 120.0, 3, true)
+    }
+
+    #[allow(clippy::too_many_arguments)] // fixture builder, named args read fine
     fn results_with(
         schema: &str,
         parallelism: u32,
@@ -741,12 +973,13 @@ mod tests {
         persistent: f64,
         spawn: f64,
         kernels: &[KernelRow],
+        serve: &str,
     ) -> String {
         format!(
             "{{\n{schema}  \"host_parallelism\": {parallelism},\n  \"sweeps\": [\n    \
              {{\"id\": \"quick\", \"tasks\": 12, \"speedup\": {speedup:.3}, \"identical_output\": {identical}}}\n  ],\n\
              {}  \"pool\": {{\n    \"region_ns_persistent\": {persistent:.1},\n    \
-             \"region_ns_scoped_spawn\": {spawn:.1}\n  }}\n}}\n",
+             \"region_ns_scoped_spawn\": {spawn:.1}\n  }},\n{serve}\n}}\n",
             kernels_block(kernels)
         )
     }
@@ -759,13 +992,14 @@ mod tests {
         spawn: f64,
     ) -> String {
         results_with(
-            "  \"schema_version\": 2,\n",
+            "  \"schema_version\": 3,\n",
             parallelism,
             speedup,
             identical,
             persistent,
             spawn,
             HEALTHY_KERNELS,
+            &healthy_serve(),
         )
     }
 
@@ -808,7 +1042,7 @@ mod tests {
         let (bad, _) = gate_violations(&results(4, 3.0, false, 10_000.0, 200_000.0), &base);
         assert_eq!(bad.len(), 1, "{bad:?}");
         assert!(bad[0].contains("diverged"));
-        let schema_only = "{\n  \"schema_version\": 2\n}\n";
+        let schema_only = "{\n  \"schema_version\": 3\n}\n";
         let (bad, _) = gate_violations(schema_only, &base);
         assert!(bad.iter().any(|b| b.contains("missing")), "{bad:?}");
     }
@@ -819,11 +1053,20 @@ mod tests {
         // Older, newer, and absent schema versions are all rejected
         // before any metric check runs (the log stays empty).
         for schema in [
-            "  \"schema_version\": 1,\n",
-            "  \"schema_version\": 3,\n",
+            "  \"schema_version\": 2,\n",
+            "  \"schema_version\": 4,\n",
             "",
         ] {
-            let fresh = results_with(schema, 4, 2.9, true, 12_000.0, 190_000.0, HEALTHY_KERNELS);
+            let fresh = results_with(
+                schema,
+                4,
+                2.9,
+                true,
+                12_000.0,
+                190_000.0,
+                HEALTHY_KERNELS,
+                &healthy_serve(),
+            );
             let (bad, log) = gate_violations(&fresh, &base);
             assert_eq!(bad.len(), 1, "{schema:?}: {bad:?}");
             assert!(bad[0].contains("schema_version"), "{bad:?}");
@@ -832,13 +1075,14 @@ mod tests {
         }
         // A stale baseline is rejected the same way.
         let v1_base = results_with(
-            "  \"schema_version\": 1,\n",
+            "  \"schema_version\": 2,\n",
             4,
             3.1,
             true,
             10_000.0,
             200_000.0,
             HEALTHY_KERNELS,
+            &healthy_serve(),
         );
         let (bad, _) = gate_violations(&results(4, 2.9, true, 12_000.0, 190_000.0), &v1_base);
         assert_eq!(bad.len(), 1, "{bad:?}");
@@ -850,7 +1094,7 @@ mod tests {
         let base = results(4, 3.1, true, 10_000.0, 200_000.0);
         // One blocked tile slips under 1.0: fused lost to legacy there.
         let fresh = results_with(
-            "  \"schema_version\": 2,\n",
+            "  \"schema_version\": 3,\n",
             4,
             2.9,
             true,
@@ -862,6 +1106,7 @@ mod tests {
                 ("16x16", true, 1.51, true),
                 ("whole", false, 1.08, true),
             ],
+            &healthy_serve(),
         );
         let (bad, _) = gate_violations(&fresh, &base);
         assert_eq!(bad.len(), 1, "{bad:?}");
@@ -879,7 +1124,7 @@ mod tests {
         // Every blocked tile beats legacy but none reaches 1.3x; the
         // unblocked whole-plane ablation at 2.0 must not rescue it.
         let fresh = results_with(
-            "  \"schema_version\": 2,\n",
+            "  \"schema_version\": 3,\n",
             4,
             2.9,
             true,
@@ -891,6 +1136,7 @@ mod tests {
                 ("16x16", true, 1.08, true),
                 ("whole", false, 2.00, true),
             ],
+            &healthy_serve(),
         );
         let (bad, _) = gate_violations(&fresh, &base);
         assert_eq!(bad.len(), 1, "{bad:?}");
@@ -903,7 +1149,7 @@ mod tests {
     fn gate_fails_when_fused_kernels_diverge_or_go_missing() {
         let base = results(4, 3.1, true, 10_000.0, 200_000.0);
         let fresh = results_with(
-            "  \"schema_version\": 2,\n",
+            "  \"schema_version\": 3,\n",
             4,
             2.9,
             true,
@@ -915,25 +1161,114 @@ mod tests {
                 ("16x16", true, 1.51, true),
                 ("whole", false, 1.08, true),
             ],
+            &healthy_serve(),
         );
         let (bad, _) = gate_violations(&fresh, &base);
         assert_eq!(bad.len(), 1, "{bad:?}");
         assert!(bad[0].contains("kernels[8x8] identical_output"), "{bad:?}");
         // No kernels block at all is its own violation.
         let fresh = results_with(
-            "  \"schema_version\": 2,\n",
+            "  \"schema_version\": 3,\n",
             4,
             2.9,
             true,
             12_000.0,
             190_000.0,
             &[],
+            &healthy_serve(),
         );
         let (bad, _) = gate_violations(&fresh, &base);
         assert!(
             bad.iter().any(|b| b.contains("missing kernels block")),
             "{bad:?}"
         );
+    }
+
+    #[test]
+    fn gate_enforces_serve_hit_rate_floor_with_diff_style_message() {
+        let base = results(4, 3.1, true, 10_000.0, 200_000.0);
+        let fresh = results_with(
+            "  \"schema_version\": 3,\n",
+            4,
+            2.9,
+            true,
+            12_000.0,
+            190_000.0,
+            HEALTHY_KERNELS,
+            &serve_block(0.300, 0.4, 120.0, 3, true),
+        );
+        let (bad, _) = gate_violations(&fresh, &base);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("serve hit_rate"), "{bad:?}");
+        assert!(bad[0].contains("floor 0.50"), "{bad:?}");
+        assert!(bad[0].contains("baseline 0.875"), "{bad:?}");
+        assert!(bad[0].contains("measured 0.300"), "{bad:?}");
+    }
+
+    #[test]
+    fn gate_enforces_serve_latency_ceilings_and_typed_rejections() {
+        let base = results(4, 3.1, true, 10_000.0, 200_000.0);
+        // p50 over its ceiling.
+        let fresh = results_with(
+            "  \"schema_version\": 3,\n",
+            4,
+            2.9,
+            true,
+            12_000.0,
+            190_000.0,
+            HEALTHY_KERNELS,
+            &serve_block(0.875, 80.0, 120.0, 3, true),
+        );
+        let (bad, _) = gate_violations(&fresh, &base);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("serve p50_ms"), "{bad:?}");
+        assert!(bad[0].contains("ceiling 50.0 ms"), "{bad:?}");
+        // No overflow rejections, and the ones seen weren't typed:
+        // both are independent violations.
+        let fresh = results_with(
+            "  \"schema_version\": 3,\n",
+            4,
+            2.9,
+            true,
+            12_000.0,
+            190_000.0,
+            HEALTHY_KERNELS,
+            &serve_block(0.875, 0.4, 120.0, 0, false),
+        );
+        let (bad, _) = gate_violations(&fresh, &base);
+        assert_eq!(bad.len(), 2, "{bad:?}");
+        assert!(bad[0].contains("serve rejected"), "{bad:?}");
+        assert!(bad[1].contains("rejections_typed"), "{bad:?}");
+        // A results file with no serve block at all is a violation.
+        let fresh = results(4, 2.9, true, 12_000.0, 190_000.0).replace("\"serve\"", "\"svc\"");
+        let (bad, _) = gate_violations(&fresh, &base);
+        assert!(
+            bad.iter().any(|b| b.contains("missing serve block")),
+            "{bad:?}"
+        );
+    }
+
+    #[test]
+    fn serve_section_gates_a_serve_only_results_file() {
+        let base = results(4, 3.1, true, 10_000.0, 200_000.0);
+        // What `perf serve-slo` writes: schema + host_parallelism +
+        // serve block, no sweeps/kernels/pool.
+        let fresh = format!(
+            "{{\n  \"schema_version\": 3,\n  \"host_parallelism\": 4,\n{}\n}}\n",
+            healthy_serve()
+        );
+        let (bad, log) = gate_violations_in(&fresh, &base, GateSection::Serve);
+        assert!(bad.is_empty(), "{bad:?}");
+        assert!(log.iter().any(|l| l.contains("serve hit_rate")), "{log:?}");
+        // The same file gated as `all` fails on the missing blocks.
+        let (bad, _) = gate_violations(&fresh, &base);
+        assert!(!bad.is_empty());
+        // And the serve section still enforces the schema handshake.
+        let stale = fresh.replace("\"schema_version\": 3", "\"schema_version\": 2");
+        let (bad, log) = gate_violations_in(&stale, &base, GateSection::Serve);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("schema_version"), "{bad:?}");
+        assert!(log.is_empty(), "{log:?}");
     }
 
     #[test]

@@ -4,7 +4,9 @@
 #![forbid(unsafe_code)]
 
 pub mod plot;
+pub mod serveload;
 pub mod sweep;
 
 pub use plot::ascii_chart;
+pub use serveload::{run_load, ServeLoadReport};
 pub use sweep::{paper_modes, run_figure, run_figure_jobs, FigureData, Series, SkippedPoint};

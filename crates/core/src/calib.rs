@@ -64,6 +64,10 @@ pub const TILE_CANDIDATES: [[usize; 2]; 3] = [[4, 4], [8, 8], [16, 16]];
 /// enough that the one-shot probe costs a few milliseconds.
 pub const TILE_PROBE_N: usize = 32;
 
+/// Process-wide cache behind [`auto_tile`] / [`seed_tile`]: one probe
+/// (or one seed) per process, shared by every subsequent run.
+static TILE: std::sync::OnceLock<[usize; 2]> = std::sync::OnceLock::new();
+
 /// One-shot y–z tile auto-tune for the fused cache-blocked kernels:
 /// time a fused first-order sweep on a small full-fidelity grid for
 /// each of [`TILE_CANDIDATES`] and return the fastest. Cached for the
@@ -75,8 +79,44 @@ pub const TILE_PROBE_N: usize = 32;
 /// are bitwise-independent of the choice, so the probe can never
 /// change physics or figures — only throughput.
 pub fn auto_tile() -> [usize; 2] {
-    static TILE: std::sync::OnceLock<[usize; 2]> = std::sync::OnceLock::new();
     *TILE.get_or_init(probe_tile)
+}
+
+/// Seed the process-wide tile cache with an externally calibrated
+/// shape (e.g. one carried over from a previous server process via
+/// [`tile_spec`]), skipping the wall-clock probe entirely. Returns the
+/// *effective* tile: if a probe or earlier seed already populated the
+/// cache, that value wins and is returned — first write is sticky, so
+/// concurrent runs always agree on one shape.
+pub fn seed_tile(tile: [usize; 2]) -> [usize; 2] {
+    *TILE.get_or_init(|| tile)
+}
+
+/// Serialize a tile shape as `"8x8"` — the stable textual form used
+/// by `--tile`-style flags, the serve handshake, and log lines.
+pub fn tile_spec(tile: [usize; 2]) -> String {
+    format!("{}x{}", tile[0], tile[1])
+}
+
+/// Parse the [`tile_spec`] form back into a shape. Accepts any
+/// positive dimensions (not just [`TILE_CANDIDATES`]) so operators can
+/// pin shapes the probe would never pick.
+pub fn parse_tile_spec(s: &str) -> Result<[usize; 2], String> {
+    let (ty, tz) = s
+        .split_once('x')
+        .ok_or_else(|| format!("bad tile spec `{s}`: expected TYxTZ, e.g. 8x8"))?;
+    let ty: usize = ty
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad tile spec `{s}`: {e}"))?;
+    let tz: usize = tz
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad tile spec `{s}`: {e}"))?;
+    if ty == 0 || tz == 0 {
+        return Err(format!("bad tile spec `{s}`: dimensions must be positive"));
+    }
+    Ok([ty, tz])
 }
 
 fn probe_tile() -> [usize; 2] {
@@ -140,6 +180,22 @@ mod tests {
         let t = auto_tile();
         assert!(TILE_CANDIDATES.contains(&t), "probe picked {t:?}");
         assert_eq!(t, auto_tile(), "probe result is cached");
+    }
+
+    // seed_tile itself is covered by `tests/calib_seed.rs`, which gets
+    // its own process: the OnceLock here is already claimed by the
+    // probe in `auto_tile_returns_a_candidate_and_is_stable`.
+
+    #[test]
+    fn tile_spec_round_trips() {
+        for tile in TILE_CANDIDATES {
+            assert_eq!(parse_tile_spec(&tile_spec(tile)), Ok(tile));
+        }
+        assert_eq!(parse_tile_spec(" 8 x 16 "), Ok([8, 16]));
+        assert!(parse_tile_spec("8").is_err());
+        assert!(parse_tile_spec("8x").is_err());
+        assert!(parse_tile_spec("0x8").is_err());
+        assert!(parse_tile_spec("8x0").is_err());
     }
 
     #[test]

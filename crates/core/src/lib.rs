@@ -31,12 +31,15 @@
 //! * [`figures`] — sweep configurations for every evaluation figure
 //!   (12–18).
 //! * [`calib`] — every tunable constant of the cost model, documented.
+//! * [`confhash`] — canonical byte encoding + FNV-1a content hash of
+//!   a [`runner::RunConfig`], the exact cache key for served results.
 
 #![forbid(unsafe_code)]
 
 pub mod balance;
 pub mod binding;
 pub mod calib;
+pub mod confhash;
 pub mod coupler;
 pub mod figures;
 pub mod memscheme;

@@ -569,11 +569,14 @@ fn run_segment(
     }
     let slots = Mutex::new(slots);
 
-    // One host work pool for the whole run (never per region, never
-    // per rank): CPU ranks share its persistent workers for parallel
-    // kernels and reductions. None = the paper's sequential CPU ranks.
+    // One host work pool for the whole *process* (never per region,
+    // never per rank, and since the serve layer shares runs it is not
+    // even per run): CPU ranks share its persistent workers for
+    // parallel kernels and reductions. None = the paper's sequential
+    // CPU ranks. `WorkPool::shared` serializes concurrent regions via
+    // its region lock, so simultaneous served runs are safe.
     let host_pool: Option<Arc<WorkPool>> = if cfg.host_threads > 1 {
-        Some(Arc::new(WorkPool::new(cfg.host_threads - 1)))
+        Some(WorkPool::shared(cfg.host_threads - 1))
     } else {
         None
     };

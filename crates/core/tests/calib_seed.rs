@@ -1,0 +1,20 @@
+//! `calib::seed_tile` needs its own process: the tile cache is a
+//! process-wide `OnceLock`, and the in-crate unit tests already claim
+//! it via the `auto_tile` probe. Integration tests compile to a
+//! separate binary, so this file observes a *fresh* cache.
+
+use hsim_core::calib;
+
+#[test]
+fn seed_wins_when_first_and_probe_then_agrees() {
+    // Seed a shape the wall-clock probe may well not pick; because we
+    // get here before any probe, the seed must win...
+    let seeded = calib::seed_tile([16, 16]);
+    assert_eq!(seeded, [16, 16], "first seed populates the cache");
+    // ...and every later calibration call sees the seeded value
+    // instead of re-probing: calibrate-once-then-share.
+    assert_eq!(calib::auto_tile(), [16, 16]);
+    // A conflicting later seed loses — first write is sticky, so
+    // concurrent requests in a server always agree on one shape.
+    assert_eq!(calib::seed_tile([4, 4]), [16, 16]);
+}

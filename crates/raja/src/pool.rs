@@ -125,6 +125,30 @@ impl WorkPool {
         self.threads + 1
     }
 
+    /// Process-wide shared pool with `threads` workers: the first call
+    /// for a given width spawns it, every later call gets the same
+    /// `Arc`. This is what lets a long-lived server (or a sweep of
+    /// repeated runs) pay worker spawn/teardown once instead of per
+    /// run — the `region_lock` already serializes concurrent
+    /// submitters, and a poisoned region leaves the pool reusable, so
+    /// sharing is safe even under fault injection.
+    ///
+    /// Shared pools live for the process lifetime (their workers park
+    /// on a condvar when idle and cost nothing); they are deliberately
+    /// never dropped.
+    pub fn shared(threads: usize) -> Arc<WorkPool> {
+        type PoolCache = Mutex<Vec<(usize, Arc<WorkPool>)>>;
+        static POOLS: std::sync::OnceLock<PoolCache> = std::sync::OnceLock::new();
+        let pools = POOLS.get_or_init(|| Mutex::new(Vec::new()));
+        let mut pools = pools.lock();
+        if let Some((_, pool)) = pools.iter().find(|(w, _)| *w == threads) {
+            return Arc::clone(pool);
+        }
+        let pool = Arc::new(WorkPool::new(threads));
+        pools.push((threads, Arc::clone(&pool)));
+        pool
+    }
+
     /// Execute `body(i)` for every `i` in `[begin, end)` in parallel,
     /// dynamically scheduled in `chunk`-sized pieces. Blocks until the
     /// whole range is processed.
@@ -460,6 +484,31 @@ mod tests {
             count.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn shared_pool_is_one_instance_per_width() {
+        let a = WorkPool::shared(2);
+        let b = WorkPool::shared(2);
+        assert!(Arc::ptr_eq(&a, &b), "same width must reuse one pool");
+        let c = WorkPool::shared(3);
+        assert!(!Arc::ptr_eq(&a, &c), "different widths get distinct pools");
+        assert_eq!(a.parallelism(), 3);
+        assert_eq!(c.parallelism(), 4);
+        // The shared instance still runs regions correctly, including
+        // from several submitters at once.
+        let hits: Vec<AtomicU64> = (0..256).map(|_| AtomicU64::new(0)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let pool = WorkPool::shared(2);
+                    pool.for_each(0, 256, 16, |i| {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 2));
     }
 
     #[test]

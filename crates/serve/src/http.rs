@@ -1,0 +1,271 @@
+//! Thin HTTP/1.1 front end over pure-std TCP — no external deps, no
+//! async runtime. One connection is handled at a time (`Connection:
+//! close`); concurrency lives in the server's worker pool behind
+//! [`Server::submit`], not in the socket layer.
+//!
+//! Endpoints:
+//!
+//! * `GET /healthz` — liveness, `200 ok`.
+//! * `GET /metrics` — the telemetry registry in Prometheus text
+//!   format, including the `serve_*` counters and latency quantiles.
+//! * `POST /run` — body is `key=value` pairs (`&`- or
+//!   newline-separated): `mode=default|mps|hetero|cpuonly`,
+//!   `grid=X,Y,Z`, `cycles=N`, `balanced=0|1` (default 1),
+//!   `problem=sedov|sod|perturbed`, `deadline_ms=N`. Replies with the
+//!   rendered run report; `X-Cache: hit|miss` and `X-Content-Key`
+//!   carry the cache disposition and key.
+//! * `GET /figure/<id>` — the figure sweep CSV (e.g. `/figure/fig14`).
+//!
+//! Typed failures map to statuses: queue full → 429, deadline → 504,
+//! run failure → 422, bad request → 400, shutdown → 503.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use hsim_core::runner::{Problem, RunConfig};
+use hsim_core::ExecMode;
+
+use crate::server::{Request, ServeError, Server};
+
+/// Socket read timeout: a stalled client must not wedge the accept
+/// loop forever.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Serve HTTP requests from `listener` until `max_requests` have been
+/// answered (`None` = forever). Bind the listener yourself (port 0
+/// works for tests) so the address is known before serving starts.
+pub fn serve(
+    server: &Server,
+    listener: TcpListener,
+    max_requests: Option<usize>,
+) -> std::io::Result<()> {
+    for (served, stream) in listener.incoming().enumerate() {
+        let stream = stream?;
+        // A single misbehaving client should cost one connection, not
+        // the server: IO errors are per-connection and non-fatal.
+        let _ = handle_connection(server, stream);
+        if max_requests.is_some_and(|m| served + 1 >= m) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn handle_connection(server: &Server, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_string(), p.to_string()),
+        _ => return respond(stream, 400, "malformed request line\n", &[]),
+    };
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some(v) = header
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+        {
+            content_length = v.parse().unwrap_or(0);
+        }
+    }
+    let mut body = vec![0u8; content_length.min(1 << 20)];
+    if !body.is_empty() {
+        reader.read_exact(&mut body)?;
+    }
+    let body = String::from_utf8_lossy(&body).into_owned();
+
+    match (method.as_str(), path.as_str()) {
+        ("GET", "/healthz") => respond(stream, 200, "ok\n", &[]),
+        ("GET", "/metrics") => respond(stream, 200, &server.metrics_text(), &[]),
+        ("POST", "/run") => match parse_run_body(&body) {
+            Ok(req) => match server.submit(req) {
+                Ok(resp) => {
+                    let headers = [
+                        format!("X-Cache: {}", if resp.cached { "hit" } else { "miss" }),
+                        format!("X-Content-Key: {:016x}", resp.key),
+                    ];
+                    respond_bytes(stream, 200, &resp.outcome.bytes, &headers)
+                }
+                Err(e) => respond(stream, e.http_status(), &format!("{e}\n"), &[]),
+            },
+            Err(e) => respond(stream, e.http_status(), &format!("{e}\n"), &[]),
+        },
+        ("GET", p) if p.starts_with("/figure/") => {
+            let id = &p["/figure/".len()..];
+            let modes = [ExecMode::Default, ExecMode::mps4(), ExecMode::hetero()];
+            match server.figure_csv(id, &modes) {
+                Ok(csv) => respond(stream, 200, &csv, &[]),
+                Err(e) => respond(stream, e.http_status(), &format!("{e}\n"), &[]),
+            }
+        }
+        _ => respond(stream, 404, "not found\n", &[]),
+    }
+}
+
+/// Parse the `POST /run` body into a [`Request`].
+fn parse_run_body(body: &str) -> Result<Request, ServeError> {
+    let mut cfg = RunConfig::sweep((64, 48, 32), ExecMode::hetero());
+    let mut balanced = true;
+    let mut deadline = None;
+    for pair in body.split(['&', '\n']) {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (k, v) = pair
+            .split_once('=')
+            .ok_or_else(|| ServeError::BadRequest(format!("expected key=value, got `{pair}`")))?;
+        let bad = |what: &str| ServeError::BadRequest(format!("bad {what} `{v}`"));
+        match k {
+            "mode" => {
+                cfg.mode = match v {
+                    "default" => ExecMode::Default,
+                    "mps" => ExecMode::mps4(),
+                    "hetero" => ExecMode::hetero(),
+                    "cpuonly" => ExecMode::CpuOnly,
+                    _ => return Err(bad("mode")),
+                }
+            }
+            "grid" => {
+                let dims: Vec<usize> = v
+                    .split(',')
+                    .map(|p| p.trim().parse().map_err(|_| bad("grid")))
+                    .collect::<Result<_, _>>()?;
+                cfg.grid = match dims.as_slice() {
+                    [x, y, z] => (*x, *y, *z),
+                    _ => return Err(bad("grid")),
+                };
+            }
+            "cycles" => cfg.cycles = v.parse().map_err(|_| bad("cycles"))?,
+            "problem" => {
+                cfg.problem = match v {
+                    "sedov" => Problem::default(),
+                    "sod" => Problem::Sod(Default::default()),
+                    "perturbed" => Problem::Perturbed(Default::default()),
+                    _ => return Err(bad("problem")),
+                }
+            }
+            "balanced" => {
+                balanced = match v {
+                    "1" | "true" => true,
+                    "0" | "false" => false,
+                    _ => return Err(bad("balanced")),
+                }
+            }
+            "deadline_ms" => {
+                deadline = Some(Duration::from_millis(
+                    v.parse().map_err(|_| bad("deadline_ms"))?,
+                ))
+            }
+            _ => return Err(ServeError::BadRequest(format!("unknown key `{k}`"))),
+        }
+    }
+    Ok(Request {
+        cfg,
+        balanced,
+        deadline,
+    })
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Error",
+    }
+}
+
+fn respond(
+    stream: TcpStream,
+    status: u16,
+    body: &str,
+    extra_headers: &[String],
+) -> std::io::Result<()> {
+    respond_bytes(stream, status, body.as_bytes(), extra_headers)
+}
+
+fn respond_bytes(
+    mut stream: TcpStream,
+    status: u16,
+    body: &[u8],
+    extra_headers: &[String],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n",
+        status,
+        status_reason(status),
+        body.len()
+    );
+    for h in extra_headers {
+        head.push_str(h);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_body_parses_and_defaults() {
+        let req = parse_run_body("mode=default&grid=24,16,8&cycles=3").expect("parses");
+        assert_eq!(req.cfg.mode, ExecMode::Default);
+        assert_eq!(req.cfg.grid, (24, 16, 8));
+        assert_eq!(req.cfg.cycles, 3);
+        assert!(req.balanced);
+        assert!(req.deadline.is_none());
+
+        let req = parse_run_body("balanced=0\ndeadline_ms=250").expect("parses");
+        assert!(!req.balanced);
+        assert_eq!(req.deadline, Some(Duration::from_millis(250)));
+    }
+
+    #[test]
+    fn run_body_rejections_are_typed() {
+        for body in [
+            "mode=warp",
+            "grid=1,2",
+            "cycles=ten",
+            "balanced=maybe",
+            "nonsense",
+            "frobnicate=1",
+        ] {
+            let err = parse_run_body(body).unwrap_err();
+            assert_eq!(err.http_status(), 400, "body `{body}` → {err:?}");
+        }
+    }
+
+    #[test]
+    fn status_reasons_cover_every_serve_error() {
+        for e in [
+            ServeError::QueueFull { capacity: 1 },
+            ServeError::DeadlineExpired { waited_ms: 1 },
+            ServeError::Run(String::new()),
+            ServeError::BadRequest(String::new()),
+            ServeError::ShuttingDown,
+        ] {
+            assert_ne!(status_reason(e.http_status()), "Error");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Admission-control properties: the bounded queue never exceeds its
+//! capacity, overflow is rejected with the *typed* `QueueFull` error
+//! (never a panic, never a hang), expired deadlines surface as typed
+//! `DeadlineExpired`, and shutdown unblocks every waiter. The server
+//! under test has **zero workers**, so queued work never drains —
+//! the worst case for admission control.
+
+use std::time::Duration;
+
+use hsim_core::runner::RunConfig;
+use hsim_core::ExecMode;
+use hsim_serve::{Request, ServeError, Server, ServerConfig};
+use proptest::prelude::*;
+
+fn distinct_cfg(i: usize) -> RunConfig {
+    let mut cfg = RunConfig::sweep((16, 8, 8), ExecMode::Default);
+    cfg.cycles = 1 + i as u64; // distinct content hash per i
+    cfg
+}
+
+fn zero_deadline(i: usize) -> Request {
+    Request {
+        cfg: distinct_cfg(i),
+        balanced: false,
+        deadline: Some(Duration::ZERO),
+    }
+}
+
+proptest! {
+    #[test]
+    fn queue_never_exceeds_bound_and_rejections_are_typed(
+        capacity in 1usize..6,
+        extra in 0usize..8,
+    ) {
+        let server = Server::new(ServerConfig {
+            workers: 0,
+            queue_capacity: capacity,
+            default_deadline: None,
+            tile: Some([8, 8]),
+        });
+
+        // Fill the queue exactly to capacity. Each zero-deadline
+        // submit enqueues its task and then immediately expires —
+        // typed, no hang.
+        for i in 0..capacity {
+            let err = server.submit(zero_deadline(i)).unwrap_err();
+            prop_assert!(
+                matches!(err, ServeError::DeadlineExpired { .. }),
+                "fill {i}: {err:?}"
+            );
+            prop_assert!(server.queue_len() <= capacity);
+        }
+        prop_assert_eq!(server.queue_len(), capacity);
+
+        // Everything beyond the bound is rejected with the typed
+        // QueueFull carrying the configured capacity.
+        for i in 0..extra {
+            let err = server.submit(zero_deadline(capacity + i)).unwrap_err();
+            prop_assert_eq!(err, ServeError::QueueFull { capacity });
+            prop_assert_eq!(server.queue_len(), capacity);
+        }
+
+        let stats = server.stats();
+        prop_assert_eq!(stats.admitted, capacity as u64);
+        prop_assert_eq!(stats.misses, capacity as u64);
+        prop_assert_eq!(stats.rejected, extra as u64);
+        prop_assert!(stats.queue_depth_high_water <= capacity as f64);
+
+        // Dropping the server (workers: 0, queue still full) must not
+        // hang: shutdown drains the queue and completes every pending.
+        drop(server);
+    }
+}
+
+#[test]
+fn joining_an_in_flight_key_does_not_consume_queue_slots() {
+    let server = Server::new(ServerConfig {
+        workers: 0,
+        queue_capacity: 1,
+        default_deadline: None,
+        tile: Some([8, 8]),
+    });
+    // First flight occupies the single slot...
+    let err = server.submit(zero_deadline(0)).unwrap_err();
+    assert!(matches!(err, ServeError::DeadlineExpired { .. }));
+    // ...and a second request for the SAME config joins it rather
+    // than being rejected, even though the queue is full.
+    let err = server.submit(zero_deadline(0)).unwrap_err();
+    assert!(
+        matches!(err, ServeError::DeadlineExpired { .. }),
+        "join must not see QueueFull: {err:?}"
+    );
+    // A different config, however, is rejected.
+    let err = server.submit(zero_deadline(1)).unwrap_err();
+    assert_eq!(err, ServeError::QueueFull { capacity: 1 });
+}
+
+#[test]
+fn shutdown_unblocks_indefinite_waiters_with_typed_error() {
+    let server = Server::new(ServerConfig {
+        workers: 0,
+        queue_capacity: 4,
+        default_deadline: None,
+        tile: Some([8, 8]),
+    });
+    std::thread::scope(|s| {
+        let waiter = s.spawn(|| {
+            // No deadline, no workers: blocks until shutdown.
+            server.submit(Request::direct(distinct_cfg(0)))
+        });
+        // Let the waiter enqueue, then pull the plug.
+        while server.queue_len() == 0 {
+            std::thread::yield_now();
+        }
+        server.shutdown();
+        let err = waiter.join().expect("waiter thread").unwrap_err();
+        assert_eq!(err, ServeError::ShuttingDown);
+    });
+    // After shutdown, new work is refused up front.
+    let err = server.submit(Request::direct(distinct_cfg(1))).unwrap_err();
+    assert_eq!(err, ServeError::ShuttingDown);
+}

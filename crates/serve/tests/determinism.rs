@@ -1,0 +1,84 @@
+//! Concurrent-client determinism: N parallel identical requests must
+//! collapse to ONE execution (single-flight), and every client —
+//! including later cache hits — must receive bytes identical to a
+//! cold run of the same `RunConfig`. This is the acceptance criterion
+//! that makes the content-hash cache *exact*: same config ⇒ same
+//! bytes, always.
+
+use std::sync::Mutex;
+
+use hsim_core::runner::{self, RunConfig};
+use hsim_core::ExecMode;
+use hsim_serve::{render_response, Request, Server, ServerConfig};
+
+fn cfg() -> RunConfig {
+    RunConfig::sweep((32, 24, 16), ExecMode::hetero())
+}
+
+#[test]
+fn n_parallel_identical_requests_one_execution_identical_bytes() {
+    const CLIENTS: usize = 8;
+    let server = Server::new(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+
+    let results: Vec<Mutex<Option<Vec<u8>>>> = (0..CLIENTS).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for slot in &results {
+            s.spawn(|| {
+                let resp = server
+                    .submit(Request::direct(cfg()))
+                    .expect("request serves");
+                *slot.lock().unwrap() = Some(resp.outcome.bytes.as_ref().clone());
+            });
+        }
+    });
+
+    // Exactly one execution happened; every other client was a hit
+    // (joined the in-flight run or read the cache).
+    let stats = server.stats();
+    assert_eq!(stats.misses, 1, "stats: {stats:?}");
+    assert_eq!(stats.hits, (CLIENTS - 1) as u64, "stats: {stats:?}");
+    assert_eq!(stats.admitted, CLIENTS as u64, "stats: {stats:?}");
+    assert_eq!(stats.rejected, 0, "stats: {stats:?}");
+
+    // All clients saw the same bytes...
+    let first = results[0].lock().unwrap().clone().expect("client 0 ran");
+    for slot in &results {
+        assert_eq!(slot.lock().unwrap().as_ref(), Some(&first));
+    }
+
+    // ...and those bytes are identical to a cold, serverless run of
+    // the exact same config. The serve cache is exact, not
+    // approximate.
+    let mut cold_cfg = cfg();
+    cold_cfg.tile = Some(server.tile());
+    let cold = runner::run(&cold_cfg).expect("cold run");
+    assert_eq!(
+        first,
+        render_response(&cold),
+        "cache hit bytes differ from a cold run"
+    );
+
+    // A fresh submission after the dust settles is a pure cache hit
+    // with the same bytes again.
+    let warm = server.submit(Request::direct(cfg())).expect("warm");
+    assert!(warm.cached);
+    assert_eq!(warm.outcome.bytes.as_ref(), &first);
+}
+
+#[test]
+fn different_configs_never_share_cache_entries() {
+    let server = Server::new(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let a = server.submit(Request::direct(cfg())).expect("a");
+    let mut other = cfg();
+    other.cycles += 1;
+    let b = server.submit(Request::direct(other)).expect("b");
+    assert_ne!(a.key, b.key);
+    assert_ne!(a.outcome.bytes, b.outcome.bytes);
+    assert_eq!(server.stats().misses, 2);
+}

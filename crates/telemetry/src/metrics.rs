@@ -62,10 +62,21 @@ pub enum Counter {
     FaultsRecovered,
     /// Permanent rank losses absorbed by decomposition foldback.
     FaultRankLosses,
+    /// Serve requests answered from the content-hash result cache.
+    ServeHits,
+    /// Serve requests that executed a run (cold cache / first flight).
+    ServeMisses,
+    /// Serve requests admitted into the bounded queue.
+    ServeAdmitted,
+    /// Serve requests rejected because the queue was full (429-style).
+    ServeRejected,
+    /// Queued serve requests dropped because their deadline expired
+    /// before a worker picked them up.
+    ServeDeadlineDrops,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 27] = [
         Counter::KernelLaunches,
         Counter::GpuKernelLaunches,
         Counter::CpuKernelLaunches,
@@ -88,6 +99,11 @@ impl Counter {
         Counter::FaultRetries,
         Counter::FaultsRecovered,
         Counter::FaultRankLosses,
+        Counter::ServeHits,
+        Counter::ServeMisses,
+        Counter::ServeAdmitted,
+        Counter::ServeRejected,
+        Counter::ServeDeadlineDrops,
     ];
 
     pub fn label(self) -> &'static str {
@@ -114,6 +130,11 @@ impl Counter {
             Counter::FaultRetries => "fault_retries",
             Counter::FaultsRecovered => "fault_recovered",
             Counter::FaultRankLosses => "fault_rank_losses",
+            Counter::ServeHits => "serve_hits",
+            Counter::ServeMisses => "serve_misses",
+            Counter::ServeAdmitted => "serve_admitted",
+            Counter::ServeRejected => "serve_rejected",
+            Counter::ServeDeadlineDrops => "serve_deadline_drops",
         }
     }
 }
@@ -126,15 +147,22 @@ pub enum Gauge {
     CpuFraction,
     /// Peak effective occupancy observed on any device timeline.
     DeviceOccupancy,
+    /// High-water depth of the serve admission queue.
+    ServeQueueDepth,
 }
 
 impl Gauge {
-    pub const ALL: [Gauge; 2] = [Gauge::CpuFraction, Gauge::DeviceOccupancy];
+    pub const ALL: [Gauge; 3] = [
+        Gauge::CpuFraction,
+        Gauge::DeviceOccupancy,
+        Gauge::ServeQueueDepth,
+    ];
 
     pub fn label(self) -> &'static str {
         match self {
             Gauge::CpuFraction => "cpu_fraction",
             Gauge::DeviceOccupancy => "device_occupancy",
+            Gauge::ServeQueueDepth => "serve_queue_depth",
         }
     }
 }
@@ -337,6 +365,41 @@ impl Metrics {
         ));
         out
     }
+
+    /// Prometheus text-exposition rendering of the registry: one
+    /// `hsim_<label> <value>` sample per counter and gauge plus kernel
+    /// latency quantiles, in fixed registration order (deterministic
+    /// for a given state, exact-diffable in tests). Served live at the
+    /// `/metrics` endpoint of `hsim-serve`.
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for c in Counter::ALL {
+            out.push_str("# TYPE hsim_");
+            out.push_str(c.label());
+            out.push_str(" counter\nhsim_");
+            out.push_str(c.label());
+            out.push(' ');
+            out.push_str(&self.counter(c).to_string());
+            out.push('\n');
+        }
+        for g in Gauge::ALL {
+            out.push_str("# TYPE hsim_");
+            out.push_str(g.label());
+            out.push_str(" gauge\nhsim_");
+            out.push_str(g.label());
+            out.push(' ');
+            out.push_str(&fmt_f64(self.gauge(g)));
+            out.push('\n');
+        }
+        out.push_str("# TYPE hsim_kernel_time_us summary\n");
+        for (q, tag) in [(0.50, "0.5"), (0.90, "0.9"), (0.99, "0.99")] {
+            out.push_str(&format!(
+                "hsim_kernel_time_us{{quantile=\"{tag}\"}} {}\n",
+                fmt_f64(self.kernel_time_quantile_us(q))
+            ));
+        }
+        out
+    }
 }
 
 fn guard(count: u64, v: f64) -> f64 {
@@ -421,5 +484,27 @@ mod tests {
         let m = Metrics::new();
         let json = m.to_json();
         assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+
+    #[test]
+    fn prometheus_text_is_deterministic_and_complete() {
+        let mut m = Metrics::new();
+        m.count(Counter::ServeHits, 9);
+        m.count(Counter::ServeMisses, 3);
+        m.gauge_max(Gauge::ServeQueueDepth, 4.0);
+        let a = m.to_prometheus_text();
+        assert_eq!(a, m.clone().to_prometheus_text());
+        for c in Counter::ALL {
+            assert!(a.contains(&format!("\nhsim_{} ", c.label())) || a.starts_with("# TYPE"));
+            assert!(a.contains(&format!("hsim_{} ", c.label())));
+        }
+        for g in Gauge::ALL {
+            assert!(a.contains(&format!("hsim_{} ", g.label())));
+        }
+        assert!(a.contains("hsim_serve_hits 9\n"));
+        assert!(a.contains("hsim_serve_misses 3\n"));
+        assert!(a.contains("hsim_serve_queue_depth 4\n"));
+        assert!(a.contains("hsim_kernel_time_us{quantile=\"0.99\"}"));
+        assert!(!a.contains("NaN") && !a.contains("inf"));
     }
 }

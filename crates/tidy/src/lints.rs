@@ -30,11 +30,11 @@ pub const LINTS: &[(&str, &str)] = &[
     ),
     (
         "stray-thread",
-        "std::thread::spawn outside raja::pool",
+        "std::thread::spawn outside raja::pool / the serve workers",
     ),
     (
         "telemetry-naming",
-        "counter/span names off the fault_*/host_*/snake_case conventions",
+        "counter/span names off the fault_*/host_*/serve_*/snake_case conventions",
     ),
     (
         "tile-bounds",
@@ -51,9 +51,16 @@ pub const LINTS: &[(&str, &str)] = &[
 ];
 
 /// Files (by workspace-relative path prefix) where wall-clock reads
-/// are legitimate: the host-perf harness and the worker-pool region
-/// timer, which feed the `host_*` telemetry counters by design.
-const WALL_CLOCK_ALLOWED: &[&str] = &["crates/bench/", "crates/raja/src/pool.rs"];
+/// are legitimate: the host-perf harness, the worker-pool region
+/// timer (both feed the `host_*` telemetry counters by design), and
+/// the serve request-latency recorder behind the `serve_*` p50/p99
+/// export — all measure real elapsed time, never a rank's virtual
+/// clock.
+const WALL_CLOCK_ALLOWED: &[&str] = &[
+    "crates/bench/",
+    "crates/raja/src/pool.rs",
+    "crates/serve/src/server.rs",
+];
 
 /// The fallible paths that must never panic: `World::run_fallible`
 /// rank bodies run through these, and a panic here tears down the
@@ -75,9 +82,11 @@ const EMISSION_FILE_FRAGMENTS: &[&str] = &[
     "registry",
 ];
 
-/// Where `std::thread::spawn` may appear: the single sanctioned
-/// worker-thread factory.
-const THREAD_SPAWN_ALLOWED: &[&str] = &["crates/raja/src/pool.rs"];
+/// Where `std::thread::spawn` may appear: the sanctioned worker-thread
+/// factories — the raja pool and the long-lived serve workers (whose
+/// lifetime is the server's, not a region's, so scoped threads cannot
+/// express them).
+const THREAD_SPAWN_ALLOWED: &[&str] = &["crates/raja/src/pool.rs", "crates/serve/src/server.rs"];
 
 /// Where the tile-bounds lint applies: the fused cache-blocked hydro
 /// kernels, whose inner loops must stay free of per-element indexed
@@ -253,7 +262,8 @@ fn safety_comment(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
 }
 
 /// Lint: no stray threads. `std::thread::spawn` is confined to the
-/// worker pool; everything else must submit regions to it.
+/// sanctioned worker-thread factories (the raja pool and the serve
+/// workers); everything else must submit regions to a pool.
 fn stray_thread(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     if THREAD_SPAWN_ALLOWED.iter().any(|p| ctx.rel.starts_with(p)) {
         return;
@@ -282,9 +292,10 @@ fn stray_thread(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
 }
 
 /// Lint: telemetry naming. Counter/gauge/time-stat labels must be
-/// snake_case with `Host*`/`Fault*` variants mapped to `host_*` /
-/// `fault_*` labels; span names passed to `rank_span` must be
-/// snake_case, with `fault…`/`host…` names carrying the underscore.
+/// snake_case with `Host*`/`Fault*`/`Serve*` variants mapped to
+/// `host_*` / `fault_*` / `serve_*` labels; span names passed to
+/// `rank_span` must be snake_case, with `fault…`/`host…`/`serve…`
+/// names carrying the underscore.
 fn telemetry_naming(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     let toks = ctx.toks();
 
@@ -321,7 +332,8 @@ fn telemetry_naming(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
                     format!("label \"{}\" is not snake_case", label.text),
                 ));
             }
-            for (vprefix, lprefix) in [("Host", "host_"), ("Fault", "fault_")] {
+            for (vprefix, lprefix) in [("Host", "host_"), ("Fault", "fault_"), ("Serve", "serve_")]
+            {
                 if variant.text.starts_with(vprefix) && !label.text.starts_with(lprefix) {
                     out.push(finding(
                         ctx,
@@ -468,7 +480,7 @@ fn check_span_name(ctx: &FileCtx<'_>, t: &Tok, out: &mut Vec<Finding>) {
         ));
         return;
     }
-    for prefix in ["fault", "host"] {
+    for prefix in ["fault", "host", "serve"] {
         if t.text.starts_with(prefix)
             && t.text != prefix
             && !t.text.starts_with(&format!("{prefix}_"))

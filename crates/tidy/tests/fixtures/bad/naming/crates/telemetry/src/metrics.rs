@@ -1,6 +1,7 @@
 pub enum Counter {
     FaultsInjected,
     KernelLaunches,
+    ServeHits,
 }
 
 impl Counter {
@@ -8,6 +9,7 @@ impl Counter {
         match self {
             Counter::FaultsInjected => "faults",
             Counter::KernelLaunches => "KernelLaunches",
+            Counter::ServeHits => "hits",
         }
     }
 }
@@ -17,4 +19,5 @@ pub fn rank_span(_cat: u32, _name: &str, _t0: u64, _t1: u64) {}
 pub fn spans() {
     rank_span(0, "BadSpan", 0, 1);
     rank_span(0, "faultinject", 0, 1);
+    rank_span(0, "servehit", 0, 1);
 }

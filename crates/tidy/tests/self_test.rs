@@ -85,10 +85,12 @@ fn telemetry_naming_fixture_is_flagged() {
     expect(
         "bad/naming",
         &[
-            ("telemetry-naming", "crates/telemetry/src/metrics.rs", 9),
             ("telemetry-naming", "crates/telemetry/src/metrics.rs", 10),
-            ("telemetry-naming", "crates/telemetry/src/metrics.rs", 18),
-            ("telemetry-naming", "crates/telemetry/src/metrics.rs", 19),
+            ("telemetry-naming", "crates/telemetry/src/metrics.rs", 11),
+            ("telemetry-naming", "crates/telemetry/src/metrics.rs", 12),
+            ("telemetry-naming", "crates/telemetry/src/metrics.rs", 20),
+            ("telemetry-naming", "crates/telemetry/src/metrics.rs", 21),
+            ("telemetry-naming", "crates/telemetry/src/metrics.rs", 22),
         ],
     );
 }
@@ -142,7 +144,7 @@ fn good_fixture_is_silent() {
     // And the scan actually visited the files (allows were honored,
     // not the whole tree skipped).
     let report = check_dir(&fixture("good")).expect("fixture scans");
-    assert_eq!(report.files_scanned, 6);
+    assert_eq!(report.files_scanned, 7);
 }
 
 #[test]

@@ -14,6 +14,14 @@
 //! kernels (default: one-shot auto-tune probe). Physics and figures
 //! are bitwise-independent of the choice.
 //!
+//! The `serve` subcommand starts the long-lived simulation server
+//! (HTTP over pure-std TCP, content-hash result cache, bounded
+//! admission, live `/metrics`):
+//! ```text
+//! heterosim serve [--addr HOST:PORT] [--workers N] [--queue N]
+//!                 [--deadline-ms N] [--tile TY,TZ] [--max-requests N]
+//! ```
+//!
 //! `--faults` takes a fault plan such as
 //! `xfer.delay@rank1.cycle2:ns=200000;rank.loss@rank5.cycle4` (see the
 //! README's Resilience section). `--no-balance` skips the §6.2 load
@@ -38,7 +46,9 @@ fn usage() -> ! {
          \x20                [--fraction F] [--no-balance] [--faults SPEC]\n\
          \x20                [--problem sedov|sod|perturbed] [--trace] [--csv]\n\
          \x20                [--host-threads N] [--tile TY,TZ]\n\
-         \x20                [--trace-json PATH] [--metrics-json PATH]"
+         \x20                [--trace-json PATH] [--metrics-json PATH]\n\
+         \x20      heterosim serve [--addr HOST:PORT] [--workers N] [--queue N]\n\
+         \x20                [--deadline-ms N] [--tile TY,TZ] [--max-requests N]"
     );
     std::process::exit(2)
 }
@@ -54,7 +64,73 @@ fn parse_grid(s: &str) -> (usize, usize, usize) {
     }
 }
 
+fn serve_usage() -> ! {
+    eprintln!(
+        "usage: heterosim serve [--addr HOST:PORT] [--workers N] [--queue N]\n\
+         \x20                      [--deadline-ms N] [--tile TY,TZ] [--max-requests N]"
+    );
+    std::process::exit(2)
+}
+
+/// `heterosim serve ...`: run the simulation server until killed (or
+/// until `--max-requests` connections, for CI smoke tests).
+fn serve_main(args: &[String]) -> ! {
+    let mut addr = "127.0.0.1:8080".to_string();
+    let mut cfg = heterosim::serve::ServerConfig::default();
+    let mut max_requests: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| serve_usage());
+        match arg.as_str() {
+            "--addr" => addr = value(),
+            "--workers" => cfg.workers = value().parse().unwrap_or_else(|_| serve_usage()),
+            "--queue" => cfg.queue_capacity = value().parse().unwrap_or_else(|_| serve_usage()),
+            "--deadline-ms" => {
+                let ms: u64 = value().parse().unwrap_or_else(|_| serve_usage());
+                cfg.default_deadline = Some(std::time::Duration::from_millis(ms));
+            }
+            "--tile" => {
+                let v = value().replace(',', "x");
+                cfg.tile = Some(
+                    heterosim::core::calib::parse_tile_spec(&v).unwrap_or_else(|e| {
+                        eprintln!("bad --tile: {e}");
+                        serve_usage()
+                    }),
+                );
+            }
+            "--max-requests" => {
+                max_requests = Some(value().parse().unwrap_or_else(|_| serve_usage()))
+            }
+            "--help" | "-h" => serve_usage(),
+            other => {
+                eprintln!("unknown serve argument: {other}");
+                serve_usage()
+            }
+        }
+    }
+    let listener = std::net::TcpListener::bind(&addr).unwrap_or_else(|e| {
+        eprintln!("cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    let server = heterosim::serve::Server::new(cfg);
+    eprintln!(
+        "serving on http://{} (tile {}; endpoints: /healthz /metrics /run /figure/<id>)",
+        listener.local_addr().map(|a| a.to_string()).unwrap_or(addr),
+        heterosim::core::calib::tile_spec(server.tile()),
+    );
+    if let Err(e) = heterosim::serve::http::serve(&server, listener, max_requests) {
+        eprintln!("serve failed: {e}");
+        std::process::exit(1);
+    }
+    std::process::exit(0)
+}
+
 fn main() {
+    let serve_args: Vec<String> = std::env::args().skip(1).collect();
+    if serve_args.first().map(String::as_str) == Some("serve") {
+        serve_main(&serve_args[1..]);
+    }
+
     let mut mode = ExecMode::hetero();
     let mut grid = (320, 480, 160);
     let mut cycles = 10u64;

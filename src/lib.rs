@@ -17,6 +17,8 @@
 //! * [`hydro`] — the Sedov blast-wave hydro mini-app,
 //! * [`core`] — the cooperative heterogeneous runner (the paper's
 //!   contribution),
+//! * [`serve`] — simulation-as-a-service: content-hash result cache,
+//!   bounded admission, live `/metrics`,
 //! * `bench` (hsim_bench) — figure sweeps and plotting.
 //!
 //! ## Quickstart
@@ -39,4 +41,5 @@ pub use hsim_hydro as hydro;
 pub use hsim_mesh as mesh;
 pub use hsim_mpi as mpi;
 pub use hsim_raja as raja;
+pub use hsim_serve as serve;
 pub use hsim_time as time;
