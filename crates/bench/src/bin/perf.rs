@@ -33,6 +33,28 @@
 //! ceilings, and at least one typed queue-overflow rejection) without
 //! demanding the sweep/kernel/pool blocks a full run carries.
 //!
+//! Schema v4 measures the **parallel-tile** fused path and predicts
+//! its roof. `kernels.parallel` runs the fused sweep on the shared
+//! [`WorkPool`] at `--host-threads` workers (default 4) against the
+//! serial fused path on the same tile, after verifying byte-identical
+//! output at worker counts 1, 2, and 4; the gate floors the
+//! parallel:serial ratio by the *effective* parallelism
+//! `min(workers, host_cores)`, so an oversubscribed single-core
+//! runner bounds overhead instead of demanding impossible speedup
+//! (the same rule now governs the sweep speedup floor via
+//! `min(jobs, host_cores)`). A `roofline` block records a
+//! STREAM-triad bandwidth probe at the same worker count, the
+//! catalog's per-kernel flop/byte intensities, and the
+//! bandwidth-predicted Mzones/s for the per-pass workload
+//! ([`hsim_bench::roofline`]); the gate rejects runs whose best fused
+//! throughput falls under [`ROOFLINE_FRACTION_FLOOR`] of that roof.
+//! Fractions *above* 1.0 are expected — they are cache-resident
+//! fusion beating streamed traffic. Serve latency quantiles are now
+//! microsecond-valued (`p50_us`/`p99_us`, nanosecond-recorded), and
+//! `p50_us` must be strictly positive: a zero median means the
+//! harness lost sub-millisecond resolution again. `host_parallelism`
+//! is renamed `host_cores`.
+//!
 //! Everything else in this repo measures *virtual* time — the cost
 //! model's simulated seconds, which are deterministic and identical
 //! on every machine. This harness is the one place that measures
@@ -46,8 +68,8 @@
 //! `BENCH_figures.json`): sweep serial/parallel seconds and speedup,
 //! pool region-dispatch latency against a spawn-per-region baseline,
 //! reduction throughput, and the `host_*` telemetry counters the
-//! measured code recorded along the way. `host_parallelism` is
-//! recorded so single-core results are read as such.
+//! measured code recorded along the way. `host_cores` is recorded so
+//! single-core results are read as such.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -63,7 +85,7 @@ use hsim_time::RankClock;
 /// The results-file schema this binary writes and the only one the
 /// gate accepts. Bump when the JSON layout changes and regenerate
 /// `ci/perf-baseline.json`.
-const SCHEMA_VERSION: u32 = 3;
+const SCHEMA_VERSION: u32 = 4;
 
 /// Gate floor on the *best* cache-blocked tile's fused:legacy
 /// throughput ratio. Fusing primitive recovery, wavespeeds, fluxes and
@@ -81,14 +103,49 @@ const KERNEL_RATIO_FLOOR: f64 = 1.0;
 /// single-flight join broke.
 const SERVE_HIT_RATE_FLOOR: f64 = 0.5;
 
-/// Ceiling on the serve p50 request latency. The median request is a
-/// cache hit (hash + map lookup), so even slow CI hosts sit orders of
-/// magnitude under this.
-const SERVE_P50_CEILING_MS: f64 = 50.0;
+/// Ceiling on the serve p50 request latency (µs). The median request
+/// is a cache hit (hash + map lookup), so even slow CI hosts sit
+/// orders of magnitude under this.
+const SERVE_P50_CEILING_US: f64 = 50_000.0;
 
-/// Ceiling on the serve p99 request latency: generous enough to cover
-/// a full cold run of the load driver's workload on a slow host.
-const SERVE_P99_CEILING_MS: f64 = 10_000.0;
+/// Ceiling on the serve p99 request latency (µs): generous enough to
+/// cover a full cold run of the load driver's workload on a slow
+/// host.
+const SERVE_P99_CEILING_US: f64 = 10_000_000.0;
+
+/// Tile shape for the parallel fused bench: the serial sweet spot,
+/// so the parallel:serial ratio isolates the pool scheduling.
+const PARALLEL_TILE: [usize; 2] = [8, 8];
+
+/// Worker counts whose fused output must be byte-identical before the
+/// parallel throughput is reported.
+const PARALLEL_WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Default `--host-threads`: workers for the parallel fused bench and
+/// the triad probe.
+const DEFAULT_HOST_THREADS: usize = 4;
+
+/// Gate floor on the parallel:serial fused throughput ratio, keyed by
+/// the *effective* parallelism `min(workers, host_cores)`: with 4+
+/// real cores the parallel-tile path must at least double the serial
+/// fused path; with 2–3 it must still win; oversubscribed (1 core
+/// running 4 workers) it can only be floored on scheduling overhead.
+fn parallel_ratio_floor(effective: f64) -> f64 {
+    if effective >= 4.0 {
+        2.0
+    } else if effective >= 2.0 {
+        1.2
+    } else {
+        0.35
+    }
+}
+
+/// Gate floor on `roofline.roof_fraction`: the best fused throughput
+/// as a fraction of the bandwidth-predicted per-pass roof. Fused runs
+/// routinely *exceed* 1.0 (cache-resident tiles don't stream the
+/// naive traffic); under a quarter of the roof means the kernels or
+/// the probe broke.
+const ROOFLINE_FRACTION_FLOOR: f64 = 0.25;
 
 /// One sweep's serial-vs-parallel wall-clock comparison.
 struct SweepResult {
@@ -161,6 +218,8 @@ struct KernelBench {
     grid_n: usize,
     reps: usize,
     legacy_mzps: f64,
+    /// Legacy end state, the bitwise reference for the parallel bench.
+    legacy_st: HydroState,
     tiles: Vec<KernelResult>,
 }
 
@@ -196,6 +255,74 @@ fn run_fused_kernels(n: usize, tile: [usize; 2], reps: usize) -> (f64, HydroStat
     }
     let mzps = (n * n * n * reps) as f64 / t0.elapsed().as_secs_f64() / 1e6;
     (mzps, st)
+}
+
+/// The fused workload on the parallel-tile path: tiles of the fused
+/// sweep scheduled across the process-wide shared [`WorkPool`] at
+/// `threads` host threads (1 = the pool degenerates to the caller).
+fn run_fused_kernels_par(
+    n: usize,
+    tile: [usize; 2],
+    reps: usize,
+    threads: usize,
+) -> (f64, HydroState) {
+    let mut st = kernel_state(n);
+    st.tile = tile;
+    let target = Target::CpuParallel {
+        pool: WorkPool::shared(threads.saturating_sub(1)),
+    };
+    let mut exec = Executor::new(target, CpuModel::haswell_fixed(), Fidelity::Full);
+    let mut clock = RankClock::new(0);
+    fused::primitives(&mut st, &mut exec, &mut clock).expect("fused primitives");
+    fused::sweep(&mut st, &mut exec, &mut clock, KERNEL_DT).expect("fused sweep");
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        fused::primitives(&mut st, &mut exec, &mut clock).expect("fused primitives");
+        fused::sweep(&mut st, &mut exec, &mut clock, KERNEL_DT).expect("fused sweep");
+    }
+    let mzps = (n * n * n * reps) as f64 / t0.elapsed().as_secs_f64() / 1e6;
+    (mzps, st)
+}
+
+/// The parallel-tile fused bench: serial-vs-parallel fused throughput
+/// on [`PARALLEL_TILE`], after proving every gated worker count
+/// reproduces the legacy output bit for bit.
+struct ParallelBench {
+    workers: usize,
+    serial_mzps: f64,
+    parallel_mzps: f64,
+}
+
+fn bench_parallel_kernels(
+    n: usize,
+    reps: usize,
+    host_threads: usize,
+    legacy_st: &HydroState,
+    serial_mzps: f64,
+) -> ParallelBench {
+    // Worker-count invariance first: every gated count must reproduce
+    // the legacy bytes (same warm-up + reps as the legacy run, so the
+    // end states are comparable) before any throughput is believed.
+    let mut parallel_mzps = None;
+    for threads in PARALLEL_WORKER_COUNTS {
+        eprintln!("kernel bench: parallel fused x{threads}, {reps} reps on {n}^3...");
+        let (mzps, st) = run_fused_kernels_par(n, PARALLEL_TILE, reps, threads);
+        assert_kernels_identical(&st, legacy_st, &format!("parallel x{threads}"));
+        if threads == host_threads {
+            parallel_mzps = Some(mzps);
+        }
+    }
+    let parallel_mzps = parallel_mzps.unwrap_or_else(|| {
+        eprintln!("kernel bench: parallel fused x{host_threads}, {reps} reps on {n}^3...");
+        let (mzps, st) = run_fused_kernels_par(n, PARALLEL_TILE, reps, host_threads);
+        assert_kernels_identical(&st, legacy_st, &format!("parallel x{host_threads}"));
+        mzps
+    });
+    ParallelBench {
+        workers: host_threads,
+        serial_mzps,
+        parallel_mzps,
+    }
 }
 
 /// Same workload through the legacy per-pass kernels (one whole-array
@@ -261,6 +388,7 @@ fn bench_kernels(quick: bool) -> KernelBench {
         grid_n: n,
         reps,
         legacy_mzps,
+        legacy_st,
         tiles,
     }
 }
@@ -436,6 +564,92 @@ fn kernel_violations(fresh: &str, baseline: &str, bad: &mut Vec<String>, log: &m
     }
 }
 
+/// Parallel-tile fused floors. The ratio floor scales with the
+/// *effective* parallelism `min(workers, host_cores)` — a runner with
+/// fewer cores than workers is oversubscribed and can only be held to
+/// a scheduling-overhead bound — and the worker-count identity flag
+/// is mandatory regardless.
+fn parallel_kernel_violations(
+    fresh: &str,
+    baseline: &str,
+    host_cores: f64,
+    bad: &mut Vec<String>,
+    log: &mut Vec<String>,
+) {
+    let Some(ppos) = fresh.find("\"parallel\"") else {
+        bad.push("missing kernels.parallel block in fresh results".to_string());
+        return;
+    };
+    let end = fresh[ppos..].find('}').map_or(fresh.len(), |e| ppos + e);
+    let block = &fresh[ppos..end];
+    let base_ratio = baseline
+        .find("\"parallel\"")
+        .and_then(|p| {
+            let bend = baseline[p..].find('}').map_or(baseline.len(), |e| p + e);
+            json_num(&baseline[p..bend], "ratio", 0)
+        })
+        .map_or_else(|| "n/a".to_string(), |r| format!("{r:.3}"));
+    let need = |what: &str, bad: &mut Vec<String>| -> f64 {
+        json_num(block, what, 0).unwrap_or_else(|| {
+            bad.push(format!("missing kernels.parallel {what}"));
+            f64::NAN
+        })
+    };
+    let workers = need("workers", bad);
+    let ratio = need("ratio", bad);
+    let effective = workers.min(host_cores);
+    let floor = parallel_ratio_floor(effective);
+    if ratio < floor {
+        bad.push(format!(
+            "kernels.parallel fused ratio at {workers} workers: floor {floor:.2} \
+             (effective cores {effective}), baseline {base_ratio}, measured {ratio:.3}"
+        ));
+    } else {
+        log.push(format!(
+            "kernels.parallel fused ratio {ratio:.3} >= floor {floor:.2} at {workers} workers \
+             (effective cores {effective}, baseline {base_ratio})"
+        ));
+    }
+    if block.contains("\"identical_output\": true") {
+        log.push("kernels.parallel output identical across worker counts".to_string());
+    } else {
+        bad.push(
+            "kernels.parallel identical_output: expected true, measured false \
+             (parallel-tile output diverged across worker counts)"
+                .to_string(),
+        );
+    }
+}
+
+/// Roofline floor: the best fused throughput must clear
+/// [`ROOFLINE_FRACTION_FLOOR`] of the bandwidth-predicted per-pass
+/// roof. Fractions above 1.0 are healthy (cache-resident fusion).
+fn roofline_violations(fresh: &str, baseline: &str, bad: &mut Vec<String>, log: &mut Vec<String>) {
+    let Some(rpos) = fresh.find("\"roofline\"") else {
+        bad.push("missing roofline block in fresh results".to_string());
+        return;
+    };
+    let base_frac = baseline
+        .find("\"roofline\"")
+        .and_then(|p| json_num(baseline, "roof_fraction", p))
+        .map_or_else(|| "n/a".to_string(), |r| format!("{r:.3}"));
+    let Some(frac) = json_num(fresh, "roof_fraction", rpos) else {
+        bad.push("missing roofline roof_fraction".to_string());
+        return;
+    };
+    if frac < ROOFLINE_FRACTION_FLOOR {
+        bad.push(format!(
+            "roofline roof_fraction: floor {ROOFLINE_FRACTION_FLOOR:.2}, \
+             baseline {base_frac}, measured {frac:.3}"
+        ));
+    } else {
+        log.push(format!(
+            "roofline roof_fraction {frac:.3} >= floor {ROOFLINE_FRACTION_FLOOR:.2} \
+             (baseline {base_frac})"
+        ));
+    }
+}
+
 /// Serve SLO floors. Hit rate and the typed-rejection probe are
 /// machine-independent (the load driver's request mix is fixed); the
 /// latency ceilings are deliberately loose so only a pathological
@@ -460,8 +674,8 @@ fn serve_violations(fresh: &str, baseline: &str, bad: &mut Vec<String>, log: &mu
         })
     };
     let hit_rate = need("hit_rate", bad);
-    let p50 = need("p50_ms", bad);
-    let p99 = need("p99_ms", bad);
+    let p50 = need("p50_us", bad);
+    let p99 = need("p99_us", bad);
     let rejected = need("rejected", bad);
 
     if hit_rate < SERVE_HIT_RATE_FLOOR {
@@ -476,20 +690,33 @@ fn serve_violations(fresh: &str, baseline: &str, bad: &mut Vec<String>, log: &mu
         ));
     }
     for (label, ceiling, v) in [
-        ("p50_ms", SERVE_P50_CEILING_MS, p50),
-        ("p99_ms", SERVE_P99_CEILING_MS, p99),
+        ("p50_us", SERVE_P50_CEILING_US, p50),
+        ("p99_us", SERVE_P99_CEILING_US, p99),
     ] {
         if v > ceiling {
             bad.push(format!(
-                "serve {label}: ceiling {ceiling:.1} ms, baseline {}, measured {v:.1}",
+                "serve {label}: ceiling {ceiling:.1} us, baseline {}, measured {v:.1}",
                 base(label)
             ));
         } else {
             log.push(format!(
-                "serve {label} {v:.1} ms <= ceiling {ceiling:.1} ms (baseline {})",
+                "serve {label} {v:.1} us <= ceiling {ceiling:.1} us (baseline {})",
                 base(label)
             ));
         }
+    }
+    // The precision gate: quantiles are nanosecond-recorded, so the
+    // load driver's sub-millisecond cache hits must resolve to a
+    // strictly positive median. A hard 0 means truncation came back.
+    if p50 > 0.0 {
+        log.push(format!(
+            "serve p50_us {p50:.3} resolves sub-millisecond hits"
+        ));
+    } else if p50 == 0.0 {
+        bad.push(format!(
+            "serve p50_us: expected > 0 (nanosecond-resolution quantiles), baseline {}, measured {p50}",
+            base("p50_us")
+        ));
     }
     if rejected >= 1.0 {
         log.push(format!("serve overflow probe rejected {rejected} requests"));
@@ -565,11 +792,14 @@ fn gate_violations_in(
         "baseline pool.region_ns_persistent",
         json_num(baseline, "region_ns_persistent", 0),
     );
-    let host_parallelism = need(
+    let host_cores = need(
         &mut bad,
-        "fresh host_parallelism",
-        json_num(fresh, "host_parallelism", 0),
+        "fresh host_cores",
+        json_num(fresh, "host_cores", 0),
     );
+
+    parallel_kernel_violations(fresh, baseline, host_cores, &mut bad, &mut log);
+    roofline_violations(fresh, baseline, &mut bad, &mut log);
 
     if fresh_persistent > 2.0 * base_persistent {
         bad.push(format!(
@@ -591,8 +821,13 @@ fn gate_violations_in(
     }
 
     // A 1-core runner cannot speed anything up; it can only pay
-    // overhead. Require real speedup only where cores exist.
-    let floor = if host_parallelism > 1.0 { 0.9 } else { 0.5 };
+    // overhead. Require real speedup only where the *effective*
+    // parallelism — min(jobs, host cores) — exceeds one: `--jobs 4`
+    // on a single core is oversubscription, not parallelism, and can
+    // only be floored on fan-out overhead.
+    let jobs = json_num(fresh, "jobs", 0).unwrap_or(host_cores);
+    let effective_jobs = jobs.min(host_cores);
+    let floor = if effective_jobs > 1.0 { 0.9 } else { 0.5 };
     for id in ["quick", "fig14"] {
         let Some(pos) = sweep_pos(fresh, id) else {
             log.push(format!("sweep {id} not in fresh results (skipped)"));
@@ -605,10 +840,14 @@ fn gate_violations_in(
         );
         if speedup < floor {
             bad.push(format!(
-                "sweep {id} speedup {speedup:.3} < floor {floor} (host_parallelism {host_parallelism})"
+                "sweep {id} speedup {speedup:.3} < floor {floor} \
+                 (jobs {jobs}, host_cores {host_cores})"
             ));
         } else {
-            log.push(format!("sweep {id} speedup {speedup:.3} >= floor {floor}"));
+            log.push(format!(
+                "sweep {id} speedup {speedup:.3} >= floor {floor} \
+                 (effective jobs {effective_jobs})"
+            ));
         }
         if !fresh[pos..fresh[pos..].find('\n').map_or(fresh.len(), |e| pos + e)]
             .contains("\"identical_output\": true")
@@ -681,8 +920,8 @@ fn serve_json(r: &hsim_bench::ServeLoadReport) -> String {
     let _ = writeln!(s, "    \"rejected\": {},", r.rejected);
     let _ = writeln!(s, "    \"deadline_drops\": {},", r.deadline_drops);
     let _ = writeln!(s, "    \"hit_rate\": {:.3},", r.hit_rate);
-    let _ = writeln!(s, "    \"p50_ms\": {:.3},", r.p50_ms);
-    let _ = writeln!(s, "    \"p99_ms\": {:.3},", r.p99_ms);
+    let _ = writeln!(s, "    \"p50_us\": {:.3},", r.p50_us);
+    let _ = writeln!(s, "    \"p99_us\": {:.3},", r.p99_us);
     let _ = writeln!(s, "    \"rejections_typed\": {}", r.rejections_typed);
     let _ = write!(s, "  }}");
     s
@@ -707,7 +946,7 @@ fn serve_slo(mut args: Vec<String>) -> ! {
         eprintln!("usage: perf serve-slo [--out PATH]");
         std::process::exit(2);
     }
-    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     eprintln!(
         "serve load: {} clients x {} requests over {} configs, then overflow probe...",
         hsim_bench::serveload::CLIENTS,
@@ -718,7 +957,7 @@ fn serve_slo(mut args: Vec<String>) -> ! {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"schema_version\": {SCHEMA_VERSION},");
-    let _ = writeln!(json, "  \"host_parallelism\": {host_parallelism},");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
     json.push_str(&serve_json(&report));
     json.push('\n');
     let _ = writeln!(json, "}}");
@@ -750,19 +989,26 @@ fn main() {
         Some(v)
     };
     let out_path = take_flag("--out").unwrap_or_else(|| "BENCH_figures.json".into());
-    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let jobs: usize = match take_flag("--jobs") {
         Some(v) => v.parse().unwrap_or_else(|_| {
             eprintln!("--jobs needs a positive integer, got {v:?}");
             std::process::exit(2);
         }),
-        None => host_parallelism,
+        None => host_cores,
+    };
+    let host_threads: usize = match take_flag("--host-threads") {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("--host-threads needs a positive integer, got {v:?}");
+            std::process::exit(2);
+        }),
+        None => DEFAULT_HOST_THREADS,
     };
     let quick = args.iter().any(|a| a == "--quick");
     args.retain(|a| a != "--quick");
     if let Some(stray) = args.first() {
         eprintln!("unknown argument: {stray}");
-        eprintln!("usage: perf [--quick] [--jobs N] [--out PATH]");
+        eprintln!("usage: perf [--quick] [--jobs N] [--host-threads N] [--out PATH]");
         eprintln!("       perf serve-slo [--out PATH]");
         eprintln!("       perf ci-gate [--fresh PATH] [--baseline PATH] [--section all|serve]");
         std::process::exit(2);
@@ -794,6 +1040,38 @@ fn main() {
 
     // Fused-vs-legacy hydro kernel throughput, per tile shape.
     let kernels = bench_kernels(quick);
+
+    // Parallel-tile fused path: serial-vs-parallel fused throughput
+    // at --host-threads workers on the serial sweet-spot tile, with
+    // worker-count identity proven first against the legacy state.
+    let par_label = format!("{}x{}", PARALLEL_TILE[0], PARALLEL_TILE[1]);
+    let serial_at_par_tile = kernels
+        .tiles
+        .iter()
+        .find(|k| k.tile == par_label)
+        .map(|k| k.fused_mzps)
+        .expect("parallel tile is a serial candidate");
+    let parallel = bench_parallel_kernels(
+        kernels.grid_n,
+        kernels.reps,
+        host_threads,
+        &kernels.legacy_st,
+        serial_at_par_tile,
+    );
+
+    // Roofline: triad bandwidth at the same worker count, and the
+    // bandwidth-predicted Mzones/s roof for the per-pass workload.
+    let (triad_len, triad_reps) = if quick { (1 << 20, 3) } else { (1 << 22, 5) };
+    eprintln!("roofline: triad probe, {triad_reps} reps x {triad_len} elems x{host_threads}...");
+    let triad = hsim_bench::roofline::measure_triad(host_threads, triad_len, triad_reps);
+    let predicted_mzps = hsim_bench::roofline::predicted_mzones_per_s(triad.gbps);
+    let best_mzps = kernels
+        .tiles
+        .iter()
+        .map(|k| k.fused_mzps)
+        .chain(std::iter::once(parallel.parallel_mzps))
+        .fold(0.0_f64, f64::max);
+    let roof_fraction = best_mzps / predicted_mzps.max(1e-12);
 
     // Pool microbenches on the calling thread (the coordinator role
     // the runner plays), sized down in quick mode.
@@ -830,8 +1108,9 @@ fn main() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"schema_version\": {SCHEMA_VERSION},");
-    let _ = writeln!(json, "  \"host_parallelism\": {host_parallelism},");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
     let _ = writeln!(json, "  \"jobs\": {jobs},");
+    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"sweeps\": [");
     for (i, s) in sweeps.iter().enumerate() {
@@ -864,6 +1143,66 @@ fn main() {
             k.blocked,
             k.fused_mzps,
             k.fused_mzps / kernels.legacy_mzps.max(1e-12)
+        );
+    }
+    let _ = writeln!(json, "    ],");
+    let _ = writeln!(json, "    \"parallel\": {{");
+    let _ = writeln!(json, "      \"workers\": {},", parallel.workers);
+    let _ = writeln!(json, "      \"tile_shape\": \"{par_label}\",");
+    let _ = writeln!(
+        json,
+        "      \"serial_mzones_per_s\": {:.3},",
+        parallel.serial_mzps
+    );
+    let _ = writeln!(
+        json,
+        "      \"parallel_mzones_per_s\": {:.3},",
+        parallel.parallel_mzps
+    );
+    let _ = writeln!(
+        json,
+        "      \"ratio\": {:.3},",
+        parallel.parallel_mzps / parallel.serial_mzps.max(1e-12)
+    );
+    let _ = writeln!(json, "      \"identical_output\": true,");
+    let _ = writeln!(
+        json,
+        "      \"worker_counts\": [{}]",
+        PARALLEL_WORKER_COUNTS.map(|w| w.to_string()).join(", ")
+    );
+    let _ = writeln!(json, "    }}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"roofline\": {{");
+    let _ = writeln!(json, "    \"triad_gbps\": {:.3},", triad.gbps);
+    let _ = writeln!(json, "    \"triad_len\": {},", triad.len);
+    let _ = writeln!(json, "    \"triad_reps\": {},", triad.reps);
+    let _ = writeln!(json, "    \"triad_workers\": {},", triad.workers);
+    let _ = writeln!(
+        json,
+        "    \"bytes_per_zone\": {:.1},",
+        hsim_bench::roofline::first_order_bytes_per_zone()
+    );
+    let _ = writeln!(
+        json,
+        "    \"flops_per_zone\": {:.1},",
+        hsim_bench::roofline::first_order_flops_per_zone()
+    );
+    let _ = writeln!(
+        json,
+        "    \"arithmetic_intensity\": {:.4},",
+        hsim_bench::roofline::first_order_intensity()
+    );
+    let _ = writeln!(json, "    \"predicted_mzones_per_s\": {predicted_mzps:.3},");
+    let _ = writeln!(json, "    \"best_mzones_per_s\": {best_mzps:.3},");
+    let _ = writeln!(json, "    \"roof_fraction\": {roof_fraction:.3},");
+    let _ = writeln!(json, "    \"kernel_intensities\": [");
+    let intensities = hsim_bench::roofline::kernel_intensities();
+    for (i, (name, flops, bytes, ai)) in intensities.iter().enumerate() {
+        let comma = if i + 1 < intensities.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{\"name\": \"{name}\", \"flops_per_elem\": {flops:.1}, \
+             \"bytes_per_elem\": {bytes:.1}, \"intensity\": {ai:.4}}}{comma}"
         );
     }
     let _ = writeln!(json, "    ]");
@@ -930,7 +1269,23 @@ mod tests {
         ("whole", false, 1.08, true),
     ];
 
-    fn kernels_block(rows: &[KernelRow]) -> String {
+    /// A `kernels.parallel` sub-block (indented for the kernels
+    /// object; trailing newline, no trailing comma).
+    fn parallel_block(workers: u32, ratio: f64, identical: bool) -> String {
+        format!(
+            "    \"parallel\": {{\n      \"workers\": {workers},\n      \
+             \"tile_shape\": \"8x8\",\n      \"serial_mzones_per_s\": 16.200,\n      \
+             \"parallel_mzones_per_s\": {:.3},\n      \"ratio\": {ratio:.3},\n      \
+             \"identical_output\": {identical},\n      \"worker_counts\": [1, 2, 4]\n    }}\n",
+            ratio * 16.2
+        )
+    }
+
+    fn healthy_parallel() -> String {
+        parallel_block(4, 2.6, true)
+    }
+
+    fn kernels_block(rows: &[KernelRow], parallel: &str) -> String {
         let mut out = String::from(
             "  \"kernels\": {\n    \"grid_n\": 56,\n    \"reps\": 3,\n    \
              \"legacy_mzones_per_s\": 10.000,\n    \"tiles\": [\n",
@@ -945,29 +1300,66 @@ mod tests {
                 ratio * 10.0
             );
         }
-        out.push_str("    ]\n  },\n");
+        out.push_str("    ],\n");
+        out.push_str(parallel);
+        out.push_str("  },\n");
         out
     }
 
+    /// A `roofline` block (trailing newline, no trailing comma).
+    fn roofline_block(roof_fraction: f64) -> String {
+        format!(
+            "  \"roofline\": {{\n    \"triad_gbps\": 12.500,\n    \"triad_workers\": 4,\n    \
+             \"bytes_per_zone\": 1816.0,\n    \"flops_per_zone\": 333.0,\n    \
+             \"predicted_mzones_per_s\": 6.883,\n    \"best_mzones_per_s\": {:.3},\n    \
+             \"roof_fraction\": {roof_fraction:.3}\n  }},\n",
+            roof_fraction * 6.883
+        )
+    }
+
     /// A fixture `serve` block (no surrounding commas/newlines).
+    /// Latency arguments are microseconds.
     fn serve_block(hit_rate: f64, p50: f64, p99: f64, rejected: u64, typed: bool) -> String {
         format!(
             "  \"serve\": {{\n    \"clients\": 4,\n    \"requests\": 48,\n    \
              \"distinct_configs\": 6,\n    \"hits\": 42,\n    \"misses\": 6,\n    \
              \"admitted\": 48,\n    \"rejected\": {rejected},\n    \"deadline_drops\": 0,\n    \
-             \"hit_rate\": {hit_rate:.3},\n    \"p50_ms\": {p50:.3},\n    \"p99_ms\": {p99:.3},\n    \
+             \"hit_rate\": {hit_rate:.3},\n    \"p50_us\": {p50:.3},\n    \"p99_us\": {p99:.3},\n    \
              \"rejections_typed\": {typed}\n  }}"
         )
     }
 
     fn healthy_serve() -> String {
-        serve_block(0.875, 0.4, 120.0, 3, true)
+        serve_block(0.875, 412.5, 120_000.0, 3, true)
+    }
+
+    /// The fully custom fixture: every block is a caller-supplied
+    /// string, so any single block can be made sick.
+    #[allow(clippy::too_many_arguments)] // fixture builder, named args read fine
+    fn results_doc(
+        schema: &str,
+        cores: u32,
+        jobs: u32,
+        speedup: f64,
+        identical: bool,
+        persistent: f64,
+        spawn: f64,
+        kernels: &str,
+        roofline: &str,
+        serve: &str,
+    ) -> String {
+        format!(
+            "{{\n{schema}  \"host_cores\": {cores},\n  \"jobs\": {jobs},\n  \"sweeps\": [\n    \
+             {{\"id\": \"quick\", \"tasks\": 12, \"speedup\": {speedup:.3}, \"identical_output\": {identical}}}\n  ],\n\
+             {kernels}{roofline}  \"pool\": {{\n    \"region_ns_persistent\": {persistent:.1},\n    \
+             \"region_ns_scoped_spawn\": {spawn:.1}\n  }},\n{serve}\n}}\n"
+        )
     }
 
     #[allow(clippy::too_many_arguments)] // fixture builder, named args read fine
     fn results_with(
         schema: &str,
-        parallelism: u32,
+        cores: u32,
         speedup: f64,
         identical: bool,
         persistent: f64,
@@ -975,25 +1367,24 @@ mod tests {
         kernels: &[KernelRow],
         serve: &str,
     ) -> String {
-        format!(
-            "{{\n{schema}  \"host_parallelism\": {parallelism},\n  \"sweeps\": [\n    \
-             {{\"id\": \"quick\", \"tasks\": 12, \"speedup\": {speedup:.3}, \"identical_output\": {identical}}}\n  ],\n\
-             {}  \"pool\": {{\n    \"region_ns_persistent\": {persistent:.1},\n    \
-             \"region_ns_scoped_spawn\": {spawn:.1}\n  }},\n{serve}\n}}\n",
-            kernels_block(kernels)
+        results_doc(
+            schema,
+            cores,
+            cores,
+            speedup,
+            identical,
+            persistent,
+            spawn,
+            &kernels_block(kernels, &healthy_parallel()),
+            &roofline_block(0.62),
+            serve,
         )
     }
 
-    fn results(
-        parallelism: u32,
-        speedup: f64,
-        identical: bool,
-        persistent: f64,
-        spawn: f64,
-    ) -> String {
+    fn results(cores: u32, speedup: f64, identical: bool, persistent: f64, spawn: f64) -> String {
         results_with(
-            "  \"schema_version\": 3,\n",
-            parallelism,
+            "  \"schema_version\": 4,\n",
+            cores,
             speedup,
             identical,
             persistent,
@@ -1042,7 +1433,7 @@ mod tests {
         let (bad, _) = gate_violations(&results(4, 3.0, false, 10_000.0, 200_000.0), &base);
         assert_eq!(bad.len(), 1, "{bad:?}");
         assert!(bad[0].contains("diverged"));
-        let schema_only = "{\n  \"schema_version\": 3\n}\n";
+        let schema_only = "{\n  \"schema_version\": 4\n}\n";
         let (bad, _) = gate_violations(schema_only, &base);
         assert!(bad.iter().any(|b| b.contains("missing")), "{bad:?}");
     }
@@ -1053,8 +1444,8 @@ mod tests {
         // Older, newer, and absent schema versions are all rejected
         // before any metric check runs (the log stays empty).
         for schema in [
-            "  \"schema_version\": 2,\n",
-            "  \"schema_version\": 4,\n",
+            "  \"schema_version\": 3,\n",
+            "  \"schema_version\": 5,\n",
             "",
         ] {
             let fresh = results_with(
@@ -1075,7 +1466,7 @@ mod tests {
         }
         // A stale baseline is rejected the same way.
         let v1_base = results_with(
-            "  \"schema_version\": 2,\n",
+            "  \"schema_version\": 3,\n",
             4,
             3.1,
             true,
@@ -1094,7 +1485,7 @@ mod tests {
         let base = results(4, 3.1, true, 10_000.0, 200_000.0);
         // One blocked tile slips under 1.0: fused lost to legacy there.
         let fresh = results_with(
-            "  \"schema_version\": 3,\n",
+            "  \"schema_version\": 4,\n",
             4,
             2.9,
             true,
@@ -1124,7 +1515,7 @@ mod tests {
         // Every blocked tile beats legacy but none reaches 1.3x; the
         // unblocked whole-plane ablation at 2.0 must not rescue it.
         let fresh = results_with(
-            "  \"schema_version\": 3,\n",
+            "  \"schema_version\": 4,\n",
             4,
             2.9,
             true,
@@ -1149,7 +1540,7 @@ mod tests {
     fn gate_fails_when_fused_kernels_diverge_or_go_missing() {
         let base = results(4, 3.1, true, 10_000.0, 200_000.0);
         let fresh = results_with(
-            "  \"schema_version\": 3,\n",
+            "  \"schema_version\": 4,\n",
             4,
             2.9,
             true,
@@ -1168,7 +1559,7 @@ mod tests {
         assert!(bad[0].contains("kernels[8x8] identical_output"), "{bad:?}");
         // No kernels block at all is its own violation.
         let fresh = results_with(
-            "  \"schema_version\": 3,\n",
+            "  \"schema_version\": 4,\n",
             4,
             2.9,
             true,
@@ -1188,14 +1579,14 @@ mod tests {
     fn gate_enforces_serve_hit_rate_floor_with_diff_style_message() {
         let base = results(4, 3.1, true, 10_000.0, 200_000.0);
         let fresh = results_with(
-            "  \"schema_version\": 3,\n",
+            "  \"schema_version\": 4,\n",
             4,
             2.9,
             true,
             12_000.0,
             190_000.0,
             HEALTHY_KERNELS,
-            &serve_block(0.300, 0.4, 120.0, 3, true),
+            &serve_block(0.300, 412.5, 120_000.0, 3, true),
         );
         let (bad, _) = gate_violations(&fresh, &base);
         assert_eq!(bad.len(), 1, "{bad:?}");
@@ -1210,30 +1601,30 @@ mod tests {
         let base = results(4, 3.1, true, 10_000.0, 200_000.0);
         // p50 over its ceiling.
         let fresh = results_with(
-            "  \"schema_version\": 3,\n",
+            "  \"schema_version\": 4,\n",
             4,
             2.9,
             true,
             12_000.0,
             190_000.0,
             HEALTHY_KERNELS,
-            &serve_block(0.875, 80.0, 120.0, 3, true),
+            &serve_block(0.875, 80_000.0, 120_000.0, 3, true),
         );
         let (bad, _) = gate_violations(&fresh, &base);
         assert_eq!(bad.len(), 1, "{bad:?}");
-        assert!(bad[0].contains("serve p50_ms"), "{bad:?}");
-        assert!(bad[0].contains("ceiling 50.0 ms"), "{bad:?}");
+        assert!(bad[0].contains("serve p50_us"), "{bad:?}");
+        assert!(bad[0].contains("ceiling 50000.0 us"), "{bad:?}");
         // No overflow rejections, and the ones seen weren't typed:
         // both are independent violations.
         let fresh = results_with(
-            "  \"schema_version\": 3,\n",
+            "  \"schema_version\": 4,\n",
             4,
             2.9,
             true,
             12_000.0,
             190_000.0,
             HEALTHY_KERNELS,
-            &serve_block(0.875, 0.4, 120.0, 0, false),
+            &serve_block(0.875, 412.5, 120_000.0, 0, false),
         );
         let (bad, _) = gate_violations(&fresh, &base);
         assert_eq!(bad.len(), 2, "{bad:?}");
@@ -1251,10 +1642,10 @@ mod tests {
     #[test]
     fn serve_section_gates_a_serve_only_results_file() {
         let base = results(4, 3.1, true, 10_000.0, 200_000.0);
-        // What `perf serve-slo` writes: schema + host_parallelism +
-        // serve block, no sweeps/kernels/pool.
+        // What `perf serve-slo` writes: schema + host_cores + serve
+        // block, no sweeps/kernels/pool.
         let fresh = format!(
-            "{{\n  \"schema_version\": 3,\n  \"host_parallelism\": 4,\n{}\n}}\n",
+            "{{\n  \"schema_version\": 4,\n  \"host_cores\": 4,\n{}\n}}\n",
             healthy_serve()
         );
         let (bad, log) = gate_violations_in(&fresh, &base, GateSection::Serve);
@@ -1264,11 +1655,174 @@ mod tests {
         let (bad, _) = gate_violations(&fresh, &base);
         assert!(!bad.is_empty());
         // And the serve section still enforces the schema handshake.
-        let stale = fresh.replace("\"schema_version\": 3", "\"schema_version\": 2");
+        let stale = fresh.replace("\"schema_version\": 4", "\"schema_version\": 3");
         let (bad, log) = gate_violations_in(&stale, &base, GateSection::Serve);
         assert_eq!(bad.len(), 1, "{bad:?}");
         assert!(bad[0].contains("schema_version"), "{bad:?}");
         assert!(log.is_empty(), "{log:?}");
+    }
+
+    /// A healthy fixture with a custom kernels.parallel block and
+    /// host_cores/jobs set independently.
+    fn results_with_parallel(cores: u32, jobs: u32, parallel: &str) -> String {
+        results_doc(
+            "  \"schema_version\": 4,\n",
+            cores,
+            jobs,
+            2.9,
+            true,
+            12_000.0,
+            190_000.0,
+            &kernels_block(HEALTHY_KERNELS, parallel),
+            &roofline_block(0.62),
+            &healthy_serve(),
+        )
+    }
+
+    #[test]
+    fn gate_scales_parallel_fused_floor_by_effective_cores() {
+        let base = results(4, 3.1, true, 10_000.0, 200_000.0);
+        // 4 workers on 4 cores must double serial fused: 1.5 fails.
+        let fresh = results_with_parallel(4, 4, &parallel_block(4, 1.5, true));
+        let (bad, _) = gate_violations(&fresh, &base);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("kernels.parallel fused ratio"), "{bad:?}");
+        assert!(bad[0].contains("floor 2.00"), "{bad:?}");
+        assert!(bad[0].contains("measured 1.500"), "{bad:?}");
+        // The same ratio on 2 cores clears the 1.2 floor...
+        let fresh = results_with_parallel(2, 2, &parallel_block(4, 1.5, true));
+        let (bad, log) = gate_violations(&fresh, &base);
+        assert!(bad.is_empty(), "{bad:?}");
+        assert!(log.iter().any(|l| l.contains("floor 1.20")), "{log:?}");
+        // ...and an oversubscribed single-core runner is only held to
+        // the scheduling-overhead bound.
+        let fresh = results_with_parallel(1, 1, &parallel_block(4, 0.5, true));
+        let (bad, log) = gate_violations(&fresh, &base);
+        assert!(bad.is_empty(), "{bad:?}");
+        assert!(log.iter().any(|l| l.contains("floor 0.35")), "{log:?}");
+        // Worker-count divergence is fatal at any core count.
+        let fresh = results_with_parallel(1, 1, &parallel_block(4, 2.6, false));
+        let (bad, _) = gate_violations(&fresh, &base);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(
+            bad[0].contains("kernels.parallel identical_output"),
+            "{bad:?}"
+        );
+        // A results file with no parallel block at all is a violation.
+        let fresh = results_doc(
+            "  \"schema_version\": 4,\n",
+            4,
+            4,
+            2.9,
+            true,
+            12_000.0,
+            190_000.0,
+            &kernels_block(HEALTHY_KERNELS, ""),
+            &roofline_block(0.62),
+            &healthy_serve(),
+        );
+        let (bad, _) = gate_violations(&fresh, &base);
+        assert!(
+            bad.iter()
+                .any(|b| b.contains("missing kernels.parallel block")),
+            "{bad:?}"
+        );
+    }
+
+    #[test]
+    fn gate_enforces_roofline_fraction_floor() {
+        let base = results(4, 3.1, true, 10_000.0, 200_000.0);
+        // Under a quarter of the bandwidth-predicted roof: violation.
+        let fresh = results_doc(
+            "  \"schema_version\": 4,\n",
+            4,
+            4,
+            2.9,
+            true,
+            12_000.0,
+            190_000.0,
+            &kernels_block(HEALTHY_KERNELS, &healthy_parallel()),
+            &roofline_block(0.18),
+            &healthy_serve(),
+        );
+        let (bad, _) = gate_violations(&fresh, &base);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("roofline roof_fraction"), "{bad:?}");
+        assert!(bad[0].contains("floor 0.25"), "{bad:?}");
+        assert!(bad[0].contains("measured 0.180"), "{bad:?}");
+        // Fractions above 1.0 are healthy, not suspicious: that is
+        // cache-resident fusion beating streamed traffic.
+        let fresh = results_doc(
+            "  \"schema_version\": 4,\n",
+            4,
+            4,
+            2.9,
+            true,
+            12_000.0,
+            190_000.0,
+            &kernels_block(HEALTHY_KERNELS, &healthy_parallel()),
+            &roofline_block(1.85),
+            &healthy_serve(),
+        );
+        let (bad, _) = gate_violations(&fresh, &base);
+        assert!(bad.is_empty(), "{bad:?}");
+        // A missing roofline block is its own violation.
+        let fresh = results_doc(
+            "  \"schema_version\": 4,\n",
+            4,
+            4,
+            2.9,
+            true,
+            12_000.0,
+            190_000.0,
+            &kernels_block(HEALTHY_KERNELS, &healthy_parallel()),
+            "",
+            &healthy_serve(),
+        );
+        let (bad, _) = gate_violations(&fresh, &base);
+        assert!(
+            bad.iter().any(|b| b.contains("missing roofline block")),
+            "{bad:?}"
+        );
+    }
+
+    #[test]
+    fn gate_rejects_truncated_serve_latency_precision() {
+        // p50_us of exactly 0 means the quantiles lost sub-millisecond
+        // resolution — the regression this gate exists to catch.
+        let base = results(4, 3.1, true, 10_000.0, 200_000.0);
+        let fresh = results_with(
+            "  \"schema_version\": 4,\n",
+            4,
+            2.9,
+            true,
+            12_000.0,
+            190_000.0,
+            HEALTHY_KERNELS,
+            &serve_block(0.875, 0.0, 120_000.0, 3, true),
+        );
+        let (bad, _) = gate_violations(&fresh, &base);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("serve p50_us: expected > 0"), "{bad:?}");
+    }
+
+    #[test]
+    fn sweep_floor_is_oversubscription_aware() {
+        let base = results(4, 3.1, true, 10_000.0, 200_000.0);
+        // --jobs 4 on one core is oversubscription: effective jobs 1,
+        // so 0.7 "speedup" is acceptable fan-out overhead...
+        let fresh = results_with_parallel(1, 4, &parallel_block(4, 0.5, true));
+        let fresh = fresh.replace("\"speedup\": 2.900", "\"speedup\": 0.700");
+        let (bad, log) = gate_violations(&fresh, &base);
+        assert!(bad.is_empty(), "{bad:?}");
+        assert!(log.iter().any(|l| l.contains("floor 0.5")), "{log:?}");
+        // ...but the same number with 4 real cores is a regression.
+        let fresh = results_with_parallel(4, 4, &healthy_parallel());
+        let fresh = fresh.replace("\"speedup\": 2.900", "\"speedup\": 0.700");
+        let (bad, _) = gate_violations(&fresh, &base);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("speedup"), "{bad:?}");
+        assert!(bad[0].contains("jobs 4"), "{bad:?}");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 #![forbid(unsafe_code)]
 
 pub mod plot;
+pub mod roofline;
 pub mod serveload;
 pub mod sweep;
 

@@ -1,0 +1,186 @@
+//! STREAM-style bandwidth probe and roofline model for the fused
+//! hydro kernels.
+//!
+//! The perf harness reports throughput in million zones per second;
+//! this module supplies the *predicted* roof to hold that against. A
+//! triad probe (`a[i] = b[i] + s·c[i]`, the bandwidth-bound STREAM
+//! kernel) measures what the host actually streams at the same worker
+//! count the parallel fused bench uses. The per-zone byte and flop
+//! counts come from the hand-counted kernel catalog
+//! ([`hsim_hydro::kernels`]) for the **legacy per-pass** first-order
+//! workload — deliberately so: the fused path exists to beat that
+//! naive traffic by keeping tiles cache-resident, so a fused
+//! `roof_fraction` *above* 1.0 is the signature of fusion working,
+//! and the CI floor on the fraction stays machine-independent.
+
+use std::time::Instant;
+
+use hsim_hydro::kernels;
+use hsim_hydro::state::NCONS;
+
+/// What the triad probe measured.
+#[derive(Debug, Clone, Copy)]
+pub struct TriadProbe {
+    /// Sustained bandwidth in GB/s (3 × 8 bytes per element per rep).
+    pub gbps: f64,
+    /// Elements per array.
+    pub len: usize,
+    /// Timed repetitions.
+    pub reps: usize,
+    /// Threads the probe fanned out over.
+    pub workers: usize,
+}
+
+/// Run the triad probe: `reps` passes of `a[i] = b[i] + s·c[i]` over
+/// three `len`-element arrays, split across `workers` threads.
+///
+/// Scoped threads (not the [`hsim_raja`] pool) keep the probe safe
+/// code — each thread owns one disjoint chunk of every array — and
+/// the spawn cost is noise against a multi-millisecond streaming
+/// pass. Arrays are touched once before timing so page faults and
+/// first-touch placement stay out of the measurement.
+pub fn measure_triad(workers: usize, len: usize, reps: usize) -> TriadProbe {
+    let workers = workers.max(1);
+    let s = 3.0_f64;
+    let mut a = vec![0.0_f64; len];
+    let b = vec![1.5_f64; len];
+    let c = vec![2.5_f64; len];
+    let chunk = len.div_ceil(workers).max(1);
+    let triad_pass = |a: &mut Vec<f64>| {
+        std::thread::scope(|scope| {
+            for ((ac, bc), cc) in a
+                .chunks_mut(chunk)
+                .zip(b.chunks(chunk))
+                .zip(c.chunks(chunk))
+            {
+                scope.spawn(move || {
+                    let n = ac.len();
+                    let (bc, cc) = (&bc[..n], &cc[..n]);
+                    for i in 0..n {
+                        ac[i] = bc[i] + s * cc[i];
+                    }
+                });
+            }
+        });
+    };
+    triad_pass(&mut a); // warm-up: faults, first touch, thread start
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        triad_pass(&mut a);
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-12);
+    std::hint::black_box(&a);
+    let bytes = (3 * 8 * len * reps) as f64;
+    TriadProbe {
+        gbps: bytes / secs / 1e9,
+        len,
+        reps,
+        workers,
+    }
+}
+
+/// Bytes one zone moves through the legacy per-pass first-order
+/// workload the kernel bench times (primitive recovery + one
+/// three-axis first-order sweep), straight from the kernel catalog:
+/// three primitive passes, then per axis one wavespeed pass and a
+/// flux + update pass per conserved variable.
+pub fn first_order_bytes_per_zone() -> f64 {
+    let ncons = NCONS as f64;
+    kernels::VELOCITY.bytes_per_elem
+        + kernels::PRESSURE.bytes_per_elem
+        + kernels::SOUND_SPEED.bytes_per_elem
+        + 3.0
+            * (kernels::WAVESPEED.bytes_per_elem
+                + ncons * (kernels::FLUX.bytes_per_elem + kernels::UPDATE.bytes_per_elem))
+}
+
+/// Flops one zone spends in the same workload.
+pub fn first_order_flops_per_zone() -> f64 {
+    let ncons = NCONS as f64;
+    kernels::VELOCITY.flops_per_elem
+        + kernels::PRESSURE.flops_per_elem
+        + kernels::SOUND_SPEED.flops_per_elem
+        + 3.0
+            * (kernels::WAVESPEED.flops_per_elem
+                + ncons * (kernels::FLUX.flops_per_elem + kernels::UPDATE.flops_per_elem))
+}
+
+/// Arithmetic intensity (flop/byte) of the per-pass workload. Far
+/// below 1, so the workload is bandwidth-bound and the triad roof is
+/// the binding one.
+pub fn first_order_intensity() -> f64 {
+    first_order_flops_per_zone() / first_order_bytes_per_zone()
+}
+
+/// Bandwidth-predicted throughput roof in million zones per second if
+/// every byte of the per-pass workload had to stream from memory at
+/// the triad rate. The fused path's measured throughput divided by
+/// this is the `roof_fraction` the CI gate floors.
+pub fn predicted_mzones_per_s(triad_gbps: f64) -> f64 {
+    triad_gbps * 1e9 / first_order_bytes_per_zone() / 1e6
+}
+
+/// `(name, flops/elem, bytes/elem, flop/byte)` for every catalog
+/// kernel — the per-kernel arithmetic-intensity table the results
+/// file and EXPERIMENTS.md carry.
+pub fn kernel_intensities() -> Vec<(&'static str, f64, f64, f64)> {
+    kernels::CATALOG
+        .iter()
+        .map(|d| {
+            (
+                d.name,
+                d.flops_per_elem,
+                d.bytes_per_elem,
+                d.flops_per_elem / d.bytes_per_elem,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triad_probe_reports_positive_bandwidth_at_any_worker_count() {
+        for workers in [1, 2, 3] {
+            let probe = measure_triad(workers, 1 << 16, 2);
+            assert!(
+                probe.gbps.is_finite() && probe.gbps > 0.0,
+                "workers {workers}: {probe:?}"
+            );
+            assert_eq!(probe.workers, workers);
+        }
+        // Zero workers clamps to one rather than dividing by zero.
+        assert_eq!(measure_triad(0, 1 << 10, 1).workers, 1);
+    }
+
+    #[test]
+    fn per_zone_traffic_matches_the_hand_count() {
+        // 56+56+24 primitives + 3 axes × (40 wavespeed + 5 × (64 flux
+        // + 40 update)) bytes; 24 + 3 × (8 + 5 × 19) flops.
+        assert_eq!(first_order_bytes_per_zone(), 1816.0);
+        assert_eq!(first_order_flops_per_zone(), 333.0);
+        let ai = first_order_intensity();
+        assert!(ai > 0.1 && ai < 0.3, "intensity {ai}");
+    }
+
+    #[test]
+    fn predicted_roof_scales_linearly_with_bandwidth() {
+        let lo = predicted_mzones_per_s(10.0);
+        let hi = predicted_mzones_per_s(20.0);
+        assert!((hi / lo - 2.0).abs() < 1e-12);
+        // 10 GB/s over 1816 B/zone ≈ 5.5 Mzones/s.
+        assert!((lo - 10.0 * 1e9 / 1816.0 / 1e6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intensity_table_covers_the_whole_catalog() {
+        let table = kernel_intensities();
+        assert_eq!(table.len(), kernels::CATALOG.len());
+        for (name, flops, bytes, ai) in table {
+            assert!(bytes > 0.0, "{name}");
+            assert!((ai - flops / bytes).abs() < 1e-15, "{name}");
+        }
+    }
+}

@@ -68,6 +68,13 @@ pub const TILE_PROBE_N: usize = 32;
 /// (or one seed) per process, shared by every subsequent run.
 static TILE: std::sync::OnceLock<[usize; 2]> = std::sync::OnceLock::new();
 
+/// Per-worker-count probe results for [`auto_tile_for`] beyond the
+/// serial case: `(host threads, probed tile)` pairs. Each worker
+/// count's shape is fixed at its first request, so repeated sweeps
+/// at the same `--host-threads` always agree.
+static TILE_BY_THREADS: std::sync::Mutex<Vec<(usize, [usize; 2])>> =
+    std::sync::Mutex::new(Vec::new());
+
 /// One-shot y–z tile auto-tune for the fused cache-blocked kernels:
 /// time a fused first-order sweep on a small full-fidelity grid for
 /// each of [`TILE_CANDIDATES`] and return the fastest. Cached for the
@@ -79,7 +86,36 @@ static TILE: std::sync::OnceLock<[usize; 2]> = std::sync::OnceLock::new();
 /// are bitwise-independent of the choice, so the probe can never
 /// change physics or figures — only throughput.
 pub fn auto_tile() -> [usize; 2] {
-    *TILE.get_or_init(probe_tile)
+    *TILE.get_or_init(|| probe_tile(1))
+}
+
+/// Worker-count-aware variant of [`auto_tile`]: the best tile shape
+/// for the *parallel* fused path need not match the serial one (small
+/// tiles feed more workers; big tiles amortize per-tile scratch), so
+/// the probe runs the fused sweep on the same shared pool the runner
+/// will use at `threads` host threads.
+///
+/// Caching rules, in order:
+/// * `threads <= 1` defers to [`auto_tile`] (the serial OnceLock).
+/// * A worker count already probed reuses its cached shape — per
+///   worker count, the first request's answer is sticky.
+/// * A shape seeded via [`seed_tile`] *before* a worker count's first
+///   request wins for that count (operators pin one shape for every
+///   worker count; the probe never overrides a pin).
+pub fn auto_tile_for(threads: usize) -> [usize; 2] {
+    if threads <= 1 {
+        return auto_tile();
+    }
+    let mut cache = TILE_BY_THREADS.lock().expect("tile cache poisoned");
+    if let Some(&(_, tile)) = cache.iter().find(|(t, _)| *t == threads) {
+        return tile;
+    }
+    let tile = match TILE.get() {
+        Some(&seeded) => seeded,
+        None => probe_tile(threads),
+    };
+    cache.push((threads, tile));
+    tile
 }
 
 /// Seed the process-wide tile cache with an externally calibrated
@@ -119,14 +155,23 @@ pub fn parse_tile_spec(s: &str) -> Result<[usize; 2], String> {
     Ok([ty, tz])
 }
 
-fn probe_tile() -> [usize; 2] {
-    use hsim_raja::{CpuModel, Executor, Fidelity, Target};
+fn probe_tile(threads: usize) -> [usize; 2] {
+    use hsim_raja::{CpuModel, Executor, Fidelity, Target, WorkPool};
     let n = TILE_PROBE_N;
     let grid = hsim_mesh::GlobalGrid::new(n, n, n);
     let sub = hsim_mesh::Subdomain::new([0, 0, 0], [n, n, n], 1);
     let mut st = hsim_hydro::HydroState::new(grid, sub, Fidelity::Full);
     st.init_ambient(1.0, 0.4);
-    let mut exec = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::Full);
+    let target = if threads > 1 {
+        // Probe on the same process-wide shared pool the runner uses,
+        // so the measurement sees the real scheduling overheads.
+        Target::CpuParallel {
+            pool: WorkPool::shared(threads - 1),
+        }
+    } else {
+        Target::CpuSeq
+    };
+    let mut exec = Executor::new(target, CpuModel::haswell_fixed(), Fidelity::Full);
     let mut clock = hsim_time::RankClock::new(0);
     hsim_hydro::fused::primitives(&mut st, &mut exec, &mut clock).expect("probe primitives");
     let mut best = TILE_CANDIDATES[0];
@@ -180,6 +225,18 @@ mod tests {
         let t = auto_tile();
         assert!(TILE_CANDIDATES.contains(&t), "probe picked {t:?}");
         assert_eq!(t, auto_tile(), "probe result is cached");
+    }
+
+    #[test]
+    fn auto_tile_for_is_per_worker_count_stable() {
+        // Serial defers to the OnceLock path.
+        assert_eq!(auto_tile_for(0), auto_tile());
+        assert_eq!(auto_tile_for(1), auto_tile());
+        // A parallel count gets its own probe (or inherits a shape
+        // already pinned), and repeats reuse the cached answer.
+        let t = auto_tile_for(3);
+        assert!(TILE_CANDIDATES.contains(&t), "probe picked {t:?}");
+        assert_eq!(t, auto_tile_for(3), "per-count result is cached");
     }
 
     // seed_tile itself is covered by `tests/calib_seed.rs`, which gets

@@ -107,9 +107,11 @@ pub struct RunConfig {
     /// cost model at this width.
     pub host_threads: usize,
     /// y–z tile shape for the fused cache-blocked hydro kernels
-    /// (`None` = pick via the one-shot [`calib::auto_tile`] probe).
-    /// Results are bitwise-independent of the tile shape; this only
-    /// moves wall-clock throughput.
+    /// (`None` = pick via the one-shot [`calib::auto_tile_for`] probe,
+    /// which is keyed on `host_threads` — the best shape for the
+    /// parallel-tile path need not match the serial one). Results are
+    /// bitwise-independent of the tile shape; this only moves
+    /// wall-clock throughput.
     pub tile: Option<[usize; 2]>,
 }
 
@@ -699,7 +701,9 @@ fn run_segment(
                     cfg_ref.multipolicy_threshold,
                 ));
             let mut state = HydroState::new(grid, sub, cfg_ref.fidelity);
-            state.tile = cfg_ref.tile.unwrap_or_else(calib::auto_tile);
+            state.tile = cfg_ref
+                .tile
+                .unwrap_or_else(|| calib::auto_tile_for(cfg_ref.host_threads));
             cfg_ref.problem.init(&mut state);
             // Degraded restart: unpack this rank's owned box from the
             // host-staged checkpoint (ghosts refill on the first

@@ -12,8 +12,10 @@ fn seed_wins_when_first_and_probe_then_agrees() {
     let seeded = calib::seed_tile([16, 16]);
     assert_eq!(seeded, [16, 16], "first seed populates the cache");
     // ...and every later calibration call sees the seeded value
-    // instead of re-probing: calibrate-once-then-share.
+    // instead of re-probing: calibrate-once-then-share. A pinned
+    // shape applies to every worker count, not just the serial path.
     assert_eq!(calib::auto_tile(), [16, 16]);
+    assert_eq!(calib::auto_tile_for(4), [16, 16]);
     // A conflicting later seed loses — first write is sticky, so
     // concurrent requests in a server always agree on one shape.
     assert_eq!(calib::seed_tile([4, 4]), [16, 16]);

@@ -29,16 +29,28 @@
 //!
 //! Row helpers live at module scope (not inside tile bodies): the
 //! `tile-bounds` tidy lint forbids per-element indexing inside
-//! `run_tiles` bodies, so bodies only carve ranges and call helpers.
+//! `run_tiles`/`run_tiles_collect` bodies, so bodies only carve ranges
+//! and call helpers.
+//!
+//! The row helpers themselves are written for autovectorization:
+//! every loop first re-borrows its operands as exact-length subslices
+//! (so the compiler proves all bounds once, outside the loop), the
+//! physical-flux `match` arm is selected once per row instead of per
+//! element (see `rusanov_row_var` — each arm keeps the legacy
+//! per-element arithmetic, including the `+ 0.0` of the
+//! perpendicular-momentum arm), and per-tile scratch is one
+//! contiguous [`ScratchArena`] allocation carved into dense slabs
+//! instead of a `Vec<Vec<f64>>` per plane.
 
 use hsim_gpu::GpuError;
 use hsim_raja::{DisjointRowsMut, Executor, Fidelity, TileSet2};
 use hsim_time::RankClock;
 
-use crate::flux::phys_flux;
 use crate::kernels;
-use crate::muscl::{minmod, phys_flux_axis};
-use crate::state::{HydroState, CS, EN, GAMMA, MX, MY, MZ, NCONS, PR, P_FLOOR, RHO, RHO_FLOOR, VX};
+use crate::muscl::minmod;
+use crate::state::{
+    HydroState, ScratchArena, CS, EN, GAMMA, MX, MY, MZ, NCONS, PR, P_FLOOR, RHO, RHO_FLOOR, VX,
+};
 
 /// One variable's allocated x-row of a var-major slab at allocated
 /// transverse coordinates `(j, k)`.
@@ -83,7 +95,11 @@ fn prim_row(
     p: &mut [f64],
     cs: &mut [f64],
 ) {
-    for i in 0..rho.len() {
+    let n = rho.len();
+    let (mx, my, mz, en) = (&mx[..n], &my[..n], &mz[..n], &en[..n]);
+    let (vx, vy, vz) = (&mut vx[..n], &mut vy[..n], &mut vz[..n]);
+    let (p, cs) = (&mut p[..n], &mut cs[..n]);
+    for i in 0..n {
         let r = rho[i].max(RHO_FLOOR);
         let ux = mx[i] / r;
         let uy = my[i] / r;
@@ -196,42 +212,58 @@ pub fn combine(
 // First-order sweep (legacy: flux::sweep, 33 kernels).
 // ---------------------------------------------------------------------
 
-/// Per-face max wavespeed along x for one row: face `i` sits between
-/// allocated zones `i+g−1` and `i+g` of the same row.
-fn x_wavespeed_row(va: &[f64], cs: &[f64], g: usize, ws: &mut [f64]) {
-    for (i, w) in ws.iter_mut().enumerate() {
-        let il = g - 1 + i;
-        let ir = g + i;
-        let sl = va[il].abs() + cs[il];
-        let sr = va[ir].abs() + cs[ir];
-        *w = sl.max(sr);
-    }
-}
-
-/// Rusanov flux along x for one row of one conserved variable.
-fn x_flux_row(var: usize, q: &[f64], va: &[f64], p: &[f64], ws: &[f64], g: usize, fx: &mut [f64]) {
-    for i in 0..fx.len() {
-        let il = g - 1 + i;
-        let ir = g + i;
-        let fl = phys_flux(var, 0, q[il], va[il], p[il]);
-        let fr = phys_flux(var, 0, q[ir], va[ir], p[ir]);
-        fx[i] = 0.5 * (fl + fr) - 0.5 * ws[i] * (q[ir] - q[il]);
-    }
-}
-
-/// Per-face max wavespeed along a transverse axis for one i-row pair
-/// (`_l`/`_r` are the owned-i rows on either side of the face).
-fn t_wavespeed_row(va_l: &[f64], va_r: &[f64], cs_l: &[f64], cs_r: &[f64], ws: &mut [f64]) {
-    for i in 0..ws.len() {
+/// Per-face max wavespeed for one row of faces, given the zone rows on
+/// either side of the face line (`_l`/`_r`). Along x these are the
+/// `g−1`- and `g`-shifted windows of the same row; transverse they are
+/// the owned-i rows of the two bracketing planes.
+fn wavespeed_row(va_l: &[f64], va_r: &[f64], cs_l: &[f64], cs_r: &[f64], ws: &mut [f64]) {
+    let n = ws.len();
+    let (va_l, va_r) = (&va_l[..n], &va_r[..n]);
+    let (cs_l, cs_r) = (&cs_l[..n], &cs_r[..n]);
+    for i in 0..n {
         let sl = va_l[i].abs() + cs_l[i];
         let sr = va_r[i].abs() + cs_r[i];
         ws[i] = sl.max(sr);
     }
 }
 
-/// Rusanov flux along a transverse axis for one i-row of one variable.
+/// Rusanov flux for one row of faces with the physical flux supplied
+/// as a per-element closure, monomorphized per arm by
+/// [`rusanov_row_var`]: the arm dispatch happens once per row, so the
+/// element loop is branch-free and runs over exact-length subslices.
 #[allow(clippy::too_many_arguments)]
-fn t_flux_row(
+#[inline]
+fn rusanov_row(
+    q_l: &[f64],
+    q_r: &[f64],
+    va_l: &[f64],
+    va_r: &[f64],
+    p_l: &[f64],
+    p_r: &[f64],
+    ws: &[f64],
+    fx: &mut [f64],
+    flux: impl Fn(f64, f64, f64) -> f64,
+) {
+    let n = fx.len();
+    let (q_l, q_r) = (&q_l[..n], &q_r[..n]);
+    let (va_l, va_r) = (&va_l[..n], &va_r[..n]);
+    let (p_l, p_r) = (&p_l[..n], &p_r[..n]);
+    let ws = &ws[..n];
+    for i in 0..n {
+        let fl = flux(q_l[i], va_l[i], p_l[i]);
+        let fr = flux(q_r[i], va_r[i], p_r[i]);
+        fx[i] = 0.5 * (fl + fr) - 0.5 * ws[i] * (q_r[i] - q_l[i]);
+    }
+}
+
+/// [`rusanov_row`] with the physical-flux arm of
+/// [`crate::flux::phys_flux`] / [`crate::muscl::phys_flux_axis`]
+/// selected once for (`var`, `axis`). Each arm's per-element
+/// arithmetic is the legacy expression verbatim — note the perpendicular
+/// momentum arm keeps the legacy `+ 0.0` (which maps `-0.0` to `+0.0`)
+/// so outputs stay bitwise identical.
+#[allow(clippy::too_many_arguments)]
+fn rusanov_row_var(
     var: usize,
     axis: usize,
     q_l: &[f64],
@@ -243,18 +275,28 @@ fn t_flux_row(
     ws: &[f64],
     fx: &mut [f64],
 ) {
-    for i in 0..fx.len() {
-        let fl = phys_flux(var, axis, q_l[i], va_l[i], p_l[i]);
-        let fr = phys_flux(var, axis, q_r[i], va_r[i], p_r[i]);
-        fx[i] = 0.5 * (fl + fr) - 0.5 * ws[i] * (q_r[i] - q_l[i]);
+    match var {
+        RHO => rusanov_row(q_l, q_r, va_l, va_r, p_l, p_r, ws, fx, |q, va, _p| q * va),
+        EN => rusanov_row(q_l, q_r, va_l, va_r, p_l, p_r, ws, fx, |q, va, p| {
+            (q + p) * va
+        }),
+        _ if var - MX == axis => rusanov_row(q_l, q_r, va_l, va_r, p_l, p_r, ws, fx, |q, va, p| {
+            q * va + p
+        }),
+        _ => rusanov_row(q_l, q_r, va_l, va_r, p_l, p_r, ws, fx, |q, va, _p| {
+            q * va + 0.0
+        }),
     }
 }
 
 /// Flux-difference update of one owned row: `tgt[g+i] -= scale·(f_hi −
-/// f_lo)` — the legacy UPDATE body verbatim.
+/// f_lo)` — the legacy UPDATE arithmetic, over exact-length windows.
 fn update_row(tgt: &mut [f64], g: usize, scale: f64, f_lo: &[f64], f_hi: &[f64]) {
-    for i in 0..f_lo.len() {
-        tgt[g + i] -= scale * (f_hi[i] - f_lo[i]);
+    let n = f_lo.len();
+    let tgt = &mut tgt[g..g + n];
+    let f_hi = &f_hi[..n];
+    for i in 0..n {
+        tgt[i] -= scale * (f_hi[i] - f_lo[i]);
     }
 }
 
@@ -289,30 +331,46 @@ pub fn sweep(
     let prim_slab = prim.slab();
     let rows = DisjointRowsMut::new(u0.slab_mut(), dims[0]);
     exec.run_tiles(&tiles, |tile| {
-        // x sweep: faces lie along the row, one pass per (j, k).
-        let mut ws = vec![0.0; n0 + 1];
-        let mut fx = vec![0.0; n0 + 1];
+        // Tile-contiguous scratch: face wavespeed/flux rows plus the
+        // two transverse flux planes, carved from one allocation.
+        let mut arena = ScratchArena::zeroed(2 * (n0 + 1) + (1 + 2 * NCONS) * n0);
+        let mut carve = arena.carver();
+        let ws = carve.take(n0 + 1);
+        let fx = carve.take(n0 + 1);
+        let tws = carve.take(n0);
+        let mut prev = carve.take(NCONS * n0);
+        let mut cur = carve.take(NCONS * n0);
+        // x sweep: faces lie along the row, one pass per (j, k); face i
+        // sits between the g−1- and g-shifted windows of the row.
         for k in tile.k0..tile.k1 {
             for j in tile.j0..tile.j1 {
                 let (aj, ak) = (j + g, k + g);
                 let va = row_of(prim_slab, dims, VX, aj, ak);
                 let cs = row_of(prim_slab, dims, CS, aj, ak);
                 let p = row_of(prim_slab, dims, PR, aj, ak);
-                x_wavespeed_row(va, cs, g, &mut ws);
+                wavespeed_row(&va[g - 1..], &va[g..], &cs[g - 1..], &cs[g..], ws);
                 for var in 0..NCONS {
                     let q = row_of(u_slab, dims, var, aj, ak);
-                    x_flux_row(var, q, va, p, &ws, g, &mut fx);
+                    rusanov_row_var(
+                        var,
+                        0,
+                        &q[g - 1..],
+                        &q[g..],
+                        &va[g - 1..],
+                        &va[g..],
+                        &p[g - 1..],
+                        &p[g..],
+                        ws,
+                        fx,
+                    );
                     let mut tgt = rows.claim(row_index(dims, var, aj, ak));
                     update_row(&mut tgt[..], g, scale, &fx[..n0], &fx[1..]);
                 }
             }
         }
         // Transverse sweeps: walk faces along the transverse axis with
-        // a prev/cur flux-row pair, so each face is computed once per
+        // a prev/cur flux-plane pair, so each face is computed once per
         // tile and each zone updates as soon as both its faces exist.
-        let mut ws = vec![0.0; n0];
-        let mut prev: Vec<Vec<f64>> = (0..NCONS).map(|_| vec![0.0; n0]).collect();
-        let mut cur: Vec<Vec<f64>> = (0..NCONS).map(|_| vec![0.0; n0]).collect();
         // y sweep (axis 1): face jf sits between allocated rows
         // jf+g−1 and jf+g.
         for k in tile.k0..tile.k1 {
@@ -325,15 +383,17 @@ pub fn sweep(
                 let cs_r = owned_row(prim_slab, dims, g, CS, jr, ak);
                 let p_l = owned_row(prim_slab, dims, g, PR, jl, ak);
                 let p_r = owned_row(prim_slab, dims, g, PR, jr, ak);
-                t_wavespeed_row(va_l, va_r, cs_l, cs_r, &mut ws);
-                for (var, fxr) in cur.iter_mut().enumerate() {
+                wavespeed_row(va_l, va_r, cs_l, cs_r, tws);
+                for (var, fxr) in cur.chunks_exact_mut(n0).enumerate() {
                     let q_l = owned_row(u_slab, dims, g, var, jl, ak);
                     let q_r = owned_row(u_slab, dims, g, var, jr, ak);
-                    t_flux_row(var, 1, q_l, q_r, va_l, va_r, p_l, p_r, &ws, fxr);
+                    rusanov_row_var(var, 1, q_l, q_r, va_l, va_r, p_l, p_r, tws, fxr);
                 }
                 if jf > tile.j0 {
                     let aj = jf - 1 + g;
-                    for (var, (f_lo, f_hi)) in prev.iter().zip(cur.iter()).enumerate() {
+                    for (var, (f_lo, f_hi)) in
+                        prev.chunks_exact(n0).zip(cur.chunks_exact(n0)).enumerate()
+                    {
                         let mut tgt = rows.claim(row_index(dims, var, aj, ak));
                         update_row(&mut tgt[..], g, scale, f_lo, f_hi);
                     }
@@ -353,15 +413,17 @@ pub fn sweep(
                 let cs_r = owned_row(prim_slab, dims, g, CS, aj, kr);
                 let p_l = owned_row(prim_slab, dims, g, PR, aj, kl);
                 let p_r = owned_row(prim_slab, dims, g, PR, aj, kr);
-                t_wavespeed_row(va_l, va_r, cs_l, cs_r, &mut ws);
-                for (var, fxr) in cur.iter_mut().enumerate() {
+                wavespeed_row(va_l, va_r, cs_l, cs_r, tws);
+                for (var, fxr) in cur.chunks_exact_mut(n0).enumerate() {
                     let q_l = owned_row(u_slab, dims, g, var, aj, kl);
                     let q_r = owned_row(u_slab, dims, g, var, aj, kr);
-                    t_flux_row(var, 2, q_l, q_r, va_l, va_r, p_l, p_r, &ws, fxr);
+                    rusanov_row_var(var, 2, q_l, q_r, va_l, va_r, p_l, p_r, tws, fxr);
                 }
                 if kf > tile.k0 {
                     let ak = kf - 1 + g;
-                    for (var, (f_lo, f_hi)) in prev.iter().zip(cur.iter()).enumerate() {
+                    for (var, (f_lo, f_hi)) in
+                        prev.chunks_exact(n0).zip(cur.chunks_exact(n0)).enumerate()
+                    {
                         let mut tgt = rows.claim(row_index(dims, var, aj, ak));
                         update_row(&mut tgt[..], g, scale, f_lo, f_hi);
                     }
@@ -377,32 +439,17 @@ pub fn sweep(
 // MUSCL sweep (legacy: muscl::sweep_muscl, 17 kernels per axis).
 // ---------------------------------------------------------------------
 
-/// Minmod-limited face reconstruction along x for one row of one
-/// variable: face `f` is between zones `f+g−1` and `f+g`.
-fn x_recon_row(q: &[f64], g: usize, ql: &mut [f64], qr: &mut [f64]) {
-    for f in 0..ql.len() {
-        let q_lm = q[f + g - 2];
-        let q_l = q[f + g - 1];
-        let q_r = q[f + g];
-        let q_rp = q[f + g + 1];
-        let slope_l = minmod(q_l - q_lm, q_r - q_l);
-        let slope_r = minmod(q_r - q_l, q_rp - q_r);
-        ql[f] = q_l + 0.5 * slope_l;
-        qr[f] = q_r - 0.5 * slope_r;
-    }
-}
-
-/// Minmod-limited reconstruction across a transverse face from the
-/// four bracketing i-rows.
-fn t_recon_row(
-    q_lm: &[f64],
-    q_l: &[f64],
-    q_r: &[f64],
-    q_rp: &[f64],
-    ql: &mut [f64],
-    qr: &mut [f64],
-) {
-    for i in 0..ql.len() {
+/// Minmod-limited face reconstruction for one row of faces from the
+/// four bracketing zone rows (along x these are shifted windows of
+/// one row; transverse they are the four bracketing planes' rows).
+/// The limiter is the branchless select form of [`minmod`], and all
+/// operands are exact-length subslices.
+fn recon_row(q_lm: &[f64], q_l: &[f64], q_r: &[f64], q_rp: &[f64], ql: &mut [f64], qr: &mut [f64]) {
+    let n = ql.len();
+    let (q_lm, q_l) = (&q_lm[..n], &q_l[..n]);
+    let (q_r, q_rp) = (&q_r[..n], &q_rp[..n]);
+    let qr = &mut qr[..n];
+    for i in 0..n {
         let slope_l = minmod(q_l[i] - q_lm[i], q_r[i] - q_l[i]);
         let slope_r = minmod(q_r[i] - q_l[i], q_rp[i] - q_r[i]);
         ql[i] = q_l[i] + 0.5 * slope_l;
@@ -421,48 +468,54 @@ fn face_prim(axis: usize, rho: f64, mx: f64, my: f64, mz: f64, en: f64) -> (f64,
     (v[axis], p, cs)
 }
 
+/// The five conserved-variable rows of a var-major plane, in
+/// `RHO`..=`EN` order.
+type ConsRows<'a> = (&'a [f64], &'a [f64], &'a [f64], &'a [f64], &'a [f64]);
+
+/// The five contiguous variable rows (ρ, ρu, ρv, ρw, E) of a
+/// var-major scratch plane of row length `n` — the conserved-variable
+/// indices are contiguous from `RHO` to `EN`, so the plane splits into
+/// exact-length rows without indexing.
+#[inline]
+fn cons_rows(q: &[f64], n: usize) -> ConsRows<'_> {
+    let (rho, rest) = q.split_at(n);
+    let (mx, rest) = rest.split_at(n);
+    let (my, rest) = rest.split_at(n);
+    let (mz, rest) = rest.split_at(n);
+    (rho, mx, my, mz, &rest[..n])
+}
+
 /// Face primitives + max wavespeed for one row of faces from the
-/// reconstructed left/right conserved states.
+/// reconstructed left/right conserved planes (var-major contiguous,
+/// `NCONS` rows of `val.len()`).
 #[allow(clippy::too_many_arguments)]
 fn face_prims_rows(
     axis: usize,
-    ql: &[Vec<f64>],
-    qr: &[Vec<f64>],
+    ql: &[f64],
+    qr: &[f64],
     val: &mut [f64],
     var_: &mut [f64],
     pl: &mut [f64],
     pr: &mut [f64],
     smax: &mut [f64],
 ) {
-    for f in 0..val.len() {
-        let (vl, p_l, cl) = face_prim(axis, ql[RHO][f], ql[MX][f], ql[MY][f], ql[MZ][f], ql[EN][f]);
-        let (vr, p_r, cr) = face_prim(axis, qr[RHO][f], qr[MX][f], qr[MY][f], qr[MZ][f], qr[EN][f]);
+    let nf = val.len();
+    let (ql_rho, ql_mx, ql_my, ql_mz, ql_en) = cons_rows(ql, nf);
+    let (qr_rho, qr_mx, qr_my, qr_mz, qr_en) = cons_rows(qr, nf);
+    let (var_, pl, pr, smax) = (
+        &mut var_[..nf],
+        &mut pl[..nf],
+        &mut pr[..nf],
+        &mut smax[..nf],
+    );
+    for f in 0..nf {
+        let (vl, p_l, cl) = face_prim(axis, ql_rho[f], ql_mx[f], ql_my[f], ql_mz[f], ql_en[f]);
+        let (vr, p_r, cr) = face_prim(axis, qr_rho[f], qr_mx[f], qr_my[f], qr_mz[f], qr_en[f]);
         val[f] = vl;
         var_[f] = vr;
         pl[f] = p_l;
         pr[f] = p_r;
         smax[f] = (vl.abs() + cl).max(vr.abs() + cr);
-    }
-}
-
-/// Rusanov flux of one variable from reconstructed face states.
-#[allow(clippy::too_many_arguments)]
-fn face_flux_row(
-    var: usize,
-    axis: usize,
-    ql: &[f64],
-    qr: &[f64],
-    val: &[f64],
-    var_: &[f64],
-    pl: &[f64],
-    pr: &[f64],
-    smax: &[f64],
-    fx: &mut [f64],
-) {
-    for f in 0..fx.len() {
-        let fl = phys_flux_axis(var, axis, ql[f], val[f], pl[f]);
-        let fr = phys_flux_axis(var, axis, qr[f], var_[f], pr[f]);
-        fx[f] = 0.5 * (fl + fr) - 0.5 * smax[f] * (qr[f] - ql[f]);
     }
 }
 
@@ -505,67 +558,79 @@ pub fn sweep_muscl(
     let u_slab = u.slab();
     let rows = DisjointRowsMut::new(u0.slab_mut(), dims[0]);
     exec.run_tiles(&tiles, |tile| {
-        // x sweep.
         let nf = n0 + 1;
-        let mut ql: Vec<Vec<f64>> = (0..NCONS).map(|_| vec![0.0; nf]).collect();
-        let mut qr: Vec<Vec<f64>> = (0..NCONS).map(|_| vec![0.0; nf]).collect();
-        let mut val = vec![0.0; nf];
-        let mut var_ = vec![0.0; nf];
-        let mut pl = vec![0.0; nf];
-        let mut pr = vec![0.0; nf];
-        let mut smax = vec![0.0; nf];
-        let mut fx = vec![0.0; nf];
+        // Tile-contiguous scratch: x-face reconstruction/primitive/flux
+        // rows plus the transverse planes, carved from one allocation.
+        let mut arena = ScratchArena::zeroed((2 * NCONS + 6) * nf + (4 * NCONS + 5) * n0);
+        let mut carve = arena.carver();
+        let ql = carve.take(NCONS * nf);
+        let qr = carve.take(NCONS * nf);
+        let val = carve.take(nf);
+        let var_ = carve.take(nf);
+        let pl = carve.take(nf);
+        let pr = carve.take(nf);
+        let smax = carve.take(nf);
+        let fx = carve.take(nf);
+        let tql = carve.take(NCONS * n0);
+        let tqr = carve.take(NCONS * n0);
+        let tval = carve.take(n0);
+        let tvar = carve.take(n0);
+        let tpl = carve.take(n0);
+        let tpr = carve.take(n0);
+        let tsmax = carve.take(n0);
+        let mut prev = carve.take(NCONS * n0);
+        let mut cur = carve.take(NCONS * n0);
+        // x sweep: face f reads the windows shifted by g−2 … g+1.
         for k in tile.k0..tile.k1 {
             for j in tile.j0..tile.j1 {
                 let (aj, ak) = (j + g, k + g);
-                for (var, (qlr, qrr)) in ql.iter_mut().zip(qr.iter_mut()).enumerate() {
+                for (var, (qlr, qrr)) in ql
+                    .chunks_exact_mut(nf)
+                    .zip(qr.chunks_exact_mut(nf))
+                    .enumerate()
+                {
                     let q = row_of(u_slab, dims, var, aj, ak);
-                    x_recon_row(q, g, qlr, qrr);
+                    recon_row(&q[g - 2..], &q[g - 1..], &q[g..], &q[g + 1..], qlr, qrr);
                 }
-                face_prims_rows(
-                    0, &ql, &qr, &mut val, &mut var_, &mut pl, &mut pr, &mut smax,
-                );
-                for (var, (qlr, qrr)) in ql.iter().zip(qr.iter()).enumerate() {
-                    face_flux_row(var, 0, qlr, qrr, &val, &var_, &pl, &pr, &smax, &mut fx);
+                face_prims_rows(0, ql, qr, val, var_, pl, pr, smax);
+                for (var, (qlr, qrr)) in ql.chunks_exact(nf).zip(qr.chunks_exact(nf)).enumerate() {
+                    rusanov_row_var(var, 0, qlr, qrr, val, var_, pl, pr, smax, fx);
                     let mut tgt = rows.claim(row_index(dims, var, aj, ak));
                     update_row(&mut tgt[..], g, scale, &fx[..n0], &fx[1..]);
                 }
             }
         }
-        // Transverse sweeps share prev/cur flux rows like the
+        // Transverse sweeps share prev/cur flux planes like the
         // first-order path; reconstruction reads the four bracketing
         // rows of each face.
-        let mut ql: Vec<Vec<f64>> = (0..NCONS).map(|_| vec![0.0; n0]).collect();
-        let mut qr: Vec<Vec<f64>> = (0..NCONS).map(|_| vec![0.0; n0]).collect();
-        let mut val = vec![0.0; n0];
-        let mut var_ = vec![0.0; n0];
-        let mut pl = vec![0.0; n0];
-        let mut pr = vec![0.0; n0];
-        let mut smax = vec![0.0; n0];
-        let mut prev: Vec<Vec<f64>> = (0..NCONS).map(|_| vec![0.0; n0]).collect();
-        let mut cur: Vec<Vec<f64>> = (0..NCONS).map(|_| vec![0.0; n0]).collect();
         // y sweep.
         for k in tile.k0..tile.k1 {
             let ak = k + g;
             for jf in tile.j0..=tile.j1 {
-                for (var, (qlr, qrr)) in ql.iter_mut().zip(qr.iter_mut()).enumerate() {
+                for (var, (qlr, qrr)) in tql
+                    .chunks_exact_mut(n0)
+                    .zip(tqr.chunks_exact_mut(n0))
+                    .enumerate()
+                {
                     let q_lm = owned_row(u_slab, dims, g, var, jf + g - 2, ak);
                     let q_l = owned_row(u_slab, dims, g, var, jf + g - 1, ak);
                     let q_r = owned_row(u_slab, dims, g, var, jf + g, ak);
                     let q_rp = owned_row(u_slab, dims, g, var, jf + g + 1, ak);
-                    t_recon_row(q_lm, q_l, q_r, q_rp, qlr, qrr);
+                    recon_row(q_lm, q_l, q_r, q_rp, qlr, qrr);
                 }
-                face_prims_rows(
-                    1, &ql, &qr, &mut val, &mut var_, &mut pl, &mut pr, &mut smax,
-                );
-                for (var, (fxr, (qlr, qrr))) in
-                    cur.iter_mut().zip(ql.iter().zip(qr.iter())).enumerate()
+                face_prims_rows(1, tql, tqr, tval, tvar, tpl, tpr, tsmax);
+                for (var, (fxr, (qlr, qrr))) in cur
+                    .chunks_exact_mut(n0)
+                    .zip(tql.chunks_exact(n0).zip(tqr.chunks_exact(n0)))
+                    .enumerate()
                 {
-                    face_flux_row(var, 1, qlr, qrr, &val, &var_, &pl, &pr, &smax, fxr);
+                    rusanov_row_var(var, 1, qlr, qrr, tval, tvar, tpl, tpr, tsmax, fxr);
                 }
                 if jf > tile.j0 {
                     let aj = jf - 1 + g;
-                    for (var, (f_lo, f_hi)) in prev.iter().zip(cur.iter()).enumerate() {
+                    for (var, (f_lo, f_hi)) in
+                        prev.chunks_exact(n0).zip(cur.chunks_exact(n0)).enumerate()
+                    {
                         let mut tgt = rows.claim(row_index(dims, var, aj, ak));
                         update_row(&mut tgt[..], g, scale, f_lo, f_hi);
                     }
@@ -577,24 +642,30 @@ pub fn sweep_muscl(
         for j in tile.j0..tile.j1 {
             let aj = j + g;
             for kf in tile.k0..=tile.k1 {
-                for (var, (qlr, qrr)) in ql.iter_mut().zip(qr.iter_mut()).enumerate() {
+                for (var, (qlr, qrr)) in tql
+                    .chunks_exact_mut(n0)
+                    .zip(tqr.chunks_exact_mut(n0))
+                    .enumerate()
+                {
                     let q_lm = owned_row(u_slab, dims, g, var, aj, kf + g - 2);
                     let q_l = owned_row(u_slab, dims, g, var, aj, kf + g - 1);
                     let q_r = owned_row(u_slab, dims, g, var, aj, kf + g);
                     let q_rp = owned_row(u_slab, dims, g, var, aj, kf + g + 1);
-                    t_recon_row(q_lm, q_l, q_r, q_rp, qlr, qrr);
+                    recon_row(q_lm, q_l, q_r, q_rp, qlr, qrr);
                 }
-                face_prims_rows(
-                    2, &ql, &qr, &mut val, &mut var_, &mut pl, &mut pr, &mut smax,
-                );
-                for (var, (fxr, (qlr, qrr))) in
-                    cur.iter_mut().zip(ql.iter().zip(qr.iter())).enumerate()
+                face_prims_rows(2, tql, tqr, tval, tvar, tpl, tpr, tsmax);
+                for (var, (fxr, (qlr, qrr))) in cur
+                    .chunks_exact_mut(n0)
+                    .zip(tql.chunks_exact(n0).zip(tqr.chunks_exact(n0)))
+                    .enumerate()
                 {
-                    face_flux_row(var, 2, qlr, qrr, &val, &var_, &pl, &pr, &smax, fxr);
+                    rusanov_row_var(var, 2, qlr, qrr, tval, tvar, tpl, tpr, tsmax, fxr);
                 }
                 if kf > tile.k0 {
                     let ak = kf - 1 + g;
-                    for (var, (f_lo, f_hi)) in prev.iter().zip(cur.iter()).enumerate() {
+                    for (var, (f_lo, f_hi)) in
+                        prev.chunks_exact(n0).zip(cur.chunks_exact(n0)).enumerate()
+                    {
                         let mut tgt = rows.claim(row_index(dims, var, aj, ak));
                         update_row(&mut tgt[..], g, scale, f_lo, f_hi);
                     }
@@ -604,6 +675,42 @@ pub fn sweep_muscl(
         }
     });
     Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Per-tile diagnostics (parallel write-once collection).
+// ---------------------------------------------------------------------
+
+/// Sum of one owned row (row order, left to right).
+fn row_sum(row: &[f64]) -> f64 {
+    row.iter().sum()
+}
+
+/// Per-tile owned-zone mass (Σρ over each tile's owned zones, rows
+/// accumulated in j-then-k order), in the tile set's deterministic
+/// enumeration order. Built on [`Executor::run_tiles_collect`] — the
+/// write-once tile-slot collection — so the returned sequence is
+/// bitwise identical for any worker count, making it usable as a
+/// conservation diagnostic for the parallel tile path. Empty under
+/// [`Fidelity::CostOnly`].
+pub fn tile_masses(state: &HydroState, exec: &mut Executor) -> Vec<f64> {
+    if state.fidelity != Fidelity::Full {
+        return Vec::new();
+    }
+    let ext = state.ext();
+    let dims = state.u.dims();
+    let g = state.sub.ghost;
+    let tiles = TileSet2::new(ext[1], ext[2], state.tile);
+    let u_slab = state.u.slab();
+    exec.run_tiles_collect(&tiles, |tile| {
+        let mut acc = 0.0;
+        for k in tile.k0..tile.k1 {
+            for j in tile.j0..tile.j1 {
+                acc += row_sum(owned_row(u_slab, dims, g, RHO, j + g, k + g));
+            }
+        }
+        acc
+    })
 }
 
 #[cfg(test)]
@@ -728,6 +835,31 @@ mod tests {
         assert_slabs_identical(&before, st.u0.slab(), "combine fixed point");
         // 5 SAVE_STATE + 5 COMBINE launches.
         assert_eq!(exec.registry.total_launches(), 10);
+    }
+
+    #[test]
+    fn tile_masses_are_worker_count_invariant_and_sum_to_total() {
+        let mut reference = perturbed(11, 1);
+        reference.tile = [3, 5];
+        let (mut e1, _c1) = exec_seq();
+        let expect = tile_masses(&reference, &mut e1);
+        assert!(!expect.is_empty());
+        // Per-tile partials in tile order sum (in that fixed order) to
+        // a value ulp-close to the slab reduction.
+        let total: f64 = expect.iter().sum();
+        assert!((total - reference.u.sum_owned(RHO)).abs() <= 1e-12 * total.abs());
+        for threads in [1, 2, 4] {
+            let mut exec = Executor::new(
+                Target::cpu_parallel(threads),
+                CpuModel::haswell_fixed(),
+                Fidelity::Full,
+            );
+            let got = tile_masses(&reference, &mut exec);
+            assert_eq!(got.len(), expect.len());
+            for (i, (a, b)) in expect.iter().zip(&got).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "tile {i} threads {threads}");
+            }
+        }
     }
 
     #[test]

@@ -3,13 +3,15 @@
 //!
 //! The in-module unit tests in `fused.rs` pin a handful of known
 //! shapes; this test drives the same equivalence across random grid
-//! extents, random (often ragged) tile shapes, and random worker
-//! counts, comparing every output slab bit for bit. The legacy path
-//! always runs serially, so the comparison also proves the fused
-//! path's tiling and pool scheduling are invisible in the output —
-//! the repo's worker-count-invariance guarantee. (Virtual-time charge
-//! parity is pinned by the unit tests in `fused.rs`, which run both
-//! paths on the same target; here the targets differ by design.)
+//! extents and random (often ragged) tile shapes, comparing every
+//! output slab bit for bit **three ways**: the legacy serial path,
+//! the fused serial path, and the fused parallel-tile path at worker
+//! counts 1, 2, and 4. The legacy path always runs serially, so the
+//! comparison proves the fused path's tiling, scratch layout, and
+//! pool scheduling are all invisible in the output — the repo's
+//! worker-count-invariance guarantee. (Virtual-time charge parity is
+//! pinned by the unit tests in `fused.rs`, which run both paths on
+//! the same target; here the targets differ by design.)
 
 use hsim_hydro::state::{EN, GAMMA, MX, MY, MZ, RHO};
 use hsim_hydro::{eos, flux, fused, muscl, HydroState};
@@ -81,64 +83,84 @@ fn assert_states_identical(legacy: &HydroState, fused: &HydroState, what: &str) 
     prop_slabs_identical(legacy.u.slab(), fused.u.slab(), what);
 }
 
+/// Worker counts the parallel-tile path must be invariant over.
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Run the fused primitives + sweep on `st` under `target`.
+fn run_fused(st: &mut HydroState, target: Target, muscl_order: bool) {
+    let mut exec = Executor::new(target, CpuModel::haswell_fixed(), Fidelity::Full);
+    let mut clock = RankClock::new(0);
+    fused::primitives(st, &mut exec, &mut clock).unwrap();
+    if muscl_order {
+        fused::sweep_muscl(st, &mut exec, &mut clock, DT).unwrap();
+    } else {
+        fused::sweep(st, &mut exec, &mut clock, DT).unwrap();
+    }
+}
+
 proptest! {
     #[test]
     fn fused_first_order_sweep_is_bitwise_equivalent(
         n in (4usize..9, 4usize..9, 4usize..9),
         tile in (1usize..13, 1usize..13),
-        threads in 1usize..5,
         seed in 0u64..1_000_000,
     ) {
         let n = [n.0, n.1, n.2];
         let mut rng = TestRng::from_name(&format!("first-order-{seed}"));
         let mut legacy = random_state(n, 1, &mut rng);
-        let mut fast = twin(&legacy, n, 1);
-        fast.tile = [tile.0, tile.1];
+        let init = twin(&legacy, n, 1);
 
         let mut e1 = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::Full);
         let mut c1 = RankClock::new(0);
         eos::primitives(&mut legacy, &mut e1, &mut c1).unwrap();
         flux::sweep(&mut legacy, &mut e1, &mut c1, DT).unwrap();
 
-        let mut e2 = Executor::new(
-            Target::cpu_parallel(threads),
-            CpuModel::haswell_fixed(),
-            Fidelity::Full,
-        );
-        let mut c2 = RankClock::new(0);
-        fused::primitives(&mut fast, &mut e2, &mut c2).unwrap();
-        fused::sweep(&mut fast, &mut e2, &mut c2, DT).unwrap();
+        // Fused serial must match legacy …
+        let mut serial = twin(&init, n, 1);
+        serial.tile = [tile.0, tile.1];
+        run_fused(&mut serial, Target::CpuSeq, false);
+        assert_states_identical(&legacy, &serial, "first-order fused serial vs legacy");
 
-        assert_states_identical(&legacy, &fast, "first-order sweep");
+        // … and the parallel-tile path must match both at every
+        // worker count.
+        for threads in WORKER_COUNTS {
+            let mut par = twin(&init, n, 1);
+            par.tile = [tile.0, tile.1];
+            run_fused(&mut par, Target::cpu_parallel(threads), false);
+            let what = format!("first-order fused parallel x{threads}");
+            assert_states_identical(&serial, &par, &format!("{what} vs serial fused"));
+            assert_states_identical(&legacy, &par, &format!("{what} vs legacy"));
+        }
     }
 
     #[test]
     fn fused_muscl_sweep_is_bitwise_equivalent(
         n in (4usize..8, 4usize..8, 4usize..8),
         tile in (1usize..13, 1usize..13),
-        threads in 1usize..5,
         seed in 0u64..1_000_000,
     ) {
         let n = [n.0, n.1, n.2];
         let mut rng = TestRng::from_name(&format!("muscl-{seed}"));
         let mut legacy = random_state(n, 2, &mut rng);
-        let mut fast = twin(&legacy, n, 2);
-        fast.tile = [tile.0, tile.1];
+        let init = twin(&legacy, n, 2);
 
         let mut e1 = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::Full);
         let mut c1 = RankClock::new(0);
         eos::primitives(&mut legacy, &mut e1, &mut c1).unwrap();
         muscl::sweep_muscl(&mut legacy, &mut e1, &mut c1, DT).unwrap();
 
-        let mut e2 = Executor::new(
-            Target::cpu_parallel(threads),
-            CpuModel::haswell_fixed(),
-            Fidelity::Full,
-        );
-        let mut c2 = RankClock::new(0);
-        fused::primitives(&mut fast, &mut e2, &mut c2).unwrap();
-        fused::sweep_muscl(&mut fast, &mut e2, &mut c2, DT).unwrap();
+        let mut serial = twin(&init, n, 2);
+        serial.tile = [tile.0, tile.1];
+        run_fused(&mut serial, Target::CpuSeq, true);
+        assert_states_identical(&legacy, &serial, "MUSCL fused serial vs legacy");
 
-        assert_states_identical(&legacy, &fast, "MUSCL sweep");
+        for threads in WORKER_COUNTS {
+            let mut par = twin(&init, n, 2);
+            par.tile = [tile.0, tile.1];
+            run_fused(&mut par, Target::cpu_parallel(threads), true);
+            let what = format!("MUSCL fused parallel x{threads}");
+            assert_states_identical(&serial, &par, &format!("{what} vs serial fused"));
+            assert_states_identical(&legacy, &par, &format!("{what} vs legacy"));
+        }
     }
 }

@@ -55,7 +55,7 @@ pub use dispatch::{select_policy, Arch, AresPolicy, PolicyKind};
 pub use forall::{Executor, Fidelity, Target};
 pub use indexset::{IndexSet, Segment, Tile2, TileSet2};
 pub use multipolicy::{MultiPolicy, PolicyChoice};
-pub use pool::WorkPool;
+pub use pool::{RegionSlots, WorkPool};
 pub use registry::KernelRegistry;
 pub use rows::{DisjointRowsMut, RowGuard};
 pub use simgpu::{GpuClient, SharedDevice};

@@ -304,7 +304,7 @@ impl WorkPool {
             return 0.0;
         }
         let chunk = chunk.max(1);
-        let slots = ChunkSlots::new((end - begin).div_ceil(chunk), 0.0);
+        let slots = RegionSlots::new((end - begin).div_ceil(chunk));
         let slots_ref = &slots;
         self.for_chunks(begin, end, chunk, move |b, e| {
             let mut acc = 0.0;
@@ -316,7 +316,11 @@ impl WorkPool {
             // are only read after the region completes.
             unsafe { slots_ref.set((b - begin) / chunk, acc) };
         });
-        slots.into_values().into_iter().sum()
+        slots
+            .into_values()
+            .into_iter()
+            .map(|v| v.unwrap_or(0.0))
+            .sum()
     }
 
     /// Parallel min reduction over `body(i)`, chunk-ordered like
@@ -329,7 +333,7 @@ impl WorkPool {
             return f64::INFINITY;
         }
         let chunk = chunk.max(1);
-        let slots = ChunkSlots::new((end - begin).div_ceil(chunk), f64::INFINITY);
+        let slots = RegionSlots::new((end - begin).div_ceil(chunk));
         let slots_ref = &slots;
         self.for_chunks(begin, end, chunk, move |b, e| {
             let mut acc = f64::INFINITY;
@@ -343,40 +347,64 @@ impl WorkPool {
         slots
             .into_values()
             .into_iter()
+            .map(|v| v.unwrap_or(f64::INFINITY))
             .fold(f64::INFINITY, f64::min)
     }
 }
 
-/// Per-chunk reduction slots. Each slot is written by exactly one
-/// chunk (the atomic cursor hands out disjoint chunks, and slot index
-/// is a pure function of the chunk's start), so plain stores suffice —
-/// the old per-slot `Mutex` was pure overhead. Visibility to the
+/// Write-once result slots for one parallel region: the generic form
+/// of the per-chunk reduction slots, reusable for any unit of work
+/// with a dense index — 1-D chunks (the `sum`/`min` reductions) or 2-D
+/// tile grids (`Executor::run_tiles_collect`), where slot `i` holds
+/// the result of tile `i` in the tile set's deterministic enumeration
+/// order. Each slot is written by exactly one chunk/tile (the atomic
+/// cursor hands out disjoint units, and the slot index is a pure
+/// function of the unit), so plain stores suffice; visibility to the
 /// reading coordinator comes from the region's completion handoff.
-struct ChunkSlots {
-    slots: Box<[UnsafeCell<f64>]>,
+pub struct RegionSlots<T> {
+    slots: Box<[UnsafeCell<Option<T>>]>,
 }
 
 // SAFETY: each `UnsafeCell` slot is written by at most one thread (the
-// chunk that owns it) and read only after the region's acquire/release
-// completion handoff, so shared references never race.
-unsafe impl Sync for ChunkSlots {}
+// chunk/tile that owns it) and read only after the region's
+// acquire/release completion handoff, so shared references never race.
+// `T: Send` because values produced on workers are read on the
+// coordinating thread.
+unsafe impl<T: Send> Sync for RegionSlots<T> {}
 
-impl ChunkSlots {
-    fn new(n: usize, init: f64) -> Self {
-        ChunkSlots {
-            slots: (0..n).map(|_| UnsafeCell::new(init)).collect(),
+impl<T> RegionSlots<T> {
+    /// `n` empty slots, one per unit of work.
+    pub fn new(n: usize) -> Self {
+        RegionSlots {
+            slots: (0..n).map(|_| UnsafeCell::new(None)).collect(),
         }
     }
 
-    /// SAFETY: each index must be written from at most one chunk, and
-    /// reads must happen only after the region completes.
-    unsafe fn set(&self, i: usize, v: f64) {
-        // SAFETY: exclusive access per the function contract — no other
-        // thread writes slot `i`, and no reads overlap the region.
-        unsafe { *self.slots[i].get() = v };
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
     }
 
-    fn into_values(self) -> Vec<f64> {
+    /// Whether there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Store the result of unit `i`.
+    ///
+    /// # Safety
+    /// Each index must be written from at most one unit of work
+    /// (write-once), and reads must happen only after the region
+    /// completes.
+    pub unsafe fn set(&self, i: usize, v: T) {
+        // SAFETY: exclusive access per the function contract — no other
+        // thread writes slot `i`, and no reads overlap the region.
+        unsafe { *self.slots[i].get() = Some(v) };
+    }
+
+    /// Consume the slots in index order. Units that never wrote (only
+    /// possible if the region was cut short) yield `None`.
+    pub fn into_values(self) -> Vec<Option<T>> {
         self.slots
             .into_vec()
             .into_iter()
@@ -683,6 +711,39 @@ mod tests {
         assert!(msg.contains("nested WorkPool parallel regions"), "{msg}");
         // Still usable afterwards.
         assert_eq!(pool.sum(0, 10, 2, |i| i as f64), 45.0);
+    }
+
+    #[test]
+    fn region_slots_collect_per_unit_results_in_index_order() {
+        // The generic write-once slot pattern: one non-Copy result per
+        // unit, collected deterministically regardless of pool
+        // geometry.
+        for workers in [0, 1, 3] {
+            let pool = WorkPool::new(workers);
+            let slots = RegionSlots::new(64);
+            let slots_ref = &slots;
+            pool.for_each(0, 64, 1, |i| {
+                // SAFETY: `for_each` visits each index exactly once,
+                // and the slots are read only after the region returns.
+                unsafe { slots_ref.set(i, format!("unit-{i}")) };
+            });
+            let vals = slots.into_values();
+            assert_eq!(vals.len(), 64);
+            for (i, v) in vals.into_iter().enumerate() {
+                assert_eq!(v.as_deref(), Some(format!("unit-{i}").as_str()));
+            }
+        }
+    }
+
+    #[test]
+    fn region_slots_report_len_and_unwritten_slots() {
+        let slots: RegionSlots<u32> = RegionSlots::new(3);
+        assert_eq!(slots.len(), 3);
+        assert!(!slots.is_empty());
+        // SAFETY: single-threaded write-once, read after.
+        unsafe { slots.set(1, 7) };
+        assert_eq!(slots.into_values(), vec![None, Some(7), None]);
+        assert!(RegionSlots::<u32>::new(0).is_empty());
     }
 
     #[test]

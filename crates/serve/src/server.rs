@@ -204,8 +204,11 @@ pub struct ServeStats {
     pub rejected: u64,
     pub deadline_drops: u64,
     pub queue_depth_high_water: f64,
-    pub p50_ms: f64,
-    pub p99_ms: f64,
+    /// Latency quantiles in microseconds (fractional). Recorded in
+    /// nanoseconds end-to-end so sub-millisecond cache hits — the
+    /// common case — report real numbers instead of truncating to 0.
+    pub p50_us: f64,
+    pub p99_us: f64,
 }
 
 impl ServeStats {
@@ -318,7 +321,7 @@ struct Inner {
     cache: Mutex<BTreeMap<u64, Arc<RunOutcome>>>,
     inflight: Mutex<BTreeMap<u64, Arc<Pending>>>,
     metrics: Mutex<Metrics>,
-    latencies_us: Mutex<Vec<u64>>,
+    latencies_ns: Mutex<Vec<u64>>,
 }
 
 /// The long-lived simulation server. See the module docs for the
@@ -348,7 +351,7 @@ impl Server {
             cache: Mutex::new(BTreeMap::new()),
             inflight: Mutex::new(BTreeMap::new()),
             metrics: Mutex::new(Metrics::new()),
-            latencies_us: Mutex::new(Vec::new()),
+            latencies_ns: Mutex::new(Vec::new()),
         });
         let workers = (0..cfg.workers)
             .map(|_| {
@@ -536,12 +539,13 @@ impl Server {
     }
 
     fn record_latency(&self, t0: Instant) {
-        let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-        lock(&self.inner.latencies_us).push(us);
+        let ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        lock(&self.inner.latencies_ns).push(ns);
     }
 
-    fn latency_quantile_ms(&self, q: f64) -> f64 {
-        let mut lat = lock(&self.inner.latencies_us).clone();
+    /// The `q` latency quantile in (fractional) microseconds.
+    fn latency_quantile_us(&self, q: f64) -> f64 {
+        let mut lat = lock(&self.inner.latencies_ns).clone();
         if lat.is_empty() {
             return 0.0;
         }
@@ -560,13 +564,13 @@ impl Server {
             rejected: m.counter(Counter::ServeRejected),
             deadline_drops: m.counter(Counter::ServeDeadlineDrops),
             queue_depth_high_water: m.gauge(Gauge::ServeQueueDepth),
-            p50_ms: 0.0,
-            p99_ms: 0.0,
+            p50_us: 0.0,
+            p99_us: 0.0,
         };
         drop(m);
         ServeStats {
-            p50_ms: self.latency_quantile_ms(0.50),
-            p99_ms: self.latency_quantile_ms(0.99),
+            p50_us: self.latency_quantile_us(0.50),
+            p99_us: self.latency_quantile_us(0.99),
             ..stats
         }
     }
@@ -575,11 +579,11 @@ impl Server {
     /// Prometheus text format plus request-latency quantiles.
     pub fn metrics_text(&self) -> String {
         let mut out = lock(&self.inner.metrics).to_prometheus_text();
-        out.push_str("# TYPE hsim_serve_latency_ms summary\n");
+        out.push_str("# TYPE hsim_serve_latency_us summary\n");
         for (q, tag) in [(0.50, "0.5"), (0.99, "0.99")] {
             out.push_str(&format!(
-                "hsim_serve_latency_ms{{quantile=\"{tag}\"}} {}\n",
-                self.latency_quantile_ms(q)
+                "hsim_serve_latency_us{{quantile=\"{tag}\"}} {}\n",
+                self.latency_quantile_us(q)
             ));
         }
         out

@@ -68,7 +68,7 @@ fn http_endpoints_end_to_end() {
         let text = String::from_utf8(metrics).expect("utf8 metrics");
         assert!(text.contains("hsim_serve_hits 1"), "metrics:\n{text}");
         assert!(text.contains("hsim_serve_misses 1"), "metrics:\n{text}");
-        assert!(text.contains("hsim_serve_latency_ms{quantile=\"0.99\"}"));
+        assert!(text.contains("hsim_serve_latency_us{quantile=\"0.99\"}"));
 
         let (status, _, _) = request(&addr, "GET", "/no-such-endpoint", "");
         assert_eq!(status, 404);

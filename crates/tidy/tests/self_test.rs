@@ -98,13 +98,17 @@ fn telemetry_naming_fixture_is_flagged() {
 #[test]
 fn tile_bounds_fixture_is_flagged() {
     // Only the per-element `tgt[i]`/`row[i]` accesses inside the
-    // run_tiles body are findings; the range re-borrow on line 5 and
-    // the indexing outside run_tiles on line 15 are fine.
+    // run_tiles body and the `rho[...]` accesses inside the
+    // run_tiles_collect body (one smuggled through a captured closure)
+    // are findings; the range re-borrows and the indexing outside the
+    // kernel calls are fine.
     expect(
         "bad/tile_bounds",
         &[
             ("tile-bounds", "crates/hydro/src/fused.rs", 8),
             ("tile-bounds", "crates/hydro/src/fused.rs", 8),
+            ("tile-bounds", "crates/hydro/src/fused.rs", 21),
+            ("tile-bounds", "crates/hydro/src/fused.rs", 24),
         ],
     );
 }
