@@ -22,6 +22,7 @@ fn cfg(node: NodeConfig, mode: ExecMode) -> RunConfig {
         telemetry: false,
         problem: Default::default(),
         faults: None,
+        rebalance: None,
         host_threads: 1,
         tile: None,
     }

@@ -4,7 +4,7 @@
 //!         [--quick] [--jobs N] [--out PATH]`
 //!
 //! The `ci-gate` subcommand turns the harness into a regression gate:
-//! `perf ci-gate [--fresh PATH] [--baseline PATH] [--section all|serve]`
+//! `perf ci-gate [--fresh PATH] [--baseline PATH] [--section all|serve|rebalance]`
 //! compares a freshly written results file against the checked-in
 //! `ci/perf-baseline.json`
 //! and exits nonzero when the persistent pool regresses past 2× the
@@ -55,6 +55,23 @@
 //! harness lost sub-millisecond resolution again. `host_parallelism`
 //! is renamed `host_cores`.
 //!
+//! Schema v5 adds a `rebalance` block fed by the online-controller
+//! convergence study ([`hsim_bench::rebalance`]): a CPU:GPU
+//! speed-ratio sweep where the measured-speed controller starts from
+//! a wrong split and must converge onto the analytic optimum weight,
+//! a granularity-clamped `ny = 24` row reproducing the paper's
+//! `12/ny` bottleneck, and a controller-enabled `rank.loss` double
+//! run that must replay byte-identically. The `rebalance` subcommand
+//! (`perf rebalance [--out PATH]`) runs only that study and writes a
+//! rebalance-only results file; `ci-gate --section rebalance` gates
+//! it on the convergence floors (rel err <=
+//! [`REBALANCE_REL_ERR_CEILING`], converged by
+//! [`REBALANCE_CONVERGED_CYCLE_CEILING`] cycles, splits never below
+//! the guard, the clamped row pinned to it) and on the recovery
+//! identity. Unlike every other block, the rebalance numbers are
+//! *virtual-time* measurements: they are deterministic and identical
+//! on every machine, so the gate compares them exactly, not by ratio.
+//!
 //! Everything else in this repo measures *virtual* time — the cost
 //! model's simulated seconds, which are deterministic and identical
 //! on every machine. This harness is the one place that measures
@@ -85,7 +102,7 @@ use hsim_time::RankClock;
 /// The results-file schema this binary writes and the only one the
 /// gate accepts. Bump when the JSON layout changes and regenerate
 /// `ci/perf-baseline.json`.
-const SCHEMA_VERSION: u32 = 4;
+const SCHEMA_VERSION: u32 = 5;
 
 /// Gate floor on the *best* cache-blocked tile's fused:legacy
 /// throughput ratio. Fusing primitive recovery, wavespeeds, fluxes and
@@ -139,6 +156,18 @@ fn parallel_ratio_floor(effective: f64) -> f64 {
         0.35
     }
 }
+
+/// Gate ceiling on every rebalance sweep point's relative error
+/// between the controller's final split and the analytic optimum
+/// weight (pushed through the real, plane-quantized decomposition). A
+/// converged controller lands on the identical discrete split, so
+/// healthy runs read 0.
+const REBALANCE_REL_ERR_CEILING: f64 = 0.05;
+
+/// Gate ceiling on the cycle by which every rebalance sweep point
+/// must have settled inside the convergence band and stayed there;
+/// the sweep runs [`hsim_bench::rebalance::SWEEP_CYCLES`] cycles.
+const REBALANCE_CONVERGED_CYCLE_CEILING: f64 = 10.0;
 
 /// Gate floor on `roofline.roof_fraction`: the best fused throughput
 /// as a fraction of the bandwidth-predicted per-pass roof. Fused runs
@@ -738,18 +767,136 @@ fn serve_violations(fresh: &str, baseline: &str, bad: &mut Vec<String>, log: &mu
     }
 }
 
+/// Rebalance-controller floors. The sweep numbers are virtual-time
+/// measurements — deterministic on every machine — so the checks are
+/// exact: every speed ratio must converge onto the quantized analytic
+/// optimum within the rel-err ceiling and by the cycle ceiling, no
+/// split may sit below the `12/ny` guard, the clamped row must pin to
+/// the guard, and the controller-enabled `rank.loss` double run must
+/// have replayed byte-identically with exactly a freeze recorded.
+fn rebalance_violations(fresh: &str, baseline: &str, bad: &mut Vec<String>, log: &mut Vec<String>) {
+    let Some(rpos) = fresh.find("\"rebalance\"") else {
+        bad.push("missing rebalance block in fresh results".to_string());
+        return;
+    };
+    let end = fresh[rpos..]
+        .find("\"recovery\"")
+        .map_or(fresh.len(), |e| rpos + e);
+    let base_err = |ratio: f64| -> String {
+        baseline
+            .find("\"rebalance\"")
+            .and_then(|p| {
+                baseline[p..]
+                    .find(&format!("\"ratio\": {ratio:.4}"))
+                    .map(|r| p + r)
+            })
+            .and_then(|pos| json_num(baseline, "rel_err", pos))
+            .map_or_else(|| "n/a".to_string(), |v| format!("{v:.3}"))
+    };
+    let needle = "{\"ratio\":";
+    let mut at = rpos;
+    let mut points = 0;
+    while let Some(rel) = fresh[at..end].find(needle) {
+        let pos = at + rel;
+        let line = line_at(fresh, pos);
+        at = pos + needle.len();
+        points += 1;
+        let need = |what: &str, bad: &mut Vec<String>| -> f64 {
+            json_num(line, what, 0).unwrap_or_else(|| {
+                bad.push(format!("missing rebalance point {what}"));
+                f64::NAN
+            })
+        };
+        let ratio = need("ratio", bad);
+        let guard = need("guard", bad);
+        let final_f = need("final", bad);
+        let rel_err = need("rel_err", bad);
+        let converged = need("converged_cycle", bad);
+        let tag = format!("rebalance[ratio {ratio}]");
+        if rel_err > REBALANCE_REL_ERR_CEILING {
+            bad.push(format!(
+                "{tag} rel_err vs analytic optimum: ceiling {REBALANCE_REL_ERR_CEILING:.2}, \
+                 baseline {}, measured {rel_err:.3}",
+                base_err(ratio)
+            ));
+        } else {
+            log.push(format!(
+                "{tag} rel_err {rel_err:.3} <= ceiling {REBALANCE_REL_ERR_CEILING:.2} \
+                 (baseline {})",
+                base_err(ratio)
+            ));
+        }
+        if converged > REBALANCE_CONVERGED_CYCLE_CEILING {
+            bad.push(format!(
+                "{tag} converged_cycle: ceiling {REBALANCE_CONVERGED_CYCLE_CEILING:.0}, \
+                 measured {converged:.0} (9999 = never settled)"
+            ));
+        } else {
+            log.push(format!(
+                "{tag} converged by cycle {converged:.0} <= ceiling \
+                 {REBALANCE_CONVERGED_CYCLE_CEILING:.0}"
+            ));
+        }
+        if final_f < guard - 1e-9 {
+            bad.push(format!(
+                "{tag} final split {final_f:.6} fell below the 12/ny guard {guard:.6}"
+            ));
+        }
+        if line.contains("\"clamped\": true") {
+            if (final_f - guard).abs() > 1e-9 {
+                bad.push(format!(
+                    "{tag} clamped point must pin to the guard: guard {guard:.6}, \
+                     final {final_f:.6}"
+                ));
+            } else {
+                log.push(format!("{tag} clamped to the guard {guard:.6} as required"));
+            }
+        }
+    }
+    if points == 0 {
+        bad.push("rebalance block carries no sweep points".to_string());
+    }
+    let Some(rec) = fresh[rpos..].find("\"recovery\"").map(|e| rpos + e) else {
+        bad.push("missing rebalance.recovery block in fresh results".to_string());
+        return;
+    };
+    let line = line_at(fresh, rec);
+    if line.contains("\"identical\": true") {
+        log.push("rebalance recovery double run replayed byte-identically".to_string());
+    } else {
+        bad.push(
+            "rebalance recovery identical: expected true, measured false \
+             (same-seed controlled recovery diverged)"
+                .to_string(),
+        );
+    }
+    for (key, floor) in [("frozen", 1.0), ("rank_losses", 1.0)] {
+        let v = json_num(line, key, 0).unwrap_or(f64::NAN);
+        if v >= floor {
+            log.push(format!("rebalance recovery {key} {v:.0} >= {floor:.0}"));
+        } else {
+            bad.push(format!(
+                "rebalance recovery {key}: expected >= {floor:.0}, measured {v}"
+            ));
+        }
+    }
+}
+
 /// Which blocks of the results file the gate demands. A full `perf`
 /// run carries every block; a `serve-slo` run carries only the serve
-/// block, so gating it as `All` would fail on the missing sweeps.
+/// block and a `rebalance` run only the rebalance block, so gating
+/// either as `All` would fail on the missing sweeps.
 #[derive(Clone, Copy, PartialEq)]
 enum GateSection {
     All,
     Serve,
+    Rebalance,
 }
 
-/// Apply the gate rules to a fresh results file against a baseline.
-/// Returns the violations (empty = pass) and the log lines explaining
-/// every check that ran.
+/// Apply the full gate (every section) to a fresh results file
+/// against a baseline: the shape the tests exercise, and what
+/// `ci-gate` runs for `--section all`.
+#[cfg(test)]
 fn gate_violations(fresh: &str, baseline: &str) -> (Vec<String>, Vec<String>) {
     gate_violations_in(fresh, baseline, GateSection::All)
 }
@@ -765,10 +912,15 @@ fn gate_violations_in(
         return (bad, Vec::new());
     }
     let mut log = Vec::new();
+    if section == GateSection::Rebalance {
+        rebalance_violations(fresh, baseline, &mut bad, &mut log);
+        return (bad, log);
+    }
     serve_violations(fresh, baseline, &mut bad, &mut log);
     if section == GateSection::Serve {
         return (bad, log);
     }
+    rebalance_violations(fresh, baseline, &mut bad, &mut log);
     kernel_violations(fresh, baseline, &mut bad, &mut log);
     fn need(bad: &mut Vec<String>, what: &str, v: Option<f64>) -> f64 {
         v.unwrap_or_else(|| {
@@ -876,8 +1028,9 @@ fn ci_gate(mut args: Vec<String>) -> ! {
     let section = match take_flag("--section").as_deref() {
         None | Some("all") => GateSection::All,
         Some("serve") => GateSection::Serve,
+        Some("rebalance") => GateSection::Rebalance,
         Some(other) => {
-            eprintln!("--section must be \"all\" or \"serve\", got {other:?}");
+            eprintln!("--section must be \"all\", \"serve\", or \"rebalance\", got {other:?}");
             std::process::exit(2);
         }
     };
@@ -887,12 +1040,7 @@ fn ci_gate(mut args: Vec<String>) -> ! {
             std::process::exit(2);
         })
     };
-    let (bad, log) = match section {
-        GateSection::All => gate_violations(&read(&fresh_path), &read(&base_path)),
-        GateSection::Serve => {
-            gate_violations_in(&read(&fresh_path), &read(&base_path), GateSection::Serve)
-        }
-    };
+    let (bad, log) = gate_violations_in(&read(&fresh_path), &read(&base_path), section);
     for line in &log {
         eprintln!("ci-gate: ok: {line}");
     }
@@ -970,6 +1118,49 @@ fn serve_slo(mut args: Vec<String>) -> ! {
     std::process::exit(0);
 }
 
+/// `perf rebalance [--out PATH]`: run only the online-controller
+/// convergence study and write a rebalance-only results file for
+/// `ci-gate --section rebalance`. The study runs in virtual time, so
+/// the file is byte-reproducible on any machine.
+fn rebalance_only(mut args: Vec<String>) -> ! {
+    let mut take_flag = |flag: &str| -> Option<String> {
+        let i = args.iter().position(|a| a == flag)?;
+        if i + 1 >= args.len() {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Some(v)
+    };
+    let out_path = take_flag("--out").unwrap_or_else(|| "BENCH_rebalance.json".into());
+    if let Some(stray) = args.first() {
+        eprintln!("unknown argument: {stray}");
+        eprintln!("usage: perf rebalance [--out PATH]");
+        std::process::exit(2);
+    }
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let report = hsim_bench::run_rebalance_report().unwrap_or_else(|e| {
+        eprintln!("rebalance study failed: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("{}", report.to_markdown());
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema_version\": {SCHEMA_VERSION},");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    json.push_str(&report.to_json());
+    json.push('\n');
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out_path}");
+    print!("{json}");
+    std::process::exit(0);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("ci-gate") {
@@ -977,6 +1168,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("serve-slo") {
         serve_slo(args.split_off(1));
+    }
+    if args.first().map(String::as_str) == Some("rebalance") {
+        rebalance_only(args.split_off(1));
     }
     let mut take_flag = |flag: &str| -> Option<String> {
         let i = args.iter().position(|a| a == flag)?;
@@ -1010,9 +1204,22 @@ fn main() {
         eprintln!("unknown argument: {stray}");
         eprintln!("usage: perf [--quick] [--jobs N] [--host-threads N] [--out PATH]");
         eprintln!("       perf serve-slo [--out PATH]");
-        eprintln!("       perf ci-gate [--fresh PATH] [--baseline PATH] [--section all|serve]");
+        eprintln!("       perf rebalance [--out PATH]");
+        eprintln!(
+            "       perf ci-gate [--fresh PATH] [--baseline PATH] \
+             [--section all|serve|rebalance]"
+        );
         std::process::exit(2);
     }
+
+    // The online-rebalance convergence study. Virtual-time, so its
+    // numbers are machine-independent. It runs before the host-counter
+    // collector is installed: the study's runner installs and drains
+    // its own main-thread collector, which would clobber ours.
+    let rebalance_report = hsim_bench::run_rebalance_report().unwrap_or_else(|e| {
+        eprintln!("rebalance study failed: {e}");
+        std::process::exit(1);
+    });
 
     // Collect the host-time counters the measured code records; spans
     // stay off so the collector itself costs nothing measurable.
@@ -1222,6 +1429,8 @@ fn main() {
     let _ = writeln!(json, "  }},");
     json.push_str(&serve_json(&serve_report));
     let _ = writeln!(json, ",");
+    json.push_str(&rebalance_report.to_json());
+    let _ = writeln!(json, ",");
     let _ = writeln!(json, "  \"telemetry\": {{");
     let _ = writeln!(
         json,
@@ -1333,6 +1542,54 @@ mod tests {
         serve_block(0.875, 412.5, 120_000.0, 3, true)
     }
 
+    /// One rebalance sweep point:
+    /// `(ratio, guard, final, rel_err, converged_cycle, clamped)`.
+    type RebalanceRow = (f64, f64, f64, f64, u64, bool);
+
+    const HEALTHY_REBALANCE: &[RebalanceRow] = &[
+        (0.2500, 0.0125, 0.016667, 0.0, 4, false),
+        (4.0000, 0.0125, 0.104167, 0.0, 6, false),
+        (1.0000, 0.2500, 0.250000, 0.0, 2, true),
+    ];
+
+    /// A `recovery` line for the rebalance block (trailing newline).
+    fn recovery_line(identical: bool, frozen: u64, losses: u64) -> String {
+        format!(
+            "    \"recovery\": {{\"identical\": {identical}, \"frozen\": {frozen}, \
+             \"rank_losses\": {losses}, \"ranks_after\": 15, \
+             \"post_loss_fraction\": 0.020833}}\n"
+        )
+    }
+
+    /// A fixture `rebalance` block (no surrounding commas/newlines),
+    /// shaped exactly like `RebalanceReport::to_json`.
+    fn rebalance_block(rows: &[RebalanceRow], recovery: &str) -> String {
+        let mut out = String::from(
+            "  \"rebalance\": {\n    \"figure\": \"fig-rebalance\",\n    \"every\": 2,\n    \
+             \"hysteresis\": 0.0200,\n    \"cycles\": 12,\n    \"start_fraction\": 0.3000,\n    \
+             \"points\": [\n",
+        );
+        for (i, (ratio, guard, final_f, rel_err, conv, clamped)) in rows.iter().enumerate() {
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "      {{\"ratio\": {ratio:.4}, \"start\": 0.3000, \"guard\": {guard:.6}, \
+                 \"optimum\": {final_f:.6}, \"optimum_realized\": {final_f:.6}, \
+                 \"final\": {final_f:.6}, \"rel_err\": {rel_err:.6}, \
+                 \"converged_cycle\": {conv}, \"resplits\": 3, \"holds\": 2, \
+                 \"clamped\": {clamped}}}{comma}"
+            );
+        }
+        out.push_str("    ],\n");
+        out.push_str(recovery);
+        out.push_str("  }");
+        out
+    }
+
+    fn healthy_rebalance() -> String {
+        rebalance_block(HEALTHY_REBALANCE, &recovery_line(true, 1, 1))
+    }
+
     /// The fully custom fixture: every block is a caller-supplied
     /// string, so any single block can be made sick.
     #[allow(clippy::too_many_arguments)] // fixture builder, named args read fine
@@ -1347,12 +1604,13 @@ mod tests {
         kernels: &str,
         roofline: &str,
         serve: &str,
+        rebalance: &str,
     ) -> String {
         format!(
             "{{\n{schema}  \"host_cores\": {cores},\n  \"jobs\": {jobs},\n  \"sweeps\": [\n    \
              {{\"id\": \"quick\", \"tasks\": 12, \"speedup\": {speedup:.3}, \"identical_output\": {identical}}}\n  ],\n\
              {kernels}{roofline}  \"pool\": {{\n    \"region_ns_persistent\": {persistent:.1},\n    \
-             \"region_ns_scoped_spawn\": {spawn:.1}\n  }},\n{serve}\n}}\n"
+             \"region_ns_scoped_spawn\": {spawn:.1}\n  }},\n{serve},\n{rebalance}\n}}\n"
         )
     }
 
@@ -1378,12 +1636,13 @@ mod tests {
             &kernels_block(kernels, &healthy_parallel()),
             &roofline_block(0.62),
             serve,
+            &healthy_rebalance(),
         )
     }
 
     fn results(cores: u32, speedup: f64, identical: bool, persistent: f64, spawn: f64) -> String {
         results_with(
-            "  \"schema_version\": 4,\n",
+            "  \"schema_version\": 5,\n",
             cores,
             speedup,
             identical,
@@ -1433,7 +1692,7 @@ mod tests {
         let (bad, _) = gate_violations(&results(4, 3.0, false, 10_000.0, 200_000.0), &base);
         assert_eq!(bad.len(), 1, "{bad:?}");
         assert!(bad[0].contains("diverged"));
-        let schema_only = "{\n  \"schema_version\": 4\n}\n";
+        let schema_only = "{\n  \"schema_version\": 5\n}\n";
         let (bad, _) = gate_violations(schema_only, &base);
         assert!(bad.iter().any(|b| b.contains("missing")), "{bad:?}");
     }
@@ -1444,8 +1703,8 @@ mod tests {
         // Older, newer, and absent schema versions are all rejected
         // before any metric check runs (the log stays empty).
         for schema in [
-            "  \"schema_version\": 3,\n",
-            "  \"schema_version\": 5,\n",
+            "  \"schema_version\": 4,\n",
+            "  \"schema_version\": 6,\n",
             "",
         ] {
             let fresh = results_with(
@@ -1466,7 +1725,7 @@ mod tests {
         }
         // A stale baseline is rejected the same way.
         let v1_base = results_with(
-            "  \"schema_version\": 3,\n",
+            "  \"schema_version\": 4,\n",
             4,
             3.1,
             true,
@@ -1485,7 +1744,7 @@ mod tests {
         let base = results(4, 3.1, true, 10_000.0, 200_000.0);
         // One blocked tile slips under 1.0: fused lost to legacy there.
         let fresh = results_with(
-            "  \"schema_version\": 4,\n",
+            "  \"schema_version\": 5,\n",
             4,
             2.9,
             true,
@@ -1515,7 +1774,7 @@ mod tests {
         // Every blocked tile beats legacy but none reaches 1.3x; the
         // unblocked whole-plane ablation at 2.0 must not rescue it.
         let fresh = results_with(
-            "  \"schema_version\": 4,\n",
+            "  \"schema_version\": 5,\n",
             4,
             2.9,
             true,
@@ -1540,7 +1799,7 @@ mod tests {
     fn gate_fails_when_fused_kernels_diverge_or_go_missing() {
         let base = results(4, 3.1, true, 10_000.0, 200_000.0);
         let fresh = results_with(
-            "  \"schema_version\": 4,\n",
+            "  \"schema_version\": 5,\n",
             4,
             2.9,
             true,
@@ -1559,7 +1818,7 @@ mod tests {
         assert!(bad[0].contains("kernels[8x8] identical_output"), "{bad:?}");
         // No kernels block at all is its own violation.
         let fresh = results_with(
-            "  \"schema_version\": 4,\n",
+            "  \"schema_version\": 5,\n",
             4,
             2.9,
             true,
@@ -1579,7 +1838,7 @@ mod tests {
     fn gate_enforces_serve_hit_rate_floor_with_diff_style_message() {
         let base = results(4, 3.1, true, 10_000.0, 200_000.0);
         let fresh = results_with(
-            "  \"schema_version\": 4,\n",
+            "  \"schema_version\": 5,\n",
             4,
             2.9,
             true,
@@ -1601,7 +1860,7 @@ mod tests {
         let base = results(4, 3.1, true, 10_000.0, 200_000.0);
         // p50 over its ceiling.
         let fresh = results_with(
-            "  \"schema_version\": 4,\n",
+            "  \"schema_version\": 5,\n",
             4,
             2.9,
             true,
@@ -1617,7 +1876,7 @@ mod tests {
         // No overflow rejections, and the ones seen weren't typed:
         // both are independent violations.
         let fresh = results_with(
-            "  \"schema_version\": 4,\n",
+            "  \"schema_version\": 5,\n",
             4,
             2.9,
             true,
@@ -1645,7 +1904,7 @@ mod tests {
         // What `perf serve-slo` writes: schema + host_cores + serve
         // block, no sweeps/kernels/pool.
         let fresh = format!(
-            "{{\n  \"schema_version\": 4,\n  \"host_cores\": 4,\n{}\n}}\n",
+            "{{\n  \"schema_version\": 5,\n  \"host_cores\": 4,\n{}\n}}\n",
             healthy_serve()
         );
         let (bad, log) = gate_violations_in(&fresh, &base, GateSection::Serve);
@@ -1655,7 +1914,7 @@ mod tests {
         let (bad, _) = gate_violations(&fresh, &base);
         assert!(!bad.is_empty());
         // And the serve section still enforces the schema handshake.
-        let stale = fresh.replace("\"schema_version\": 4", "\"schema_version\": 3");
+        let stale = fresh.replace("\"schema_version\": 5", "\"schema_version\": 4");
         let (bad, log) = gate_violations_in(&stale, &base, GateSection::Serve);
         assert_eq!(bad.len(), 1, "{bad:?}");
         assert!(bad[0].contains("schema_version"), "{bad:?}");
@@ -1666,7 +1925,7 @@ mod tests {
     /// host_cores/jobs set independently.
     fn results_with_parallel(cores: u32, jobs: u32, parallel: &str) -> String {
         results_doc(
-            "  \"schema_version\": 4,\n",
+            "  \"schema_version\": 5,\n",
             cores,
             jobs,
             2.9,
@@ -1676,6 +1935,7 @@ mod tests {
             &kernels_block(HEALTHY_KERNELS, parallel),
             &roofline_block(0.62),
             &healthy_serve(),
+            &healthy_rebalance(),
         )
     }
 
@@ -1710,7 +1970,7 @@ mod tests {
         );
         // A results file with no parallel block at all is a violation.
         let fresh = results_doc(
-            "  \"schema_version\": 4,\n",
+            "  \"schema_version\": 5,\n",
             4,
             4,
             2.9,
@@ -1720,6 +1980,7 @@ mod tests {
             &kernels_block(HEALTHY_KERNELS, ""),
             &roofline_block(0.62),
             &healthy_serve(),
+            &healthy_rebalance(),
         );
         let (bad, _) = gate_violations(&fresh, &base);
         assert!(
@@ -1734,7 +1995,7 @@ mod tests {
         let base = results(4, 3.1, true, 10_000.0, 200_000.0);
         // Under a quarter of the bandwidth-predicted roof: violation.
         let fresh = results_doc(
-            "  \"schema_version\": 4,\n",
+            "  \"schema_version\": 5,\n",
             4,
             4,
             2.9,
@@ -1744,6 +2005,7 @@ mod tests {
             &kernels_block(HEALTHY_KERNELS, &healthy_parallel()),
             &roofline_block(0.18),
             &healthy_serve(),
+            &healthy_rebalance(),
         );
         let (bad, _) = gate_violations(&fresh, &base);
         assert_eq!(bad.len(), 1, "{bad:?}");
@@ -1753,7 +2015,7 @@ mod tests {
         // Fractions above 1.0 are healthy, not suspicious: that is
         // cache-resident fusion beating streamed traffic.
         let fresh = results_doc(
-            "  \"schema_version\": 4,\n",
+            "  \"schema_version\": 5,\n",
             4,
             4,
             2.9,
@@ -1763,12 +2025,13 @@ mod tests {
             &kernels_block(HEALTHY_KERNELS, &healthy_parallel()),
             &roofline_block(1.85),
             &healthy_serve(),
+            &healthy_rebalance(),
         );
         let (bad, _) = gate_violations(&fresh, &base);
         assert!(bad.is_empty(), "{bad:?}");
         // A missing roofline block is its own violation.
         let fresh = results_doc(
-            "  \"schema_version\": 4,\n",
+            "  \"schema_version\": 5,\n",
             4,
             4,
             2.9,
@@ -1778,6 +2041,7 @@ mod tests {
             &kernels_block(HEALTHY_KERNELS, &healthy_parallel()),
             "",
             &healthy_serve(),
+            &healthy_rebalance(),
         );
         let (bad, _) = gate_violations(&fresh, &base);
         assert!(
@@ -1792,7 +2056,7 @@ mod tests {
         // resolution — the regression this gate exists to catch.
         let base = results(4, 3.1, true, 10_000.0, 200_000.0);
         let fresh = results_with(
-            "  \"schema_version\": 4,\n",
+            "  \"schema_version\": 5,\n",
             4,
             2.9,
             true,
@@ -1823,6 +2087,140 @@ mod tests {
         assert_eq!(bad.len(), 1, "{bad:?}");
         assert!(bad[0].contains("speedup"), "{bad:?}");
         assert!(bad[0].contains("jobs 4"), "{bad:?}");
+    }
+
+    #[test]
+    fn gate_enforces_rebalance_convergence_floors() {
+        let base = results(4, 3.1, true, 10_000.0, 200_000.0);
+        // rel_err over the ceiling: the controller settled off-optimum.
+        let sick = rebalance_block(
+            &[(0.2500, 0.0125, 0.020000, 0.200, 4, false)],
+            &recovery_line(true, 1, 1),
+        );
+        let fresh = results_doc(
+            "  \"schema_version\": 5,\n",
+            4,
+            4,
+            2.9,
+            true,
+            12_000.0,
+            190_000.0,
+            &kernels_block(HEALTHY_KERNELS, &healthy_parallel()),
+            &roofline_block(0.62),
+            &healthy_serve(),
+            &sick,
+        );
+        let (bad, _) = gate_violations(&fresh, &base);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("rebalance[ratio 0.25] rel_err"), "{bad:?}");
+        assert!(bad[0].contains("ceiling 0.05"), "{bad:?}");
+        assert!(bad[0].contains("baseline 0.000"), "{bad:?}");
+        assert!(bad[0].contains("measured 0.200"), "{bad:?}");
+        // Never converged (9999 sentinel) and a split below the guard
+        // are independent violations on one point.
+        let sick = rebalance_block(
+            &[(1.0000, 0.0125, 0.010000, 0.0, 9999, false)],
+            &recovery_line(true, 1, 1),
+        );
+        let fresh = results_doc(
+            "  \"schema_version\": 5,\n",
+            4,
+            4,
+            2.9,
+            true,
+            12_000.0,
+            190_000.0,
+            &kernels_block(HEALTHY_KERNELS, &healthy_parallel()),
+            &roofline_block(0.62),
+            &healthy_serve(),
+            &sick,
+        );
+        let (bad, _) = gate_violations(&fresh, &base);
+        assert_eq!(bad.len(), 2, "{bad:?}");
+        assert!(bad[0].contains("converged_cycle"), "{bad:?}");
+        assert!(bad[0].contains("never settled"), "{bad:?}");
+        assert!(bad[1].contains("below the 12/ny guard"), "{bad:?}");
+        // A clamped point that drifted off the guard is a violation.
+        let sick = rebalance_block(
+            &[(1.0000, 0.2500, 0.291667, 0.0, 2, true)],
+            &recovery_line(true, 1, 1),
+        );
+        let fresh = results_doc(
+            "  \"schema_version\": 5,\n",
+            4,
+            4,
+            2.9,
+            true,
+            12_000.0,
+            190_000.0,
+            &kernels_block(HEALTHY_KERNELS, &healthy_parallel()),
+            &roofline_block(0.62),
+            &healthy_serve(),
+            &sick,
+        );
+        let (bad, _) = gate_violations(&fresh, &base);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("clamped point must pin"), "{bad:?}");
+        // No rebalance block at all is its own violation.
+        let fresh =
+            results(4, 2.9, true, 12_000.0, 190_000.0).replace("\"rebalance\"", "\"rebal\"");
+        let (bad, _) = gate_violations(&fresh, &base);
+        assert!(
+            bad.iter().any(|b| b.contains("missing rebalance block")),
+            "{bad:?}"
+        );
+    }
+
+    #[test]
+    fn gate_fails_on_rebalance_recovery_divergence() {
+        let base = results(4, 3.1, true, 10_000.0, 200_000.0);
+        // A diverged double run and a missing freeze are independent.
+        let sick = rebalance_block(HEALTHY_REBALANCE, &recovery_line(false, 0, 1));
+        let fresh = results_doc(
+            "  \"schema_version\": 5,\n",
+            4,
+            4,
+            2.9,
+            true,
+            12_000.0,
+            190_000.0,
+            &kernels_block(HEALTHY_KERNELS, &healthy_parallel()),
+            &roofline_block(0.62),
+            &healthy_serve(),
+            &sick,
+        );
+        let (bad, _) = gate_violations(&fresh, &base);
+        assert_eq!(bad.len(), 2, "{bad:?}");
+        assert!(bad[0].contains("recovery identical"), "{bad:?}");
+        assert!(bad[0].contains("diverged"), "{bad:?}");
+        assert!(bad[1].contains("recovery frozen"), "{bad:?}");
+    }
+
+    #[test]
+    fn rebalance_section_gates_a_rebalance_only_results_file() {
+        let base = results(4, 3.1, true, 10_000.0, 200_000.0);
+        // What `perf rebalance` writes: schema + host_cores +
+        // rebalance block, nothing else.
+        let fresh = format!(
+            "{{\n  \"schema_version\": 5,\n  \"host_cores\": 4,\n{}\n}}\n",
+            healthy_rebalance()
+        );
+        let (bad, log) = gate_violations_in(&fresh, &base, GateSection::Rebalance);
+        assert!(bad.is_empty(), "{bad:?}");
+        assert!(log.iter().any(|l| l.contains("rel_err")), "{log:?}");
+        assert!(
+            log.iter().any(|l| l.contains("byte-identically")),
+            "{log:?}"
+        );
+        // The same file gated as `all` fails on the missing blocks.
+        let (bad, _) = gate_violations(&fresh, &base);
+        assert!(!bad.is_empty());
+        // And the rebalance section still enforces the schema handshake.
+        let stale = fresh.replace("\"schema_version\": 5", "\"schema_version\": 4");
+        let (bad, log) = gate_violations_in(&stale, &base, GateSection::Rebalance);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("unrecognized"), "{bad:?}");
+        assert!(log.is_empty(), "{log:?}");
     }
 
     #[test]

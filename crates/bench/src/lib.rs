@@ -4,10 +4,12 @@
 #![forbid(unsafe_code)]
 
 pub mod plot;
+pub mod rebalance;
 pub mod roofline;
 pub mod serveload;
 pub mod sweep;
 
 pub use plot::ascii_chart;
+pub use rebalance::{run_rebalance_report, RebalanceReport};
 pub use serveload::{run_load, ServeLoadReport};
 pub use sweep::{paper_modes, run_figure, run_figure_jobs, FigureData, Series, SkippedPoint};

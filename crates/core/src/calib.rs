@@ -202,6 +202,21 @@ pub const BALANCE_MAX_ITERS: usize = 6;
 /// iterations.
 pub const BALANCE_TOL: f64 = 0.002;
 
+/// EWMA smoothing factor for the online rebalancer's speed estimator
+/// (1 = trust only the latest window, 0 = frozen). 0.5 filters
+/// single-window noise while still converging in a handful of
+/// boundaries.
+pub const REBALANCE_EWMA_ALPHA: f64 = 0.5;
+
+/// Default re-split interval, in cycles, for `--rebalance` when the
+/// spec omits `every=`.
+pub const REBALANCE_DEFAULT_EVERY: u64 = 2;
+
+/// Default hysteresis threshold for `--rebalance` when the spec omits
+/// `hysteresis=`: the predicted cycle-time improvement a re-split must
+/// exceed before the controller pays for one.
+pub const REBALANCE_DEFAULT_HYSTERESIS: f64 = 0.02;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -174,7 +174,7 @@ impl RunConfig {
     /// cache-sizing optimization the serve layer can do above this.
     pub fn content_hash(&self) -> u64 {
         let mut h = ContentHasher::new();
-        h.tag(1) // encoding version
+        h.tag(2) // encoding version (2: rebalance controller field)
             .usize(self.grid.0)
             .usize(self.grid.1)
             .usize(self.grid.2);
@@ -196,6 +196,10 @@ impl RunConfig {
         match &self.faults {
             None => h.tag(0),
             Some(plan) => h.tag(1).str(&plan.spec()),
+        };
+        match &self.rebalance {
+            None => h.tag(0),
+            Some(r) => h.tag(1).u64(r.every).f64(r.hysteresis),
         };
         h.usize(self.host_threads);
         match &self.tile {
@@ -220,7 +224,7 @@ mod tests {
     /// never let the key drift silently through a refactor.
     #[test]
     fn golden_hash_is_pinned() {
-        assert_eq!(base().content_hash(), 0x0491_e303_243f_6742);
+        assert_eq!(base().content_hash(), 0xc361_b82e_dd10_f5ff);
     }
 
     #[test]
@@ -288,6 +292,10 @@ mod tests {
                 faults: Some(
                     hsim_faults::FaultPlan::parse("xfer.delay@rank1.cycle2:ns=200000").unwrap(),
                 ),
+                ..base()
+            },
+            RunConfig {
+                rebalance: Some(crate::balance::RebalanceConfig::default()),
                 ..base()
             },
             RunConfig {

@@ -162,6 +162,24 @@ pub fn fig18() -> FigureSpec {
     }
 }
 
+/// The rebalance-convergence figure's x-axis: per-core CPU speed
+/// multipliers (clock, bandwidth, and the cycle-priced dispatch
+/// penalty together) applied to the node, sweeping the CPU:GPU
+/// speed ratio.
+/// At each ratio the online controller starts from a deliberately
+/// wrong split and must converge to the analytic optimum weight of
+/// the measured rates (the companion figure to the §6.2 balance
+/// study: Figs 13–14's granularity bound shows up as the clamped
+/// tail). 1.0 is the stock RZHasGPU node; the spread covers a CPU
+/// four times slower through one four times faster.
+pub fn rebalance_speed_ratios() -> Vec<f64> {
+    vec![0.25, 0.5, 1.0, 2.0, 4.0]
+}
+
+/// The figure id of the rebalance convergence sweep (not a paper
+/// figure: the controller is this repo's extension of §6.2).
+pub const REBALANCE_FIGURE_ID: &str = "fig-rebalance";
+
 /// All evaluation figures in paper order.
 pub fn all_figures() -> Vec<FigureSpec> {
     vec![

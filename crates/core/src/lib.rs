@@ -52,7 +52,7 @@ pub mod runner;
 /// [`runner::RunConfig::faults`] without a direct dependency).
 pub use hsim_faults as faults;
 
-pub use balance::LoadBalancer;
+pub use balance::{LoadBalancer, RebalanceConfig, Rebalancer};
 pub use binding::{build_bindings, RankRole};
 pub use figures::{FigureSpec, SweepPoint};
 pub use mode::ExecMode;

@@ -50,6 +50,10 @@ pub struct RunResult {
     /// Conservation makes this the end-to-end correctness observable,
     /// including across a fault-recovery restart.
     pub mass: Option<f64>,
+    /// The online rebalance controller's CPU-fraction history, one
+    /// entry per segment boundary (first entry = realized initial
+    /// split). Empty when [`crate::RunConfig::rebalance`] is off.
+    pub balance_history: Vec<f64>,
 }
 
 impl RunResult {
@@ -219,6 +223,7 @@ mod tests {
             trace: None,
             telemetry: None,
             mass: None,
+            balance_history: Vec::new(),
         }
     }
 

@@ -26,7 +26,7 @@ use hsim_telemetry::{Category, Collector, Counter, Gauge, Summary, TimeStat};
 use hsim_time::clock::ChargeKind;
 use hsim_time::{RankClock, SimDuration, SimTime};
 
-use crate::balance::LoadBalancer;
+use crate::balance::{LoadBalancer, RebalanceConfig, RebalanceDecision, Rebalancer};
 use crate::binding::{build_bindings, validate_bindings, RankRole};
 use crate::calib;
 use crate::coupler::MpiCoupler;
@@ -106,6 +106,17 @@ pub struct RunConfig {
     /// persistent workers and virtual time is charged by the OpenMP
     /// cost model at this width.
     pub host_threads: usize,
+    /// Online measured-speed rebalancing (paper §6.2 made in-run):
+    /// every `every` cycles the run pauses at a segment boundary, the
+    /// [`Rebalancer`] folds the segment's measured CPU and device busy
+    /// times into its EWMA speed estimator, and — when the predicted
+    /// cycle-time improvement clears the hysteresis threshold — the
+    /// heterogeneous decomposition is re-split at the new fraction
+    /// (state carried across through the host-staged checkpoint, the
+    /// redistribution charged by the α–β collective model). Only
+    /// meaningful for [`ExecMode::Heterogeneous`]; a permanent
+    /// `rank.loss` freezes the controller at the foldback split.
+    pub rebalance: Option<RebalanceConfig>,
     /// y–z tile shape for the fused cache-blocked hydro kernels
     /// (`None` = pick via the one-shot [`calib::auto_tile_for`] probe,
     /// which is keyed on `host_threads` — the best shape for the
@@ -132,6 +143,7 @@ impl RunConfig {
             telemetry: false,
             problem: Problem::default(),
             faults: None,
+            rebalance: None,
             host_threads: 1,
             tile: None,
         }
@@ -206,6 +218,22 @@ pub fn run_with_fraction(cfg: &RunConfig, cpu_fraction: f64) -> Result<RunResult
             "fault plan injects more than one permanent rank loss; graceful degradation \
              folds back a single lost rank per run"
                 .to_string(),
+        );
+    }
+    if let Some(rcfg) = &cfg.rebalance {
+        if !matches!(cfg.mode, ExecMode::Heterogeneous { .. }) {
+            return Err(format!(
+                "the rebalance controller re-splits the weighted heterogeneous \
+                 decomposition; mode {:?} has no CPU fraction to adjust",
+                cfg.mode
+            ));
+        }
+        return run_online(
+            cfg,
+            cpu_fraction,
+            rcfg,
+            &fault_plan,
+            losses.first().copied(),
         );
     }
     match losses.first().copied() {
@@ -310,6 +338,7 @@ fn finish_result(
         trace,
         telemetry: if cfg.telemetry { summary } else { None },
         mass,
+        balance_history: Vec::new(),
     })
 }
 
@@ -486,6 +515,278 @@ fn run_degraded(
     // The final state lives on segment 2's survivors.
     let mass = seg2.masses.as_ref().map(|m| m.iter().sum());
     finish_result(cfg, &degraded, reports, device_busy, summary, runtime, mass)
+}
+
+/// Zones whose owner changes between two decompositions, matched
+/// through `old_index` (new rank → old rank; `None` = every zone of
+/// the new rank's box migrates). A zone moves when it sits in the new
+/// rank's box but not the same rank's old box.
+fn zones_moved(
+    old: &Decomposition,
+    new: &Decomposition,
+    old_index: impl Fn(usize) -> Option<usize>,
+) -> u64 {
+    let overlap = |a: &hsim_mesh::Subdomain, b: &hsim_mesh::Subdomain| -> u64 {
+        (0..3)
+            .map(|ax| {
+                let lo = a.lo[ax].max(b.lo[ax]);
+                let hi = a.hi[ax].min(b.hi[ax]);
+                hi.saturating_sub(lo) as u64
+            })
+            .product()
+    };
+    new.domains
+        .iter()
+        .enumerate()
+        .map(|(j, d)| match old_index(j) {
+            Some(i) => d.zones() - overlap(d, &old.domains[i]),
+            None => d.zones(),
+        })
+        .sum()
+}
+
+/// Bytes a re-split redistribution stages through the host: every
+/// moved zone carries its conserved variables.
+fn redistribution_bytes(moved_zones: u64) -> u64 {
+    moved_zones * hsim_hydro::NCONS as u64 * std::mem::size_of::<f64>() as u64
+}
+
+/// The online measured-speed rebalancing path (ROADMAP item 1): the
+/// run is chopped into segments at every-`N`-cycle boundaries (plus
+/// the loss cycle when the plan injects a permanent `rank.loss`); at
+/// each rebalance boundary the [`Rebalancer`] folds the window's
+/// measured busy times — slowest CPU worker compute vs slowest device
+/// — into its EWMA speed estimator, and when the predicted cycle-time
+/// improvement clears the hysteresis threshold the weighted
+/// decomposition is rebuilt at the new fraction and the [`HaloPlan`]
+/// with it. State crosses each boundary through the same host-staged
+/// checkpoint the recovery path uses, and the redistribution is
+/// charged as a tree-barrier collective plus the α–β wire time of the
+/// moved zones. A loss boundary folds the lost slab back exactly as
+/// [`run_degraded`] does and *freezes* the controller: the folded
+/// decomposition is no longer expressible as a uniform weighted
+/// re-split.
+///
+/// Every controller input is a virtual-time measurement, so the
+/// decision sequence is a pure function of the seed and plan: two
+/// same-seed runs re-split identically, byte for byte — the property
+/// the chaos gate asserts.
+fn run_online(
+    cfg: &RunConfig,
+    cpu_fraction: f64,
+    rcfg: &RebalanceConfig,
+    fault_plan: &Arc<hsim_faults::FaultPlan>,
+    loss: Option<(usize, u64)>,
+) -> Result<RunResult, String> {
+    let collect = cfg.telemetry || cfg.trace;
+    let mut rb = Rebalancer::new(cpu_fraction, rcfg);
+    rb.set_min_fraction(hetero_min_fraction(cfg));
+
+    // Segment boundaries: every `N` cycles, plus the loss cycle.
+    let mut boundaries: Vec<u64> = (1..)
+        .map(|k| k * rcfg.every)
+        .take_while(|&c| c < cfg.cycles)
+        .collect();
+    boundaries.extend(fault_plan.loss_boundaries(cfg.cycles));
+    boundaries.sort_unstable();
+    boundaries.dedup();
+    boundaries.push(cfg.cycles);
+
+    let (mut decomp, mut roles) = build_world(cfg, rb.fraction)?;
+    rb.note_realized(decomp.cpu_zone_fraction());
+    if let Some((lost, _)) = loss {
+        if lost >= decomp.len() {
+            return Err(format!(
+                "injected rank loss {lost} out of range ({} ranks)",
+                decomp.len()
+            ));
+        }
+        // Owner layout is invariant across re-splits, so the check
+        // against the initial decomposition holds at the loss cycle.
+        if decomp.owners[lost].is_gpu() {
+            return Err(format!(
+                "injected loss of rank {lost} is fatal: it drives a GPU and its device \
+                 block cannot be folded back onto the remaining ranks"
+            ));
+        }
+    }
+    let n_orig = decomp.len();
+    let mut orig_ids: Vec<usize> = (0..n_orig).collect();
+
+    // Controller decisions happen on the coordinating thread between
+    // segments; give them their own collector (rank id one past the
+    // world) so `balance_*` spans land in the summary beside the rank
+    // spans.
+    if collect {
+        hsim_telemetry::install(Collector::new(n_orig));
+    }
+
+    // Per-original-rank report accumulators; a re-split keeps the
+    // rank count, the foldback drops the lost id from `orig_ids`.
+    let mut acc: Vec<Option<RankReport>> = (0..n_orig).map(|_| None).collect();
+    let mut device_busy = vec![SimDuration::ZERO; cfg.node.gpus];
+    let mut collectors: Vec<Collector> = Vec::new();
+    let mut runtime = SimDuration::ZERO;
+    let mut checkpoint: Option<Checkpoint> = None;
+    let mut masses: Option<Vec<f64>> = None;
+    let (mut resplits, mut holds, mut frozen_count) = (0u64, 0u64, 0u64);
+    let mut bytes_moved = 0u64;
+    let mut loss_handled = false;
+
+    let mut first = 0u64;
+    for &last in &boundaries {
+        let zeros = vec![SimDuration::ZERO; decomp.len()];
+        let seg = run_segment(
+            cfg,
+            fault_plan,
+            Segment {
+                decomp: &decomp,
+                roles: &roles,
+                orig_ids: &orig_ids,
+                first_cycle: first,
+                last_cycle: last,
+                restore: checkpoint.as_ref(),
+                take_checkpoint: last < cfg.cycles,
+                setup_extra: &zeros,
+            },
+        )?;
+        runtime += slowest_total(&seg.reports);
+        for (rank, rep) in seg.reports.iter().enumerate() {
+            let slot = &mut acc[orig_ids[rank]];
+            match slot {
+                None => *slot = Some(rep.clone()),
+                Some(a) => {
+                    // Buckets sum across segments; identity fields
+                    // (role, zones) track the latest world.
+                    a.role = rep.role;
+                    a.zones = rep.zones;
+                    a.setup += rep.setup;
+                    a.total += rep.total;
+                    a.compute += rep.compute;
+                    a.launch += rep.launch;
+                    a.memory += rep.memory;
+                    a.comm += rep.comm;
+                    a.control += rep.control;
+                    a.wait += rep.wait;
+                    a.launches += rep.launches;
+                    a.bytes_sent += rep.bytes_sent;
+                }
+            }
+        }
+        for (g, busy) in seg.device_busy.iter().enumerate() {
+            device_busy[g] += *busy;
+        }
+        collectors.extend(seg.collectors);
+        if seg.masses.is_some() {
+            masses = seg.masses;
+        }
+        checkpoint = seg.checkpoint;
+        if last >= cfg.cycles {
+            break;
+        }
+
+        let boundary_loss = loss.filter(|&(_, at)| at == last && !loss_handled);
+        if let Some((lost, _)) = boundary_loss {
+            // Fold the lost slab back (same collective as the
+            // degraded path) and freeze the controller: the folded
+            // world is not a uniform weighted split any more.
+            let pos = orig_ids
+                .iter()
+                .position(|&o| o == lost)
+                .ok_or_else(|| format!("lost rank {lost} missing from the live world"))?;
+            let folded = fold_lost_rank(&decomp, pos)?;
+            let moved = zones_moved(&decomp, &folded, |j| Some(if j < pos { j } else { j + 1 }));
+            let bytes = redistribution_bytes(moved);
+            let t0 = SimTime::from_nanos(runtime.as_nanos());
+            runtime += cfg.node.comm.redistribution_time(bytes, folded.len());
+            if collect {
+                hsim_telemetry::rank_span(
+                    Category::Runtime,
+                    "balance_freeze",
+                    t0,
+                    SimTime::from_nanos(runtime.as_nanos()),
+                );
+            }
+            bytes_moved += bytes;
+            roles.remove(pos);
+            orig_ids.remove(pos);
+            decomp = folded;
+            rb.freeze_at(decomp.cpu_zone_fraction());
+            frozen_count += 1;
+            loss_handled = true;
+        } else {
+            let cpu_time = seg
+                .reports
+                .iter()
+                .zip(roles.iter())
+                .filter(|(_, role)| !role.is_gpu_driver())
+                .map(|(r, _)| r.compute)
+                .fold(SimDuration::ZERO, SimDuration::max);
+            let gpu_time = seg
+                .device_busy
+                .iter()
+                .fold(SimDuration::ZERO, |a, &b| a.max(b));
+            match rb.observe(cpu_time, gpu_time) {
+                RebalanceDecision::Resplit { fraction, .. } => {
+                    let next = build_decomposition(cfg, fraction)?;
+                    next.validate()?;
+                    let moved = zones_moved(&decomp, &next, Some);
+                    let bytes = redistribution_bytes(moved);
+                    let t0 = SimTime::from_nanos(runtime.as_nanos());
+                    runtime += cfg.node.comm.redistribution_time(bytes, next.len());
+                    if collect {
+                        hsim_telemetry::rank_span(
+                            Category::Runtime,
+                            "balance_resplit",
+                            t0,
+                            SimTime::from_nanos(runtime.as_nanos()),
+                        );
+                    }
+                    bytes_moved += bytes;
+                    decomp = next;
+                    rb.note_realized(decomp.cpu_zone_fraction());
+                    resplits += 1;
+                }
+                RebalanceDecision::Hold { .. } => holds += 1,
+                RebalanceDecision::Frozen => {}
+            }
+        }
+        first = last;
+    }
+
+    // Renumber the survivors into the final world's rank order.
+    let mut reports = Vec::with_capacity(orig_ids.len());
+    for (new_rank, &orig) in orig_ids.iter().enumerate() {
+        let mut rep = acc[orig]
+            .take()
+            .ok_or_else(|| format!("online rebalance: rank {orig} produced no report"))?;
+        rep.rank = new_rank;
+        reports.push(rep);
+    }
+
+    let summary = if collect {
+        collectors.extend(hsim_telemetry::uninstall());
+        let mut s = Summary::from_collectors(collectors);
+        s.metrics
+            .gauge_set(Gauge::CpuFraction, decomp.cpu_zone_fraction());
+        s.metrics.gauge_set(Gauge::BalanceFraction, rb.fraction);
+        s.metrics.count(Counter::Rebalances, resplits);
+        s.metrics.count(Counter::BalanceResplits, resplits);
+        s.metrics.count(Counter::BalanceHolds, holds);
+        s.metrics.count(Counter::BalanceFrozen, frozen_count);
+        s.metrics.count(Counter::BalanceBytesMoved, bytes_moved);
+        if loss_handled {
+            s.metrics.count(Counter::FaultsInjected, 1);
+            s.metrics.count(Counter::FaultRankLosses, 1);
+        }
+        Some(s)
+    } else {
+        None
+    };
+    let mass = masses.as_ref().map(|m| m.iter().sum());
+    let mut result = finish_result(cfg, &decomp, reports, device_busy, summary, runtime, mass)?;
+    result.balance_history = rb.history;
+    Ok(result)
 }
 
 /// One contiguous span of cycles over a fixed decomposition: the
@@ -1353,6 +1654,117 @@ mod tests {
             assert_eq!(s.metrics.counter(Counter::FaultsRecovered), 1, "{spec}");
             assert!(s.metrics.counter(Counter::FaultRetries) >= 1, "{spec}");
         }
+    }
+
+    /// A cost-only heterogeneous run with the online controller on.
+    fn online_cfg(grid: (usize, usize, usize), cycles: u64, every: u64) -> RunConfig {
+        let mut cfg = RunConfig::sweep(grid, ExecMode::hetero());
+        cfg.cycles = cycles;
+        cfg.rebalance = Some(RebalanceConfig {
+            every,
+            hysteresis: calib::REBALANCE_DEFAULT_HYSTERESIS,
+        });
+        cfg
+    }
+
+    #[test]
+    fn online_rebalance_converges_from_a_bad_start() {
+        // Start at a deliberately oversized CPU share: the controller
+        // must walk it down toward the measured balance point (the
+        // compiler bug caps the converged share at a few percent, per
+        // `run_balanced_converges_for_hetero`).
+        let mut cfg = online_cfg((320, 480, 160), 12, 2);
+        cfg.telemetry = true;
+        let r = run_with_fraction(&cfg, 0.30).unwrap();
+        assert!(
+            r.balance_history.len() >= 6,
+            "one entry per boundary: {:?}",
+            r.balance_history
+        );
+        let start = r.balance_history[0];
+        let last = *r.balance_history.last().unwrap();
+        assert!(
+            last < start / 2.0 && last < 0.12,
+            "controller must shed CPU work: {:?}",
+            r.balance_history
+        );
+        assert_eq!(last, r.cpu_fraction, "history tracks the realized split");
+        let s = r.telemetry.unwrap();
+        assert!(s.metrics.counter(Counter::BalanceResplits) >= 1);
+        assert!(s.metrics.counter(Counter::BalanceBytesMoved) > 0);
+        assert_eq!(s.metrics.counter(Counter::BalanceFrozen), 0);
+        assert!((s.metrics.gauge(Gauge::BalanceFraction) - last).abs() < 1e-12);
+    }
+
+    #[test]
+    fn online_rebalance_never_breaks_the_granularity_guard() {
+        // ny = 24 → per-GPU-block y extent 12 → min fraction 3/12:
+        // the Figs 13–14 bottleneck. The GPU-hungry optimum sits far
+        // below it, so every boundary must clamp.
+        let cfg = online_cfg((64, 24, 16), 8, 2);
+        let guard = hetero_min_fraction(&cfg);
+        assert!((guard - 0.25).abs() < 1e-12, "{guard}");
+        let r = run_with_fraction(&cfg, 0.45).unwrap();
+        for (i, f) in r.balance_history.iter().enumerate() {
+            assert!(*f >= guard - 1e-12, "boundary {i} split below 12/ny: {f}");
+        }
+        assert!((r.cpu_fraction - guard).abs() < 1e-12, "{}", r.cpu_fraction);
+    }
+
+    #[test]
+    fn online_rebalance_rejects_non_heterogeneous_modes() {
+        let mut cfg = sweep_cfg((64, 48, 32), ExecMode::Default);
+        cfg.rebalance = Some(RebalanceConfig::default());
+        let err = run(&cfg).unwrap_err();
+        assert!(err.contains("CPU fraction"), "{err}");
+    }
+
+    #[test]
+    fn online_rebalance_survives_a_rank_loss_frozen_and_deterministic() {
+        // Boundaries: rebalance@2, loss@3 (freeze), frozen@4 — the
+        // controller adjusts, recovery folds back, and the rest of the
+        // run holds the post-loss split. All inputs are virtual-time
+        // measurements, so same-seed reruns are byte-identical even
+        // with the controller live (the property the chaos gate CI
+        // job asserts end to end).
+        let mut cfg = online_cfg((32, 48, 32), 6, 2);
+        cfg.fidelity = Fidelity::Full;
+        cfg.telemetry = true;
+        // Pin the tile: the wall-clock auto-tune probe is one-shot per
+        // process, so its kernel launches would land only in the first
+        // run's telemetry and break the byte-compare.
+        cfg.tile = Some([8, 8]);
+        cfg.faults = Some(hsim_faults::FaultPlan::parse("rank.loss@rank4.cycle3").unwrap());
+        let a = run(&cfg).unwrap();
+        let b = run(&cfg).unwrap();
+        assert_eq!(a.balance_history, b.balance_history);
+        let (sa, sb) = (a.telemetry.clone().unwrap(), b.telemetry.clone().unwrap());
+        assert_eq!(
+            sa.to_metrics_json(),
+            sb.to_metrics_json(),
+            "same seed and plan must replay the same controlled recovery"
+        );
+        assert_eq!(a.ranks.len(), 15, "lost rank folded away");
+        assert_eq!(sa.metrics.counter(Counter::BalanceFrozen), 1);
+        assert_eq!(sa.metrics.counter(Counter::FaultRankLosses), 1);
+
+        // Post-freeze boundaries hold: the last history entries equal
+        // the post-loss split.
+        let post_loss = *a.balance_history.last().unwrap();
+        assert!((a.cpu_fraction - post_loss).abs() < 1e-12);
+
+        // Physics does not depend on the decomposition: mass matches
+        // the intact, uncontrolled run up to reduction order.
+        let mut intact = cfg.clone();
+        intact.faults = None;
+        intact.rebalance = None;
+        intact.telemetry = false;
+        let mi = run(&intact).unwrap().mass.unwrap();
+        let ma = a.mass.unwrap();
+        assert!(
+            ((mi - ma) / mi).abs() < 1e-12,
+            "mass drift across controlled recovery: {mi} vs {ma}"
+        );
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Property suite for the online rebalancing controller: the weights
+//! are always a partition of the work, the `12/ny` granularity guard
+//! is never violated, hysteresis keeps a steady machine from
+//! oscillating, and the decision sequence is a pure function of the
+//! measured timings (the byte-identical-replay contract the chaos CI
+//! job checks end to end).
+
+use hsim_core::balance::RebalanceDecision;
+use hsim_core::{RebalanceConfig, Rebalancer};
+use hsim_time::SimDuration;
+use proptest::prelude::*;
+
+fn controller(start: f64, hysteresis: f64, guard: f64) -> Rebalancer {
+    let mut rb = Rebalancer::new(
+        start,
+        &RebalanceConfig {
+            every: 2,
+            hysteresis,
+        },
+    );
+    rb.set_min_fraction(guard);
+    rb
+}
+
+fn nanos(ns: u64) -> SimDuration {
+    SimDuration::from_nanos(ns)
+}
+
+proptest! {
+    /// After any sequence of observations and realized-split
+    /// notifications, the CPU/GPU weights partition the work and the
+    /// fraction stays inside `[max(12/ny, 1e-4), 0.5]`.
+    #[test]
+    fn weights_partition_and_never_break_the_guard(
+        ny in 24usize..=480,
+        start in 0.01f64..0.5,
+        hysteresis in 0.0f64..0.2,
+        timings in prop::collection::vec((1u64..2_000_000_000, 1u64..2_000_000_000), 1..24),
+        realized in prop::collection::vec(0.0f64..1.0, 1..24),
+    ) {
+        let guard = 12.0 / ny as f64;
+        let mut rb = controller(start, hysteresis, guard);
+        let floor = guard.max(1e-4);
+        for (i, &(t_cpu, t_gpu)) in timings.iter().enumerate() {
+            let decision = rb.observe(nanos(t_cpu), nanos(t_gpu));
+            if let RebalanceDecision::Resplit { fraction, .. } = decision {
+                prop_assert!(fraction >= floor - 1e-12, "resplit below guard: {fraction} < {floor}");
+                prop_assert!(fraction <= 0.5 + 1e-12);
+                // Plane rounding may move the request anywhere; the
+                // controller must clamp what it records.
+                rb.note_realized(realized[i % realized.len()]);
+            }
+            let (w_cpu, w_gpu) = rb.weights();
+            prop_assert!((w_cpu + w_gpu - 1.0).abs() < 1e-12, "weights {w_cpu} + {w_gpu} != 1");
+            prop_assert!(rb.fraction >= floor - 1e-12, "fraction {} below guard {floor}", rb.fraction);
+            prop_assert!(rb.fraction <= 0.5 + 1e-12);
+        }
+    }
+
+    /// The analytic optimum itself respects the guard and the 0.5
+    /// ceiling for every positive rate pair.
+    #[test]
+    fn analytic_optimum_respects_the_guard(
+        r_cpu in 1e-6f64..1e6,
+        r_gpu in 1e-6f64..1e6,
+        ny in 24usize..=480,
+    ) {
+        let guard = 12.0 / ny as f64;
+        let f = Rebalancer::analytic_optimum(r_cpu, r_gpu, 1.0, guard);
+        prop_assert!(f >= guard.max(1e-4) - 1e-12);
+        prop_assert!(f <= 0.5 + 1e-12);
+    }
+
+    /// On a steady machine (true rates fixed, measurements exact) the
+    /// controller re-splits at most once and then holds: hysteresis
+    /// prevents oscillation around the balance point.
+    #[test]
+    fn hysteresis_prevents_oscillation_on_a_steady_machine(
+        r_cpu in 0.05f64..20.0,
+        r_gpu in 0.05f64..20.0,
+        start in 0.02f64..0.5,
+        hysteresis in 0.01f64..0.2,
+        boundaries in 4usize..30,
+    ) {
+        let mut rb = controller(start, hysteresis, 0.0);
+        for _ in 0..boundaries {
+            let f = rb.fraction;
+            let t_cpu = SimDuration::from_secs_f64(f / r_cpu);
+            let t_gpu = SimDuration::from_secs_f64((1.0 - f) / r_gpu);
+            if let RebalanceDecision::Resplit { fraction, .. } = rb.observe(t_cpu, t_gpu) {
+                rb.note_realized(fraction);
+            }
+        }
+        prop_assert!(rb.resplits() <= 1, "oscillation: {} resplits ({:?})", rb.resplits(), rb.history);
+        // Once it moved, it stayed: every post-resplit entry is the
+        // same realized fraction.
+        if let Some(first_resplit) = rb
+            .decisions
+            .iter()
+            .position(|d| matches!(d, RebalanceDecision::Resplit { .. }))
+        {
+            let settled = rb.history[first_resplit + 1];
+            for (i, &f) in rb.history.iter().enumerate().skip(first_resplit + 1) {
+                prop_assert!(
+                    (f - settled).abs() < 1e-12,
+                    "drifted after the resplit at entry {i}: {f} vs {settled}"
+                );
+            }
+        }
+    }
+
+    /// The decision sequence is a pure function of the timings: two
+    /// controllers fed the same measurements produce identical
+    /// histories and identical decisions — the unit-level face of the
+    /// same-seed byte-identical replay the chaos job enforces.
+    #[test]
+    fn same_timings_produce_the_same_resplit_sequence(
+        start in 0.01f64..0.5,
+        hysteresis in 0.0f64..0.2,
+        guard in 0.0f64..0.3,
+        timings in prop::collection::vec((1u64..2_000_000_000, 1u64..2_000_000_000), 1..32),
+    ) {
+        let mut a = controller(start, hysteresis, guard);
+        let mut b = controller(start, hysteresis, guard);
+        for &(t_cpu, t_gpu) in &timings {
+            let da = a.observe(nanos(t_cpu), nanos(t_gpu));
+            let db = b.observe(nanos(t_cpu), nanos(t_gpu));
+            prop_assert_eq!(da, db);
+            if let RebalanceDecision::Resplit { fraction, .. } = da {
+                a.note_realized(fraction);
+                b.note_realized(fraction);
+            }
+        }
+        prop_assert_eq!(&a.history, &b.history);
+        prop_assert_eq!(&a.decisions, &b.decisions);
+        prop_assert_eq!(a.rates(), b.rates());
+    }
+}

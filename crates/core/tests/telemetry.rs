@@ -19,6 +19,7 @@ fn telemetry_cfg() -> RunConfig {
         telemetry: true,
         problem: runner::Problem::default(),
         faults: None,
+        rebalance: None,
         host_threads: 1,
         tile: None,
     }

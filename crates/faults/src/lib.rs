@@ -269,6 +269,23 @@ impl FaultPlan {
             .collect()
     }
 
+    /// Cycle numbers at which a permanent rank loss interrupts a run
+    /// of `cycles` total, sorted and deduplicated. These are the
+    /// segment boundaries a controller-aware runner must break at, so
+    /// rank-loss recovery and online re-splits compose on the same
+    /// checkpoint/restart machinery.
+    pub fn loss_boundaries(&self, cycles: u64) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .rank_losses()
+            .into_iter()
+            .map(|(_, c)| c)
+            .filter(|&c| c < cycles)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
@@ -397,6 +414,20 @@ mod tests {
             }
         );
         assert_eq!(plan.rank_losses(), vec![(5, 4)]);
+    }
+
+    #[test]
+    fn loss_boundaries_sort_dedup_and_clip_to_the_run() {
+        let plan = FaultPlan::parse(
+            "rank.loss@rank5.cycle4;xfer.delay@rank1.cycle2;rank.loss@rank6.cycle2;\
+             rank.loss@rank7.cycle4;rank.loss@rank8.cycle99",
+        )
+        .unwrap();
+        assert_eq!(plan.loss_boundaries(10), vec![2, 4]);
+        assert_eq!(plan.loss_boundaries(3), vec![2]);
+        // Transient losses are not boundaries.
+        let transient = FaultPlan::parse("rank.loss@rank5.cycle4:count=1").unwrap();
+        assert!(transient.loss_boundaries(10).is_empty());
     }
 
     #[test]

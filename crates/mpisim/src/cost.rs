@@ -49,6 +49,21 @@ impl CommCost {
         }
     }
 
+    /// Virtual time of a re-split redistribution collective: at a
+    /// rebalance (or rank-loss recovery) boundary every rank
+    /// resynchronizes through a tree barrier of depth `⌈log2 ranks⌉`,
+    /// then the zones whose owner changed stream through the transport
+    /// once, host-staged, with the per-rank send/recv overheads. A
+    /// single-rank world redistributes for free.
+    pub fn redistribution_time(&self, bytes: u64, ranks: usize) -> SimDuration {
+        if ranks <= 1 {
+            return SimDuration::ZERO;
+        }
+        let depth = usize::BITS - (ranks - 1).leading_zeros();
+        let barrier = SimDuration::from_nanos(self.latency.as_nanos() * u64::from(depth));
+        barrier + self.send_overhead + self.recv_overhead + self.msg_time(bytes)
+    }
+
     /// Wire time for `bytes`: `α + bytes/β`.
     pub fn msg_time(&self, bytes: u64) -> SimDuration {
         let bw = if self.bandwidth_gbs.is_finite() && self.bandwidth_gbs > 0.0 {
@@ -83,5 +98,19 @@ mod tests {
     #[test]
     fn infiniband_has_higher_latency_than_shared_memory() {
         assert!(CommCost::infiniband().latency > CommCost::on_node().latency);
+    }
+
+    #[test]
+    fn redistribution_grows_with_bytes_and_ranks_and_is_free_alone() {
+        let c = CommCost::on_node();
+        assert_eq!(c.redistribution_time(1 << 20, 1), SimDuration::ZERO);
+        let small = c.redistribution_time(1 << 10, 16);
+        let big = c.redistribution_time(1 << 24, 16);
+        assert!(big > small, "{small} vs {big}");
+        let few = c.redistribution_time(1 << 10, 2);
+        let many = c.redistribution_time(1 << 10, 64);
+        assert!(many > few, "deeper barrier: {few} vs {many}");
+        // Even a zero-byte boundary still pays the barrier.
+        assert!(c.redistribution_time(0, 16) > SimDuration::ZERO);
     }
 }

@@ -73,10 +73,21 @@ pub enum Counter {
     /// Queued serve requests dropped because their deadline expired
     /// before a worker picked them up.
     ServeDeadlineDrops,
+    /// Online-rebalancer boundaries that re-split the decomposition.
+    BalanceResplits,
+    /// Online-rebalancer boundaries where hysteresis (or degenerate
+    /// timings) held the current split.
+    BalanceHolds,
+    /// Controller freezes forced by recovery (post-`rank.loss`
+    /// foldback: the degraded world is no longer uniformly
+    /// re-splittable).
+    BalanceFrozen,
+    /// Bytes whose owner changed across re-split redistributions.
+    BalanceBytesMoved,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 27] = [
+    pub const ALL: [Counter; 31] = [
         Counter::KernelLaunches,
         Counter::GpuKernelLaunches,
         Counter::CpuKernelLaunches,
@@ -104,6 +115,10 @@ impl Counter {
         Counter::ServeAdmitted,
         Counter::ServeRejected,
         Counter::ServeDeadlineDrops,
+        Counter::BalanceResplits,
+        Counter::BalanceHolds,
+        Counter::BalanceFrozen,
+        Counter::BalanceBytesMoved,
     ];
 
     pub fn label(self) -> &'static str {
@@ -135,6 +150,10 @@ impl Counter {
             Counter::ServeAdmitted => "serve_admitted",
             Counter::ServeRejected => "serve_rejected",
             Counter::ServeDeadlineDrops => "serve_deadline_drops",
+            Counter::BalanceResplits => "balance_resplits",
+            Counter::BalanceHolds => "balance_holds",
+            Counter::BalanceFrozen => "balance_frozen",
+            Counter::BalanceBytesMoved => "balance_bytes_moved",
         }
     }
 }
@@ -149,13 +168,16 @@ pub enum Gauge {
     DeviceOccupancy,
     /// High-water depth of the serve admission queue.
     ServeQueueDepth,
+    /// The online rebalancer's final CPU work fraction.
+    BalanceFraction,
 }
 
 impl Gauge {
-    pub const ALL: [Gauge; 3] = [
+    pub const ALL: [Gauge; 4] = [
         Gauge::CpuFraction,
         Gauge::DeviceOccupancy,
         Gauge::ServeQueueDepth,
+        Gauge::BalanceFraction,
     ];
 
     pub fn label(self) -> &'static str {
@@ -163,6 +185,7 @@ impl Gauge {
             Gauge::CpuFraction => "cpu_fraction",
             Gauge::DeviceOccupancy => "device_occupancy",
             Gauge::ServeQueueDepth => "serve_queue_depth",
+            Gauge::BalanceFraction => "balance_fraction",
         }
     }
 }

@@ -34,7 +34,7 @@ pub const LINTS: &[(&str, &str)] = &[
     ),
     (
         "telemetry-naming",
-        "counter/span names off the fault_*/host_*/serve_*/snake_case conventions",
+        "counter/span names off the fault_*/host_*/serve_*/balance_*/snake_case conventions",
     ),
     (
         "tile-bounds",
@@ -292,10 +292,11 @@ fn stray_thread(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
 }
 
 /// Lint: telemetry naming. Counter/gauge/time-stat labels must be
-/// snake_case with `Host*`/`Fault*`/`Serve*` variants mapped to
-/// `host_*` / `fault_*` / `serve_*` labels; span names passed to
-/// `rank_span` must be snake_case, with `fault…`/`host…`/`serve…`
-/// names carrying the underscore.
+/// snake_case with `Host*`/`Fault*`/`Serve*`/`Balance*` variants
+/// mapped to `host_*` / `fault_*` / `serve_*` / `balance_*` labels;
+/// span names passed to `rank_span` must be snake_case, with
+/// `fault…`/`host…`/`serve…`/`balance…` names carrying the
+/// underscore.
 fn telemetry_naming(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     let toks = ctx.toks();
 
@@ -332,8 +333,12 @@ fn telemetry_naming(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
                     format!("label \"{}\" is not snake_case", label.text),
                 ));
             }
-            for (vprefix, lprefix) in [("Host", "host_"), ("Fault", "fault_"), ("Serve", "serve_")]
-            {
+            for (vprefix, lprefix) in [
+                ("Host", "host_"),
+                ("Fault", "fault_"),
+                ("Serve", "serve_"),
+                ("Balance", "balance_"),
+            ] {
                 if variant.text.starts_with(vprefix) && !label.text.starts_with(lprefix) {
                     out.push(finding(
                         ctx,
@@ -484,7 +489,7 @@ fn check_span_name(ctx: &FileCtx<'_>, t: &Tok, out: &mut Vec<Finding>) {
         ));
         return;
     }
-    for prefix in ["fault", "host", "serve"] {
+    for prefix in ["fault", "host", "serve", "balance"] {
         if t.text.starts_with(prefix)
             && t.text != prefix
             && !t.text.starts_with(&format!("{prefix}_"))

@@ -2,6 +2,7 @@ pub enum Counter {
     FaultsInjected,
     KernelLaunches,
     ServeHits,
+    BalanceResplits,
 }
 
 impl Counter {
@@ -10,6 +11,7 @@ impl Counter {
             Counter::FaultsInjected => "faults",
             Counter::KernelLaunches => "KernelLaunches",
             Counter::ServeHits => "hits",
+            Counter::BalanceResplits => "resplits",
         }
     }
 }
@@ -20,4 +22,5 @@ pub fn spans() {
     rank_span(0, "BadSpan", 0, 1);
     rank_span(0, "faultinject", 0, 1);
     rank_span(0, "servehit", 0, 1);
+    rank_span(0, "balancestep", 0, 1);
 }

@@ -3,6 +3,7 @@ pub enum Counter {
     KernelLaunches,
     ServeHits,
     ServeQueueDepth,
+    BalanceResplits,
 }
 
 impl Counter {
@@ -12,6 +13,7 @@ impl Counter {
             Counter::KernelLaunches => "kernel_launches",
             Counter::ServeHits => "serve_hits",
             Counter::ServeQueueDepth => "serve_queue_depth",
+            Counter::BalanceResplits => "balance_resplits",
         }
     }
 }
@@ -22,4 +24,6 @@ pub fn spans() {
     rank_span(0, "fault_inject", 0, 1);
     rank_span(0, "serve_request", 0, 1);
     rank_span(0, "serving", 0, 1);
+    rank_span(0, "balance_resplit", 0, 1);
+    rank_span(0, "balancing", 0, 1);
 }

@@ -5,6 +5,7 @@
 //!           [--cycles N] [--full] [--node rzhasgpu|fixed|sierra]
 //!           [--gpu-direct] [--diffusion KAPPA] [--multipolicy N]
 //!           [--fraction F] [--no-balance] [--faults SPEC]
+//!           [--rebalance every=N,hysteresis=X]
 //!           [--problem sedov|sod|perturbed] [--trace] [--csv]
 //!           [--host-threads N] [--tile TY,TZ]
 //!           [--trace-json PATH] [--metrics-json PATH]
@@ -27,6 +28,10 @@
 //! README's Resilience section). `--no-balance` skips the §6.2 load
 //! balancer and runs the mode's static split once — required for
 //! byte-identical chaos reruns, since the balancer re-measures.
+//! `--rebalance` enables the *online* measured-speed controller
+//! instead (hetero mode only): the split is adjusted in-run every N
+//! cycles from virtual-time measurements, so controller-enabled chaos
+//! reruns stay byte-identical without `--no-balance`.
 //!
 //! Examples:
 //! ```sh
@@ -44,6 +49,7 @@ fn usage() -> ! {
          \x20                [--cycles N] [--full] [--node rzhasgpu|fixed|sierra]\n\
          \x20                [--gpu-direct] [--diffusion KAPPA] [--multipolicy N]\n\
          \x20                [--fraction F] [--no-balance] [--faults SPEC]\n\
+         \x20                [--rebalance every=N,hysteresis=X]\n\
          \x20                [--problem sedov|sod|perturbed] [--trace] [--csv]\n\
          \x20                [--host-threads N] [--tile TY,TZ]\n\
          \x20                [--trace-json PATH] [--metrics-json PATH]\n\
@@ -149,6 +155,7 @@ fn main() {
     let mut tile: Option<[usize; 2]> = None;
     let mut no_balance = false;
     let mut faults: Option<heterosim::core::faults::FaultPlan> = None;
+    let mut rebalance: Option<heterosim::core::RebalanceConfig> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -190,6 +197,14 @@ fn main() {
                 faults = Some(
                     heterosim::core::faults::FaultPlan::parse(&value()).unwrap_or_else(|e| {
                         eprintln!("bad --faults spec: {e}");
+                        usage()
+                    }),
+                )
+            }
+            "--rebalance" => {
+                rebalance = Some(
+                    heterosim::core::RebalanceConfig::parse(&value()).unwrap_or_else(|e| {
+                        eprintln!("bad --rebalance spec: {e}");
                         usage()
                     }),
                 )
@@ -240,14 +255,16 @@ fn main() {
         telemetry: trace_json.is_some() || metrics_json.is_some(),
         problem: problem_choice,
         faults,
+        rebalance,
         host_threads,
         tile,
     };
 
     // The balancer re-measures between iterations; a fault plan is
     // keyed to specific ranks and cycles, so chaos runs use the
-    // static split (as does --no-balance).
-    let run_once = no_balance || cfg.faults.is_some();
+    // static split (as does --no-balance). The online controller is a
+    // single in-run loop — never wrapped in the restart balancer.
+    let run_once = no_balance || cfg.faults.is_some() || cfg.rebalance.is_some();
     let (result, lb_history) = if run_once {
         match runner::run(&cfg) {
             Ok(r) => (r, Vec::new()),
@@ -302,10 +319,15 @@ fn main() {
         result.runtime.as_secs_f64()
     );
     if result.cpu_fraction > 0.0 {
+        let (label, history) = if result.balance_history.is_empty() {
+            ("balancer", &lb_history)
+        } else {
+            ("rebalancer", &result.balance_history)
+        };
         println!(
-            "CPU share:       {:.2}% (balancer: {:?})",
+            "CPU share:       {:.2}% ({label}: {:?})",
             result.cpu_fraction * 100.0,
-            lb_history
+            history
                 .iter()
                 .map(|f| (f * 1e4).round() / 1e4)
                 .collect::<Vec<_>>()
@@ -320,6 +342,7 @@ fn main() {
                 mode: other,
                 trace: false,
                 faults: None,
+                rebalance: None,
                 ..cfg.clone()
             };
             if let Ok(r) = runner::run(&other_cfg) {
