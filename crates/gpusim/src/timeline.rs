@@ -227,11 +227,9 @@ impl RateSharingTimeline {
                 if active[i].remaining <= 1e-12 {
                     let a = active.swap_remove(i);
                     outcomes[a.idx].end = SimTime::from_nanos((now * 1e9).round() as u64);
-                    let s = streams
-                        .iter()
-                        .position(|(st, _)| *st == jobs[a.idx].stream)
-                        .expect("stream exists");
-                    stream_free[s] = now;
+                    if let Some(s) = streams.iter().position(|(st, _)| *st == jobs[a.idx].stream) {
+                        stream_free[s] = now;
+                    }
                     done += 1;
                 } else {
                     i += 1;
@@ -268,12 +266,7 @@ fn water_fill(active: &mut [Active], capacity: f64) {
     }
     // Sort indices by max_rate ascending and fill.
     let mut order: Vec<usize> = (0..active.len()).collect();
-    order.sort_by(|&a, &b| {
-        active[a]
-            .max_rate
-            .partial_cmp(&active[b].max_rate)
-            .expect("rates are finite")
-    });
+    order.sort_by(|&a, &b| active[a].max_rate.total_cmp(&active[b].max_rate));
     let mut remaining = capacity;
     let mut left = active.len();
     // Filling in ascending-cap order: once a job is capped below the

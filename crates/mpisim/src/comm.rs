@@ -380,7 +380,11 @@ impl Comm {
             if self.rank.is_multiple_of(group) {
                 let peer = self.rank + offset;
                 if peer < self.size {
-                    let v = val.expect("broadcast value present on sender");
+                    let Some(v) = val else {
+                        return Err(MpiError::CollectiveProtocol {
+                            what: "broadcast value missing on a sending hop",
+                        });
+                    };
                     self.send_internal(peer, tag, v)?;
                 }
             } else if self.rank % group == offset {
@@ -392,7 +396,9 @@ impl Comm {
             }
             offset /= 2;
         }
-        Ok(val.expect("broadcast reached every rank"))
+        val.ok_or(MpiError::CollectiveProtocol {
+            what: "broadcast did not reach this rank",
+        })
     }
 
     /// All-reduce a scalar with a commutative, associative operator.
@@ -472,7 +478,11 @@ impl Comm {
             if self.rank.is_multiple_of(group) {
                 let peer = self.rank + offset;
                 if peer < self.size {
-                    let v = val.as_ref().expect("broadcast value present on sender");
+                    let Some(v) = val.as_ref() else {
+                        return Err(MpiError::CollectiveProtocol {
+                            what: "broadcast value missing on a sending hop",
+                        });
+                    };
                     self.send_internal(peer, tag, v.clone())?;
                 }
             } else if self.rank % group == offset {
@@ -484,7 +494,9 @@ impl Comm {
             }
             offset /= 2;
         }
-        Ok(val.expect("broadcast reached every rank"))
+        val.ok_or(MpiError::CollectiveProtocol {
+            what: "broadcast did not reach this rank",
+        })
     }
 
     /// Gather one vector per rank to rank 0 (rank order). Returns
@@ -553,7 +565,11 @@ impl Comm {
             if self.rank.is_multiple_of(group) {
                 let peer = self.rank + offset;
                 if peer < self.size {
-                    let v = val.as_ref().expect("reduced value present");
+                    let Some(v) = val.as_ref() else {
+                        return Err(MpiError::CollectiveProtocol {
+                            what: "reduced value missing on a down-sweep hop",
+                        });
+                    };
                     self.send_internal(peer, tag2, v.clone())?;
                 }
             } else if self.rank % group == offset {
@@ -565,7 +581,9 @@ impl Comm {
             }
             offset /= 2;
         }
-        Ok(val.expect("allreduce reached every rank"))
+        val.ok_or(MpiError::CollectiveProtocol {
+            what: "allreduce did not reach this rank",
+        })
     }
 
     /// Gather one `f64` per rank to rank 0 (rank order). Returns

@@ -13,6 +13,11 @@ pub enum MpiError {
     TypeMismatch { tag: u32 },
     /// Self-send without a buffered message (unsupported pattern).
     SelfMessage,
+    /// A collective's internal tree/ring protocol broke its own
+    /// invariant (e.g. a broadcast hop found no value to forward).
+    /// Surfacing this as an error keeps collectives panic-free on the
+    /// fallible rank paths.
+    CollectiveProtocol { what: &'static str },
 }
 
 impl fmt::Display for MpiError {
@@ -29,6 +34,9 @@ impl fmt::Display for MpiError {
                 write!(f, "receive type does not match sent payload (tag {tag})")
             }
             MpiError::SelfMessage => write!(f, "blocking self-send is a deadlock"),
+            MpiError::CollectiveProtocol { what } => {
+                write!(f, "collective protocol invariant broken: {what}")
+            }
         }
     }
 }

@@ -196,6 +196,7 @@ impl WorkPool {
             return None;
         }
         if IN_REGION.with(|c| c.get()) {
+            // tidy-allow: panic-reach -- nested-region misuse is a programming error in the caller; the documented API contract is to abort the region loudly rather than deadlock on the single job slot
             panic!("nested WorkPool parallel regions are not supported (the pool has one job slot; restructure the outer region to do the inner work inline)");
         }
         let chunk = chunk.max(1);

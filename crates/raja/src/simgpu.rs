@@ -138,10 +138,7 @@ impl SharedDevice {
         for &pid in pids {
             mps_clients.push(server.connect(&mut device, pid)?);
         }
-        let ctx = device
-            .active_context()
-            .expect("MPS server owns a context")
-            .id;
+        let ctx = device.active_context().ok_or(GpuError::InvalidContext)?.id;
         let dev = Arc::new(SharedDevice {
             inner: Mutex::new(Inner {
                 device,

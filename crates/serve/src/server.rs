@@ -499,7 +499,10 @@ impl Server {
                 s.spawn(|| loop {
                     let j = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(&(mi, pi)) = jobs.get(j) else { break };
-                    let cfg = RunConfig::sweep(points[pi].grid(), modes[mi]);
+                    let (Some(point), Some(&mode)) = (points.get(pi), modes.get(mi)) else {
+                        break;
+                    };
+                    let cfg = RunConfig::sweep(point.grid(), mode);
                     let req = Request::balanced(cfg);
                     // Client-side backpressure: a full queue is not an
                     // error for a batch — retry while workers drain.
@@ -510,7 +513,9 @@ impl Server {
                         res = self.submit(req.clone());
                         tries += 1;
                     }
-                    *lock(&slots[j]) = Some(res.map(|r| r.outcome));
+                    if let Some(slot) = slots.get(j) {
+                        *lock(slot) = Some(res.map(|r| r.outcome));
+                    }
                 });
             }
         });
@@ -518,7 +523,7 @@ impl Server {
         for (mi, mode) in modes.iter().enumerate() {
             for (pi, v) in spec.values.iter().enumerate() {
                 let j = mi * points.len() + pi;
-                match lock(&slots[j]).take() {
+                match slots.get(j).and_then(|slot| lock(slot).take()) {
                     Some(Ok(o)) => {
                         out.push_str(&format!(
                             "{},{},{},{},{:.6},{:.4}\n",
@@ -551,7 +556,7 @@ impl Server {
         }
         lat.sort_unstable();
         let idx = ((lat.len() - 1) as f64 * q).round() as usize;
-        lat[idx.min(lat.len() - 1)] as f64 * 1e-3
+        lat.get(idx).or_else(|| lat.last()).copied().unwrap_or(0) as f64 * 1e-3
     }
 
     /// Counter snapshot + latency quantiles.

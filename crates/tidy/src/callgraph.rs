@@ -1,0 +1,562 @@
+//! Workspace call graph over the parser's function list.
+//!
+//! Resolution is name-based and deliberately conservative: an edge is
+//! added for every plausible target, so reachability *over*-
+//! approximates (analyses may walk edges real control flow never
+//! takes) and never silently under-approximates on resolvable names.
+//! The rules:
+//!
+//! - **Method calls** (`recv.name(...)`) resolve to every workspace
+//!   method with that name, unless the name is on the
+//!   [`OPAQUE_METHODS`] std-collision list. A `self.name(...)` call is
+//!   restricted to methods of the same `impl` type or the same trait.
+//! - **Unqualified free calls** resolve to free functions with that
+//!   name: same file first, then same crate, then through the file's
+//!   `use` imports.
+//! - **Qualified calls** (`a::b::name(...)`) resolve where the
+//!   qualifier matches the candidate's `impl` type, crate ident, or
+//!   trailing module segment, with `use` aliases expanded first.
+//!
+//! Everything is `BTreeMap`-ordered so edge lists, reachability, and
+//! blame paths are deterministic run-to-run.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::parser::{Event, FnDef, ParsedFile};
+
+/// Method names that collide with `std` container/iterator/primitive
+/// methods. Resolving these by bare name would wire huge bogus fan-out
+/// through the graph (`.get()` on a `Vec` is not your workspace
+/// `get`), so they never produce edges.
+pub const OPAQUE_METHODS: &[&str] = &[
+    "abs",
+    "and_then",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "ceil",
+    "chars",
+    "checked_sub",
+    "clamp",
+    "clear",
+    "clone",
+    "cloned",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "copy_from_slice",
+    "count",
+    "default",
+    "drain",
+    "ends_with",
+    "entry",
+    "enumerate",
+    "extend",
+    "fill",
+    "filter",
+    "filter_map",
+    "find",
+    "find_map",
+    "flat_map",
+    "flatten",
+    "floor",
+    "flush",
+    "fold",
+    "get",
+    "get_mut",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "is_err",
+    "is_none",
+    "is_ok",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "lines",
+    "lock",
+    "map",
+    "map_err",
+    "max",
+    "max_by",
+    "max_by_key",
+    "min",
+    "min_by",
+    "min_by_key",
+    "next",
+    "ok",
+    "ok_or",
+    "ok_or_else",
+    "or_default",
+    "or_insert",
+    "or_insert_with",
+    "parse",
+    "pop",
+    "position",
+    "powf",
+    "powi",
+    "push",
+    "push_str",
+    "read",
+    "remove",
+    "replace",
+    "reserve",
+    "resize",
+    "retain",
+    "rev",
+    "round",
+    "saturating_add",
+    "saturating_sub",
+    "skip",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "split",
+    "split_at",
+    "split_whitespace",
+    "sqrt",
+    "starts_with",
+    "sum",
+    "swap",
+    "take",
+    "then",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "try_into",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "values_mut",
+    "windows",
+    "with_capacity",
+    "wrapping_add",
+    "write",
+    "zip",
+];
+
+/// One resolved call edge: `callee` is an index into [`Graph::fns`],
+/// `line` the call site in the caller's file.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    pub callee: usize,
+    pub line: usize,
+}
+
+/// How a function became reachable in one [`Graph::reach`] walk.
+#[derive(Debug, Clone, Copy)]
+pub enum Origin {
+    Root,
+    Via { parent: usize, line: usize },
+}
+
+pub struct Graph {
+    /// Every non-test function in the workspace.
+    pub fns: Vec<FnDef>,
+    /// `edges[i]` = resolved callees of `fns[i]`.
+    pub edges: Vec<Vec<Edge>>,
+}
+
+impl Graph {
+    pub fn build(files: &[(String, ParsedFile)]) -> Graph {
+        let mut fns: Vec<FnDef> = Vec::new();
+        let mut imports_of: BTreeMap<&str, &[(String, Vec<String>)]> = BTreeMap::new();
+        for (rel, pf) in files {
+            imports_of.insert(rel.as_str(), &pf.imports);
+            fns.extend(pf.fns.iter().filter(|f| !f.is_test).cloned());
+        }
+
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.as_str()).or_default().push(i);
+        }
+
+        let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); fns.len()];
+        for i in 0..fns.len() {
+            let caller = &fns[i];
+            let imports = imports_of.get(caller.file.as_str()).copied().unwrap_or(&[]);
+            for ev in &caller.events {
+                let Event::Call {
+                    path,
+                    method,
+                    receiver,
+                    line,
+                } = ev
+                else {
+                    continue;
+                };
+                for callee in resolve(
+                    caller,
+                    path,
+                    *method,
+                    receiver.as_deref(),
+                    &fns,
+                    &by_name,
+                    imports,
+                ) {
+                    if !edges[i]
+                        .iter()
+                        .any(|e| e.callee == callee && e.line == *line)
+                    {
+                        edges[i].push(Edge {
+                            callee,
+                            line: *line,
+                        });
+                    }
+                }
+            }
+        }
+        Graph { fns, edges }
+    }
+
+    /// Resolve the call event `ev` made from `fns[caller]` — used by
+    /// analyses that need per-site resolution (not just reachability).
+    pub fn resolve_at(&self, caller: usize, ev: &Event) -> Vec<usize> {
+        let Event::Call { line, .. } = ev else {
+            return Vec::new();
+        };
+        self.edges[caller]
+            .iter()
+            .filter(|e| e.line == *line)
+            .map(|e| e.callee)
+            .collect()
+    }
+
+    /// BFS from `roots`; returns per-fn origin (None = unreachable).
+    /// Shortest chains win, so blame paths stay minimal.
+    pub fn reach(&self, roots: &[usize]) -> Vec<Option<Origin>> {
+        let mut origin: Vec<Option<Origin>> = vec![None; self.fns.len()];
+        let mut q = VecDeque::new();
+        for &r in roots {
+            if origin[r].is_none() {
+                origin[r] = Some(Origin::Root);
+                q.push_back(r);
+            }
+        }
+        while let Some(u) = q.pop_front() {
+            for e in &self.edges[u] {
+                if origin[e.callee].is_none() {
+                    origin[e.callee] = Some(Origin::Via {
+                        parent: u,
+                        line: e.line,
+                    });
+                    q.push_back(e.callee);
+                }
+            }
+        }
+        origin
+    }
+
+    /// Which functions can (transitively) reach one whose index is
+    /// marked in `targets`? Computed by BFS over reversed edges.
+    pub fn reaches(&self, targets: &[bool]) -> Vec<bool> {
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); self.fns.len()];
+        for (u, es) in self.edges.iter().enumerate() {
+            for e in es {
+                rev[e.callee].push(u);
+            }
+        }
+        let mut hit = targets.to_vec();
+        let mut q: VecDeque<usize> = (0..hit.len()).filter(|&i| hit[i]).collect();
+        while let Some(u) = q.pop_front() {
+            for &p in &rev[u] {
+                if !hit[p] {
+                    hit[p] = true;
+                    q.push_back(p);
+                }
+            }
+        }
+        hit
+    }
+
+    /// `Type::name` / `Trait::name` / `name` for diagnostics.
+    pub fn qual_name(&self, i: usize) -> String {
+        let f = &self.fns[i];
+        match (&f.self_ty, &f.trait_name) {
+            (Some(t), _) => format!("{t}::{}", f.name),
+            (None, Some(tr)) => format!("{tr}::{}", f.name),
+            (None, None) => f.name.clone(),
+        }
+    }
+
+    /// Render the root → … → `target` chain of a [`Graph::reach`]
+    /// walk, one hop per line with file:line evidence.
+    pub fn blame(&self, origin: &[Option<Origin>], target: usize) -> String {
+        let mut chain = Vec::new();
+        let mut cur = target;
+        loop {
+            match origin[cur] {
+                Some(Origin::Root) => {
+                    chain.push(format!(
+                        "  {} ({}:{})",
+                        self.qual_name(cur),
+                        self.fns[cur].file,
+                        self.fns[cur].line
+                    ));
+                    break;
+                }
+                Some(Origin::Via { parent, line }) => {
+                    chain.push(format!(
+                        "  -> {} (called at {}:{})",
+                        self.qual_name(cur),
+                        self.fns[parent].file,
+                        line
+                    ));
+                    cur = parent;
+                }
+                None => break, // target unreachable: caller's bug
+            }
+        }
+        chain.reverse();
+        chain.join("\n")
+    }
+}
+
+fn resolve(
+    caller: &FnDef,
+    path: &[String],
+    method: bool,
+    receiver: Option<&str>,
+    fns: &[FnDef],
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    imports: &[(String, Vec<String>)],
+) -> Vec<usize> {
+    let Some(name) = path.last() else {
+        return Vec::new();
+    };
+    let Some(cands) = by_name.get(name.as_str()) else {
+        return Vec::new();
+    };
+
+    if method {
+        if OPAQUE_METHODS.contains(&name.as_str()) {
+            return Vec::new();
+        }
+        let methods: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&c| fns[c].self_ty.is_some() || fns[c].trait_name.is_some())
+            .collect();
+        if receiver == Some("self") {
+            // Same-type (or same-trait) methods only.
+            return methods
+                .into_iter()
+                .filter(|&c| {
+                    (caller.self_ty.is_some() && fns[c].self_ty == caller.self_ty)
+                        || (caller.trait_name.is_some() && fns[c].trait_name == caller.trait_name)
+                })
+                .collect();
+        }
+        return methods;
+    }
+
+    if path.len() >= 2 {
+        // Qualified call: the qualifier (with `use` aliases expanded)
+        // must match impl type, crate ident, or trailing module.
+        let qual = &path[path.len() - 2];
+        let mut quals: Vec<&str> = vec![qual.as_str()];
+        if let Some((_, full)) = imports.iter().find(|(a, _)| a == qual) {
+            quals.extend(full.iter().map(String::as_str));
+        }
+        if path[0] == "crate" || path[0] == "self" || path[0] == "super" {
+            quals.push(caller.crate_ident.as_str());
+        }
+        return cands
+            .iter()
+            .copied()
+            .filter(|&c| {
+                let f = &fns[c];
+                quals.iter().any(|q| {
+                    f.self_ty.as_deref() == Some(*q)
+                        || f.crate_ident == *q
+                        || f.module.last().map(String::as_str) == Some(*q)
+                })
+            })
+            .collect();
+    }
+
+    // Unqualified free call: free fns, same file > same crate > via
+    // an explicit `use` import.
+    let free: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&c| fns[c].self_ty.is_none() && fns[c].trait_name.is_none())
+        .collect();
+    let same_file: Vec<usize> = free
+        .iter()
+        .copied()
+        .filter(|&c| fns[c].file == caller.file)
+        .collect();
+    if !same_file.is_empty() {
+        return same_file;
+    }
+    let same_crate: Vec<usize> = free
+        .iter()
+        .copied()
+        .filter(|&c| fns[c].crate_ident == caller.crate_ident)
+        .collect();
+    if !same_crate.is_empty() {
+        return same_crate;
+    }
+    if let Some((_, full)) = imports.iter().find(|(a, _)| a == name) {
+        let target_crate = full.first().map(String::as_str);
+        return free
+            .into_iter()
+            .filter(|&c| {
+                target_crate == Some(fns[c].crate_ident.as_str()) || target_crate == Some("crate")
+            })
+            .collect();
+    }
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lexer, parser};
+
+    fn build(files: &[(&str, &str, &str)]) -> Graph {
+        let parsed: Vec<(String, parser::ParsedFile)> = files
+            .iter()
+            .map(|(rel, krate, src)| {
+                let lx = lexer::lex(src);
+                let mask = lexer::test_mask(&lx.toks);
+                (
+                    rel.to_string(),
+                    parser::parse_file(rel, krate, &[], &lx, &mask),
+                )
+            })
+            .collect();
+        Graph::build(&parsed)
+    }
+
+    fn idx(g: &Graph, name: &str) -> usize {
+        g.fns.iter().position(|f| f.name == name).unwrap()
+    }
+
+    fn callees(g: &Graph, name: &str) -> Vec<String> {
+        let mut v: Vec<String> = g.edges[idx(g, name)]
+            .iter()
+            .map(|e| g.qual_name(e.callee))
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn same_file_free_calls_resolve() {
+        let g = build(&[(
+            "crates/a/src/lib.rs",
+            "a",
+            "fn top() { helper(); }\nfn helper() {}",
+        )]);
+        assert_eq!(callees(&g, "top"), ["helper"]);
+    }
+
+    #[test]
+    fn cross_crate_calls_resolve_via_use() {
+        let g = build(&[
+            (
+                "crates/a/src/lib.rs",
+                "hsim_a",
+                "use hsim_b::emit;\nfn top() { emit(); }",
+            ),
+            ("crates/b/src/lib.rs", "hsim_b", "pub fn emit() {}"),
+        ]);
+        assert_eq!(callees(&g, "top"), ["emit"]);
+    }
+
+    #[test]
+    fn qualified_calls_match_type_module_or_crate() {
+        let g = build(&[
+            (
+                "crates/a/src/lib.rs",
+                "hsim_a",
+                "fn top() { World::boot(); hsim_b::emit(); xfer::cost(); }\nuse hsim_b::xfer;",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "hsim_b",
+                "impl World { pub fn boot() {} }\npub fn emit() {}",
+            ),
+            ("crates/b/src/xfer.rs", "hsim_b", "pub fn cost() {}"),
+        ]);
+        assert_eq!(callees(&g, "top"), ["World::boot", "cost", "emit"]);
+    }
+
+    #[test]
+    fn self_method_calls_stay_on_type_and_opaque_names_do_not_edge() {
+        let g = build(&[(
+            "crates/a/src/lib.rs",
+            "a",
+            "impl Foo { fn go(&self) { self.step(); self.v.push(1); } fn step(&self) {} }\n\
+             impl Bar { fn step(&self) {} fn push(&self, x: u8) {} }",
+        )]);
+        assert_eq!(callees(&g, "go"), ["Foo::step"]);
+    }
+
+    #[test]
+    fn open_method_calls_fan_out_to_all_types() {
+        let g = build(&[(
+            "crates/a/src/lib.rs",
+            "a",
+            "fn top(c: &C) { c.step(); }\nimpl Foo { fn step(&self) {} }\nimpl Bar { fn step(&self) {} }",
+        )]);
+        assert_eq!(callees(&g, "top"), ["Bar::step", "Foo::step"]);
+    }
+
+    #[test]
+    fn reach_and_blame_produce_shortest_chain() {
+        let g = build(&[(
+            "crates/a/src/lib.rs",
+            "a",
+            "fn root() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}",
+        )]);
+        let origin = g.reach(&[idx(&g, "root")]);
+        let leaf = idx(&g, "leaf");
+        assert!(origin[leaf].is_some());
+        let blame = g.blame(&origin, leaf);
+        assert_eq!(
+            blame,
+            "  root (crates/a/src/lib.rs:1)\n\
+             \x20 -> mid (called at crates/a/src/lib.rs:1)\n\
+             \x20 -> leaf (called at crates/a/src/lib.rs:2)"
+        );
+    }
+
+    #[test]
+    fn reverse_reachability_marks_callers() {
+        let g = build(&[(
+            "crates/a/src/lib.rs",
+            "a",
+            "fn root() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\nfn lonely() {}",
+        )]);
+        let mut targets = vec![false; g.fns.len()];
+        targets[idx(&g, "leaf")] = true;
+        let hit = g.reaches(&targets);
+        assert!(hit[idx(&g, "root")] && hit[idx(&g, "mid")] && hit[idx(&g, "leaf")]);
+        assert!(!hit[idx(&g, "lonely")]);
+    }
+
+    #[test]
+    fn test_fns_are_excluded_from_the_graph() {
+        let g = build(&[(
+            "crates/a/src/lib.rs",
+            "a",
+            "fn live() {}\n#[cfg(test)]\nmod tests { fn helper() {} }",
+        )]);
+        assert_eq!(g.fns.len(), 1);
+        assert_eq!(g.fns[0].name, "live");
+    }
+}

@@ -134,6 +134,23 @@ pub fn lex(src: &str) -> Lexed {
             i = j;
             continue;
         }
+        // Raw identifiers: r#ident (but not r#"...", which is a raw
+        // string). The token text drops the `r#` so lints and the
+        // parser see the bare name.
+        if c == 'r' && i + 2 < n && b[i + 1] == '#' && (b[i + 2].is_alphabetic() || b[i + 2] == '_')
+        {
+            let mut j = i + 2;
+            while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                j += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: b[i + 2..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
         // Raw strings: r"..." / r#"..."# / br#"..."#.
         if (c == 'r' || c == 'b') && is_raw_string_start(&b, i) {
             let mut j = i + 1;
@@ -201,17 +218,20 @@ pub fn lex(src: &str) -> Lexed {
         if c == '\'' {
             // 'x' or '\n' → char; 'ident not followed by ' → lifetime.
             if i + 1 < n && b[i + 1] == '\\' {
-                // Escaped char literal: scan to closing quote.
-                let mut j = i + 2;
+                // Escaped char literal: scan to closing quote, keeping
+                // the escape text verbatim (round-trip exactness). The
+                // char right after the backslash is always part of the
+                // escape, even when it is a quote (`'\''`).
+                let mut j = i + 3;
                 while j < n && b[j] != '\'' {
                     j += 1;
                 }
                 out.toks.push(Tok {
                     kind: TokKind::Char,
-                    text: String::new(),
+                    text: b[i + 1..j.min(n)].iter().collect(),
                     line,
                 });
-                i = j + 1;
+                i = (j + 1).min(n);
                 continue;
             }
             if i + 2 < n && b[i + 2] == '\'' {
@@ -250,12 +270,23 @@ pub fn lex(src: &str) -> Lexed {
             i = j;
             continue;
         }
-        // Number (loose: digits plus alphanumeric suffix/radix chars).
+        // Number (loose: digits plus alphanumeric suffix/radix chars,
+        // including signed exponents of decimal floats: 1e-5, 2.5E+3).
         if c.is_ascii_digit() {
+            let radix = c == '0' && i + 1 < n && matches!(b[i + 1], 'x' | 'b' | 'o');
             let mut j = i + 1;
-            while j < n && (b[j].is_alphanumeric() || b[j] == '_' || b[j] == '.') {
+            while j < n {
+                let ch = b[j];
+                let signed_exp = !radix
+                    && (ch == '+' || ch == '-')
+                    && matches!(b[j - 1], 'e' | 'E')
+                    && j + 1 < n
+                    && b[j + 1].is_ascii_digit();
+                if !(ch.is_alphanumeric() || ch == '_' || ch == '.' || signed_exp) {
+                    break;
+                }
                 // Don't swallow a range operator `..`.
-                if b[j] == '.' && j + 1 < n && b[j + 1] == '.' {
+                if ch == '.' && j + 1 < n && b[j + 1] == '.' {
                     break;
                 }
                 j += 1;
@@ -275,6 +306,56 @@ pub fn lex(src: &str) -> Lexed {
             line,
         });
         i += 1;
+    }
+    out
+}
+
+/// Re-render a token stream as compilable-ish source text: every
+/// token separated by one space, strings as raw strings with enough
+/// `#` guards, comments dropped. `lex(render(lex(src)))` must produce
+/// the same (kind, text) stream as `lex(src)` — the round-trip
+/// exactness contract the parser depends on, asserted over every
+/// workspace file by `tests/lexer_roundtrip.rs`.
+pub fn render(lexed: &Lexed) -> String {
+    let mut out = String::new();
+    for t in &lexed.toks {
+        match t.kind {
+            TokKind::Ident | TokKind::Num | TokKind::Punct => out.push_str(&t.text),
+            TokKind::Lifetime => {
+                out.push('\'');
+                out.push_str(&t.text);
+            }
+            TokKind::Char => {
+                out.push('\'');
+                out.push_str(&t.text);
+                out.push('\'');
+            }
+            TokKind::Str => {
+                // Enough hashes to cover any `"#...` run in the content.
+                let mut hashes = 0usize;
+                let chars: Vec<char> = t.text.chars().collect();
+                for (k, &ch) in chars.iter().enumerate() {
+                    if ch == '"' {
+                        let mut run = 0;
+                        while k + 1 + run < chars.len() && chars[k + 1 + run] == '#' {
+                            run += 1;
+                        }
+                        hashes = hashes.max(run + 1);
+                    }
+                }
+                out.push('r');
+                for _ in 0..hashes {
+                    out.push('#');
+                }
+                out.push('"');
+                out.push_str(&t.text);
+                out.push('"');
+                for _ in 0..hashes {
+                    out.push('#');
+                }
+            }
+        }
+        out.push(' ');
     }
     out
 }
@@ -417,6 +498,85 @@ mod tests {
         let chars = lx.toks.iter().filter(|t| t.kind == TokKind::Char).count();
         assert_eq!(lifetimes, 2);
         assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_tokens() {
+        let lx = lex("fn r#type(r#fn: u32) -> u32 { r#fn }");
+        let idents: Vec<&str> = lx
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["fn", "type", "fn", "u32", "u32", "fn"]);
+        // No stray `#` punct leaked out of the raw identifiers.
+        assert!(lx.toks.iter().all(|t| t.text != "#"));
+    }
+
+    #[test]
+    fn raw_ident_does_not_shadow_raw_string() {
+        let lx = lex("let a = r#\"s\"#; let b = r#end;");
+        assert!(lx
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "s"));
+        assert!(lx
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "end"));
+    }
+
+    #[test]
+    fn signed_exponents_are_one_number_token() {
+        let lx = lex("let x = 1.5e-3 + 2E+4 - 7e2; let r = 0xAE-3;");
+        let nums: Vec<&str> = lx
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        // Hex `0xAE-3` must stay a subtraction (E is a hex digit).
+        assert_eq!(nums, ["1.5e-3", "2E+4", "7e2", "0xAE", "3"]);
+    }
+
+    #[test]
+    fn escaped_char_literals_keep_their_text() {
+        let lx = lex(r"let a = '\n'; let b = '\''; let c = 'x';");
+        let chars: Vec<&str> = lx
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, ["\\n", "\\'", "x"]);
+    }
+
+    #[test]
+    fn nested_block_comments_lex_exactly() {
+        let lx =
+            lex("/* a /* nested */ b */ fn f() {}\nlet x = 1; /* /* deep /* deeper */ */ */ y");
+        let idents: Vec<&str> = lx
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["fn", "f", "let", "x", "y"]);
+        assert!(lx.comments[0].text.contains("a "));
+        assert!(lx.comments[0].text.contains(" b"));
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let src = "fn f<'a>(x: &'a str) -> u64 { let s = \"q\\\"uo\"; let r = r#\"a\"# ; \
+                   let c = '\\n'; let n = 1e-5; x.len() as u64 }";
+        let a = lex(src);
+        let b = lex(&render(&a));
+        let pairs = |l: &Lexed| -> Vec<(TokKind, String)> {
+            l.toks.iter().map(|t| (t.kind, t.text.clone())).collect()
+        };
+        assert_eq!(pairs(&a), pairs(&b));
     }
 
     #[test]

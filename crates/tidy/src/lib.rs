@@ -8,8 +8,6 @@
 //! - **wall-clock** — virtual-time purity: `Instant`/`SystemTime`
 //!   only in the host-perf allowlist (`crates/bench/`, the pool's
 //!   region timer).
-//! - **panic-path** — no `unwrap`/`expect`/`panic!` in the fallible
-//!   runner/fault/coupler paths that `World::run_fallible` relies on.
 //! - **unordered-iter** — no `HashMap`/`HashSet` in trace/metrics/
 //!   report/CSV emission paths (byte-identical output).
 //! - **safety-comment** — every `unsafe` carries an adjacent
@@ -21,6 +19,24 @@
 //! - **telemetry-naming** — counter labels and span names follow the
 //!   `fault_*`/`host_*`/snake_case conventions.
 //!
+//! On top of the token lints, a recursive-descent parser
+//! ([`parser`]) and a workspace call graph ([`callgraph`]) drive
+//! three interprocedural analyses ([`deep`]), each reporting blame
+//! paths (root → … → site with file:line per hop):
+//!
+//! - **panic-reach** — no `unwrap`/`expect`/`panic!`/unguarded serve
+//!   index reachable from `World::run_fallible`, `run_online`, any
+//!   `Coupler` impl, or the serve request path.
+//! - **nondet-taint** — no nondeterminism source (unordered-container
+//!   iteration, unsanctioned wall-clock reads, thread identity,
+//!   pointer-as-integer casts) reachable from a deterministic
+//!   emission sink (trace/metrics/CSV/Prometheus writers,
+//!   `content_hash`, `RunResult` construction).
+//! - **cost-charge** — every mpisim communication primitive charges
+//!   the virtual clock on all completing paths, and every caller of a
+//!   cost-returning gpusim primitive either charges or passes the
+//!   `SimDuration` upward.
+//!
 //! Suppression is inline and audited: a comment of the form
 //! `"tidy-allow: <lint> -- <reason>"` (at the start of the comment)
 //! silences that lint on its own line and the next one. A malformed
@@ -30,8 +46,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
+pub mod deep;
 pub mod lexer;
 pub mod lints;
+pub mod parser;
 
 use std::fmt;
 use std::fs;
@@ -81,7 +100,9 @@ fn is_test_path(rel: &str) -> bool {
         || rel.contains("/examples/")
 }
 
-/// Scan the workspace rooted at `root` and report every violation.
+/// Scan the workspace rooted at `root` and report every violation:
+/// the per-file token lints, the call-graph deep analyses
+/// (panic-reach / nondet-taint / cost-charge), and crate hygiene.
 pub fn check_dir(root: &Path) -> io::Result<Report> {
     let mut rs_files = Vec::new();
     let mut tomls = Vec::new();
@@ -94,9 +115,16 @@ pub fn check_dir(root: &Path) -> io::Result<Report> {
         ..Report::default()
     };
 
-    // Cache lexed sources: the hygiene pass re-reads crate sources to
-    // decide pure-vs-unsafe, and re-lexing would double the work.
+    let crates = crate_idents(root, &tomls);
+
+    // Per-file state kept until the deep analyses have run, so that
+    // their findings route through the same tidy-allow machinery as
+    // the token lints.
     let mut lexed_files: Vec<(String, lexer::Lexed)> = Vec::new();
+    let mut raw_by_file: Vec<Vec<Finding>> = Vec::new();
+    let mut parsed: Vec<(String, parser::ParsedFile)> = Vec::new();
+    let mut infos: std::collections::BTreeMap<String, deep::FileInfo> =
+        std::collections::BTreeMap::new();
 
     for path in &rs_files {
         let rel = rel_path(root, path);
@@ -117,9 +145,58 @@ pub fn check_dir(root: &Path) -> io::Result<Report> {
         };
         let mut raw = Vec::new();
         lints::run_all(&ctx, &mut raw);
-        apply_allows(&rel, &lexed, raw, &mut report.violations);
 
+        if !is_test_path(&rel) {
+            let (crate_ident, module) = crate_ctx(&rel, &crates);
+            let pf = parser::parse_file(&rel, &crate_ident, &module, &lexed, &mask);
+            let sanctioned_wall_clock = lexed
+                .comments
+                .iter()
+                .filter(|c| {
+                    c.text
+                        .trim()
+                        .strip_prefix("tidy-allow:")
+                        .is_some_and(|r| r.trim_start().starts_with("wall-clock"))
+                })
+                .map(|c| c.line)
+                .collect();
+            infos.insert(
+                rel.clone(),
+                deep::FileInfo {
+                    unordered_names: pf.unordered_names.clone(),
+                    sanctioned_wall_clock,
+                },
+            );
+            parsed.push((rel.clone(), pf));
+        }
+
+        raw_by_file.push(raw);
         lexed_files.push((rel, lexed));
+    }
+
+    // Build the workspace call graph and run the deep analyses, then
+    // merge their findings into the owning file's raw list so inline
+    // `tidy-allow` directives (and unused-allow auditing) apply.
+    let ws = deep::Workspace {
+        graph: callgraph::Graph::build(&parsed),
+        files: infos,
+    };
+    let mut deep_raw = Vec::new();
+    deep::run_all(&ws, &mut deep_raw);
+    for f in deep_raw {
+        match lexed_files.iter().position(|(rel, _)| *rel == f.path) {
+            Some(i) => raw_by_file[i].push(f),
+            None => report.violations.push(f),
+        }
+    }
+
+    for (i, (rel, lexed)) in lexed_files.iter().enumerate() {
+        apply_allows(
+            rel,
+            lexed,
+            std::mem::take(&mut raw_by_file[i]),
+            &mut report.violations,
+        );
     }
 
     check_crate_hygiene(root, &tomls, &lexed_files, &mut report.violations);
@@ -128,6 +205,61 @@ pub fn check_dir(root: &Path) -> io::Result<Report> {
         .violations
         .sort_by(|a, b| (&a.path, a.line, a.lint).cmp(&(&b.path, b.line, b.lint)));
     Ok(report)
+}
+
+/// Map each package directory to its crate identifier (`name` with
+/// `-` → `_`), longest directory first so nested crates win over the
+/// workspace root.
+fn crate_idents(root: &Path, tomls: &[PathBuf]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for toml in tomls {
+        let Ok(text) = fs::read_to_string(toml) else {
+            continue;
+        };
+        let mut in_package = false;
+        let mut name = None;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.starts_with('[') {
+                in_package = line == "[package]";
+                continue;
+            }
+            if in_package {
+                if let Some(rest) = line.strip_prefix("name") {
+                    if let Some(val) = rest.trim_start().strip_prefix('=') {
+                        name = Some(val.trim().trim_matches('"').replace('-', "_"));
+                    }
+                }
+            }
+        }
+        if let Some(name) = name {
+            let dir = rel_path(root, toml.parent().unwrap_or(root));
+            out.push((dir, name));
+        }
+    }
+    out.sort_by(|a, b| b.0.len().cmp(&a.0.len()).then(a.0.cmp(&b.0)));
+    out
+}
+
+/// Crate ident and in-crate module path for one source file. Files
+/// outside any discovered package share the `unknown` crate, which
+/// keeps same-crate resolution working in manifest-less fixture trees.
+fn crate_ctx(rel: &str, crates: &[(String, String)]) -> (String, Vec<String>) {
+    for (dir, ident) in crates {
+        let prefix = if dir.is_empty() {
+            String::new()
+        } else {
+            format!("{dir}/")
+        };
+        if rel.starts_with(&prefix) {
+            let module = rel[prefix.len()..]
+                .strip_prefix("src/")
+                .map(parser::module_path_of)
+                .unwrap_or_default();
+            return (ident.clone(), module);
+        }
+    }
+    ("unknown".to_string(), Vec::new())
 }
 
 fn rel_path(root: &Path, path: &Path) -> String {

@@ -13,8 +13,16 @@ pub const LINTS: &[(&str, &str)] = &[
         "Instant/SystemTime outside the host-perf allowlist (virtual-time purity)",
     ),
     (
-        "panic-path",
-        "unwrap/expect/panic! in the fallible runner, fault, and coupler paths",
+        "panic-reach",
+        "unwrap/expect/panic!/unguarded index reachable from a no-panic root (call-graph)",
+    ),
+    (
+        "nondet-taint",
+        "nondeterminism source reachable from a deterministic emission sink (call-graph)",
+    ),
+    (
+        "cost-charge",
+        "gpusim/mpisim cost site that can skip charging the virtual clock (call-graph)",
     ),
     (
         "unordered-iter",
@@ -56,22 +64,10 @@ pub const LINTS: &[(&str, &str)] = &[
 /// the serve request-latency recorder behind the `serve_*` p50/p99
 /// export — all measure real elapsed time, never a rank's virtual
 /// clock.
-const WALL_CLOCK_ALLOWED: &[&str] = &[
+pub(crate) const WALL_CLOCK_ALLOWED: &[&str] = &[
     "crates/bench/",
     "crates/raja/src/pool.rs",
     "crates/serve/src/server.rs",
-];
-
-/// The fallible paths that must never panic: `World::run_fallible`
-/// rank bodies run through these, and a panic here tears down the
-/// recovery machinery the fault layer guarantees.
-const PANIC_FREE_PATHS: &[&str] = &[
-    "crates/core/src/runner.rs",
-    "crates/core/src/coupler.rs",
-    "crates/faults/src/lib.rs",
-    "crates/mpisim/src/world.rs",
-    "crates/hydro/src/cycle.rs",
-    "crates/hydro/src/diffusion.rs",
 ];
 
 /// File-name fragments marking trace/metrics/report/CSV emission
@@ -112,7 +108,6 @@ impl FileCtx<'_> {
 /// Run every per-file pass.
 pub fn run_all(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     wall_clock(ctx, out);
-    panic_path(ctx, out);
     unordered_iter(ctx, out);
     safety_comment(ctx, out);
     stray_thread(ctx, out);
@@ -148,38 +143,6 @@ fn wall_clock(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
                 format!(
                     "`{}` outside the host-perf allowlist: wall clocks must not leak into \
                      simulated time (use SimTime/SimDuration, or move timing into crates/bench)",
-                    t.text
-                ),
-            ));
-        }
-    }
-}
-
-/// Lint: panic-freedom on the fallible paths.
-fn panic_path(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
-    if !PANIC_FREE_PATHS.contains(&ctx.rel) {
-        return;
-    }
-    let toks = ctx.toks();
-    for (i, t) in toks.iter().enumerate() {
-        if ctx.is_test[i] || t.kind != TokKind::Ident {
-            continue;
-        }
-        let method_call = i > 0 && toks[i - 1].text == ".";
-        let macro_bang = i + 1 < toks.len() && toks[i + 1].text == "!";
-        let bad = match t.text.as_str() {
-            "unwrap" | "expect" => method_call,
-            "panic" | "unreachable" | "todo" | "unimplemented" => macro_bang,
-            _ => false,
-        };
-        if bad {
-            out.push(finding(
-                ctx,
-                "panic-path",
-                t.line,
-                format!(
-                    "`{}` on a fallible path: return a typed error instead \
-                     (World::run_fallible must never see a panic from here)",
                     t.text
                 ),
             ));
@@ -456,7 +419,7 @@ fn tile_bounds(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
 /// past the matching `]` and whether the contents are a range
 /// re-borrow (a `..` at bracket depth 1) rather than a single-element
 /// index.
-fn bracket_is_reborrow(toks: &[Tok], open: usize) -> (usize, bool) {
+pub(crate) fn bracket_is_reborrow(toks: &[Tok], open: usize) -> (usize, bool) {
     let mut depth = 0usize;
     let mut reborrow = false;
     let mut j = open;

@@ -1,0 +1,4 @@
+pub fn diffuse_tick(dev: &mut Gpu, elems: u64) -> u64 {
+    let cost = dev.launch(elems);
+    elems + cost.as_nanos()
+}

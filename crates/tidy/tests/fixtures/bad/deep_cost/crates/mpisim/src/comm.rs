@@ -1,0 +1,19 @@
+impl Comm {
+    pub fn send(&mut self, bytes: u64) -> Result<(), ()> {
+        self.log(bytes);
+        Ok(())
+    }
+
+    pub fn recv(&mut self, bytes: u64) -> Result<u64, ()> {
+        if bytes == 0 {
+            return Ok(0);
+        }
+        if self.ready {
+            return Ok(bytes);
+        }
+        self.clock.charge(bytes);
+        Ok(bytes)
+    }
+
+    fn log(&self, _bytes: u64) {}
+}

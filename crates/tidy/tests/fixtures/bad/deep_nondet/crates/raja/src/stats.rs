@@ -1,0 +1,15 @@
+use std::collections::HashMap;
+
+pub fn occupancy_counts() -> Vec<u64> {
+    let mut by_stream: HashMap<u64, u64> = HashMap::new();
+    by_stream.insert(0, 1);
+    let mut out: Vec<u64> = by_stream.keys().copied().collect();
+    out.push(worker_tag());
+    out
+}
+
+fn worker_tag() -> u64 {
+    let _id = std::thread::current();
+    let buf = [0u8; 1];
+    (buf.as_ptr() as usize) as u64
+}

@@ -1,0 +1,6 @@
+use hsim_raja::stats::occupancy_counts;
+
+pub fn to_metrics_json() -> String {
+    let counts = occupancy_counts();
+    format!("{counts:?}")
+}

@@ -1,0 +1,14 @@
+pub struct World;
+
+impl World {
+    pub fn run_fallible(&self) -> Result<(), String> {
+        step_ranks();
+        Ok(())
+    }
+}
+
+fn step_ranks() {
+    let v: Vec<u64> = vec![1];
+    let first = v.first().unwrap();
+    let _ = first;
+}

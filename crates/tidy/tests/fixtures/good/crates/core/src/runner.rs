@@ -1,0 +1,12 @@
+pub struct World;
+
+impl World {
+    pub fn run_fallible(&self) -> Result<u64, String> {
+        step_ranks().ok_or_else(|| "empty rank list".to_string())
+    }
+}
+
+fn step_ranks() -> Option<u64> {
+    let v: Vec<u64> = vec![1];
+    v.first().copied()
+}

@@ -1,0 +1,8 @@
+use std::collections::BTreeMap;
+
+pub fn to_metrics_json() -> String {
+    let mut by_stream: BTreeMap<u64, u64> = BTreeMap::new();
+    by_stream.insert(0, 1);
+    let keys: Vec<u64> = by_stream.keys().copied().collect();
+    format!("{keys:?}")
+}
