@@ -25,6 +25,7 @@ fn cfg_with(node: NodeConfig) -> RunConfig {
         rebalance: None,
         host_threads: 1,
         tile: None,
+        particles: None,
     }
 }
 

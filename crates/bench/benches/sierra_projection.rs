@@ -25,6 +25,7 @@ fn cfg(node: NodeConfig, mode: ExecMode) -> RunConfig {
         rebalance: None,
         host_threads: 1,
         tile: None,
+        particles: None,
     }
 }
 

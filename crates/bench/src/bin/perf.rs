@@ -72,6 +72,22 @@
 //! *virtual-time* measurements: they are deterministic and identical
 //! on every machine, so the gate compares them exactly, not by ratio.
 //!
+//! Schema v6 adds a `scenarios` block: every first-class scenario
+//! (Sedov, Sod, Noh, Taylor–Green) runs at full fidelity in both
+//! CpuOnly and Heterogeneous modes on a fixed per-regime grid with
+//! the tracer-particle phase on. Each entry records the virtual-time
+//! zone throughput, the scenario's analytic-error metric (L1 against
+//! the exact Sod/Noh solutions, Taylor–Green kinetic-energy decay
+//! error; `-1` for Sedov, which has no pointwise reference), whether
+//! a same-seed double run was bit-identical, and whether the particle
+//! totals were conserved. The `scenarios` subcommand (`perf scenarios
+//! [--out PATH]`) runs only that study; `ci-gate --section scenarios`
+//! gates it on per-scenario throughput floors
+//! ([`SCENARIO_MZPS_FLOOR_FRAC`] of baseline) and analytic error
+//! ceilings ([`SCENARIO_ERROR_CEILING_FRAC`] of baseline). Like the
+//! rebalance block these are virtual-time numbers, identical on every
+//! machine.
+//!
 //! Everything else in this repo measures *virtual* time — the cost
 //! model's simulated seconds, which are deterministic and identical
 //! on every machine. This harness is the one place that measures
@@ -94,7 +110,10 @@ use std::time::Instant;
 use hsim_bench::{paper_modes, run_figure_jobs, FigureData};
 use hsim_core::calib::{self, TILE_CANDIDATES};
 use hsim_core::figures::{self, FigureSpec};
+use hsim_core::runner::{self, RunConfig};
+use hsim_core::{ExecMode, RunResult, Scenario};
 use hsim_hydro::{eos, flux, fused, HydroState};
+use hsim_particles::ParticlesConfig;
 use hsim_raja::{CpuModel, Executor, Fidelity, Target, WorkPool};
 use hsim_telemetry::{Collector, Counter};
 use hsim_time::RankClock;
@@ -102,7 +121,7 @@ use hsim_time::RankClock;
 /// The results-file schema this binary writes and the only one the
 /// gate accepts. Bump when the JSON layout changes and regenerate
 /// `ci/perf-baseline.json`.
-const SCHEMA_VERSION: u32 = 5;
+const SCHEMA_VERSION: u32 = 6;
 
 /// Gate floor on the *best* cache-blocked tile's fused:legacy
 /// throughput ratio. Fusing primitive recovery, wavespeeds, fluxes and
@@ -176,6 +195,26 @@ const REBALANCE_CONVERGED_CYCLE_CEILING: f64 = 10.0;
 /// the probe broke.
 const ROOFLINE_FRACTION_FLOOR: f64 = 0.25;
 
+/// Gate floor on every scenario entry's virtual-time zone throughput
+/// as a fraction of the baseline's for the same (scenario, mode).
+/// The numbers are deterministic, so the 5% slack only absorbs
+/// deliberate cost-model recalibrations, not host noise.
+const SCENARIO_MZPS_FLOOR_FRAC: f64 = 0.95;
+
+/// Gate ceiling on every scenario entry's analytic-error metric as a
+/// multiple of the baseline's: a scheme or coupling change that makes
+/// Sod/Noh L1 or the Taylor–Green kinetic-energy decay error grow
+/// more than 5% past the pinned baseline fails the gate.
+const SCENARIO_ERROR_CEILING_FRAC: f64 = 1.05;
+
+/// Particle count for every scenario gate entry: enough to exercise
+/// cross-rank migration on the gate grids.
+const SCENARIO_PARTICLES: u64 = 128;
+
+/// Cycles per scenario gate run. Full fidelity, so this bounds the
+/// study's cost; the analytic metrics are already nonzero here.
+const SCENARIO_CYCLES: u64 = 4;
+
 /// One sweep's serial-vs-parallel wall-clock comparison.
 struct SweepResult {
     id: String,
@@ -200,6 +239,7 @@ fn quick_spec() -> FigureSpec {
         sweep: figures::SweepAxis::X,
         values: vec![64, 96, 128, 160],
         fixed: (48, 32),
+        scenario: hsim_core::Scenario::Sedov,
     }
 }
 
@@ -882,15 +922,122 @@ fn rebalance_violations(fresh: &str, baseline: &str, bad: &mut Vec<String>, log:
     }
 }
 
+/// Scenario regression floors and ceilings. Every (scenario, mode)
+/// pair the study runs must be present, hold
+/// [`SCENARIO_MZPS_FLOOR_FRAC`] of the baseline's virtual-time
+/// throughput, keep its analytic error under
+/// [`SCENARIO_ERROR_CEILING_FRAC`] of the baseline's, replay a
+/// same-seed double run bit-identically, and conserve its particle
+/// totals. The baseline's value is quoted in every message so a
+/// failure reads as a diff.
+fn scenario_violations(fresh: &str, baseline: &str, bad: &mut Vec<String>, log: &mut Vec<String>) {
+    let Some(spos) = fresh.find("\"scenarios\"") else {
+        bad.push("missing scenarios block in fresh results".to_string());
+        return;
+    };
+    let Some(bpos) = baseline.find("\"scenarios\"") else {
+        bad.push("missing scenarios block in baseline".to_string());
+        return;
+    };
+    for s in Scenario::ALL {
+        for mode in ["cpu", "hetero"] {
+            let needle = format!("{{\"name\": \"{}\", \"mode\": \"{mode}\"", s.name());
+            let tag = format!("scenarios[{} {mode}]", s.name());
+            let Some(rel) = fresh[spos..].find(&needle) else {
+                bad.push(format!("{tag}: missing from fresh results"));
+                continue;
+            };
+            let line = line_at(fresh, spos + rel);
+            let base_line = baseline[bpos..]
+                .find(&needle)
+                .map(|r| line_at(baseline, bpos + r));
+            let need = |what: &str, bad: &mut Vec<String>| -> f64 {
+                json_num(line, what, 0).unwrap_or_else(|| {
+                    bad.push(format!("{tag}: missing {what}"));
+                    f64::NAN
+                })
+            };
+            let mzps = need("mzps", bad);
+            let err = need("error", bad);
+            match base_line.and_then(|l| json_num(l, "mzps", 0)) {
+                Some(base_mzps) => {
+                    let floor = SCENARIO_MZPS_FLOOR_FRAC * base_mzps;
+                    if mzps < floor {
+                        bad.push(format!(
+                            "{tag} mzps: floor {floor:.3} \
+                             ({SCENARIO_MZPS_FLOOR_FRAC} x baseline {base_mzps:.3}), \
+                             measured {mzps:.3}"
+                        ));
+                    } else {
+                        log.push(format!(
+                            "{tag} mzps {mzps:.3} >= floor {floor:.3} (baseline {base_mzps:.3})"
+                        ));
+                    }
+                }
+                None => bad.push(format!("{tag}: missing from baseline")),
+            }
+            // Negative error is the "no analytic reference" sentinel
+            // (Sedov); both files must agree on which kind it is.
+            let base_err = base_line.and_then(|l| json_num(l, "error", 0));
+            if err >= 0.0 {
+                match base_err {
+                    Some(b) if b >= 0.0 => {
+                        let ceiling = SCENARIO_ERROR_CEILING_FRAC * b;
+                        if err > ceiling {
+                            bad.push(format!(
+                                "{tag} analytic error: ceiling {ceiling:.6} \
+                                 ({SCENARIO_ERROR_CEILING_FRAC} x baseline {b:.6}), \
+                                 measured {err:.6}"
+                            ));
+                        } else {
+                            log.push(format!(
+                                "{tag} analytic error {err:.6} <= ceiling {ceiling:.6} \
+                                 (baseline {b:.6})"
+                            ));
+                        }
+                    }
+                    _ => bad.push(format!(
+                        "{tag}: fresh carries an analytic error but the baseline has none"
+                    )),
+                }
+            } else if matches!(base_err, Some(b) if b >= 0.0) {
+                bad.push(format!(
+                    "{tag}: baseline carries an analytic error but fresh lost its metric"
+                ));
+            } else {
+                log.push(format!("{tag}: no analytic reference (error skipped)"));
+            }
+            if line.contains("\"identical\": true") {
+                log.push(format!("{tag} same-seed double run bit-identical"));
+            } else {
+                bad.push(format!(
+                    "{tag} identical: expected true, measured false \
+                     (same-seed double run diverged)"
+                ));
+            }
+            if line.contains("\"particles_conserved\": true") {
+                log.push(format!("{tag} particle totals conserved"));
+            } else {
+                bad.push(format!(
+                    "{tag} particles_conserved: expected true, measured false \
+                     (tracer count/momentum/checksum changed)"
+                ));
+            }
+        }
+    }
+}
+
 /// Which blocks of the results file the gate demands. A full `perf`
 /// run carries every block; a `serve-slo` run carries only the serve
-/// block and a `rebalance` run only the rebalance block, so gating
-/// either as `All` would fail on the missing sweeps.
+/// block, a `rebalance` run only the rebalance block, and a
+/// `scenarios` run only the scenarios block, so gating any of them as
+/// `All` would fail on the missing sweeps.
 #[derive(Clone, Copy, PartialEq)]
 enum GateSection {
     All,
     Serve,
     Rebalance,
+    Scenarios,
 }
 
 /// Apply the full gate (every section) to a fresh results file
@@ -916,11 +1063,16 @@ fn gate_violations_in(
         rebalance_violations(fresh, baseline, &mut bad, &mut log);
         return (bad, log);
     }
+    if section == GateSection::Scenarios {
+        scenario_violations(fresh, baseline, &mut bad, &mut log);
+        return (bad, log);
+    }
     serve_violations(fresh, baseline, &mut bad, &mut log);
     if section == GateSection::Serve {
         return (bad, log);
     }
     rebalance_violations(fresh, baseline, &mut bad, &mut log);
+    scenario_violations(fresh, baseline, &mut bad, &mut log);
     kernel_violations(fresh, baseline, &mut bad, &mut log);
     fn need(bad: &mut Vec<String>, what: &str, v: Option<f64>) -> f64 {
         v.unwrap_or_else(|| {
@@ -1029,8 +1181,12 @@ fn ci_gate(mut args: Vec<String>) -> ! {
         None | Some("all") => GateSection::All,
         Some("serve") => GateSection::Serve,
         Some("rebalance") => GateSection::Rebalance,
+        Some("scenarios") => GateSection::Scenarios,
         Some(other) => {
-            eprintln!("--section must be \"all\", \"serve\", or \"rebalance\", got {other:?}");
+            eprintln!(
+                "--section must be \"all\", \"serve\", \"rebalance\", or \"scenarios\", \
+                 got {other:?}"
+            );
             std::process::exit(2);
         }
     };
@@ -1161,6 +1317,166 @@ fn rebalance_only(mut args: Vec<String>) -> ! {
     std::process::exit(0);
 }
 
+/// One (scenario, mode) row of the scenario regression study.
+struct ScenarioPoint {
+    name: &'static str,
+    mode: &'static str,
+    zones: u64,
+    virtual_s: f64,
+    mzps: f64,
+    metric: &'static str,
+    /// Analytic-error metric; `None` for Sedov (no pointwise
+    /// reference), serialized as the `-1` sentinel.
+    error: Option<f64>,
+    identical: bool,
+    particles_conserved: bool,
+    migrated: u64,
+}
+
+/// The scenario gate's fixed grid, one per kernel-size regime: Sod is
+/// the thin small-kernel tube, Sedov the mid-size reference blast,
+/// Noh the near-cubic implosion, Taylor–Green the large-kernel
+/// smooth vortex.
+fn scenario_grid(s: Scenario) -> (usize, usize, usize) {
+    match s {
+        Scenario::Sedov => (40, 36, 32),
+        Scenario::Sod => (128, 8, 8),
+        Scenario::Noh => (48, 44, 40),
+        Scenario::TaylorGreen => (36, 56, 64),
+    }
+}
+
+/// Run every scenario in both modes at full fidelity with the tracer
+/// phase on, double-running each config to prove same-seed identity.
+/// All numbers are virtual-time, so the rows are byte-reproducible on
+/// any machine.
+fn run_scenario_study() -> Vec<ScenarioPoint> {
+    let fingerprint = |r: &RunResult| -> Vec<u64> {
+        let sc = r.scenario.as_ref().expect("scenario problems report");
+        let p = r.particles.as_ref().expect("particles were configured");
+        vec![
+            r.mass.expect("full fidelity reports mass").to_bits(),
+            sc.t_end.to_bits(),
+            sc.error.map_or(0, f64::to_bits),
+            r.runtime.as_nanos(),
+            p.count,
+            p.momentum[0].to_bits(),
+            p.momentum[1].to_bits(),
+            p.momentum[2].to_bits(),
+            p.checksum,
+        ]
+    };
+    let mut out = Vec::new();
+    for s in Scenario::ALL {
+        for (mode_name, mode) in [("cpu", ExecMode::CpuOnly), ("hetero", ExecMode::hetero())] {
+            let (nx, ny, nz) = scenario_grid(s);
+            let mut cfg = RunConfig::sweep((nx, ny, nz), mode);
+            cfg.problem = s.problem();
+            cfg.fidelity = Fidelity::Full;
+            cfg.cycles = SCENARIO_CYCLES;
+            cfg.particles = Some(ParticlesConfig {
+                count: SCENARIO_PARTICLES,
+                ..ParticlesConfig::default()
+            });
+            let a = runner::run(&cfg).expect("scenario study run");
+            let b = runner::run(&cfg).expect("scenario study rerun");
+            let sc = a.scenario.as_ref().expect("scenario problems report");
+            let p = a.particles.as_ref().expect("particles were configured");
+            let zones = (nx * ny * nz) as u64;
+            let virtual_s = a.runtime.as_secs_f64();
+            out.push(ScenarioPoint {
+                name: s.name(),
+                mode: mode_name,
+                zones,
+                virtual_s,
+                mzps: (zones * a.cycles) as f64 / virtual_s.max(1e-12) / 1e6,
+                metric: sc.metric,
+                error: sc.error,
+                identical: fingerprint(&a) == fingerprint(&b),
+                particles_conserved: p.count == SCENARIO_PARTICLES
+                    && p.momentum.iter().all(|m| m.is_finite()),
+                migrated: p.migrated,
+            });
+        }
+    }
+    out
+}
+
+/// Render the `scenarios` results block (no trailing comma/newline,
+/// so callers can place it anywhere in their object).
+fn scenarios_json(points: &[ScenarioPoint]) -> String {
+    let mut out = String::from("  \"scenarios\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let error = p
+            .error
+            .map_or_else(|| "-1".to_string(), |e| format!("{e:.6}"));
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"mode\": \"{}\", \"zones\": {}, \"cycles\": {}, \
+             \"particles\": {SCENARIO_PARTICLES}, \"virtual_s\": {:.6}, \"mzps\": {:.3}, \
+             \"metric\": \"{}\", \"error\": {error}, \"identical\": {}, \
+             \"particles_conserved\": {}, \"migrated\": {}}}{comma}",
+            p.name,
+            p.mode,
+            p.zones,
+            SCENARIO_CYCLES,
+            p.virtual_s,
+            p.mzps,
+            p.metric,
+            p.identical,
+            p.particles_conserved,
+            p.migrated
+        );
+    }
+    out.push_str("  ]");
+    out
+}
+
+/// `perf scenarios [--out PATH]`: run only the scenario regression
+/// study and write a scenarios-only results file for
+/// `ci-gate --section scenarios`. The study runs in virtual time, so
+/// the file is byte-reproducible on any machine.
+fn scenarios_only(mut args: Vec<String>) -> ! {
+    let mut take_flag = |flag: &str| -> Option<String> {
+        let i = args.iter().position(|a| a == flag)?;
+        if i + 1 >= args.len() {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Some(v)
+    };
+    let out_path = take_flag("--out").unwrap_or_else(|| "BENCH_scenarios.json".into());
+    if let Some(stray) = args.first() {
+        eprintln!("unknown argument: {stray}");
+        eprintln!("usage: perf scenarios [--out PATH]");
+        std::process::exit(2);
+    }
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "scenario study: {} scenarios x 2 modes, full fidelity, \
+         {SCENARIO_PARTICLES} particles, double runs...",
+        Scenario::ALL.len()
+    );
+    let points = run_scenario_study();
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema_version\": {SCHEMA_VERSION},");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    json.push_str(&scenarios_json(&points));
+    json.push('\n');
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out_path}");
+    print!("{json}");
+    std::process::exit(0);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("ci-gate") {
@@ -1171,6 +1487,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("rebalance") {
         rebalance_only(args.split_off(1));
+    }
+    if args.first().map(String::as_str) == Some("scenarios") {
+        scenarios_only(args.split_off(1));
     }
     let mut take_flag = |flag: &str| -> Option<String> {
         let i = args.iter().position(|a| a == flag)?;
@@ -1205,9 +1524,10 @@ fn main() {
         eprintln!("usage: perf [--quick] [--jobs N] [--host-threads N] [--out PATH]");
         eprintln!("       perf serve-slo [--out PATH]");
         eprintln!("       perf rebalance [--out PATH]");
+        eprintln!("       perf scenarios [--out PATH]");
         eprintln!(
             "       perf ci-gate [--fresh PATH] [--baseline PATH] \
-             [--section all|serve|rebalance]"
+             [--section all|serve|rebalance|scenarios]"
         );
         std::process::exit(2);
     }
@@ -1220,6 +1540,15 @@ fn main() {
         eprintln!("rebalance study failed: {e}");
         std::process::exit(1);
     });
+
+    // The scenario regression study: every first-class scenario in
+    // both modes, virtual-time like the rebalance study, and likewise
+    // run before the host collector for the same reason.
+    eprintln!(
+        "scenario study: {} scenarios x 2 modes, full fidelity, double runs...",
+        Scenario::ALL.len()
+    );
+    let scenario_points = run_scenario_study();
 
     // Collect the host-time counters the measured code records; spans
     // stay off so the collector itself costs nothing measurable.
@@ -1431,6 +1760,8 @@ fn main() {
     let _ = writeln!(json, ",");
     json.push_str(&rebalance_report.to_json());
     let _ = writeln!(json, ",");
+    json.push_str(&scenarios_json(&scenario_points));
+    let _ = writeln!(json, ",");
     let _ = writeln!(json, "  \"telemetry\": {{");
     let _ = writeln!(
         json,
@@ -1590,6 +1921,51 @@ mod tests {
         rebalance_block(HEALTHY_REBALANCE, &recovery_line(true, 1, 1))
     }
 
+    /// One scenario gate row:
+    /// `(name, mode, mzps, error, identical, conserved)`. A negative
+    /// error is the "no analytic reference" sentinel.
+    type ScenarioRow = (&'static str, &'static str, f64, f64, bool, bool);
+
+    const HEALTHY_SCENARIOS: &[ScenarioRow] = &[
+        ("sedov", "cpu", 1.2, -1.0, true, true),
+        ("sedov", "hetero", 1.6, -1.0, true, true),
+        ("sod", "cpu", 0.8, 0.031, true, true),
+        ("sod", "hetero", 0.7, 0.031, true, true),
+        ("noh", "cpu", 1.3, 0.12, true, true),
+        ("noh", "hetero", 1.8, 0.12, true, true),
+        ("taylor-green", "cpu", 1.4, 0.002, true, true),
+        ("taylor-green", "hetero", 2.1, 0.002, true, true),
+    ];
+
+    /// A fixture `scenarios` block shaped exactly like
+    /// `scenarios_json` (no surrounding commas/newlines).
+    fn scenarios_fixture(rows: &[ScenarioRow]) -> String {
+        let mut out = String::from("  \"scenarios\": [\n");
+        for (i, (name, mode, mzps, error, identical, conserved)) in rows.iter().enumerate() {
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{name}\", \"mode\": \"{mode}\", \"zones\": 46080, \
+                 \"cycles\": 4, \"particles\": 128, \"virtual_s\": 0.184320, \
+                 \"mzps\": {mzps:.3}, \"metric\": \"m\", \"error\": {error}, \
+                 \"identical\": {identical}, \"particles_conserved\": {conserved}, \
+                 \"migrated\": 3}}{comma}"
+            );
+        }
+        out.push_str("  ]");
+        out
+    }
+
+    fn healthy_scenarios() -> String {
+        scenarios_fixture(HEALTHY_SCENARIOS)
+    }
+
+    /// What `perf scenarios` writes: schema + host_cores + scenarios
+    /// block, nothing else.
+    fn scenarios_doc(block: &str) -> String {
+        format!("{{\n  \"schema_version\": 6,\n  \"host_cores\": 4,\n{block}\n}}\n")
+    }
+
     /// The fully custom fixture: every block is a caller-supplied
     /// string, so any single block can be made sick.
     #[allow(clippy::too_many_arguments)] // fixture builder, named args read fine
@@ -1606,11 +1982,12 @@ mod tests {
         serve: &str,
         rebalance: &str,
     ) -> String {
+        let scenarios = healthy_scenarios();
         format!(
             "{{\n{schema}  \"host_cores\": {cores},\n  \"jobs\": {jobs},\n  \"sweeps\": [\n    \
              {{\"id\": \"quick\", \"tasks\": 12, \"speedup\": {speedup:.3}, \"identical_output\": {identical}}}\n  ],\n\
              {kernels}{roofline}  \"pool\": {{\n    \"region_ns_persistent\": {persistent:.1},\n    \
-             \"region_ns_scoped_spawn\": {spawn:.1}\n  }},\n{serve},\n{rebalance}\n}}\n"
+             \"region_ns_scoped_spawn\": {spawn:.1}\n  }},\n{serve},\n{rebalance},\n{scenarios}\n}}\n"
         )
     }
 
@@ -1642,7 +2019,7 @@ mod tests {
 
     fn results(cores: u32, speedup: f64, identical: bool, persistent: f64, spawn: f64) -> String {
         results_with(
-            "  \"schema_version\": 5,\n",
+            "  \"schema_version\": 6,\n",
             cores,
             speedup,
             identical,
@@ -1692,7 +2069,7 @@ mod tests {
         let (bad, _) = gate_violations(&results(4, 3.0, false, 10_000.0, 200_000.0), &base);
         assert_eq!(bad.len(), 1, "{bad:?}");
         assert!(bad[0].contains("diverged"));
-        let schema_only = "{\n  \"schema_version\": 5\n}\n";
+        let schema_only = "{\n  \"schema_version\": 6\n}\n";
         let (bad, _) = gate_violations(schema_only, &base);
         assert!(bad.iter().any(|b| b.contains("missing")), "{bad:?}");
     }
@@ -1703,8 +2080,8 @@ mod tests {
         // Older, newer, and absent schema versions are all rejected
         // before any metric check runs (the log stays empty).
         for schema in [
-            "  \"schema_version\": 4,\n",
-            "  \"schema_version\": 6,\n",
+            "  \"schema_version\": 5,\n",
+            "  \"schema_version\": 7,\n",
             "",
         ] {
             let fresh = results_with(
@@ -1725,7 +2102,7 @@ mod tests {
         }
         // A stale baseline is rejected the same way.
         let v1_base = results_with(
-            "  \"schema_version\": 4,\n",
+            "  \"schema_version\": 5,\n",
             4,
             3.1,
             true,
@@ -1744,7 +2121,7 @@ mod tests {
         let base = results(4, 3.1, true, 10_000.0, 200_000.0);
         // One blocked tile slips under 1.0: fused lost to legacy there.
         let fresh = results_with(
-            "  \"schema_version\": 5,\n",
+            "  \"schema_version\": 6,\n",
             4,
             2.9,
             true,
@@ -1774,7 +2151,7 @@ mod tests {
         // Every blocked tile beats legacy but none reaches 1.3x; the
         // unblocked whole-plane ablation at 2.0 must not rescue it.
         let fresh = results_with(
-            "  \"schema_version\": 5,\n",
+            "  \"schema_version\": 6,\n",
             4,
             2.9,
             true,
@@ -1799,7 +2176,7 @@ mod tests {
     fn gate_fails_when_fused_kernels_diverge_or_go_missing() {
         let base = results(4, 3.1, true, 10_000.0, 200_000.0);
         let fresh = results_with(
-            "  \"schema_version\": 5,\n",
+            "  \"schema_version\": 6,\n",
             4,
             2.9,
             true,
@@ -1818,7 +2195,7 @@ mod tests {
         assert!(bad[0].contains("kernels[8x8] identical_output"), "{bad:?}");
         // No kernels block at all is its own violation.
         let fresh = results_with(
-            "  \"schema_version\": 5,\n",
+            "  \"schema_version\": 6,\n",
             4,
             2.9,
             true,
@@ -1838,7 +2215,7 @@ mod tests {
     fn gate_enforces_serve_hit_rate_floor_with_diff_style_message() {
         let base = results(4, 3.1, true, 10_000.0, 200_000.0);
         let fresh = results_with(
-            "  \"schema_version\": 5,\n",
+            "  \"schema_version\": 6,\n",
             4,
             2.9,
             true,
@@ -1860,7 +2237,7 @@ mod tests {
         let base = results(4, 3.1, true, 10_000.0, 200_000.0);
         // p50 over its ceiling.
         let fresh = results_with(
-            "  \"schema_version\": 5,\n",
+            "  \"schema_version\": 6,\n",
             4,
             2.9,
             true,
@@ -1876,7 +2253,7 @@ mod tests {
         // No overflow rejections, and the ones seen weren't typed:
         // both are independent violations.
         let fresh = results_with(
-            "  \"schema_version\": 5,\n",
+            "  \"schema_version\": 6,\n",
             4,
             2.9,
             true,
@@ -1904,7 +2281,7 @@ mod tests {
         // What `perf serve-slo` writes: schema + host_cores + serve
         // block, no sweeps/kernels/pool.
         let fresh = format!(
-            "{{\n  \"schema_version\": 5,\n  \"host_cores\": 4,\n{}\n}}\n",
+            "{{\n  \"schema_version\": 6,\n  \"host_cores\": 4,\n{}\n}}\n",
             healthy_serve()
         );
         let (bad, log) = gate_violations_in(&fresh, &base, GateSection::Serve);
@@ -1914,7 +2291,7 @@ mod tests {
         let (bad, _) = gate_violations(&fresh, &base);
         assert!(!bad.is_empty());
         // And the serve section still enforces the schema handshake.
-        let stale = fresh.replace("\"schema_version\": 5", "\"schema_version\": 4");
+        let stale = fresh.replace("\"schema_version\": 6", "\"schema_version\": 5");
         let (bad, log) = gate_violations_in(&stale, &base, GateSection::Serve);
         assert_eq!(bad.len(), 1, "{bad:?}");
         assert!(bad[0].contains("schema_version"), "{bad:?}");
@@ -1925,7 +2302,7 @@ mod tests {
     /// host_cores/jobs set independently.
     fn results_with_parallel(cores: u32, jobs: u32, parallel: &str) -> String {
         results_doc(
-            "  \"schema_version\": 5,\n",
+            "  \"schema_version\": 6,\n",
             cores,
             jobs,
             2.9,
@@ -1970,7 +2347,7 @@ mod tests {
         );
         // A results file with no parallel block at all is a violation.
         let fresh = results_doc(
-            "  \"schema_version\": 5,\n",
+            "  \"schema_version\": 6,\n",
             4,
             4,
             2.9,
@@ -1995,7 +2372,7 @@ mod tests {
         let base = results(4, 3.1, true, 10_000.0, 200_000.0);
         // Under a quarter of the bandwidth-predicted roof: violation.
         let fresh = results_doc(
-            "  \"schema_version\": 5,\n",
+            "  \"schema_version\": 6,\n",
             4,
             4,
             2.9,
@@ -2015,7 +2392,7 @@ mod tests {
         // Fractions above 1.0 are healthy, not suspicious: that is
         // cache-resident fusion beating streamed traffic.
         let fresh = results_doc(
-            "  \"schema_version\": 5,\n",
+            "  \"schema_version\": 6,\n",
             4,
             4,
             2.9,
@@ -2031,7 +2408,7 @@ mod tests {
         assert!(bad.is_empty(), "{bad:?}");
         // A missing roofline block is its own violation.
         let fresh = results_doc(
-            "  \"schema_version\": 5,\n",
+            "  \"schema_version\": 6,\n",
             4,
             4,
             2.9,
@@ -2056,7 +2433,7 @@ mod tests {
         // resolution — the regression this gate exists to catch.
         let base = results(4, 3.1, true, 10_000.0, 200_000.0);
         let fresh = results_with(
-            "  \"schema_version\": 5,\n",
+            "  \"schema_version\": 6,\n",
             4,
             2.9,
             true,
@@ -2098,7 +2475,7 @@ mod tests {
             &recovery_line(true, 1, 1),
         );
         let fresh = results_doc(
-            "  \"schema_version\": 5,\n",
+            "  \"schema_version\": 6,\n",
             4,
             4,
             2.9,
@@ -2123,7 +2500,7 @@ mod tests {
             &recovery_line(true, 1, 1),
         );
         let fresh = results_doc(
-            "  \"schema_version\": 5,\n",
+            "  \"schema_version\": 6,\n",
             4,
             4,
             2.9,
@@ -2146,7 +2523,7 @@ mod tests {
             &recovery_line(true, 1, 1),
         );
         let fresh = results_doc(
-            "  \"schema_version\": 5,\n",
+            "  \"schema_version\": 6,\n",
             4,
             4,
             2.9,
@@ -2177,7 +2554,7 @@ mod tests {
         // A diverged double run and a missing freeze are independent.
         let sick = rebalance_block(HEALTHY_REBALANCE, &recovery_line(false, 0, 1));
         let fresh = results_doc(
-            "  \"schema_version\": 5,\n",
+            "  \"schema_version\": 6,\n",
             4,
             4,
             2.9,
@@ -2202,7 +2579,7 @@ mod tests {
         // What `perf rebalance` writes: schema + host_cores +
         // rebalance block, nothing else.
         let fresh = format!(
-            "{{\n  \"schema_version\": 5,\n  \"host_cores\": 4,\n{}\n}}\n",
+            "{{\n  \"schema_version\": 6,\n  \"host_cores\": 4,\n{}\n}}\n",
             healthy_rebalance()
         );
         let (bad, log) = gate_violations_in(&fresh, &base, GateSection::Rebalance);
@@ -2216,11 +2593,111 @@ mod tests {
         let (bad, _) = gate_violations(&fresh, &base);
         assert!(!bad.is_empty());
         // And the rebalance section still enforces the schema handshake.
-        let stale = fresh.replace("\"schema_version\": 5", "\"schema_version\": 4");
+        let stale = fresh.replace("\"schema_version\": 6", "\"schema_version\": 5");
         let (bad, log) = gate_violations_in(&stale, &base, GateSection::Rebalance);
         assert_eq!(bad.len(), 1, "{bad:?}");
         assert!(bad[0].contains("unrecognized"), "{bad:?}");
         assert!(log.is_empty(), "{log:?}");
+    }
+
+    #[test]
+    fn scenarios_section_gates_a_scenarios_only_results_file() {
+        let base = results(4, 3.1, true, 10_000.0, 200_000.0);
+        let fresh = scenarios_doc(&healthy_scenarios());
+        let (bad, log) = gate_violations_in(&fresh, &base, GateSection::Scenarios);
+        assert!(bad.is_empty(), "{bad:?}");
+        assert!(log.iter().any(|l| l.contains("mzps")), "{log:?}");
+        assert!(log.iter().any(|l| l.contains("bit-identical")), "{log:?}");
+        assert!(
+            log.iter().any(|l| l.contains("no analytic reference")),
+            "{log:?}"
+        );
+        // The same file gated as `all` fails on the missing blocks.
+        let (bad, _) = gate_violations(&fresh, &base);
+        assert!(!bad.is_empty());
+        // And the scenarios section still enforces the schema handshake.
+        let stale = fresh.replace("\"schema_version\": 6", "\"schema_version\": 5");
+        let (bad, log) = gate_violations_in(&stale, &base, GateSection::Scenarios);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("unrecognized"), "{bad:?}");
+        assert!(log.is_empty(), "{log:?}");
+    }
+
+    #[test]
+    fn gate_enforces_scenario_throughput_floors_with_diff_style_message() {
+        let base = results(4, 3.1, true, 10_000.0, 200_000.0);
+        // sod/cpu throughput collapses (healthy baseline 0.800).
+        let mut rows = HEALTHY_SCENARIOS.to_vec();
+        rows[2].2 = 0.1;
+        let fresh = scenarios_doc(&scenarios_fixture(&rows));
+        let (bad, _) = gate_violations_in(&fresh, &base, GateSection::Scenarios);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("scenarios[sod cpu] mzps"), "{bad:?}");
+        assert!(bad[0].contains("baseline 0.800"), "{bad:?}");
+        assert!(bad[0].contains("measured 0.100"), "{bad:?}");
+    }
+
+    #[test]
+    fn gate_enforces_scenario_error_ceilings_and_metric_presence() {
+        let base = results(4, 3.1, true, 10_000.0, 200_000.0);
+        // Noh/hetero analytic error grows past 1.05x the baseline.
+        let mut rows = HEALTHY_SCENARIOS.to_vec();
+        rows[5].3 = 0.2;
+        let fresh = scenarios_doc(&scenarios_fixture(&rows));
+        let (bad, _) = gate_violations_in(&fresh, &base, GateSection::Scenarios);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(
+            bad[0].contains("scenarios[noh hetero] analytic error"),
+            "{bad:?}"
+        );
+        assert!(bad[0].contains("baseline 0.120000"), "{bad:?}");
+        assert!(bad[0].contains("measured 0.200000"), "{bad:?}");
+        // A scenario that *loses* its metric (baseline has one, fresh
+        // reports the sentinel) is a violation, not a skip.
+        let mut rows = HEALTHY_SCENARIOS.to_vec();
+        rows[3].3 = -1.0;
+        let fresh = scenarios_doc(&scenarios_fixture(&rows));
+        let (bad, _) = gate_violations_in(&fresh, &base, GateSection::Scenarios);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("lost its metric"), "{bad:?}");
+    }
+
+    #[test]
+    fn gate_fails_on_scenario_divergence_lost_particles_or_missing_rows() {
+        let base = results(4, 3.1, true, 10_000.0, 200_000.0);
+        // A diverged double run and lost particle totals on separate
+        // rows are independent violations.
+        let mut rows = HEALTHY_SCENARIOS.to_vec();
+        rows[0].4 = false;
+        rows[7].5 = false;
+        let fresh = scenarios_doc(&scenarios_fixture(&rows));
+        let (bad, _) = gate_violations_in(&fresh, &base, GateSection::Scenarios);
+        assert_eq!(bad.len(), 2, "{bad:?}");
+        assert!(bad[0].contains("scenarios[sedov cpu] identical"), "{bad:?}");
+        assert!(bad[0].contains("diverged"), "{bad:?}");
+        assert!(
+            bad[1].contains("scenarios[taylor-green hetero] particles_conserved"),
+            "{bad:?}"
+        );
+        // A missing (scenario, mode) row is a violation: the study
+        // must cover the full matrix.
+        let mut rows = HEALTHY_SCENARIOS.to_vec();
+        rows.remove(4);
+        let fresh = scenarios_doc(&scenarios_fixture(&rows));
+        let (bad, _) = gate_violations_in(&fresh, &base, GateSection::Scenarios);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(
+            bad[0].contains("scenarios[noh cpu]: missing from fresh results"),
+            "{bad:?}"
+        );
+        // No scenarios block at all is its own violation, in the
+        // section gate and in `all`.
+        let fresh = results(4, 2.9, true, 12_000.0, 190_000.0).replace("\"scenarios\"", "\"scen\"");
+        let (bad, _) = gate_violations(&fresh, &base);
+        assert!(
+            bad.iter().any(|b| b.contains("missing scenarios block")),
+            "{bad:?}"
+        );
     }
 
     #[test]

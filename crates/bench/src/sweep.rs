@@ -113,7 +113,8 @@ pub fn run_figure_jobs(spec: &FigureSpec, modes: &[ExecMode], jobs: usize) -> Fi
         let t = order[c];
         let mode = modes[t / pts.len()];
         let (grid, v) = pts[t % pts.len()];
-        let cfg = RunConfig::sweep(grid, mode);
+        let mut cfg = RunConfig::sweep(grid, mode);
+        cfg.problem = spec.scenario.problem();
         let outcome = match run_balanced(&cfg) {
             Ok((result, _lb)) => Outcome::Point((
                 result.zones,
@@ -285,6 +286,7 @@ mod tests {
             sweep: figures::SweepAxis::X,
             values: vec![64, 128],
             fixed: (48, 32),
+            scenario: hsim_core::Scenario::Sedov,
         };
         let data = run_figure(&spec, &paper_modes());
         assert_eq!(data.series.len(), 3);
@@ -310,6 +312,7 @@ mod tests {
             sweep: figures::SweepAxis::X,
             values: vec![64, 96, 128],
             fixed: (48, 32),
+            scenario: hsim_core::Scenario::Sedov,
         };
         let serial = run_figure_jobs(&spec, &paper_modes(), 1);
         let parallel = run_figure_jobs(&spec, &paper_modes(), 4);

@@ -158,6 +158,12 @@ fn hash_problem(h: &mut ContentHasher, p: &Problem) {
                 .usize(s.modes)
                 .f64(s.mach);
         }
+        Problem::Noh(s) => {
+            h.tag(3).f64(s.rho0).f64(s.p0).f64(s.u0);
+        }
+        Problem::TaylorGreen(s) => {
+            h.tag(4).f64(s.rho0).f64(s.v0).f64(s.mach);
+        }
     }
 }
 
@@ -174,7 +180,7 @@ impl RunConfig {
     /// cache-sizing optimization the serve layer can do above this.
     pub fn content_hash(&self) -> u64 {
         let mut h = ContentHasher::new();
-        h.tag(2) // encoding version (2: rebalance controller field)
+        h.tag(3) // encoding version (3: scenario problems + particle phase)
             .usize(self.grid.0)
             .usize(self.grid.1)
             .usize(self.grid.2);
@@ -206,6 +212,10 @@ impl RunConfig {
             None => h.tag(0),
             Some([ty, tz]) => h.tag(1).usize(*ty).usize(*tz),
         };
+        match &self.particles {
+            None => h.tag(0),
+            Some(p) => h.tag(1).u64(p.count).f64(p.drag).u64(p.seed),
+        };
         h.finish()
     }
 }
@@ -224,7 +234,7 @@ mod tests {
     /// never let the key drift silently through a refactor.
     #[test]
     fn golden_hash_is_pinned() {
-        assert_eq!(base().content_hash(), 0xc361_b82e_dd10_f5ff);
+        assert_eq!(base().content_hash(), 0xe4b3_93af_4fb9_828e);
     }
 
     #[test]
@@ -289,6 +299,14 @@ mod tests {
                 ..base()
             },
             RunConfig {
+                problem: Problem::Noh(Default::default()),
+                ..base()
+            },
+            RunConfig {
+                problem: Problem::TaylorGreen(Default::default()),
+                ..base()
+            },
+            RunConfig {
                 faults: Some(
                     hsim_faults::FaultPlan::parse("xfer.delay@rank1.cycle2:ns=200000").unwrap(),
                 ),
@@ -304,6 +322,10 @@ mod tests {
             },
             RunConfig {
                 tile: Some([8, 8]),
+                ..base()
+            },
+            RunConfig {
+                particles: Some(Default::default()),
                 ..base()
             },
         ];

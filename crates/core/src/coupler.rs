@@ -307,6 +307,20 @@ impl Coupler for MpiCoupler<'_> {
         clock.merge(self.comm.now());
         Ok(r)
     }
+
+    fn migrate_particles(
+        &mut self,
+        outbound: Vec<Vec<f64>>,
+        clock: &mut RankClock,
+    ) -> Result<Vec<Vec<f64>>, CoupleError> {
+        self.comm.clock_mut().merge(clock.now());
+        let inbound = self.comm.alltoallv_f64(outbound).map_err(|e| CoupleError {
+            op: "particle_migrate",
+            detail: e.to_string(),
+        })?;
+        clock.merge(self.comm.now());
+        Ok(inbound)
+    }
 }
 
 #[cfg(test)]

@@ -1,10 +1,14 @@
 //! Sweep configurations for every figure of the paper's evaluation
-//! (§7, Figures 12–18).
+//! (§7, Figures 12–18), plus one sweep per first-class
+//! [`Scenario`] probing the crossover economics in that scenario's
+//! kernel-size regime.
 //!
 //! Each figure fixes two grid dimensions and sweeps the third; the
 //! main x-axis of the plots is total zones, the top x-axis the swept
 //! dimension. All figures compare three modes: Default (1 MPI/GPU),
 //! MPS (4 MPI/GPU), and Heterogeneous.
+
+use crate::scenario::Scenario;
 
 /// One sweep point: a concrete grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +47,9 @@ pub struct FigureSpec {
     pub values: Vec<usize>,
     /// The two fixed dimensions `(x or y, z)`.
     pub fixed: (usize, usize),
+    /// The problem the sweep initializes (the paper's Figs 12–18 are
+    /// all Sedov; the per-scenario sweeps vary this).
+    pub scenario: Scenario,
 }
 
 impl FigureSpec {
@@ -87,6 +94,7 @@ pub fn fig12() -> FigureSpec {
         sweep: SweepAxis::Y,
         values: steps(40, 400, 40),
         fixed: (320, 320),
+        scenario: Scenario::Sedov,
     }
 }
 
@@ -99,6 +107,7 @@ pub fn fig13() -> FigureSpec {
         sweep: SweepAxis::X,
         values: steps(50, 500, 50),
         fixed: (240, 320),
+        scenario: Scenario::Sedov,
     }
 }
 
@@ -111,6 +120,7 @@ pub fn fig14() -> FigureSpec {
         sweep: SweepAxis::X,
         values: steps(100, 700, 75),
         fixed: (240, 160),
+        scenario: Scenario::Sedov,
     }
 }
 
@@ -123,6 +133,7 @@ pub fn fig15() -> FigureSpec {
         sweep: SweepAxis::X,
         values: steps(40, 400, 40),
         fixed: (360, 320),
+        scenario: Scenario::Sedov,
     }
 }
 
@@ -135,6 +146,7 @@ pub fn fig16() -> FigureSpec {
         sweep: SweepAxis::X,
         values: steps(75, 600, 75),
         fixed: (360, 160),
+        scenario: Scenario::Sedov,
     }
 }
 
@@ -147,6 +159,7 @@ pub fn fig17() -> FigureSpec {
         sweep: SweepAxis::X,
         values: steps(30, 300, 30),
         fixed: (480, 320),
+        scenario: Scenario::Sedov,
     }
 }
 
@@ -159,6 +172,56 @@ pub fn fig18() -> FigureSpec {
         sweep: SweepAxis::X,
         values: steps(75, 600, 75),
         fixed: (480, 160),
+        scenario: Scenario::Sedov,
+    }
+}
+
+/// Per-scenario crossover sweep: each first-class scenario probes the
+/// Default/MPS/Heterogeneous economics in the kernel-size regime that
+/// scenario stresses (the paper's Figs 15–17 only ever saw Sedov's
+/// mid-size regime):
+///
+/// * `sedov` — the mid-size control sweep (a trimmed fig15 shape).
+/// * `sod` — thin y–z slabs: tiny fused kernels, the launch-overhead
+///   regime where MPS overlap pays.
+/// * `noh` — axial implosion on a long x with moderate y–z: the
+///   many-small-slabs regime where the carve granularity bound bites.
+/// * `taylor-green` — fat y–z planes: large saturated kernels, the
+///   regime where MPS buys nothing and Heterogeneous splits best.
+pub fn fig_scenario(s: Scenario) -> FigureSpec {
+    match s {
+        Scenario::Sedov => FigureSpec {
+            id: "fig-sedov",
+            caption: "Sedov crossover sweep: mid-size kernels (y=360, z=320)",
+            sweep: SweepAxis::X,
+            values: steps(80, 400, 80),
+            fixed: (360, 320),
+            scenario: Scenario::Sedov,
+        },
+        Scenario::Sod => FigureSpec {
+            id: "fig-sod",
+            caption: "Sod crossover sweep: small kernels (y=64, z=32)",
+            sweep: SweepAxis::X,
+            values: steps(120, 600, 120),
+            fixed: (64, 32),
+            scenario: Scenario::Sod,
+        },
+        Scenario::Noh => FigureSpec {
+            id: "fig-noh",
+            caption: "Noh crossover sweep: long-axis implosion (y=160, z=160)",
+            sweep: SweepAxis::X,
+            values: steps(100, 500, 100),
+            fixed: (160, 160),
+            scenario: Scenario::Noh,
+        },
+        Scenario::TaylorGreen => FigureSpec {
+            id: "fig-taylor-green",
+            caption: "Taylor-Green crossover sweep: large smooth kernels (x=240, z=320)",
+            sweep: SweepAxis::Y,
+            values: steps(96, 480, 96),
+            fixed: (240, 320),
+            scenario: Scenario::TaylorGreen,
+        },
     }
 }
 
@@ -180,9 +243,10 @@ pub fn rebalance_speed_ratios() -> Vec<f64> {
 /// figure: the controller is this repo's extension of §6.2).
 pub const REBALANCE_FIGURE_ID: &str = "fig-rebalance";
 
-/// All evaluation figures in paper order.
+/// All evaluation figures: the paper's Figs 12–18 in paper order,
+/// then one crossover sweep per scenario.
 pub fn all_figures() -> Vec<FigureSpec> {
-    vec![
+    let mut figs = vec![
         fig12(),
         fig13(),
         fig14(),
@@ -190,7 +254,9 @@ pub fn all_figures() -> Vec<FigureSpec> {
         fig16(),
         fig17(),
         fig18(),
-    ]
+    ];
+    figs.extend(Scenario::ALL.into_iter().map(fig_scenario));
+    figs
 }
 
 #[cfg(test)]
@@ -198,13 +264,35 @@ mod tests {
     use super::*;
 
     #[test]
-    fn seven_figures_with_unique_ids() {
+    fn eleven_figures_with_unique_ids() {
         let figs = all_figures();
-        assert_eq!(figs.len(), 7);
+        assert_eq!(figs.len(), 11);
         let mut ids: Vec<_> = figs.iter().map(|f| f.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 7);
+        assert_eq!(ids.len(), 11);
+    }
+
+    #[test]
+    fn scenario_sweeps_cover_every_scenario_and_embed_its_name() {
+        for s in Scenario::ALL {
+            let f = fig_scenario(s);
+            assert_eq!(f.scenario, s);
+            assert_eq!(f.id, format!("fig-{}", s.name()));
+            assert!(!f.points().is_empty());
+        }
+        // Paper figures stay on the Sedov workload.
+        for f in [fig12(), fig18()] {
+            assert_eq!(f.scenario, Scenario::Sedov);
+        }
+        // Regime spread: the Sod sweep's largest kernel is still
+        // smaller than the Taylor-Green sweep's smallest.
+        let yz = |p: &SweepPoint| p.ny * p.nz;
+        let sod = fig_scenario(Scenario::Sod);
+        let tg = fig_scenario(Scenario::TaylorGreen);
+        let sod_max = sod.points().iter().map(yz).max().unwrap();
+        let tg_min = tg.points().iter().map(yz).min().unwrap();
+        assert!(sod_max < tg_min, "sod {sod_max} vs tg {tg_min}");
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod mode;
 pub mod node;
 pub mod report;
 pub mod runner;
+pub mod scenario;
 
 /// Fault-injection plans and sites (re-exported so callers can build
 /// [`runner::RunConfig::faults`] without a direct dependency).
@@ -57,5 +58,6 @@ pub use binding::{build_bindings, RankRole};
 pub use figures::{FigureSpec, SweepPoint};
 pub use mode::ExecMode;
 pub use node::NodeConfig;
-pub use report::{RankReport, RunResult};
+pub use report::{ParticleReport, RankReport, RunResult};
 pub use runner::{run, run_balanced, RunConfig};
+pub use scenario::{Scenario, ScenarioOutcome};

@@ -25,6 +25,22 @@ pub struct RankReport {
     pub bytes_sent: u64,
 }
 
+/// Summary of the tracer-particle phase at the end of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParticleReport {
+    /// Live particles at the end of the run (conservation pins this
+    /// to the configured count).
+    pub count: u64,
+    /// Σ velocity over the final particle set — the drag-phase
+    /// momentum surrogate pinned across re-splits and foldbacks.
+    pub momentum: [f64; 3],
+    /// Cross-rank migrations over the whole run.
+    pub migrated: u64,
+    /// Order-independent FNV-1a digest of the final particle set
+    /// (ids, positions, velocities bit-exact).
+    pub checksum: u64,
+}
+
 /// Aggregate result of one cooperative run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -54,6 +70,12 @@ pub struct RunResult {
     /// entry per segment boundary (first entry = realized initial
     /// split). Empty when [`crate::RunConfig::rebalance`] is off.
     pub balance_history: Vec<f64>,
+    /// Final tracer-particle phase summary (`None` when
+    /// [`crate::RunConfig::particles`] is off).
+    pub particles: Option<ParticleReport>,
+    /// Scenario identity and analytic-solution error (`None` for the
+    /// perturbed balancer workload, which has no reference solution).
+    pub scenario: Option<crate::scenario::ScenarioOutcome>,
 }
 
 impl RunResult {
@@ -224,6 +246,8 @@ mod tests {
             telemetry: None,
             mass: None,
             balance_history: Vec::new(),
+            particles: None,
+            scenario: None,
         }
     }
 

@@ -13,7 +13,9 @@ use parking_lot::Mutex;
 use hsim_gpu::memory::MemoryPool;
 use hsim_gpu::Device;
 use hsim_hydro::diffusion::{diffuse_step, DiffusionConfig};
+use hsim_hydro::noh::{self, NohConfig};
 use hsim_hydro::sedov::{self, SedovConfig};
+use hsim_hydro::taylor_green::{self, TaylorGreenConfig};
 use hsim_hydro::workload::{self, PerturbedConfig};
 use hsim_hydro::{sod, step, HydroState};
 use hsim_mesh::decomp::block::{block_decomp, block_decomp_yz};
@@ -21,6 +23,7 @@ use hsim_mesh::decomp::hierarchical::hierarchical_decomp_yz;
 use hsim_mesh::decomp::weighted::{fold_lost_rank, weighted_hetero_decomp, WeightedConfig};
 use hsim_mesh::{Decomposition, GlobalGrid, HaloPlan, OwnerKind};
 use hsim_mpi::World;
+use hsim_particles::{Particle, ParticlesConfig, PhaseState};
 use hsim_raja::{Executor, Fidelity, GpuClient, SharedDevice, Target, WorkPool};
 use hsim_telemetry::{Category, Collector, Counter, Gauge, Summary, TimeStat};
 use hsim_time::clock::ChargeKind;
@@ -33,7 +36,8 @@ use crate::coupler::MpiCoupler;
 use crate::memscheme;
 use crate::mode::ExecMode;
 use crate::node::NodeConfig;
-use crate::report::{RankReport, RunResult};
+use crate::report::{ParticleReport, RankReport, RunResult};
+use crate::scenario::{self, ScenarioDiag};
 
 /// The physics problem a run initializes.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +46,12 @@ pub enum Problem {
     Sedov(SedovConfig),
     /// The Sod shock tube (validation problem with an exact solution).
     Sod(sod::SodConfig),
+    /// The planar Noh implosion: an infinite-strength stagnation shock
+    /// with an exact solution (the hardest shock regime).
+    Noh(NohConfig),
+    /// The Taylor–Green vortex array: smooth shock-free flow whose
+    /// kinetic-energy decay measures pure numerical dissipation.
+    TaylorGreen(TaylorGreenConfig),
     /// Seeded random multi-mode perturbations (balancer stress test).
     Perturbed(PerturbedConfig),
 }
@@ -57,6 +67,8 @@ impl Problem {
         match self {
             Problem::Sedov(cfg) => sedov::init(state, cfg),
             Problem::Sod(cfg) => sod::init(state, cfg),
+            Problem::Noh(cfg) => noh::init(state, cfg),
+            Problem::TaylorGreen(cfg) => taylor_green::init(state, cfg),
             Problem::Perturbed(cfg) => workload::init(state, cfg),
         }
     }
@@ -124,6 +136,12 @@ pub struct RunConfig {
     /// bitwise-independent of the tile shape; this only moves
     /// wall-clock throughput.
     pub tile: Option<[usize; 2]>,
+    /// Lagrangian tracer/drag particle phase advected through the
+    /// hydro field each cycle (`None` = hydro only). Particles are
+    /// owned by the rank whose subdomain contains them and migrate
+    /// through the coupler's all-to-all collective, so rebalance
+    /// re-splits and loss foldbacks move particles with their zones.
+    pub particles: Option<ParticlesConfig>,
 }
 
 impl RunConfig {
@@ -146,6 +164,7 @@ impl RunConfig {
             rebalance: None,
             host_threads: 1,
             tile: None,
+            particles: None,
         }
     }
 
@@ -339,6 +358,8 @@ fn finish_result(
         telemetry: if cfg.telemetry { summary } else { None },
         mass,
         balance_history: Vec::new(),
+        particles: None,
+        scenario: None,
     })
 }
 
@@ -381,7 +402,14 @@ fn run_intact(
         None
     };
     let mass = seg.masses.as_ref().map(|m| m.iter().sum());
-    finish_result(
+    let particles = particle_report(seg.particles.as_deref(), seg.migrated);
+    let outcome = scenario::outcome(
+        &cfg.problem,
+        &cfg.global_grid(),
+        seg.t_end,
+        seg.diag.as_ref(),
+    );
+    let mut result = finish_result(
         cfg,
         &decomp,
         seg.reports,
@@ -389,7 +417,10 @@ fn run_intact(
         summary,
         runtime,
         mass,
-    )
+    )?;
+    result.particles = particles;
+    result.scenario = outcome;
+    Ok(result)
 }
 
 /// The graceful-degradation path: run to the loss cycle, checkpoint
@@ -514,7 +545,17 @@ fn run_degraded(
     };
     // The final state lives on segment 2's survivors.
     let mass = seg2.masses.as_ref().map(|m| m.iter().sum());
-    finish_result(cfg, &degraded, reports, device_busy, summary, runtime, mass)
+    let particles = particle_report(seg2.particles.as_deref(), seg1.migrated + seg2.migrated);
+    let outcome = scenario::outcome(
+        &cfg.problem,
+        &cfg.global_grid(),
+        seg2.t_end,
+        seg2.diag.as_ref(),
+    );
+    let mut result = finish_result(cfg, &degraded, reports, device_busy, summary, runtime, mass)?;
+    result.particles = particles;
+    result.scenario = outcome;
+    Ok(result)
 }
 
 /// Zones whose owner changes between two decompositions, matched
@@ -549,6 +590,39 @@ fn zones_moved(
 /// moved zone carries its conserved variables.
 fn redistribution_bytes(moved_zones: u64) -> u64 {
     moved_zones * hsim_hydro::NCONS as u64 * std::mem::size_of::<f64>() as u64
+}
+
+/// Particles whose owning subdomain *box* changes between two
+/// decompositions of the same grid — box identity (not rank index)
+/// so the count is invariant to the foldback's rank renumbering.
+fn particles_moved(old: &Decomposition, new: &Decomposition, parts: &[Particle]) -> u64 {
+    let owner_box = |d: &Decomposition, zone: [usize; 3]| {
+        d.domains
+            .iter()
+            .find(|s| hsim_particles::sub_contains(s, zone))
+            .map(|s| (s.lo, s.hi))
+    };
+    parts
+        .iter()
+        .filter(|p| {
+            let zone = hsim_particles::zone_of(&old.grid, p.pos);
+            match (owner_box(old, zone), owner_box(new, zone)) {
+                (Some(a), Some(b)) => a != b,
+                _ => true,
+            }
+        })
+        .count() as u64
+}
+
+/// The particle block of a result: the merged final set plus the
+/// run-total migration count.
+fn particle_report(parts: Option<&[Particle]>, migrated: u64) -> Option<ParticleReport> {
+    parts.map(|p| ParticleReport {
+        count: p.len() as u64,
+        momentum: hsim_particles::momentum(p),
+        migrated,
+        checksum: hsim_particles::checksum(p),
+    })
 }
 
 /// The online measured-speed rebalancing path (ROADMAP item 1): the
@@ -632,6 +706,10 @@ fn run_online(
     let (mut resplits, mut holds, mut frozen_count) = (0u64, 0u64, 0u64);
     let mut bytes_moved = 0u64;
     let mut loss_handled = false;
+    let mut migrated_total = 0u64;
+    let mut final_particles: Option<Vec<Particle>> = None;
+    let mut final_diag: Option<ScenarioDiag> = None;
+    let mut final_t = 0.0;
 
     let mut first = 0u64;
     for &last in &boundaries {
@@ -680,6 +758,10 @@ fn run_online(
         if seg.masses.is_some() {
             masses = seg.masses;
         }
+        migrated_total += seg.migrated;
+        final_particles = seg.particles;
+        final_diag = seg.diag;
+        final_t = seg.t_end;
         checkpoint = seg.checkpoint;
         if last >= cfg.cycles {
             break;
@@ -696,7 +778,10 @@ fn run_online(
                 .ok_or_else(|| format!("lost rank {lost} missing from the live world"))?;
             let folded = fold_lost_rank(&decomp, pos)?;
             let moved = zones_moved(&decomp, &folded, |j| Some(if j < pos { j } else { j + 1 }));
-            let bytes = redistribution_bytes(moved);
+            let pmoved = checkpoint
+                .as_ref()
+                .map_or(0, |ck| particles_moved(&decomp, &folded, &ck.particles));
+            let bytes = redistribution_bytes(moved) + pmoved * hsim_particles::WIRE_BYTES;
             let t0 = SimTime::from_nanos(runtime.as_nanos());
             runtime += cfg.node.comm.redistribution_time(bytes, folded.len());
             if collect {
@@ -731,7 +816,10 @@ fn run_online(
                     let next = build_decomposition(cfg, fraction)?;
                     next.validate()?;
                     let moved = zones_moved(&decomp, &next, Some);
-                    let bytes = redistribution_bytes(moved);
+                    let pmoved = checkpoint
+                        .as_ref()
+                        .map_or(0, |ck| particles_moved(&decomp, &next, &ck.particles));
+                    let bytes = redistribution_bytes(moved) + pmoved * hsim_particles::WIRE_BYTES;
                     let t0 = SimTime::from_nanos(runtime.as_nanos());
                     runtime += cfg.node.comm.redistribution_time(bytes, next.len());
                     if collect {
@@ -784,8 +872,17 @@ fn run_online(
         None
     };
     let mass = masses.as_ref().map(|m| m.iter().sum());
+    let particles = particle_report(final_particles.as_deref(), migrated_total);
+    let outcome = scenario::outcome(
+        &cfg.problem,
+        &cfg.global_grid(),
+        final_t,
+        final_diag.as_ref(),
+    );
     let mut result = finish_result(cfg, &decomp, reports, device_busy, summary, runtime, mass)?;
     result.balance_history = rb.history;
+    result.particles = particles;
+    result.scenario = outcome;
     Ok(result)
 }
 
@@ -813,6 +910,15 @@ struct SegmentOut {
     checkpoint: Option<Checkpoint>,
     /// Total owned mass per rank, in rank order (full fidelity only).
     masses: Option<Vec<f64>>,
+    /// The live particle set at segment end, merged across ranks and
+    /// sorted by id (`None` when the particle phase is off).
+    particles: Option<Vec<Particle>>,
+    /// Cross-rank particle migrations during this segment.
+    migrated: u64,
+    /// Merged final-state scenario diagnostics (full fidelity only).
+    diag: Option<ScenarioDiag>,
+    /// Simulation time at segment end.
+    t_end: f64,
 }
 
 /// A host-staged snapshot of the conserved fields at a segment
@@ -822,6 +928,10 @@ struct Checkpoint {
     /// One global x-major array per conserved variable; empty in
     /// cost-only fidelity, where zone values carry no state.
     vars: Vec<Vec<f64>>,
+    /// The global particle set, sorted by id (empty when the particle
+    /// phase is off). Restore re-filters by subdomain ownership, so a
+    /// re-split or foldback re-homes particles for free.
+    particles: Vec<Particle>,
     t: f64,
     cycle: u64,
 }
@@ -912,14 +1022,20 @@ fn run_segment(
     // projection of the same span store).
     let collect = cfg.telemetry || cfg.trace;
 
-    type RankOut = (
-        RankReport,
-        Option<Collector>,
-        Option<Vec<Vec<f64>>>,
-        f64,
-        u64,
-        f64,
-    );
+    struct RankOut {
+        report: RankReport,
+        collector: Option<Collector>,
+        dump: Option<Vec<Vec<f64>>>,
+        t: f64,
+        cycle: u64,
+        mass: f64,
+        /// This rank's live particles at segment end.
+        particles: Option<Vec<Particle>>,
+        /// Particles this rank shipped to peers during the segment.
+        migrated: u64,
+        /// Final-state scenario diagnostics (full fidelity only).
+        diag: Option<ScenarioDiag>,
+    }
     let outputs: Vec<Result<RankOut, String>> = World::run_fallible(
         n_ranks,
         node.comm.clone(),
@@ -1026,6 +1142,14 @@ fn run_segment(
                     }
                 }
             }
+            // The particle phase: fresh deterministic placement on a
+            // cold start, ownership re-filter of the global snapshot
+            // on a restore (re-splits and foldbacks re-home particles
+            // through exactly this path).
+            let mut phase = cfg_ref.particles.map(|pcfg| match seg_ref.restore {
+                Some(ck) => PhaseState::from_global(pcfg, &ck.particles, &grid, &sub),
+                None => PhaseState::init_owned(pcfg, &grid, &sub),
+            });
 
             // Main-thread MPS connect retries land on the rejected
             // rank's setup clock.
@@ -1082,6 +1206,12 @@ fn run_segment(
                         stats.dt,
                     )
                     .map_err(|e| format!("rank {orig}: {e}"))?;
+                }
+                if let Some(phase) = phase.as_mut() {
+                    hsim_particles::advect(phase, &state, &mut exec, &mut clock, stats.dt, cycle)
+                        .map_err(|e| format!("rank {orig}: {e}"))?;
+                    hsim_particles::migrate(phase, decomp_ref, rank, &mut coupler, &mut clock)
+                        .map_err(|e| format!("rank {orig}: {e}"))?;
                 }
                 // Serial host control code between kernels.
                 clock.charge(
@@ -1158,14 +1288,18 @@ fn run_segment(
             } else {
                 0.0
             };
-            Ok((
+            let diag = (cfg_ref.fidelity == Fidelity::Full).then(|| ScenarioDiag::of_rank(&state));
+            Ok(RankOut {
                 report,
-                hsim_telemetry::uninstall(),
+                collector: hsim_telemetry::uninstall(),
                 dump,
-                state.t,
-                state.cycle,
+                t: state.t,
+                cycle: state.cycle,
                 mass,
-            ))
+                migrated: phase.as_ref().map_or(0, |ph| ph.migrated),
+                particles: phase.map(|ph| ph.parts),
+                diag,
+            })
         },
     );
 
@@ -1176,16 +1310,24 @@ fn run_segment(
     let mut t_end = 0.0;
     let mut cycle_end = seg.last_cycle;
     let mut masses = Vec::with_capacity(n_ranks);
+    let mut all_parts: Option<Vec<Particle>> = cfg.particles.map(|_| Vec::new());
+    let mut migrated = 0u64;
+    let mut diags: Vec<ScenarioDiag> = Vec::new();
     for res in outputs {
         match res {
-            Ok((report, collector, dump, t, cyc, mass)) => {
-                collectors.extend(collector);
-                dumps.push(dump);
-                masses.push(mass);
+            Ok(out) => {
+                collectors.extend(out.collector);
+                dumps.push(out.dump);
+                masses.push(out.mass);
                 // Identical on every rank: dt is an exact collective.
-                t_end = t;
-                cycle_end = cyc;
-                reports.push(report);
+                t_end = out.t;
+                cycle_end = out.cycle;
+                if let (Some(all), Some(p)) = (all_parts.as_mut(), out.particles) {
+                    all.extend(p);
+                }
+                migrated += out.migrated;
+                diags.extend(out.diag);
+                reports.push(out.report);
             }
             Err(e) => errors.push(e),
         }
@@ -1233,8 +1375,12 @@ fn run_segment(
                 }
             }
         }
+        if let Some(all) = all_parts.as_mut() {
+            all.sort_unstable_by_key(|p| p.id);
+        }
         Some(Checkpoint {
             vars,
+            particles: all_parts.clone().unwrap_or_default(),
             t: t_end,
             cycle: cycle_end,
         })
@@ -1242,12 +1388,20 @@ fn run_segment(
         None
     };
 
+    if let Some(all) = all_parts.as_mut() {
+        all.sort_unstable_by_key(|p| p.id);
+    }
+    let diag = (!diags.is_empty()).then(|| ScenarioDiag::merge(grid.nx, diags.iter()));
     Ok(SegmentOut {
         reports,
         collectors,
         device_busy: devices.iter().map(|d| d.busy()).collect(),
         checkpoint,
         masses: (cfg.fidelity == Fidelity::Full).then_some(masses),
+        particles: all_parts,
+        migrated,
+        diag,
+        t_end,
     })
 }
 
@@ -1460,6 +1614,8 @@ mod tests {
         for problem in [
             Problem::Sod(hsim_hydro::SodConfig::default()),
             Problem::Perturbed(PerturbedConfig::default()),
+            Problem::Noh(NohConfig::default()),
+            Problem::TaylorGreen(TaylorGreenConfig::default()),
         ] {
             let mut cfg = sweep_cfg((16, 16, 16), ExecMode::mps4());
             cfg.fidelity = Fidelity::Full;
@@ -1468,6 +1624,25 @@ mod tests {
             let r = run(&cfg).unwrap_or_else(|e| panic!("{problem:?}: {e}"));
             assert!(r.runtime > SimDuration::ZERO);
         }
+    }
+
+    #[test]
+    fn particle_phase_rides_the_run_and_costs_time() {
+        let mut cfg = sweep_cfg((16, 16, 16), ExecMode::CpuOnly);
+        cfg.cycles = 3;
+        let bare = run(&cfg).unwrap();
+        assert!(bare.particles.is_none());
+
+        cfg.particles = Some(ParticlesConfig::default());
+        let with = run(&cfg).unwrap();
+        let p = with.particles.as_ref().expect("particle report present");
+        assert_eq!(p.count, ParticlesConfig::default().count);
+        assert!(
+            with.runtime > bare.runtime,
+            "the advect kernel must be charged: {} vs {}",
+            with.runtime,
+            bare.runtime
+        );
     }
 
     #[test]

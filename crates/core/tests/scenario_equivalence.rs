@@ -1,0 +1,99 @@
+//! Scenario output is byte-identical across execution knobs that must
+//! never touch physics: `--host-threads` (host-side parallelism of
+//! the fused kernels) and `--tile` (the cache-blocking shape).
+//!
+//! Every first-class scenario runs at full fidelity with the particle
+//! phase on, in both CpuOnly and Heterogeneous modes, and the
+//! physical fingerprint — mass, the scenario's analytic-error metric,
+//! end time, and the particle set — is compared bit for bit against
+//! the serial untiled baseline. This is the in-process half of the
+//! CI scenario×mode chaos matrix (which checks the same property
+//! across whole processes via trace/metrics diffs).
+
+use hsim_core::runner::{run, RunConfig};
+use hsim_core::{ExecMode, Scenario};
+use hsim_particles::ParticlesConfig;
+use hsim_raja::Fidelity;
+
+/// The physical output of a run, bit-exact. Virtual runtime is
+/// deliberately excluded: host-thread count changes the simulated
+/// node's kernel cost model, not the physics.
+fn physics_fingerprint(cfg: &RunConfig) -> Vec<u64> {
+    let r = run(cfg).expect("scenario run");
+    let sc = r.scenario.expect("scenario problems carry an outcome");
+    let p = r.particles.expect("particles were configured");
+    vec![
+        r.mass.expect("full fidelity reports mass").to_bits(),
+        sc.t_end.to_bits(),
+        sc.error.map_or(0, f64::to_bits),
+        p.count,
+        p.momentum[0].to_bits(),
+        p.momentum[1].to_bits(),
+        p.momentum[2].to_bits(),
+        p.checksum,
+    ]
+}
+
+fn scenario_cfg(s: Scenario, mode: ExecMode) -> RunConfig {
+    let mut cfg = RunConfig::sweep((32, 24, 16), mode);
+    cfg.problem = s.problem();
+    cfg.fidelity = Fidelity::Full;
+    cfg.cycles = 3;
+    cfg.particles = Some(ParticlesConfig {
+        count: 128,
+        ..ParticlesConfig::default()
+    });
+    cfg
+}
+
+#[test]
+fn every_scenario_is_bitwise_invariant_to_host_threads_and_tiles() {
+    for s in Scenario::ALL {
+        for mode in [ExecMode::CpuOnly, ExecMode::hetero()] {
+            let base_cfg = scenario_cfg(s, mode);
+            let base = physics_fingerprint(&base_cfg);
+
+            type Tweak = Box<dyn Fn(&mut RunConfig)>;
+            let variants: [(&str, Tweak); 3] = [
+                ("host-threads 4", Box::new(|c| c.host_threads = 4)),
+                ("ragged tile 3x5", Box::new(|c| c.tile = Some([3, 5]))),
+                (
+                    "host-threads 2 + tile 8x8",
+                    Box::new(|c| {
+                        c.host_threads = 2;
+                        c.tile = Some([8, 8]);
+                    }),
+                ),
+            ];
+            for (label, tweak) in variants {
+                let mut cfg = scenario_cfg(s, mode);
+                tweak(&mut cfg);
+                assert_eq!(
+                    base,
+                    physics_fingerprint(&cfg),
+                    "{} / {:?}: {label} changed the physics",
+                    s.name(),
+                    mode,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scenarios_report_their_metrics_at_full_fidelity() {
+    for s in Scenario::ALL {
+        let cfg = scenario_cfg(s, ExecMode::CpuOnly);
+        let r = run(&cfg).expect("scenario run");
+        let sc = r.scenario.expect("outcome present");
+        assert_eq!(sc.name, s.name());
+        match s {
+            // Sedov has no pointwise reference.
+            Scenario::Sedov => assert_eq!(sc.error, None),
+            _ => {
+                let e = sc.error.expect("analytic metric present");
+                assert!(e.is_finite() && e >= 0.0, "{}: error {e}", s.name());
+            }
+        }
+    }
+}

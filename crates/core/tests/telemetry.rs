@@ -22,6 +22,7 @@ fn telemetry_cfg() -> RunConfig {
         rebalance: None,
         host_threads: 1,
         tile: None,
+        particles: None,
     }
 }
 

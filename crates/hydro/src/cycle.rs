@@ -106,6 +106,20 @@ pub trait Coupler {
 
     /// Global minimum (the timestep reduction).
     fn allreduce_min(&mut self, x: f64, clock: &mut RankClock) -> Result<f64, CoupleError>;
+
+    /// Exchange Lagrangian-particle payloads: `outbound[dst]` is the
+    /// flat wire encoding of the particles this rank hands to rank
+    /// `dst`; the return value is `inbound[src]`, the payloads every
+    /// peer addressed to this rank. Backed by a priced all-to-all on
+    /// the cooperative runner; the default is the solo identity (a
+    /// single-domain run only ever addresses itself).
+    fn migrate_particles(
+        &mut self,
+        outbound: Vec<Vec<f64>>,
+        _clock: &mut RankClock,
+    ) -> Result<Vec<Vec<f64>>, CoupleError> {
+        Ok(outbound)
+    }
 }
 
 /// Coupler for a single-domain run: no neighbors, identity reduction.

@@ -34,15 +34,19 @@ pub mod flux;
 pub mod fused;
 pub mod kernels;
 pub mod muscl;
+pub mod noh;
 pub mod sedov;
 pub mod sod;
 pub mod state;
+pub mod taylor_green;
 pub mod workload;
 
 pub use cycle::{step, step_with, CoupleError, Coupler, CycleError, CycleStats, SoloCoupler};
 pub use diffusion::{diffuse_step, diffusion_dt, DiffusionConfig};
 pub use muscl::{sweep_muscl, Reconstruction};
+pub use noh::NohConfig;
 pub use sedov::{sedov_shock_radius, SedovConfig};
 pub use sod::{exact_solution, GasState, SodConfig};
 pub use state::{HydroState, NCONS};
+pub use taylor_green::TaylorGreenConfig;
 pub use workload::PerturbedConfig;

@@ -13,7 +13,11 @@
 //! pinned by the unit tests in `fused.rs`, which run both paths on
 //! the same target; here the targets differ by design.)
 
+use hsim_hydro::noh::{self, NohConfig};
+use hsim_hydro::sedov::{self, SedovConfig};
+use hsim_hydro::sod::{self, SodConfig};
 use hsim_hydro::state::{EN, GAMMA, MX, MY, MZ, RHO};
+use hsim_hydro::taylor_green::{self, TaylorGreenConfig};
 use hsim_hydro::{eos, flux, fused, muscl, HydroState};
 use hsim_mesh::{GlobalGrid, Subdomain};
 use hsim_raja::{CpuModel, Executor, Fidelity, Target};
@@ -98,7 +102,62 @@ fn run_fused(st: &mut HydroState, target: Target, muscl_order: bool) {
     }
 }
 
+/// A full-fidelity state initialized by one of the four first-class
+/// scenarios (index into [`SCENARIO_NAMES`]). Unlike [`random_state`]
+/// these are the *real* problem states the figure sweeps and CI gates
+/// run, covering their distinct structures (point deposit, axial
+/// discontinuity, inflow implosion, smooth vortex).
+const SCENARIO_NAMES: [&str; 4] = ["sedov", "sod", "noh", "taylor-green"];
+
+fn scenario_state(which: usize, n: [usize; 3], ghost: usize) -> HydroState {
+    let grid = GlobalGrid::new(n[0], n[1], n[2]);
+    let sub = Subdomain::new([0, 0, 0], n, ghost);
+    let mut st = HydroState::new(grid, sub, Fidelity::Full);
+    match which {
+        0 => sedov::init(&mut st, &SedovConfig::default()),
+        1 => sod::init(&mut st, &SodConfig::default()),
+        2 => noh::init(&mut st, &NohConfig::default()),
+        _ => taylor_green::init(&mut st, &TaylorGreenConfig::default()),
+    }
+    st
+}
+
 proptest! {
+    /// Every scenario's real initial state runs bitwise-identically
+    /// through the legacy, fused-serial, and fused-parallel paths at
+    /// every worker count and any (ragged) tile shape — the `--jobs`
+    /// / `--host-threads` / tile invariance the CI matrix relies on.
+    #[test]
+    fn fused_sweep_is_bitwise_equivalent_on_every_scenario(
+        which in 0usize..4,
+        n in (4usize..9, 4usize..9, 4usize..9),
+        tile in (1usize..13, 1usize..13),
+    ) {
+        let n = [n.0, n.1, n.2];
+        let name = SCENARIO_NAMES[which];
+        let mut legacy = scenario_state(which, n, 1);
+        let init = twin(&legacy, n, 1);
+
+        let mut e1 = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::Full);
+        let mut c1 = RankClock::new(0);
+        eos::primitives(&mut legacy, &mut e1, &mut c1).unwrap();
+        flux::sweep(&mut legacy, &mut e1, &mut c1, DT).unwrap();
+
+        let mut serial = twin(&init, n, 1);
+        serial.tile = [tile.0, tile.1];
+        run_fused(&mut serial, Target::CpuSeq, false);
+        assert_states_identical(&legacy, &serial, &format!("{name} fused serial vs legacy"));
+
+        for threads in WORKER_COUNTS {
+            let mut par = twin(&init, n, 1);
+            par.tile = [tile.0, tile.1];
+            run_fused(&mut par, Target::cpu_parallel(threads), false);
+            let what = format!("{name} fused parallel x{threads}");
+            assert_states_identical(&serial, &par, &format!("{what} vs serial fused"));
+            assert_states_identical(&legacy, &par, &format!("{what} vs legacy"));
+        }
+    }
+
     #[test]
     fn fused_first_order_sweep_is_bitwise_equivalent(
         n in (4usize..9, 4usize..9, 4usize..9),

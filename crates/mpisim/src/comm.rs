@@ -604,6 +604,43 @@ impl Comm {
         }
     }
 
+    /// Personalized all-to-all of `f64` vectors: `parts[dst]` is this
+    /// rank's payload for rank `dst` (`parts[rank]` stays local); the
+    /// return value holds one inbound vector per source rank, in rank
+    /// order. Transport is buffered (eager sends), so posting every
+    /// send before the first receive cannot deadlock, and each leg
+    /// pays the usual overhead + wire time — the collective that
+    /// prices Lagrangian-particle migration.
+    pub fn alltoallv_f64(&mut self, mut parts: Vec<Vec<f64>>) -> Result<Vec<Vec<f64>>, MpiError> {
+        if parts.len() != self.size {
+            return Err(MpiError::CollectiveProtocol {
+                what: "alltoallv payload count differs from the world size",
+            });
+        }
+        if self.size == 1 {
+            return Ok(parts);
+        }
+        hsim_telemetry::count(hsim_telemetry::Counter::MpiCollectives, 1);
+        let tag = self.next_coll_tag();
+        // Post all sends first (even empty payloads, so every receive
+        // has a matching message), then drain in rank order.
+        for (dst, slot) in parts.iter_mut().enumerate() {
+            if dst != self.rank {
+                let payload = std::mem::take(slot);
+                self.send_internal(dst, tag, payload)?;
+            }
+        }
+        let mut inbound = Vec::with_capacity(self.size);
+        for (src, slot) in parts.iter_mut().enumerate() {
+            if src == self.rank {
+                inbound.push(std::mem::take(slot));
+            } else {
+                inbound.push(self.recv_internal(src, tag)?);
+            }
+        }
+        Ok(inbound)
+    }
+
     /// Gather one `f64` per rank to every rank (gather + bcast of a
     /// vector would need vector bcast; with node-scale rank counts a
     /// linear exchange is fine).

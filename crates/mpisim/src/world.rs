@@ -241,6 +241,36 @@ mod tests {
     }
 
     #[test]
+    fn alltoallv_routes_payloads_and_charges_time() {
+        for size in [1, 2, 3, 4, 8] {
+            let out = World::run(size, CommCost::on_node(), |comm| {
+                let rank = comm.rank();
+                // parts[dst] = [rank*100 + dst]; self slot included.
+                let parts: Vec<Vec<f64>> = (0..comm.size())
+                    .map(|dst| vec![(rank * 100 + dst) as f64])
+                    .collect();
+                let inbound = comm.alltoallv_f64(parts).unwrap();
+                let t = comm.now().as_nanos();
+                (inbound, t)
+            });
+            for (rank, (inbound, t)) in out.iter().enumerate() {
+                assert_eq!(inbound.len(), size);
+                for (src, v) in inbound.iter().enumerate() {
+                    assert_eq!(v, &vec![(src * 100 + rank) as f64], "size {size}");
+                }
+                if size > 1 {
+                    assert!(*t > 0, "alltoall must charge virtual time");
+                }
+            }
+        }
+        // Wrong payload count is a typed protocol error.
+        let out = World::run(2, CommCost::free(), |comm| {
+            comm.alltoallv_f64(vec![Vec::new()]).is_err()
+        });
+        assert!(out.iter().all(|&b| b));
+    }
+
+    #[test]
     fn barrier_equalizes_virtual_clocks() {
         let out = World::run(4, CommCost::on_node(), |comm| {
             // Rank r does r milliseconds of work.

@@ -11,9 +11,13 @@
 //! * `POST /run` — body is `key=value` pairs (`&`- or
 //!   newline-separated): `mode=default|mps|hetero|cpuonly`,
 //!   `grid=X,Y,Z`, `cycles=N`, `balanced=0|1` (default 1),
-//!   `problem=sedov|sod|perturbed`, `deadline_ms=N`. Replies with the
-//!   rendered run report; `X-Cache: hit|miss` and `X-Content-Key`
-//!   carry the cache disposition and key.
+//!   `problem=sedov|sod|perturbed`,
+//!   `scenario=sedov|sod|noh|taylor-green` (first-class setups; folds
+//!   into the content hash through the selected problem),
+//!   `particles=COUNT` (enable the tracer-particle phase),
+//!   `deadline_ms=N`. Replies with the rendered run report;
+//!   `X-Cache: hit|miss` and `X-Content-Key` carry the cache
+//!   disposition and key.
 //! * `GET /figure/<id>` — the figure sweep CSV (e.g. `/figure/fig14`).
 //!
 //! Typed failures map to statuses: queue full → 429, deadline → 504,
@@ -24,7 +28,8 @@ use std::net::{TcpListener, TcpStream};
 use std::time::Duration;
 
 use hsim_core::runner::{Problem, RunConfig};
-use hsim_core::ExecMode;
+use hsim_core::{ExecMode, Scenario};
+use hsim_particles::ParticlesConfig;
 
 use crate::server::{Request, ServeError, Server};
 
@@ -157,6 +162,13 @@ fn parse_run_body(body: &str) -> Result<Request, ServeError> {
                     _ => return Err(bad("problem")),
                 }
             }
+            "scenario" => cfg.problem = Scenario::parse(v).map_err(|_| bad("scenario"))?.problem(),
+            "particles" => {
+                cfg.particles = Some(ParticlesConfig {
+                    count: v.parse().map_err(|_| bad("particles"))?,
+                    ..ParticlesConfig::default()
+                })
+            }
             "balanced" => {
                 balanced = match v {
                     "1" | "true" => true,
@@ -242,6 +254,28 @@ mod tests {
     }
 
     #[test]
+    fn scenario_and_particles_keys_select_distinct_cache_keys() {
+        let base = parse_run_body("grid=24,16,8&cycles=2").expect("parses");
+        let mut seen = vec![base.cfg.content_hash()];
+        for body in [
+            "grid=24,16,8&cycles=2&scenario=sod",
+            "grid=24,16,8&cycles=2&scenario=noh",
+            "grid=24,16,8&cycles=2&scenario=taylor-green",
+            "grid=24,16,8&cycles=2&particles=256",
+        ] {
+            let req = parse_run_body(body).expect("parses");
+            let h = req.cfg.content_hash();
+            assert!(!seen.contains(&h), "body `{body}` aliased a cache key");
+            seen.push(h);
+        }
+        // `scenario=sedov` is the default problem: same content key.
+        let sedov = parse_run_body("grid=24,16,8&cycles=2&scenario=sedov").expect("parses");
+        assert_eq!(sedov.cfg.content_hash(), base.cfg.content_hash());
+        let parts = parse_run_body("particles=512").expect("parses");
+        assert_eq!(parts.cfg.particles.map(|p| p.count), Some(512));
+    }
+
+    #[test]
     fn run_body_rejections_are_typed() {
         for body in [
             "mode=warp",
@@ -250,6 +284,8 @@ mod tests {
             "balanced=maybe",
             "nonsense",
             "frobnicate=1",
+            "scenario=vortex",
+            "particles=lots",
         ] {
             let err = parse_run_body(body).unwrap_err();
             assert_eq!(err.http_status(), 400, "body `{body}` → {err:?}");

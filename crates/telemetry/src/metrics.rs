@@ -84,10 +84,13 @@ pub enum Counter {
     BalanceFrozen,
     /// Bytes whose owner changed across re-split redistributions.
     BalanceBytesMoved,
+    /// Tracer particles that crossed a rank boundary and were shipped
+    /// through the particle-migration collective.
+    ParticlesMigrated,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 31] = [
+    pub const ALL: [Counter; 32] = [
         Counter::KernelLaunches,
         Counter::GpuKernelLaunches,
         Counter::CpuKernelLaunches,
@@ -119,6 +122,7 @@ impl Counter {
         Counter::BalanceHolds,
         Counter::BalanceFrozen,
         Counter::BalanceBytesMoved,
+        Counter::ParticlesMigrated,
     ];
 
     pub fn label(self) -> &'static str {
@@ -154,6 +158,7 @@ impl Counter {
             Counter::BalanceHolds => "balance_holds",
             Counter::BalanceFrozen => "balance_frozen",
             Counter::BalanceBytesMoved => "balance_bytes_moved",
+            Counter::ParticlesMigrated => "particles_migrated",
         }
     }
 }

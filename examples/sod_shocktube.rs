@@ -1,78 +1,84 @@
-//! The Sod shock tube against its exact Riemann solution, at first
-//! and second (MUSCL) order.
+//! The Sod shock tube as a first-class scenario, run through the
+//! same `RunConfig` path as the figures and the serve layer.
+//!
+//! The run itself — initialization, stepping, the analytic-error
+//! metric — is entirely the runner's: the example only selects
+//! `--scenario sod` programmatically and renders what comes back in
+//! [`RunResult::scenario`]. A second run at half resolution shows the
+//! first-order L1 convergence against the exact Riemann solution.
 //!
 //! ```sh
 //! cargo run --release --example sod_shocktube
 //! ```
 
-use heterosim::hydro::muscl::Reconstruction;
-use heterosim::hydro::sod::{self, axial_density, exact_solution, SodConfig};
-use heterosim::hydro::{step_with, HydroState, SoloCoupler};
-use heterosim::mesh::{GlobalGrid, Subdomain};
-use heterosim::raja::{CpuModel, Executor, Fidelity, Target};
-use heterosim::time::RankClock;
+use heterosim::core::runner::RunConfig;
+use heterosim::core::{runner, ExecMode, RunResult, Scenario};
+use heterosim::hydro::sod::{exact_solution, SodConfig};
+use heterosim::mesh::GlobalGrid;
+use heterosim::raja::Fidelity;
 
-fn run_tube(n: usize, recon: Reconstruction) -> (Vec<f64>, f64) {
-    let grid = GlobalGrid::new(n, 4, 4);
-    let ghost = match recon {
-        Reconstruction::FirstOrder => 1,
-        Reconstruction::Muscl => 2,
-    };
-    let sub = Subdomain::new([0, 0, 0], [n, 4, 4], ghost);
-    let mut st = HydroState::new(grid, sub, Fidelity::Full);
-    sod::init(&mut st, &SodConfig::default());
-    let mut exec = Executor::new(Target::CpuSeq, CpuModel::haswell_fixed(), Fidelity::Full);
-    let mut clock = RankClock::new(0);
-    let mut solo = SoloCoupler;
-    while st.t < 0.15 {
-        step_with(&mut st, &mut exec, &mut clock, &mut solo, 0.25, 1.0, recon).expect("cycle");
-    }
-    let t = st.t;
-    (axial_density(&st), t)
+/// One shock-tube run on an `n`-zone axis via the shared runner path.
+/// The runner caps full-fidelity dt at its calibrated fallback, so
+/// equal cycle counts reach the same end time at both resolutions.
+fn run_tube(n: usize, cycles: u64) -> RunResult {
+    let mut cfg = RunConfig::sweep((n, 4, 4), ExecMode::CpuOnly);
+    cfg.problem = Scenario::Sod.problem();
+    cfg.fidelity = Fidelity::Full;
+    cfg.cycles = cycles;
+    runner::run(&cfg).expect("sod scenario run")
 }
 
 fn main() {
     let n = 128;
     let cfg = SodConfig::default();
-    println!("Sod shock tube, {n} zones, t = 0.15 (density profiles)");
+    println!("Sod shock tube as a scenario, {n} zones, CpuOnly, full fidelity");
     println!();
 
-    let (first, t1) = run_tube(n, Reconstruction::FirstOrder);
-    let (second, _) = run_tube(n, Reconstruction::Muscl);
+    let fine = run_tube(n, 600);
+    let coarse = run_tube(n / 2, 600);
+    let sc = fine.scenario.as_ref().expect("sod is a scenario problem");
+    let sc2 = coarse.scenario.as_ref().expect("sod is a scenario problem");
 
+    // The exact solution at the run's actual end time (the runner
+    // steps under its CFL limit; t_end comes back in the outcome).
     let grid = GlobalGrid::new(n, 4, 4);
     let (dx, _, _) = grid.spacing();
     let x0 = cfg.diaphragm * grid.lx;
-
-    println!("   x      exact   1st-ord  muscl    | profile (e=exact, 1=first, 2=muscl)");
-    let mut l1_first = 0.0;
-    let mut l1_second = 0.0;
+    println!(
+        "exact density at t = {:.4} (e marks the profile):",
+        sc.t_end
+    );
     for i in (0..n).step_by(4) {
         let x = (i as f64 + 0.5) * dx;
-        let exact = exact_solution(&cfg.left, &cfg.right, (x - x0) / t1).rho;
-        let f = first[i];
-        let s = second[i];
-        let bar = |v: f64| ((v / 1.1) * 40.0) as usize;
+        let rho = exact_solution(&cfg.left, &cfg.right, (x - x0) / sc.t_end).rho;
+        let bar = (((rho / 1.1) * 40.0) as usize).min(43);
         let mut row = [' '; 44];
-        row[bar(exact).min(43)] = 'e';
-        row[bar(f).min(43)] = '1';
-        row[bar(s).min(43)] = '2';
-        println!(
-            "{x:>6.3}  {exact:>7.4}  {f:>7.4}  {s:>7.4}  |{}",
-            row.iter().collect::<String>()
-        );
-    }
-    for i in 0..n {
-        let x = (i as f64 + 0.5) * dx;
-        let exact = exact_solution(&cfg.left, &cfg.right, (x - x0) / t1).rho;
-        l1_first += (first[i] - exact).abs();
-        l1_second += (second[i] - exact).abs();
+        row[bar] = 'e';
+        println!("{x:>6.3}  {rho:>7.4}  |{}", row.iter().collect::<String>());
     }
     println!();
+
+    let err = sc.error.expect("full-fidelity sod carries its L1 error");
+    let err2 = sc2.error.expect("full-fidelity sod carries its L1 error");
+    println!("scenario: {} (metric {})", sc.name, sc.metric);
     println!(
-        "L1 density error: first-order {:.5}, MUSCL {:.5} ({:.1}x better)",
-        l1_first / n as f64,
-        l1_second / n as f64,
-        l1_first / l1_second
+        "  {:>4} zones: L1 = {err2:.5}  (t_end {:.4})",
+        n / 2,
+        sc2.t_end
+    );
+    println!("  {n:>4} zones: L1 = {err:.5}  (t_end {:.4})", sc.t_end);
+    println!(
+        "  refinement ratio: {:.2}x (first-order scheme: expect > 1)",
+        err2 / err
+    );
+    println!();
+    println!(
+        "mass: {:.6} (conserved by the runner across {} cycles)",
+        fine.mass.expect("full fidelity reports mass"),
+        fine.cycles
+    );
+    println!(
+        "runtime: {:.6} simulated seconds",
+        fine.runtime.as_secs_f64()
     );
 }

@@ -6,10 +6,20 @@
 //!           [--gpu-direct] [--diffusion KAPPA] [--multipolicy N]
 //!           [--fraction F] [--no-balance] [--faults SPEC]
 //!           [--rebalance every=N,hysteresis=X]
+//!           [--scenario sedov|sod|noh|taylor-green]
 //!           [--problem sedov|sod|perturbed] [--trace] [--csv]
+//!           [--particles COUNT[,DRAG[,SEED]]]
 //!           [--host-threads N] [--tile TY,TZ]
 //!           [--trace-json PATH] [--metrics-json PATH]
 //! ```
+//!
+//! `--scenario` selects one of the first-class problem setups (each
+//! stressing a different kernel-size regime; see README Scenarios);
+//! `--problem` remains as the lower-level selector and also accepts
+//! the balancer's `perturbed` workload, which is not a scenario.
+//! `--particles` enables the Lagrangian tracer phase: particles are
+//! advected through the hydro field each cycle and migrate between
+//! ranks through the coupler's all-to-all.
 //!
 //! `--tile` pins the y–z tile shape of the fused cache-blocked hydro
 //! kernels (default: one-shot auto-tune probe). Physics and figures
@@ -50,7 +60,9 @@ fn usage() -> ! {
          \x20                [--gpu-direct] [--diffusion KAPPA] [--multipolicy N]\n\
          \x20                [--fraction F] [--no-balance] [--faults SPEC]\n\
          \x20                [--rebalance every=N,hysteresis=X]\n\
+         \x20                [--scenario sedov|sod|noh|taylor-green]\n\
          \x20                [--problem sedov|sod|perturbed] [--trace] [--csv]\n\
+         \x20                [--particles COUNT[,DRAG[,SEED]]]\n\
          \x20                [--host-threads N] [--tile TY,TZ]\n\
          \x20                [--trace-json PATH] [--metrics-json PATH]\n\
          \x20      heterosim serve [--addr HOST:PORT] [--workers N] [--queue N]\n\
@@ -156,6 +168,7 @@ fn main() {
     let mut no_balance = false;
     let mut faults: Option<heterosim::core::faults::FaultPlan> = None;
     let mut rebalance: Option<heterosim::core::RebalanceConfig> = None;
+    let mut particles: Option<heterosim::particles::ParticlesConfig> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -231,6 +244,33 @@ fn main() {
                     _ => usage(),
                 }
             }
+            "--scenario" => {
+                let v = value();
+                let scenario = heterosim::core::Scenario::parse(&v).unwrap_or_else(|e| {
+                    eprintln!("bad --scenario: {e}");
+                    usage()
+                });
+                problem_choice = scenario.problem();
+            }
+            "--particles" => {
+                let v = value();
+                let parts: Vec<&str> = v.split(',').collect();
+                let mut pcfg = heterosim::particles::ParticlesConfig::default();
+                match parts.as_slice() {
+                    [c] => pcfg.count = c.trim().parse().unwrap_or_else(|_| usage()),
+                    [c, d] => {
+                        pcfg.count = c.trim().parse().unwrap_or_else(|_| usage());
+                        pcfg.drag = d.trim().parse().unwrap_or_else(|_| usage());
+                    }
+                    [c, d, s] => {
+                        pcfg.count = c.trim().parse().unwrap_or_else(|_| usage());
+                        pcfg.drag = d.trim().parse().unwrap_or_else(|_| usage());
+                        pcfg.seed = s.trim().parse().unwrap_or_else(|_| usage());
+                    }
+                    _ => usage(),
+                }
+                particles = Some(pcfg);
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -258,6 +298,7 @@ fn main() {
         rebalance,
         host_threads,
         tile,
+        particles,
     };
 
     // The balancer re-measures between iterations; a fault plan is
@@ -335,6 +376,18 @@ fn main() {
     }
     println!("kernel launches: {}", result.total_launches());
     println!("MPI bytes:       {}", result.total_bytes_sent());
+    if let Some(sc) = &result.scenario {
+        match sc.error {
+            Some(err) => println!("scenario:        {} ({} = {err:.6})", sc.name, sc.metric),
+            None => println!("scenario:        {}", sc.name),
+        }
+    }
+    if let Some(p) = &result.particles {
+        println!(
+            "particles:       {} live, {} migrations, momentum [{:+.4e} {:+.4e} {:+.4e}]",
+            p.count, p.migrated, p.momentum[0], p.momentum[1], p.momentum[2]
+        );
+    }
     if matches!(cfg.mode, ExecMode::Heterogeneous { .. }) {
         // Context: what the other modes would cost.
         for other in [ExecMode::Default, ExecMode::mps4()] {

@@ -14,7 +14,9 @@
 //! * [`mpi`] — the in-process MPI runtime,
 //! * [`mesh`] — grids, subdomains, decompositions, halo plans,
 //! * [`raja`] — the portability layer (`forall`, policies, pools),
-//! * [`hydro`] — the Sedov blast-wave hydro mini-app,
+//! * [`hydro`] — the hydro mini-app (Sedov, Sod, Noh, Taylor–Green),
+//! * [`particles`] — Lagrangian tracer/drag particles advected
+//!   through the hydro field,
 //! * [`core`] — the cooperative heterogeneous runner (the paper's
 //!   contribution),
 //! * [`serve`] — simulation-as-a-service: content-hash result cache,
@@ -40,6 +42,7 @@ pub use hsim_gpu as gpu;
 pub use hsim_hydro as hydro;
 pub use hsim_mesh as mesh;
 pub use hsim_mpi as mpi;
+pub use hsim_particles as particles;
 pub use hsim_raja as raja;
 pub use hsim_serve as serve;
 pub use hsim_time as time;

@@ -14,6 +14,7 @@ fn feasible_spec() -> FigureSpec {
         sweep: SweepAxis::X,
         values: vec![64, 96, 128],
         fixed: (48, 32),
+        scenario: heterosim::core::Scenario::Sedov,
     }
 }
 
@@ -27,6 +28,7 @@ fn infeasible_spec() -> FigureSpec {
         sweep: SweepAxis::X,
         values: vec![64],
         fixed: (4, 4),
+        scenario: heterosim::core::Scenario::Sedov,
     }
 }
 
